@@ -1,0 +1,211 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/hpgmg"
+	"repro/internal/multigrid"
+)
+
+// Each benchmark regenerates one of the paper's artifacts end to end —
+// dataset synthesis, GP fits, AL batches — and reports the headline
+// values as benchmark metrics so `go test -bench` output doubles as a
+// reproduction log. Quick mode keeps -bench=. affordable; run
+// cmd/alrepro (without -quick) for the full-size reproduction.
+var benchOpts = experiments.Options{Seed: 1, Quick: true}
+
+func benchReport(b *testing.B, gen func(experiments.Options) (*experiments.Report, error), keys ...string) {
+	b.Helper()
+	b.ReportAllocs()
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = gen(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := rep.Values[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (dataset parameters).
+func BenchmarkTableI(b *testing.B) {
+	benchReport(b, experiments.TableI, "performance_jobs", "power_jobs")
+}
+
+// BenchmarkFig1 regenerates the raw scatter subsets and the
+// noise-contrast headline (Power ≫ Performance variance).
+func BenchmarkFig1(b *testing.B) {
+	benchReport(b, experiments.Fig1, "performance_repeat_cv", "power_repeat_cv")
+}
+
+// BenchmarkFig2 regenerates the log-transformed view and the log–log
+// linearity fit.
+func BenchmarkFig2(b *testing.B) {
+	benchReport(b, experiments.Fig2, "loglog_slope", "loglog_r2")
+}
+
+// BenchmarkFig3 regenerates the 1-D GPR hyperparameter study.
+func BenchmarkFig3(b *testing.B) {
+	benchReport(b, experiments.Fig3, "b_sd_edge", "b_sd_mid")
+}
+
+// BenchmarkFig4 regenerates the peaked LML landscape.
+func BenchmarkFig4(b *testing.B) {
+	benchReport(b, experiments.Fig4, "grid_peak_lml", "fitted_lml")
+}
+
+// BenchmarkFig5 regenerates the small-dataset 2-D GPR and its shallow
+// landscape.
+func BenchmarkFig5(b *testing.B) {
+	benchReport(b, experiments.Fig5, "peak_minus_median", "corner_sd")
+}
+
+// BenchmarkFig6 regenerates the AL trajectory study (edges-first
+// exploration).
+func BenchmarkFig6(b *testing.B) {
+	benchReport(b, experiments.Fig6, "edge_fraction_first10", "subset_jobs")
+}
+
+// BenchmarkFig7 regenerates the noise-floor comparison.
+func BenchmarkFig7(b *testing.B) {
+	benchReport(b, experiments.Fig7, "min_noise_low_floor", "min_noise_high_floor")
+}
+
+// BenchmarkFig8 regenerates the strategy comparison and cost–error
+// tradeoff (the paper's 38% headline).
+func BenchmarkFig8(b *testing.B) {
+	benchReport(b, experiments.Fig8, "crossover_cost", "max_reduction")
+}
+
+// BenchmarkAblationGamma sweeps the cost exponent γ (design-choice
+// ablation A1 for the paper's Eq. 14).
+func BenchmarkAblationGamma(b *testing.B) {
+	benchReport(b, experiments.AblationGamma, "cost_ratio_0_to_1")
+}
+
+// BenchmarkAblationKernel compares covariance families (A2).
+func BenchmarkAblationKernel(b *testing.B) {
+	benchReport(b, experiments.AblationKernel, "rmse_rbf", "rmse_matern52")
+}
+
+// BenchmarkAblationSelection compares LML vs LOO-CV model selection (A3,
+// the paper's deferred future-work comparison).
+func BenchmarkAblationSelection(b *testing.B) {
+	benchReport(b, experiments.AblationSelection, "rmse_lml", "rmse_loocv")
+}
+
+// BenchmarkAblationParallel compares sequential vs batched selection
+// (A4, the §VI scheduling concern).
+func BenchmarkAblationParallel(b *testing.B) {
+	benchReport(b, experiments.AblationParallel, "vr_sched_speedup", "ce_sched_speedup")
+}
+
+// BenchmarkAblationScaling compares dense vs sparse GPR fits on growing
+// datasets (A5, the paper's computational-requirements future work).
+func BenchmarkAblationScaling(b *testing.B) {
+	benchReport(b, experiments.AblationScaling, "dense_fit_s", "sparse_fit_s", "fit_speedup")
+}
+
+// BenchmarkAblationEMCM compares the EMCM baseline against GPR variance
+// reduction (A6, the §III critique).
+func BenchmarkAblationEMCM(b *testing.B) {
+	benchReport(b, experiments.AblationEMCM, "final_rmse_gpr", "final_rmse_emcm")
+}
+
+// BenchmarkDatasetGeneration measures raw dataset synthesis (all 3246
+// Performance jobs through the cluster model).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneratePerformanceDataset(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkALIteration measures one GP-fit-plus-selection step at a
+// realistic pool size.
+func BenchmarkALIteration(b *testing.B) {
+	ds, err := GeneratePerformanceDataset(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := StudySubset2D(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	part, err := NewPartition(sub, PartitionConfig{NInitial: 1, TestFrac: 0.2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := LoopConfig{
+		Response:     RespRuntime,
+		Strategy:     VarianceReduction{},
+		Iterations:   1,
+		NoiseFloor:   0.1,
+		Restarts:     1,
+		AllowRevisit: true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAL(sub, part, cfg, rand.New(rand.NewSource(2))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultigridFMG measures the real HPGMG-FE stand-in across
+// operators — the substrate the analytic cost model is calibrated
+// against.
+func BenchmarkMultigridFMG(b *testing.B) {
+	for _, op := range []multigrid.Operator{multigrid.Poisson1, multigrid.Poisson2, multigrid.Poisson2Affine} {
+		b.Run(op.String(), func(b *testing.B) {
+			s, err := multigrid.NewSolver(multigrid.Config{Op: op, N: 31})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetRHS(func(x, y, z float64) float64 { return 1 })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.FMG(1)
+			}
+		})
+	}
+}
+
+// BenchmarkWorkModelCalibration compares the analytic runtime prediction
+// against a real solver execution (the Calibrate path), reporting the
+// measured/predicted ratio.
+func BenchmarkWorkModelCalibration(b *testing.B) {
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := hpgmg.Calibrate(multigrid.Poisson1, []int{31}, hpgmg.WallTimer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].Ratio
+	}
+	b.ReportMetric(ratio, "measured/predicted")
+}
+
+// Example of the public API in testable form.
+func ExampleGeneratePerformanceDataset() {
+	ds, err := GeneratePerformanceDataset(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ds.Len())
+	// Output: 3246
+}

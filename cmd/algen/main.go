@@ -1,0 +1,72 @@
+// Command algen regenerates the paper's two datasets on the simulated
+// cluster and writes them as CSV.
+//
+// Usage:
+//
+//	algen -out datasets/ -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/hpgmg"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	if err := run(*out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "algen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	perfResults, err := hpgmg.GeneratePerformance(seed)
+	if err != nil {
+		return err
+	}
+	perf, err := dataset.FromPerformance(perfResults)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(perf, filepath.Join(out, "performance.csv")); err != nil {
+		return err
+	}
+	fmt.Printf("performance.csv: %d jobs\n", perf.Len())
+
+	powResults, err := hpgmg.GeneratePower(seed)
+	if err != nil {
+		return err
+	}
+	pow, err := dataset.FromPower(powResults)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(pow, filepath.Join(out, "power.csv")); err != nil {
+		return err
+	}
+	fmt.Printf("power.csv: %d jobs\n", pow.Len())
+	return nil
+}
+
+func writeCSV(d *dataset.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,106 @@
+// Command alrepro regenerates the paper's tables and figures and writes
+// each report (plus its data series as CSV) under an output directory.
+//
+// Usage:
+//
+//	alrepro -out results/            # everything, full size
+//	alrepro -exp F8 -quick           # one experiment, small batches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var generators = map[string]func(experiments.Options) (*experiments.Report, error){
+	"T1": experiments.TableI,
+	"F1": experiments.Fig1,
+	"F2": experiments.Fig2,
+	"F3": experiments.Fig3,
+	"F4": experiments.Fig4,
+	"F5": experiments.Fig5,
+	"F6": experiments.Fig6,
+	"F7": experiments.Fig7,
+	"F8": experiments.Fig8,
+	"A1": experiments.AblationGamma,
+	"A2": experiments.AblationKernel,
+	"A3": experiments.AblationSelection,
+	"A4": experiments.AblationParallel,
+	"A5": experiments.AblationScaling,
+	"A6": experiments.AblationEMCM,
+}
+
+var order = []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6"}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1, F1..F8, A1..A4) or 'all'")
+	out := flag.String("out", "results", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "smaller batches for a fast pass")
+	plot := flag.Bool("plot", false, "render ASCII plots of each report's series")
+	flag.Parse()
+
+	if err := run(*exp, *out, *seed, *quick, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "alrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, out string, seed int64, quick, plot bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: seed, Quick: quick}
+
+	ids := order
+	if exp != "all" {
+		id := strings.ToUpper(exp)
+		if _, ok := generators[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (want T1, F1..F8, A1..A4, all)", exp)
+		}
+		ids = []string{id}
+	}
+	for _, id := range ids {
+		rep, err := generators[id](opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		if plot {
+			renderPlots(rep)
+		}
+		txt, err := os.Create(filepath.Join(out, id+".txt"))
+		if err != nil {
+			return err
+		}
+		if _, err := rep.WriteTo(txt); err != nil {
+			txt.Close()
+			return err
+		}
+		if err := txt.Close(); err != nil {
+			return err
+		}
+		for name := range rep.Series {
+			csvf, err := os.Create(filepath.Join(out, fmt.Sprintf("%s_%s.csv", id, name)))
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteSeriesCSV(name, nil, csvf); err != nil {
+				csvf.Close()
+				return err
+			}
+			if err := csvf.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("wrote %d report(s) to %s\n", len(ids), out)
+	return nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/asciiplot"
+	"repro/internal/experiments"
+)
+
+// renderPlots prints ASCII visualizations of a report's data series:
+// grid series (3 columns of x, y, z) become heatmaps; trajectory series
+// become scatter plots; metric curves become line charts.
+func renderPlots(rep *experiments.Report) {
+	names := make([]string, 0, len(rep.Series))
+	for name := range rep.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := rep.Series[name]
+		if len(rows) == 0 {
+			continue
+		}
+		switch {
+		case isGrid(rows):
+			fmt.Print(asciiplot.Heatmap(clipToPeak(reshapeGrid(rows), 30), rep.ID+" / "+name))
+		case len(rows[0]) >= 3 && rows[0][0] == 1 && len(rows) > 3 && rows[1][0] == 2:
+			// Trajectory-style series: (iter, x, y, ...): scatter x vs y.
+			plotTrajectory(rep.ID+" / "+name, rows)
+		default:
+			// Curve: first column is the abscissa, second the value.
+			ys := make([]float64, len(rows))
+			for i, r := range rows {
+				if len(r) > 1 {
+					ys[i] = r[1]
+				}
+			}
+			fmt.Print(asciiplot.Series(ys, 70, 12, rep.ID+" / "+name))
+		}
+	}
+}
+
+// isGrid detects a flattened 2-D grid: 3 columns whose first column takes
+// each distinct value the same number of times.
+func isGrid(rows [][]float64) bool {
+	if len(rows) < 9 || len(rows[0]) != 3 {
+		return false
+	}
+	counts := map[float64]int{}
+	for _, r := range rows {
+		counts[r[0]]++
+	}
+	if len(counts) < 3 || len(rows)%len(counts) != 0 {
+		return false
+	}
+	per := len(rows) / len(counts)
+	for _, c := range counts {
+		if c != per {
+			return false
+		}
+	}
+	return true
+}
+
+func reshapeGrid(rows [][]float64) [][]float64 {
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, r := range rows {
+		if !seen[r[0]] {
+			seen[r[0]] = true
+			xs = append(xs, r[0])
+		}
+	}
+	sort.Float64s(xs)
+	idx := map[float64]int{}
+	for i, x := range xs {
+		idx[x] = i
+	}
+	cols := len(rows) / len(xs)
+	z := make([][]float64, len(xs))
+	for i := range z {
+		z[i] = make([]float64, cols)
+		for j := range z[i] {
+			z[i][j] = math.NaN()
+		}
+	}
+	fill := make([]int, len(xs))
+	for _, r := range rows {
+		i := idx[r[0]]
+		if fill[i] < cols {
+			z[i][fill[i]] = r[2]
+			fill[i]++
+		}
+	}
+	return z
+}
+
+// clipToPeak floors a landscape at (max − span) so catastrophic values at
+// degenerate hyperparameters don't compress the interesting region into
+// one ramp character.
+func clipToPeak(z [][]float64, span float64) [][]float64 {
+	peak := math.Inf(-1)
+	for _, row := range z {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	floor := peak - span
+	out := make([][]float64, len(z))
+	for i, row := range z {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			if v < floor {
+				v = floor
+			}
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+func plotTrajectory(title string, rows [][]float64) {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		if r[1] < xmin {
+			xmin = r[1]
+		}
+		if r[1] > xmax {
+			xmax = r[1]
+		}
+		if r[2] < ymin {
+			ymin = r[2]
+		}
+		if r[2] > ymax {
+			ymax = r[2]
+		}
+	}
+	c := asciiplot.NewCanvas(70, 16, xmin, xmax, ymin, ymax)
+	c.SetLabels(title, "var1", "var2")
+	// Later selections first; the numbered first-ten marks go on top so
+	// the early star pattern stays visible.
+	for i := len(rows) - 1; i >= 10 && i < len(rows); i-- {
+		c.Plot(rows[i][1], rows[i][2], 'o')
+	}
+	for i := 9; i >= 0 && i < len(rows); i-- {
+		c.Plot(rows[i][1], rows[i][2], rune('0'+i))
+	}
+	fmt.Print(c.String())
+}

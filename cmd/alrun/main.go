@@ -1,0 +1,124 @@
+// Command alrun executes one Active Learning realization on a dataset CSV
+// (as written by algen) and prints the per-iteration monitoring record:
+// selected-point SD, AMSD, test RMSE, and cumulative cost.
+//
+// Usage:
+//
+//	alrun -data performance.csv -response runtime_s -strategy cost-efficiency \
+//	      -operator poisson1 -np 32 -iters 100 -floor 0.1 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/al"
+	"repro/internal/dataset"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset CSV (required)")
+	response := flag.String("response", dataset.RespRuntime, "response column")
+	strategyName := flag.String("strategy", "variance-reduction",
+		"selection strategy: variance-reduction | cost-efficiency | thompson | random | emcm")
+	budget := flag.Float64("budget", 0, "stop once cumulative cost reaches this (0 = unlimited)")
+	operator := flag.String("operator", "poisson1", "operator tag filter (empty = all)")
+	np := flag.Float64("np", 32, "NP filter (0 = all)")
+	iters := flag.Int("iters", 50, "AL iterations")
+	floor := flag.Float64("floor", 0.1, "noise-level lower bound σn")
+	nInitial := flag.Int("initial", 1, "initial (seed) experiments")
+	testFrac := flag.Float64("test", 0.2, "test-set fraction")
+	seed := flag.Int64("seed", 1, "random seed")
+	logTransform := flag.Bool("log", true, "log10-transform size and response")
+	flag.Parse()
+
+	if err := run(*data, *response, *strategyName, *operator, *np, *iters, *floor,
+		*nInitial, *testFrac, *seed, *logTransform, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "alrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, response, strategyName, operator string, np float64, iters int,
+	floor float64, nInitial int, testFrac float64, seed int64, logT bool, budget float64) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if operator != "" {
+		d = d.WhereTag(dataset.TagOperator, operator)
+	}
+	if np > 0 {
+		d = d.WhereVar(dataset.VarNP, np)
+		d = d.Project(dataset.VarSize, dataset.VarFreq)
+	}
+	if logT {
+		if err := d.LogVar(dataset.VarSize); err != nil {
+			return err
+		}
+		if err := d.LogResp(response); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("dataset: %d jobs after filtering\n", d.Len())
+
+	rng := rand.New(rand.NewSource(seed))
+	part, err := dataset.RandomPartition(d, dataset.PartitionConfig{NInitial: nInitial, TestFrac: testFrac}, rng)
+	if err != nil {
+		return err
+	}
+
+	var res al.Result
+	if strategyName == "emcm" {
+		res, err = al.RunEMCM(d, part, al.EMCMConfig{Response: response, Iterations: iters}, rng)
+	} else {
+		var strategy al.Strategy
+		switch strategyName {
+		case "variance-reduction":
+			strategy = al.VarianceReduction{}
+		case "cost-efficiency":
+			strategy = al.CostEfficiency{}
+		case "thompson":
+			strategy = al.ThompsonVariance{}
+		case "random":
+			strategy = al.Random{}
+		default:
+			return fmt.Errorf("unknown strategy %q", strategyName)
+		}
+		res, err = al.Run(d, part, al.LoopConfig{
+			Response:     response,
+			Strategy:     strategy,
+			Iterations:   iters,
+			NoiseFloor:   floor,
+			AllowRevisit: true,
+			CostBudget:   budget,
+		}, rng)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-5s %-8s %-10s %-10s %-10s %-9s %-12s %-8s\n",
+		"iter", "row", "sd_chosen", "amsd", "rmse", "cover95", "cum_cost", "sigma_n")
+	for _, rec := range res.Records {
+		fmt.Printf("%-5d %-8d %-10.4g %-10.4g %-10.4g %-9.2f %-12.5g %-8.3g\n",
+			rec.Iter, rec.Row, rec.SDChosen, rec.AMSD, rec.RMSE, rec.Coverage, rec.CumCost, rec.Noise)
+	}
+	if res.Converged {
+		fmt.Println("terminated early: AMSD converged")
+	}
+	if budget > 0 && len(res.Records) > 0 && res.Records[len(res.Records)-1].CumCost >= budget {
+		fmt.Printf("terminated: cost budget %.4g reached\n", budget)
+	}
+	return nil
+}

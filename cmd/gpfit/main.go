@@ -1,0 +1,134 @@
+// Command gpfit fits a Gaussian process regression to a dataset CSV and
+// prints the fitted hyperparameters, log marginal likelihood, and
+// predictions with 95% confidence intervals along a 1-D sweep of the
+// first variable (other variables fixed at their medians).
+//
+// Usage:
+//
+//	gpfit -data performance.csv -response runtime_s -operator poisson1 -np 32 -freq 2.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset CSV (required)")
+	response := flag.String("response", dataset.RespRuntime, "response column")
+	operator := flag.String("operator", "poisson1", "operator filter (empty = all)")
+	np := flag.Float64("np", 32, "NP filter (0 = all)")
+	freq := flag.Float64("freq", 2.4, "frequency filter (0 = all)")
+	floor := flag.Float64("floor", 0.01, "noise floor σn")
+	seed := flag.Int64("seed", 1, "random seed")
+	gridN := flag.Int("grid", 25, "prediction sweep points")
+	kernelName := flag.String("kernel", "rbf", "covariance: rbf | matern32 | matern52 | rq | periodic")
+	selection := flag.String("selection", "lml", "model selection: lml | loocv")
+	flag.Parse()
+
+	if err := run(*data, *response, *operator, *np, *freq, *floor, *seed, *gridN, *kernelName, *selection); err != nil {
+		fmt.Fprintln(os.Stderr, "gpfit:", err)
+		os.Exit(1)
+	}
+}
+
+func kernelFor(name string) (kernel.Kernel, error) {
+	switch name {
+	case "rbf":
+		return kernel.NewRBF(1, 1), nil
+	case "matern32":
+		return kernel.NewMatern32(1, 1), nil
+	case "matern52":
+		return kernel.NewMatern52(1, 1), nil
+	case "rq":
+		return kernel.NewRationalQuadratic(1, 1, 1), nil
+	case "periodic":
+		return kernel.NewPeriodic(1, 1, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown kernel %q", name)
+	}
+}
+
+func run(data, response, operator string, np, freq, floor float64, seed int64, gridN int, kernelName, selection string) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if operator != "" {
+		d = d.WhereTag(dataset.TagOperator, operator)
+	}
+	if np > 0 {
+		d = d.WhereVar(dataset.VarNP, np)
+	}
+	if freq > 0 {
+		d = d.WhereVar(dataset.VarFreq, freq)
+	}
+	d = d.Project(dataset.VarSize)
+	if err := d.LogVar(dataset.VarSize); err != nil {
+		return err
+	}
+	if err := d.LogResp(response); err != nil {
+		return err
+	}
+	if d.Len() == 0 {
+		return fmt.Errorf("no rows after filtering")
+	}
+	fmt.Printf("fitting GPR to %d jobs, response log10(%s), %s kernel, %s selection\n",
+		d.Len(), response, kernelName, selection)
+
+	k, err := kernelFor(kernelName)
+	if err != nil {
+		return err
+	}
+	cfg := gp.Config{
+		Kernel:     k,
+		NoiseInit:  0.1,
+		NoiseFloor: floor,
+		Optimize:   true,
+		Restarts:   4,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var g *gp.GP
+	switch selection {
+	case "lml":
+		g, err = gp.Fit(cfg, d.Matrix(nil), d.RespVec(response, nil), rng)
+	case "loocv":
+		g, err = gp.FitLOOCV(cfg, d.Matrix(nil), d.RespVec(response, nil), rng)
+	default:
+		return fmt.Errorf("unknown selection %q", selection)
+	}
+	if err != nil {
+		return err
+	}
+	names := g.HyperNames()
+	for i, v := range g.Hyper() {
+		fmt.Printf("  %-10s = %.4f\n", names[i], v)
+	}
+	fmt.Printf("  σn         = %.4g\n", g.Noise())
+	fmt.Printf("  LML        = %.4f\n", g.LML())
+
+	xs := d.Var(dataset.VarSize)
+	lo, hi := stats.MinMax(xs)
+	fmt.Printf("%-12s %-12s %-12s %-12s\n", "log10_size", "mean", "ci_lo", "ci_hi")
+	for _, x := range gp.Linspace(lo, hi, gridN) {
+		p := g.Predict([]float64{x})
+		cl, ch := p.CI(2)
+		fmt.Printf("%-12.4f %-12.4f %-12.4f %-12.4f\n", x, p.Mean, cl, ch)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Calibration demonstrates the paper's §V-A proposal: when some energy
+// measurements come from calibrated physical power meters and others are
+// IPMI-derived estimates, the model should trust the former more. The
+// heteroscedastic GP (per-observation noise variances) does exactly that.
+//
+// We simulate a frequency sweep where the *estimates* are biased upward
+// at high frequency (IPMI over-reads under load), attach a few trusted
+// meter measurements, and compare the homoscedastic fit (pulled toward
+// the biased estimates) against the heteroscedastic one (anchored by the
+// meters).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+	"repro/internal/gp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	truth := func(f float64) float64 { // true log10 energy vs frequency
+		return 2.0 + 0.35*(f-1.2)
+	}
+
+	var xs [][]float64
+	var ys []float64
+	var noiseVar []float64
+	// 20 IPMI estimates: noisy and biased upward at high frequency.
+	for i := 0; i < 20; i++ {
+		f := 1.2 + 1.2*rng.Float64()
+		bias := 0.15 * (f - 1.2) / 1.2
+		xs = append(xs, []float64{f})
+		ys = append(ys, truth(f)+bias+0.08*rng.NormFloat64())
+		noiseVar = append(noiseVar, 0.04) // σ ≈ 0.2 in log10 units
+	}
+	// 5 meter-calibrated measurements: precise and unbiased.
+	for _, f := range []float64{1.2, 1.5, 1.8, 2.1, 2.4} {
+		xs = append(xs, []float64{f})
+		ys = append(ys, truth(f)+0.01*rng.NormFloat64())
+		noiseVar = append(noiseVar, 0.0001) // σ ≈ 0.01
+	}
+	fmt.Printf("dataset: %d IPMI estimates (σ≈0.2, biased) + 5 meter measurements (σ≈0.01)\n", 20)
+
+	x := repro.NewDenseFromRows(xs)
+	fit := func(pointNoise []float64) *repro.GP {
+		g, err := gp.Fit(gp.Config{
+			Kernel:        repro.NewRBF(1, 1),
+			NoiseInit:     0.05,
+			FixedNoise:    true,
+			PointNoiseVar: pointNoise,
+		}, x, ys, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+	plain := fit(nil)       // homoscedastic: every point equally trusted
+	hetero := fit(noiseVar) // §V-A weighting
+
+	fmt.Println("\nfreq   truth   homoscedastic   heteroscedastic")
+	var plainErr, heteroErr float64
+	for _, f := range []float64{1.2, 1.5, 1.8, 2.1, 2.4} {
+		tv := truth(f)
+		pp := plain.Predict([]float64{f})
+		ph := hetero.Predict([]float64{f})
+		fmt.Printf("%.1f    %.3f   %.3f (Δ%+.3f)  %.3f (Δ%+.3f)\n",
+			f, tv, pp.Mean, pp.Mean-tv, ph.Mean, ph.Mean-tv)
+		plainErr += math.Abs(pp.Mean - tv)
+		heteroErr += math.Abs(ph.Mean - tv)
+	}
+	fmt.Printf("\nmean |error|: homoscedastic %.4f vs heteroscedastic %.4f\n",
+		plainErr/5, heteroErr/5)
+	if heteroErr < plainErr {
+		fmt.Println("the meter-weighted model tracks the truth despite the biased IPMI majority —")
+		fmt.Println("exactly the confidence-weighting the paper proposes for mixed-quality power data.")
+	}
+}

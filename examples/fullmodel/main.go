@@ -1,0 +1,90 @@
+// Fullmodel builds one performance model across ALL of Table I's
+// controlled variables at once — log problem size, process count, and CPU
+// frequency — using an ARD (automatic relevance determination) kernel on
+// the complete poisson1 slice of the Performance dataset, via the sparse
+// inducing-point GP so the ~1000-job fit stays fast.
+//
+// The fitted per-dimension length scales read off which variables the
+// runtime actually depends on: short length scale = relevant dimension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+func main() {
+	ds, err := repro.GeneratePerformanceDataset(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub := ds.WhereTag(repro.TagOperator, "poisson1")
+	if err := sub.LogVar(repro.VarSize); err != nil {
+		log.Fatal(err)
+	}
+	if err := sub.LogResp(repro.RespRuntime); err != nil {
+		log.Fatal(err)
+	}
+	sub = sub.Project(repro.VarSize, repro.VarNP, repro.VarFreq)
+	fmt.Printf("modeling %d poisson1 jobs over (log size, NP, freq)\n", sub.Len())
+
+	// Split train/test.
+	rng := rand.New(rand.NewSource(9))
+	perm := rng.Perm(sub.Len())
+	nTest := sub.Len() / 5
+	testRows, trainRows := perm[:nTest], perm[nTest:]
+
+	// Fit ARD hyperparameters on a dense subsample, then deploy them in
+	// a sparse fit over all training jobs.
+	nHyper := 250
+	if nHyper > len(trainRows) {
+		nHyper = len(trainRows)
+	}
+	hx := sub.Matrix(trainRows[:nHyper])
+	hy := sub.RespVec(repro.RespRuntime, trainRows[:nHyper])
+	ard := kernel.NewARD([]float64{1, 30, 1}, 1)
+	dense, err := gp.Fit(gp.Config{
+		Kernel: ard, NoiseInit: 0.1, NoiseFloor: 0.02,
+		Optimize: true, Restarts: 3, Normalize: true,
+	}, hx, hy, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"log10(size)", "NP", "freq(GHz)"}
+	fmt.Println("\nARD length scales (short = relevant):")
+	for i, l := range ard.LengthScales() {
+		fmt.Printf("  %-12s l = %.3g\n", names[i], l)
+	}
+	fmt.Printf("  noise σn = %.3f, LML = %.1f (on %d hyper-fit jobs)\n",
+		dense.Noise(), dense.LML(), nHyper)
+
+	sparse, err := gp.FitSparse(gp.SparseConfig{
+		Kernel: ard, Noise: dense.Noise(), Inducing: 96, Normalize: true,
+	}, sub.Matrix(trainRows), sub.RespVec(repro.RespRuntime, trainRows), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	testX := sub.Matrix(testRows)
+	testY := sub.RespVec(repro.RespRuntime, testRows)
+	rmse := stats.RMSE(gp.Means(sparse.PredictBatch(testX)), testY)
+	fmt.Printf("\nsparse model (m=%d inducing) over %d jobs: held-out RMSE %.4f in log10 seconds\n",
+		sparse.NumInducing(), len(trainRows), rmse)
+	fmt.Printf("(≈ %.0f%% median multiplicative error on runtime)\n",
+		100*(math.Pow(10, rmse)-1))
+
+	// Strong-scaling prediction: runtime vs NP at a fixed large size.
+	fmt.Println("\npredicted strong scaling at size 1e8, 2.4 GHz:")
+	for _, np := range []float64{1, 4, 16, 64, 128} {
+		p := sparse.Predict([]float64{8, np, 2.4})
+		fmt.Printf("  NP=%3.0f: %7.2f s (±%.0f%%)\n",
+			np, math.Pow(10, p.Mean), 100*(math.Pow(10, 2*p.SD)-1))
+	}
+}

@@ -1,0 +1,88 @@
+// Online demonstrates the paper's target use case (§VI): Active Learning
+// driving *live* experiments instead of consulting a database. The oracle
+// actually runs the internal multigrid solver (the HPGMG-FE stand-in) and
+// measures wall-clock time; the AL loop decides which configuration to
+// run next.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/hpgmg"
+	"repro/internal/multigrid"
+)
+
+func main() {
+	// Candidate grid: per-dimension sizes 2^k − 1 the real solver
+	// accepts, crossed with worker counts 1..GOMAXPROCS.
+	dims := []int{15, 31, 63}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workerLevels := []int{1, 2, maxWorkers}
+	var rows [][]float64
+	for _, d := range dims {
+		for _, w := range workerLevels {
+			if w > maxWorkers {
+				continue
+			}
+			// Variables: log10(problem size), workers.
+			size := float64(d) * float64(d) * float64(d)
+			rows = append(rows, []float64{math.Log10(size), float64(w)})
+		}
+	}
+	grid := repro.NewDenseFromRows(rows)
+	fmt.Printf("candidate grid: %d (size, workers) configurations\n", grid.Rows())
+
+	// The oracle runs the real FMG solver and returns log10 runtime;
+	// cost is the wall-clock time itself.
+	calls := 0
+	oracle := repro.OracleFunc(func(x []float64) (float64, float64, error) {
+		calls++
+		size := int64(math.Round(math.Pow(10, x[0])))
+		workers := int(x[1])
+		res, err := hpgmg.RunReal(
+			hpgmg.Config{Op: multigrid.Poisson1, GlobalSize: size, NP: workers, FreqGHz: 2.4},
+			workers,
+			func(fn func()) float64 {
+				start := time.Now()
+				fn()
+				return time.Since(start).Seconds()
+			})
+		if err != nil {
+			return 0, 0, err
+		}
+		fmt.Printf("  ran size=%d workers=%d -> %.4fs\n", size, workers, res.RuntimeS)
+		return math.Log10(res.RuntimeS), res.RuntimeS, nil
+	})
+
+	res, err := repro.RunOnlineAL(grid, []int{0}, oracle, repro.LoopConfig{
+		Response:     "log_runtime",
+		Strategy:     repro.VarianceReduction{},
+		Iterations:   8,
+		NoiseFloor:   0.05,
+		AllowRevisit: true,
+		Restarts:     1,
+	}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nran %d live experiments (1 seed + %d AL-selected)\n", calls, len(res.Records))
+	fmt.Println("iter  amsd     cum_cost_s")
+	for _, rec := range res.Records {
+		fmt.Printf("%4d  %7.4f  %9.3f\n", rec.Iter, rec.AMSD, rec.CumCost)
+	}
+
+	// The learned model predicts runtime for configurations never run.
+	fmt.Println("\nlearned model predictions (log10 seconds):")
+	for _, d := range []int{15, 31, 63} {
+		size := float64(d) * float64(d) * float64(d)
+		p := res.Final.Predict([]float64{math.Log10(size), float64(maxWorkers)})
+		fmt.Printf("  size=%7.0f workers=%d: %.3f ± %.3f\n", size, maxWorkers, p.Mean, 2*p.SD)
+	}
+}

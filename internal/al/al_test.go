@@ -1,0 +1,400 @@
+package al
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+)
+
+// synthDS builds a 1-D noisy dataset y = sin(2x) + 0.5x over [0, 4] with
+// cost = 10^y, mimicking a log-transformed runtime response whose raw
+// value is the experiment cost.
+func synthDS(t *testing.T, n int, noise float64, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New([]string{"x"}, []string{"y"})
+	for i := 0; i < n; i++ {
+		x := 4 * float64(i) / float64(n-1)
+		y := math.Sin(2*x) + 0.5*x + noise*rng.NormFloat64()
+		if err := d.AddRow([]float64{x}, []float64{y}, nil, math.Pow(10, y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func synthPartition(t *testing.T, d *dataset.Dataset, seed int64) dataset.Partition {
+	t.Helper()
+	p, err := dataset.RandomPartition(d, dataset.PartitionConfig{NInitial: 1, TestFrac: 0.2},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func quickLoop(strategy Strategy, iters int) LoopConfig {
+	return LoopConfig{
+		Response:     "y",
+		Strategy:     strategy,
+		Iterations:   iters,
+		NoiseFloor:   1e-2,
+		Restarts:     1,
+		AllowRevisit: true,
+	}
+}
+
+func mkCands(preds ...gp.Prediction) []Candidate {
+	out := make([]Candidate, len(preds))
+	for i, p := range preds {
+		out[i] = Candidate{Row: i, X: []float64{float64(i)}, Pred: p}
+	}
+	return out
+}
+
+func TestVarianceReductionPicksMaxSD(t *testing.T) {
+	cands := mkCands(
+		gp.Prediction{Mean: 5, SD: 0.1},
+		gp.Prediction{Mean: 0, SD: 0.9},
+		gp.Prediction{Mean: 2, SD: 0.5},
+	)
+	if got := (VarianceReduction{}).Select(cands, nil); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+}
+
+func TestCostEfficiencyPenalizesExpensive(t *testing.T) {
+	// Candidate 0 has the highest SD but also a huge predicted cost;
+	// candidate 1 wins σ − μ.
+	cands := mkCands(
+		gp.Prediction{Mean: 3, SD: 1.0},  // σ−μ = −2
+		gp.Prediction{Mean: 0, SD: 0.8},  // σ−μ = 0.8
+		gp.Prediction{Mean: 1, SD: 0.95}, // σ−μ = −0.05
+	)
+	if got := (CostEfficiency{}).Select(cands, nil); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+	if got := (VarianceReduction{}).Select(cands, nil); got != 0 {
+		t.Fatalf("VR Select = %d, want 0", got)
+	}
+}
+
+func TestCostExponentInterpolates(t *testing.T) {
+	cands := mkCands(
+		gp.Prediction{Mean: 3, SD: 1.0},
+		gp.Prediction{Mean: 0, SD: 0.8},
+	)
+	if got := (CostExponent{Gamma: 0}).Select(cands, nil); got != (VarianceReduction{}).Select(cands, nil) {
+		t.Fatal("γ=0 must match VarianceReduction")
+	}
+	if got := (CostExponent{Gamma: 1}).Select(cands, nil); got != (CostEfficiency{}).Select(cands, nil) {
+		t.Fatal("γ=1 must match CostEfficiency")
+	}
+	if (CostExponent{Gamma: 0.5}).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestEpsilonGreedy(t *testing.T) {
+	cands := mkCands(
+		gp.Prediction{Mean: 0, SD: 0.1},
+		gp.Prediction{Mean: 0, SD: 5.0},
+		gp.Prediction{Mean: 0, SD: 0.1},
+	)
+	// ε = 0: always the base rule (argmax SD).
+	s := EpsilonGreedy{Base: VarianceReduction{}, Eps: 0}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		if got := s.Select(cands, rng); got != 1 {
+			t.Fatalf("ε=0 picked %d", got)
+		}
+	}
+	// ε = 1: always uniform — every candidate must show up.
+	s.Eps = 1
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Select(cands, rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("ε=1 explored only %d candidates", len(seen))
+	}
+	// Defaults: nil base falls back to variance reduction; nil rng is
+	// purely greedy.
+	def := EpsilonGreedy{Eps: 0.5}
+	if got := def.Select(cands, nil); got != 1 {
+		t.Fatalf("nil-rng default picked %d", got)
+	}
+	if def.Select(nil, rng) != -1 {
+		t.Fatal("empty candidates")
+	}
+	if s.Name() == "" || def.Name() == "" {
+		t.Fatal("names")
+	}
+}
+
+func TestRandomStrategy(t *testing.T) {
+	cands := mkCands(gp.Prediction{}, gp.Prediction{}, gp.Prediction{})
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		got := (Random{}).Select(cands, rng)
+		if got < 0 || got > 2 {
+			t.Fatalf("out of range %d", got)
+		}
+		seen[got] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("random never explored all candidates")
+	}
+	if (Random{}).Select(nil, rng) != -1 {
+		t.Fatal("empty candidate list should return -1")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := synthDS(t, 30, 0.05, 1)
+	p := synthPartition(t, d, 1)
+	if _, err := Run(d, p, LoopConfig{Strategy: VarianceReduction{}}, nil); err == nil {
+		t.Fatal("expected missing-response error")
+	}
+	if _, err := Run(d, p, LoopConfig{Response: "y"}, nil); err == nil {
+		t.Fatal("expected missing-strategy error")
+	}
+	bad := dataset.Partition{Initial: []int{0}, Active: nil, Test: nil}
+	if _, err := Run(d, bad, quickLoop(VarianceReduction{}, 3), nil); err == nil {
+		t.Fatal("expected empty-active error")
+	}
+}
+
+func TestRunReducesRMSE(t *testing.T) {
+	d := synthDS(t, 60, 0.05, 2)
+	p := synthPartition(t, d, 3)
+	res, err := Run(d, p, quickLoop(VarianceReduction{}, 25), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 25 {
+		t.Fatalf("%d records", len(res.Records))
+	}
+	first, last := res.Records[0], res.Records[len(res.Records)-1]
+	if !(last.RMSE < first.RMSE) {
+		t.Fatalf("RMSE did not improve: %g -> %g", first.RMSE, last.RMSE)
+	}
+	if last.RMSE > 0.2 {
+		t.Fatalf("final RMSE %g too high", last.RMSE)
+	}
+	// Record integrity.
+	for i, r := range res.Records {
+		if r.Iter != i+1 {
+			t.Fatalf("iteration numbering broken at %d", i)
+		}
+		if r.SDChosen < 0 || r.AMSD < 0 {
+			t.Fatalf("negative uncertainty at %d", i)
+		}
+		if i > 0 && r.CumCost <= res.Records[i-1].CumCost {
+			t.Fatalf("cumulative cost not increasing at %d", i)
+		}
+		if r.Train != len(p.Initial)+i+1 {
+			t.Fatalf("train size wrong at %d: %d", i, r.Train)
+		}
+	}
+	if len(res.TrainRows) != len(p.Initial)+25 {
+		t.Fatalf("TrainRows = %d", len(res.TrainRows))
+	}
+	if res.Final == nil || res.Strategy != "variance-reduction" {
+		t.Fatal("result metadata missing")
+	}
+}
+
+func TestRevisitKeepsPool(t *testing.T) {
+	d := synthDS(t, 20, 0.3, 5)
+	p := synthPartition(t, d, 6)
+	nActive := len(p.Active)
+	// With revisit allowed, we can run more iterations than pool points.
+	cfg := quickLoop(VarianceReduction{}, nActive+5)
+	cfg.ReoptimizeEvery = 5
+	res, err := Run(d, p, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != nActive+5 {
+		t.Fatalf("revisit loop stopped early: %d records", len(res.Records))
+	}
+	// Without revisit the loop must stop at pool exhaustion.
+	cfg.AllowRevisit = false
+	res, err = Run(d, p, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != nActive {
+		t.Fatalf("no-revisit loop ran %d iterations, pool had %d", len(res.Records), nActive)
+	}
+	seen := map[int]bool{}
+	for _, r := range res.Records {
+		if seen[r.Row] {
+			t.Fatalf("row %d selected twice without revisit", r.Row)
+		}
+		seen[r.Row] = true
+	}
+}
+
+// Fig. 6's star pattern: with a center-heavy training set, variance
+// reduction explores the domain edges first.
+func TestVarianceReductionExploresEdgesFirst(t *testing.T) {
+	d := synthDS(t, 41, 0.02, 8)
+	// Initial = the exact middle point; Active = everything else except
+	// a small test set.
+	var mid int
+	xs := d.Var("x")
+	for i, x := range xs {
+		if math.Abs(x-2) < math.Abs(xs[mid]-2) {
+			mid = i
+		}
+	}
+	var active, test []int
+	for i := range xs {
+		if i == mid {
+			continue
+		}
+		if i%7 == 0 {
+			test = append(test, i)
+		} else {
+			active = append(active, i)
+		}
+	}
+	p := dataset.Partition{Initial: []int{mid}, Active: active, Test: test}
+	res, err := Run(d, p, quickLoop(VarianceReduction{}, 2), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first two selections must be near the domain edges (x<0.5 or
+	// x>3.5), not near the center.
+	for _, r := range res.Records {
+		x := xs[r.Row]
+		if x > 0.5 && x < 3.5 {
+			t.Fatalf("early selection at x=%g, expected edge exploration", x)
+		}
+	}
+}
+
+func TestCostBudgetStopsLoop(t *testing.T) {
+	d := synthDS(t, 50, 0.05, 25)
+	p := synthPartition(t, d, 26)
+	cfg := quickLoop(VarianceReduction{}, 40)
+	cfg.CostBudget = 30 // costs are 10^y ∈ roughly [0.5, 80]
+	res, err := Run(d, p, cfg, rand.New(rand.NewSource(27)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) >= 40 {
+		t.Fatal("budget did not shorten the loop")
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.CumCost < 30 {
+		t.Fatalf("stopped before the budget was reached: %g", last.CumCost)
+	}
+	// Every record but the last must be under budget.
+	for _, rec := range res.Records[:len(res.Records)-1] {
+		if rec.CumCost >= 30 {
+			t.Fatalf("iteration %d already over budget (%g) but loop continued", rec.Iter, rec.CumCost)
+		}
+	}
+}
+
+// The GP's 95% interval must actually cover ~95% of held-out points once
+// the model has converged — the calibration behind "high-confidence
+// predictions".
+func TestCoverageCalibrated(t *testing.T) {
+	d := synthDS(t, 80, 0.1, 28)
+	p := synthPartition(t, d, 29)
+	cfg := quickLoop(VarianceReduction{}, 25)
+	cfg.NoiseFloor = 1e-3 // let the GP learn the true noise
+	res, err := Run(d, p, cfg, rand.New(rand.NewSource(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Records[len(res.Records)-1]
+	if math.IsNaN(last.Coverage) {
+		t.Fatal("coverage missing")
+	}
+	if last.Coverage < 0.8 {
+		t.Fatalf("95%% CI covers only %.0f%% of test points", 100*last.Coverage)
+	}
+}
+
+func TestConvergenceRuleStopsEarly(t *testing.T) {
+	d := synthDS(t, 50, 0.05, 10)
+	p := synthPartition(t, d, 11)
+	cfg := quickLoop(VarianceReduction{}, 40)
+	cfg.ConvergeWindow = 5
+	cfg.ConvergeTol = 0.25
+	res, err := Run(d, p, cfg, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected AMSD convergence")
+	}
+	if len(res.Records) >= 40 {
+		t.Fatal("convergence did not shorten the loop")
+	}
+}
+
+func TestDynamicNoiseFloorApplied(t *testing.T) {
+	d := synthDS(t, 40, 0.02, 13)
+	p := synthPartition(t, d, 14)
+	cfg := quickLoop(VarianceReduction{}, 10)
+	cfg.DynamicFloorC = 1.0
+	res, err := Run(d, p, cfg, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		floor := gp.DynamicNoiseFloor(1.0, r.Train-1)
+		if r.Noise < floor-1e-9 {
+			t.Fatalf("iter %d: σn=%g below dynamic floor %g", r.Iter, r.Noise, floor)
+		}
+	}
+}
+
+func TestReoptimizeEverySkipsRefits(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 16)
+	p := synthPartition(t, d, 17)
+	cfg := quickLoop(VarianceReduction{}, 9)
+	cfg.ReoptimizeEvery = 3
+	res, err := Run(d, p, cfg, rand.New(rand.NewSource(18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 9 {
+		t.Fatalf("%d records", len(res.Records))
+	}
+	// Between refits the noise level must be carried over exactly.
+	if res.Records[1].Noise != res.Records[0].Noise && res.Records[2].Noise != res.Records[1].Noise {
+		t.Log("noise drifted between refits (floor interactions) — acceptable but unexpected")
+	}
+}
+
+func TestCustomKernelFactory(t *testing.T) {
+	d := synthDS(t, 30, 0.05, 19)
+	p := synthPartition(t, d, 20)
+	cfg := quickLoop(VarianceReduction{}, 3)
+	called := false
+	cfg.NewKernel = func(dims int) kernel.Kernel {
+		called = true
+		if dims != 1 {
+			t.Fatalf("dims = %d", dims)
+		}
+		return kernel.NewMatern52(1, 1)
+	}
+	if _, err := Run(d, p, cfg, rand.New(rand.NewSource(21))); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("kernel factory unused")
+	}
+}

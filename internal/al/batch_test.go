@@ -1,0 +1,253 @@
+package al
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func quickBatch(strategy Strategy, runs, iters int, seed int64) BatchConfig {
+	return BatchConfig{
+		Loop:      quickLoop(strategy, iters),
+		Partition: dataset.PartitionConfig{NInitial: 1, TestFrac: 0.2},
+		Runs:      runs,
+		Seed:      seed,
+	}
+}
+
+func TestRunBatchShapes(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 30)
+	results, err := RunBatch(d, quickBatch(VarianceReduction{}, 4, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if len(r.Records) != 8 {
+			t.Fatalf("run has %d records", len(r.Records))
+		}
+	}
+}
+
+func TestRunBatchDeterministic(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 31)
+	a, err := RunBatch(d, quickBatch(VarianceReduction{}, 3, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(d, quickBatch(VarianceReduction{}, 3, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Records {
+			if a[i].Records[j].Row != b[i].Records[j].Row ||
+				a[i].Records[j].RMSE != b[i].Records[j].RMSE {
+				t.Fatalf("batch not deterministic at run %d record %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRunBatchParallelMatchesSerial(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 32)
+	cfg := quickBatch(VarianceReduction{}, 4, 5, 10)
+	serial, err := RunBatch(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	parallel, err := RunBatch(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		for j := range serial[i].Records {
+			if serial[i].Records[j].Row != parallel[i].Records[j].Row {
+				t.Fatalf("parallel batch diverged at run %d record %d", i, j)
+			}
+		}
+	}
+}
+
+func TestAverageCurves(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 33)
+	results, err := RunBatch(d, quickBatch(VarianceReduction{}, 5, 10, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := AverageCurves(results)
+	if len(c.Iter) != 10 || len(c.RMSE) != 10 || len(c.AMSD) != 10 || len(c.CumCost) != 10 {
+		t.Fatalf("curve lengths %d/%d/%d/%d", len(c.Iter), len(c.RMSE), len(c.AMSD), len(c.CumCost))
+	}
+	// Cost must increase; RMSE should broadly decrease.
+	for i := 1; i < len(c.CumCost); i++ {
+		if c.CumCost[i] <= c.CumCost[i-1] {
+			t.Fatal("average cost not increasing")
+		}
+	}
+	if !(c.RMSE[len(c.RMSE)-1] < c.RMSE[0]) {
+		t.Fatalf("average RMSE did not improve: %g -> %g", c.RMSE[0], c.RMSE[len(c.RMSE)-1])
+	}
+	if AverageCurves(nil).Iter != nil {
+		t.Fatal("empty input should give empty curves")
+	}
+}
+
+func TestFinalRMSEs(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 34)
+	results, err := RunBatch(d, quickBatch(VarianceReduction{}, 3, 6, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := FinalRMSEs(results)
+	if len(finals) != 3 {
+		t.Fatalf("%d finals", len(finals))
+	}
+	for _, f := range finals {
+		if math.IsNaN(f) || f < 0 {
+			t.Fatalf("bad final RMSE %g", f)
+		}
+	}
+}
+
+// The Fig. 7 mechanism: with σn allowed down to 1e-8, small aligned
+// training sets let the fitted noise collapse toward zero (the GP
+// believes its data are exact — overfitting); the 1e-1 floor forbids it.
+func TestNoiseFloorControlsOverfitting(t *testing.T) {
+	d := synthDS(t, 60, 0.15, 35)
+	mk := func(floor float64) []Result {
+		cfg := quickBatch(VarianceReduction{}, 6, 12, 13)
+		cfg.Loop.NoiseFloor = floor
+		results, err := RunBatch(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	low := mk(1e-8)
+	high := mk(1e-1)
+	minNoise := func(results []Result) float64 {
+		m := math.Inf(1)
+		for _, r := range results {
+			for _, rec := range r.Records {
+				if rec.Noise < m {
+					m = rec.Noise
+				}
+			}
+		}
+		return m
+	}
+	if got := minNoise(high); got < 0.1-1e-9 {
+		t.Fatalf("floored batch fitted σn=%g below the floor", got)
+	}
+	if got := minNoise(low); got >= 1e-2 {
+		t.Fatalf("tiny floor never produced a collapsed noise fit (min σn=%g); overfitting mechanism absent", got)
+	}
+}
+
+func TestEarlySDCollapseFractionCounts(t *testing.T) {
+	mk := func(sds ...float64) Result {
+		var r Result
+		for i, sd := range sds {
+			r.Records = append(r.Records, IterationRecord{Iter: i + 1, SDChosen: sd})
+		}
+		return r
+	}
+	results := []Result{
+		mk(0.5, 1e-9, 0.5), // collapses at iter 2
+		mk(0.5, 0.4, 0.3),  // fine
+	}
+	if got := EarlySDCollapseFraction(results, 5, 1e-6); got != 0.5 {
+		t.Fatalf("fraction = %g, want 0.5", got)
+	}
+	if got := EarlySDCollapseFraction(results, 1, 1e-6); got != 0 {
+		t.Fatalf("fraction with k=1 = %g, want 0", got)
+	}
+	if EarlySDCollapseFraction(nil, 3, 1) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestStableAMSD(t *testing.T) {
+	var r Result
+	for i := 0; i < 20; i++ {
+		amsd := 1.0
+		if i >= 10 {
+			amsd = 0.1
+		}
+		r.Records = append(r.Records, IterationRecord{Iter: i + 1, AMSD: amsd})
+	}
+	got := StableAMSD([]Result{r})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("StableAMSD = %g, want 0.1", got)
+	}
+	if !math.IsNaN(StableAMSD(nil)) {
+		t.Fatal("empty should be NaN")
+	}
+}
+
+func TestTradeoffCurveAndInterpolation(t *testing.T) {
+	c := Curves{
+		Iter:    []int{1, 2, 3},
+		RMSE:    []float64{1.0, 0.5, 0.25},
+		CumCost: []float64{10, 20, 40},
+		AMSD:    []float64{0, 0, 0}, SDChosen: []float64{0, 0, 0},
+	}
+	curve := TradeoffCurve(c)
+	if len(curve) != 3 {
+		t.Fatalf("curve len %d", len(curve))
+	}
+	if got := RMSEAtCost(curve, 15); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("interpolated RMSE = %g, want 0.75", got)
+	}
+	if got := RMSEAtCost(curve, 5); got != 1.0 {
+		t.Fatalf("below-range RMSE = %g", got)
+	}
+	if got := RMSEAtCost(curve, 100); got != 0.25 {
+		t.Fatalf("above-range RMSE = %g", got)
+	}
+	if !math.IsNaN(RMSEAtCost(nil, 1)) {
+		t.Fatal("empty curve should be NaN")
+	}
+}
+
+func TestCompareFindsCrossoverAndReduction(t *testing.T) {
+	// Baseline: RMSE 1 → 0.5 over cost 10 → 1000.
+	// Candidate: starts worse (1.5) but drops to 0.25 — crossover
+	// somewhere in the middle, then up to 50% better.
+	baseline := []TradeoffPoint{{10, 1.0}, {100, 0.8}, {1000, 0.5}}
+	candidate := []TradeoffPoint{{10, 1.5}, {100, 0.7}, {1000, 0.25}}
+	cmp := Compare(baseline, candidate)
+	if math.IsNaN(cmp.CrossoverCost) {
+		t.Fatal("no crossover found")
+	}
+	if cmp.CrossoverCost < 10 || cmp.CrossoverCost > 100 {
+		t.Fatalf("crossover at %g, want within (10, 100)", cmp.CrossoverCost)
+	}
+	if cmp.MaxReduction < 0.4 || cmp.MaxReduction > 0.6 {
+		t.Fatalf("max reduction %g, want ≈0.5", cmp.MaxReduction)
+	}
+	if len(cmp.ReductionAt) == 0 {
+		t.Fatal("no reductions at cost multiples")
+	}
+	// Degenerate inputs.
+	if got := Compare(nil, candidate); !math.IsNaN(got.CrossoverCost) {
+		t.Fatal("empty baseline should yield NaN crossover")
+	}
+}
+
+func TestCompareNeverCrossing(t *testing.T) {
+	baseline := []TradeoffPoint{{10, 0.5}, {1000, 0.1}}
+	candidate := []TradeoffPoint{{10, 1.0}, {1000, 0.2}}
+	cmp := Compare(baseline, candidate)
+	if !math.IsNaN(cmp.CrossoverCost) {
+		t.Fatalf("unexpected crossover at %g", cmp.CrossoverCost)
+	}
+	if cmp.MaxReduction != 0 {
+		t.Fatalf("max reduction %g, want 0", cmp.MaxReduction)
+	}
+}

@@ -1,0 +1,81 @@
+package al
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/optimize"
+)
+
+func TestContinuousSelectGradFindsHighVariance(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {0.5}, {1}})
+	y := []float64{0, 0.5, 1}
+	g, err := gp.Fit(gp.Config{Kernel: kernel.NewRBF(0.3, 1), NoiseInit: 0.05}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []optimize.Bounds{{Lo: 0, Hi: 3}}
+	best, val, err := ContinuousSelectGrad(g, bounds, 6, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best[0] < 2.5 {
+		t.Fatalf("selected x=%g, want near 3 (far from data)", best[0])
+	}
+	// Gradient-based and derivative-free search must agree.
+	bestNM, valNM, err := ContinuousSelect(g, bounds, VarianceCriterion, 6, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-valNM) > 1e-3*(1+valNM) {
+		t.Fatalf("gradient search value %g vs Nelder-Mead %g at %v vs %v", val, valNM, best, bestNM)
+	}
+}
+
+func TestContinuousSelectGrad2D(t *testing.T) {
+	// Data clustered in one corner; the selector must run to the
+	// opposite corner of the box.
+	rng := rand.New(rand.NewSource(4))
+	n := 10
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 0.3*rng.Float64())
+		x.Set(i, 1, 0.3*rng.Float64())
+		y[i] = rng.NormFloat64()
+	}
+	g, err := gp.Fit(gp.Config{Kernel: kernel.NewRBF(0.5, 1), NoiseInit: 0.1}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []optimize.Bounds{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 2}}
+	best, _, err := ContinuousSelectGrad(g, bounds, 4, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best[0] < 1.2 || best[1] < 1.2 {
+		t.Fatalf("selected %v, want far corner", best)
+	}
+}
+
+func TestContinuousSelectGradValidation(t *testing.T) {
+	if _, _, err := ContinuousSelectGrad(nil, nil, 1, nil); err == nil {
+		t.Fatal("expected nil-model error")
+	}
+	x := mat.NewFromRows([][]float64{{0}})
+	g, _ := gp.Fit(gp.Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1}, x, []float64{0}, nil)
+	twoD := []optimize.Bounds{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}
+	if _, _, err := ContinuousSelectGrad(g, twoD, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected bounds-dimension error")
+	}
+	// Kernel without input gradients → capability error, not panic.
+	g2, _ := gp.Fit(gp.Config{Kernel: kernel.NewMatern32(1, 1), NoiseInit: 0.1}, x, []float64{0}, nil)
+	oneD := []optimize.Bounds{{Lo: 0, Hi: 1}}
+	if _, _, err := ContinuousSelectGrad(g2, oneD, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected capability error")
+	}
+}

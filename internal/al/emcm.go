@@ -1,0 +1,131 @@
+package al
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// EMCMConfig drives the Expected Model Change Maximization baseline of
+// Cai et al. (paper Eq. 1): the selection criterion
+//
+//	x* = argmax (1/K) Σ_k ‖(f(x) − f_k(x))·x‖
+//
+// where f is a linear model trained on all data and {f_k} are K weak
+// learners trained on bootstrap resamples. The paper argues this method
+// suits performance analysis poorly — it cannot revisit noisy points and
+// its Monte Carlo variance estimate is unreliable on small training sets
+// (§III); this implementation exists as the comparison baseline.
+type EMCMConfig struct {
+	// Response names the modeled response column; required.
+	Response string
+	// K is the ensemble size (default 4).
+	K int
+	// Iterations bounds AL steps; 0 runs until the pool empties.
+	Iterations int
+}
+
+// RunEMCM executes the EMCM baseline over a partitioned dataset. Selected
+// points leave the pool (EMCM has no revisiting). Records reuse the
+// common IterationRecord; SDChosen holds the EMCM score of the selected
+// candidate, AMSD the mean ensemble spread across the pool, and LML/Noise
+// are zero (no probabilistic model).
+func RunEMCM(ds *dataset.Dataset, part dataset.Partition, cfg EMCMConfig, rng *rand.Rand) (Result, error) {
+	if cfg.Response == "" {
+		return Result{}, errors.New("al: EMCMConfig.Response is required")
+	}
+	if err := part.Validate(ds); err != nil {
+		return Result{}, err
+	}
+	if len(part.Initial) == 0 || len(part.Active) == 0 {
+		return Result{}, errors.New("al: partition needs nonempty Initial and Active sets")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	maxIter := cfg.Iterations
+	if maxIter <= 0 || maxIter > len(part.Active) {
+		maxIter = len(part.Active)
+	}
+
+	train := append([]int(nil), part.Initial...)
+	pool := append([]int(nil), part.Active...)
+	testX := ds.Matrix(part.Test)
+	testY := ds.RespVec(cfg.Response, part.Test)
+
+	res := Result{Strategy: "emcm"}
+	var cumCost float64
+
+	for iter := 1; iter <= maxIter && len(pool) > 0; iter++ {
+		tx := ds.Matrix(train)
+		ty := ds.RespVec(cfg.Response, train)
+		main, err := stats.FitOLS(tx, ty)
+		if err != nil {
+			return Result{}, fmt.Errorf("al: EMCM iteration %d: %w", iter, err)
+		}
+		// Bootstrap ensemble. With a single observation the resample is
+		// identical and the ensemble degenerates — the small-training-
+		// set weakness the paper calls out; we let it happen.
+		weak := make([]*stats.OLS, 0, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			idx := stats.ResampleIndices(rng, len(train))
+			bx := mat.New(len(idx), tx.Cols())
+			by := make([]float64, len(idx))
+			for i, j := range idx {
+				copy(bx.RawRow(i), tx.RawRow(j))
+				by[i] = ty[j]
+			}
+			w, err := stats.FitOLS(bx, by)
+			if err != nil {
+				continue // degenerate resample: skip this learner
+			}
+			weak = append(weak, w)
+		}
+
+		best, bestScore := -1, math.Inf(-1)
+		var spreadSum float64
+		for i, row := range pool {
+			x := ds.Row(row)
+			fx := main.Predict(x)
+			var score float64
+			for _, w := range weak {
+				score += math.Abs(fx-w.Predict(x)) * mat.Norm2(mat.Vec(x))
+			}
+			if len(weak) > 0 {
+				score /= float64(len(weak))
+			}
+			spreadSum += score
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		chosen := pool[best]
+		pool = append(pool[:best], pool[best+1:]...)
+		train = append(train, chosen)
+		cumCost += ds.CostAt(chosen)
+
+		rmse := math.NaN()
+		if len(testY) > 0 {
+			rmse = stats.RMSE(main.PredictAll(testX), testY)
+		}
+		res.Records = append(res.Records, IterationRecord{
+			Iter:     iter,
+			Row:      chosen,
+			SDChosen: bestScore,
+			AMSD:     spreadSum / float64(len(pool)+1),
+			RMSE:     rmse,
+			CumCost:  cumCost,
+			Train:    len(train),
+		})
+	}
+	res.TrainRows = train
+	return res, nil
+}

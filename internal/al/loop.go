@@ -1,0 +1,278 @@
+package al
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// LoopConfig drives one Active Learning realization over a partitioned
+// dataset (§IV: Initial seeds the GP, Active is the candidate pool, Test
+// measures RMSE).
+type LoopConfig struct {
+	// Response names the dataset response column to model; required.
+	Response string
+
+	// Strategy picks the next experiment; required.
+	Strategy Strategy
+
+	// NewKernel constructs a fresh kernel for a given input
+	// dimensionality; defaults to an isotropic RBF(1, 1).
+	NewKernel func(dims int) kernel.Kernel
+
+	// Iterations bounds the number of AL steps; 0 means run until the
+	// convergence rule (or pool exhaustion for non-revisiting
+	// strategies).
+	Iterations int
+
+	// NoiseFloor is the σn lower bound passed to the GP — the paper's
+	// overfitting control (Fig. 7). Default gp.DefaultNoiseFloor.
+	NoiseFloor float64
+
+	// DynamicFloorC, when positive, activates the paper's proposed
+	// adaptive floor σn ≥ c/√N (§V-B4) with this c, overriding
+	// NoiseFloor as training data accumulates.
+	DynamicFloorC float64
+
+	// Restarts is the number of random LML-optimizer restarts per fit
+	// (default 2).
+	Restarts int
+
+	// ReoptimizeEvery refits hyperparameters every k-th iteration
+	// (default 1 = every iteration); between refits the previous
+	// hyperparameters are reused and only the posterior is updated.
+	ReoptimizeEvery int
+
+	// AllowRevisit keeps selected points in the pool so noisy points can
+	// be re-measured (§III's requirement; default true). EMCM-style
+	// strategies need this false.
+	AllowRevisit bool
+
+	// ConvergeWindow and ConvergeTol terminate the loop early when the
+	// AMSD changes by less than ConvergeTol (relative) over the last
+	// ConvergeWindow iterations (§V-B4's practical termination rule).
+	// Zero disables early termination.
+	ConvergeWindow int
+	ConvergeTol    float64
+
+	// Normalize standardizes the response inside each GP fit. The
+	// paper's datasets are log-transformed to O(1) so this is off by
+	// default; enable it for raw responses whose scale would otherwise
+	// push the LML optimizer into the noise-only local optimum. The
+	// noise floor then applies in normalized units.
+	Normalize bool
+
+	// CostBudget, when positive, stops the loop once the cumulative
+	// experiment cost reaches it — the paper's motivating constraint
+	// ("a fixed allocation on an HPC machine or a fixed maximum budget
+	// in a cloud environment", §I). The experiment that crosses the
+	// budget is still executed and recorded.
+	CostBudget float64
+}
+
+func (c *LoopConfig) withDefaults() (LoopConfig, error) {
+	out := *c
+	if out.Response == "" {
+		return out, errors.New("al: LoopConfig.Response is required")
+	}
+	if out.Strategy == nil {
+		return out, errors.New("al: LoopConfig.Strategy is required")
+	}
+	if out.NewKernel == nil {
+		out.NewKernel = func(int) kernel.Kernel { return kernel.NewRBF(1, 1) }
+	}
+	if out.NoiseFloor <= 0 {
+		out.NoiseFloor = gp.DefaultNoiseFloor
+	}
+	if out.Restarts <= 0 {
+		out.Restarts = 2
+	}
+	if out.ReoptimizeEvery <= 0 {
+		out.ReoptimizeEvery = 1
+	}
+	return out, nil
+}
+
+// IterationRecord captures the monitoring quantities of §V-B3 after one
+// AL step.
+type IterationRecord struct {
+	Iter     int     // 1-based iteration number
+	Row      int     // dataset row selected
+	SDChosen float64 // σ_f(x) at the selected candidate
+	AMSD     float64 // arithmetic mean SD across the pool
+	RMSE     float64 // error on the Test set (Eq. 2)
+	Coverage float64 // fraction of Test points inside the 95% predictive CI
+	CumCost  float64 // cumulative experiment cost (core-seconds)
+	LML      float64 // log marginal likelihood of the fitted GP
+	Noise    float64 // fitted σn
+	Train    int     // training-set size after this step
+}
+
+// Result is one AL realization.
+type Result struct {
+	Strategy  string
+	Records   []IterationRecord
+	Final     *gp.GP
+	TrainRows []int // dataset rows in training order (Initial first)
+	Converged bool  // true when the AMSD rule stopped the loop early
+}
+
+// Run executes Active Learning on ds under the given partition.
+func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.Rand) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := part.Validate(ds); err != nil {
+		return Result{}, err
+	}
+	if len(part.Initial) == 0 || len(part.Active) == 0 {
+		return Result{}, errors.New("al: partition needs nonempty Initial and Active sets")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	train := append([]int(nil), part.Initial...)
+	pool := append([]int(nil), part.Active...)
+	testX := ds.Matrix(part.Test)
+	testY := ds.RespVec(c.Response, part.Test)
+
+	maxIter := c.Iterations
+	if maxIter <= 0 {
+		maxIter = len(part.Active)
+	}
+
+	dims := len(ds.VarNames())
+	res := Result{Strategy: c.Strategy.Name()}
+	var model *gp.GP
+	var cumCost float64
+	var amsdHist []float64
+	var lastX []float64
+	var lastY float64
+
+	for iter := 1; iter <= maxIter; iter++ {
+		if len(pool) == 0 {
+			break
+		}
+		floor := c.NoiseFloor
+		if c.DynamicFloorC > 0 {
+			floor = gp.DynamicNoiseFloor(c.DynamicFloorC, len(train))
+		}
+		reopt := model == nil || (iter-1)%c.ReoptimizeEvery == 0
+		if reopt {
+			gcfg := gp.Config{
+				Kernel:     c.NewKernel(dims),
+				NoiseInit:  math.Max(0.1, floor),
+				NoiseFloor: floor,
+				Optimize:   true,
+				Restarts:   c.Restarts,
+				Normalize:  c.Normalize,
+			}
+			if model != nil {
+				// Warm-start from the previous hyperparameters.
+				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
+				gcfg.NoiseInit = math.Max(model.Noise(), floor)
+			}
+			model, err = gp.Fit(gcfg, ds.Matrix(train), ds.RespVec(c.Response, train), rng)
+		} else {
+			// Between refits, condition on the new observation with the
+			// O(n²) bordered-Cholesky update instead of refitting.
+			model, err = model.Condition(lastX, lastY)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("al: iteration %d: %w", iter, err)
+		}
+
+		// Score the pool.
+		poolX := ds.Matrix(pool)
+		preds := model.PredictBatch(poolX)
+		cands := make([]Candidate, len(pool))
+		var amsd float64
+		for i, row := range pool {
+			cands[i] = Candidate{Row: row, X: poolX.RawRow(i), Pred: preds[i], Cost: ds.CostAt(row)}
+			amsd += preds[i].SD
+		}
+		amsd /= float64(len(pool))
+
+		sel := selectCandidate(c.Strategy, model, cands, rng)
+		if sel < 0 || sel >= len(cands) {
+			return Result{}, fmt.Errorf("al: strategy %s returned invalid index %d", c.Strategy.Name(), sel)
+		}
+		chosen := cands[sel]
+		train = append(train, chosen.Row)
+		cumCost += ds.CostAt(chosen.Row)
+		lastX = append([]float64(nil), chosen.X...)
+		lastY = ds.RespAt(c.Response, chosen.Row)
+		if !c.AllowRevisit {
+			pool = append(pool[:sel], pool[sel+1:]...)
+		}
+
+		// Test-set error and CI coverage with the current model.
+		rmse := math.NaN()
+		coverage := math.NaN()
+		if len(part.Test) > 0 {
+			preds := model.PredictBatch(testX)
+			rmse = stats.RMSE(gp.Means(preds), testY)
+			coverage = coverage95(model, preds, testY)
+		}
+
+		res.Records = append(res.Records, IterationRecord{
+			Iter:     iter,
+			Row:      chosen.Row,
+			SDChosen: chosen.Pred.SD,
+			AMSD:     amsd,
+			RMSE:     rmse,
+			Coverage: coverage,
+			CumCost:  cumCost,
+			LML:      model.LML(),
+			Noise:    model.Noise(),
+			Train:    len(train),
+		})
+
+		// Budget exhaustion (§I's fixed-allocation constraint).
+		if c.CostBudget > 0 && cumCost >= c.CostBudget {
+			break
+		}
+
+		// AMSD convergence rule (§V-B4).
+		amsdHist = append(amsdHist, amsd)
+		if c.ConvergeWindow > 0 && len(amsdHist) > c.ConvergeWindow {
+			w := amsdHist[len(amsdHist)-1-c.ConvergeWindow:]
+			lo, hi := stats.MinMax(w)
+			if hi-lo <= c.ConvergeTol*math.Max(1e-12, math.Abs(hi)) {
+				res.Converged = true
+				break
+			}
+		}
+	}
+
+	res.Final = model
+	res.TrainRows = train
+	return res, nil
+}
+
+// coverage95 returns the fraction of test targets inside the 95%
+// predictive interval μ ± 2·√(σ_f² + σn²) — the calibration check behind
+// the paper's "prediction confidence" goal. preds are latent-function
+// predictions; the observation noise is added here.
+func coverage95(model *gp.GP, preds []gp.Prediction, testY []float64) float64 {
+	if len(preds) == 0 {
+		return math.NaN()
+	}
+	sn := model.ObservationNoise()
+	inside := 0
+	for i, p := range preds {
+		sd := math.Sqrt(p.SD*p.SD + sn*sn)
+		if math.Abs(testY[i]-p.Mean) <= 2*sd {
+			inside++
+		}
+	}
+	return float64(inside) / float64(len(preds))
+}

@@ -1,0 +1,153 @@
+package al
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gp"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// Oracle runs a real experiment at input x, returning the measured
+// response and its cost. It is the paper's target "online" use case
+// (§VI): every AL iteration schedules and executes the next experiment
+// instead of consulting a database.
+type Oracle interface {
+	RunExperiment(x []float64) (y, cost float64, err error)
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(x []float64) (y, cost float64, err error)
+
+// RunExperiment implements Oracle.
+func (f OracleFunc) RunExperiment(x []float64) (y, cost float64, err error) { return f(x) }
+
+// RunOnline executes Active Learning against a live Oracle over a finite
+// candidate grid. seeds indexes the rows of candidates measured before
+// learning starts (≥ 1 required). Candidates stay available for repeated
+// measurement. The returned records carry NaN RMSE (there is no held-out
+// ground truth online); AMSD remains the convergence monitor.
+func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig, rng *rand.Rand) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if oracle == nil {
+		return Result{}, errors.New("al: RunOnline requires an Oracle")
+	}
+	if candidates == nil || candidates.Rows() == 0 {
+		return Result{}, errors.New("al: RunOnline requires a candidate grid")
+	}
+	if len(seeds) == 0 {
+		return Result{}, errors.New("al: RunOnline requires at least one seed experiment")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	maxIter := c.Iterations
+	if maxIter <= 0 {
+		maxIter = candidates.Rows()
+	}
+
+	dims := candidates.Cols()
+	var trainX [][]float64
+	var trainY []float64
+	var cumCost float64
+	runAt := func(row int) error {
+		x := append([]float64(nil), candidates.RawRow(row)...)
+		y, cost, err := oracle.RunExperiment(x)
+		if err != nil {
+			return fmt.Errorf("al: oracle at row %d: %w", row, err)
+		}
+		trainX = append(trainX, x)
+		trainY = append(trainY, y)
+		cumCost += cost
+		return nil
+	}
+	for _, s := range seeds {
+		if s < 0 || s >= candidates.Rows() {
+			return Result{}, fmt.Errorf("al: seed index %d out of range %d", s, candidates.Rows())
+		}
+		if err := runAt(s); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Strategy: c.Strategy.Name()}
+	var model *gp.GP
+	var amsdHist []float64
+	for iter := 1; iter <= maxIter; iter++ {
+		floor := c.NoiseFloor
+		if c.DynamicFloorC > 0 {
+			floor = gp.DynamicNoiseFloor(c.DynamicFloorC, len(trainY))
+		}
+		reopt := model == nil || (iter-1)%c.ReoptimizeEvery == 0
+		if reopt {
+			gcfg := gp.Config{
+				Kernel:     c.NewKernel(dims),
+				NoiseInit:  math.Max(0.1, floor),
+				NoiseFloor: floor,
+				Optimize:   true,
+				Restarts:   c.Restarts,
+				Normalize:  c.Normalize,
+			}
+			if model != nil {
+				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
+				gcfg.NoiseInit = math.Max(model.Noise(), floor)
+			}
+			model, err = gp.Fit(gcfg, mat.NewFromRows(trainX), trainY, rng)
+		} else {
+			// O(n²) conditioning on the newest measurement.
+			last := len(trainY) - 1
+			model, err = model.Condition(trainX[last], trainY[last])
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("al: online iteration %d: %w", iter, err)
+		}
+
+		preds := model.PredictBatch(candidates)
+		cands := make([]Candidate, candidates.Rows())
+		var amsd float64
+		for i := range cands {
+			cands[i] = Candidate{Row: i, X: candidates.RawRow(i), Pred: preds[i]}
+			amsd += preds[i].SD
+		}
+		amsd /= float64(len(cands))
+
+		sel := selectCandidate(c.Strategy, model, cands, rng)
+		if sel < 0 || sel >= len(cands) {
+			return Result{}, fmt.Errorf("al: strategy %s returned invalid index %d", c.Strategy.Name(), sel)
+		}
+		if err := runAt(cands[sel].Row); err != nil {
+			return Result{}, err
+		}
+
+		res.Records = append(res.Records, IterationRecord{
+			Iter:     iter,
+			Row:      cands[sel].Row,
+			SDChosen: cands[sel].Pred.SD,
+			AMSD:     amsd,
+			RMSE:     math.NaN(),
+			CumCost:  cumCost,
+			LML:      model.LML(),
+			Noise:    model.Noise(),
+			Train:    len(trainY),
+		})
+		res.TrainRows = append(res.TrainRows, cands[sel].Row)
+
+		amsdHist = append(amsdHist, amsd)
+		if c.ConvergeWindow > 0 && len(amsdHist) > c.ConvergeWindow {
+			w := amsdHist[len(amsdHist)-1-c.ConvergeWindow:]
+			lo, hi := stats.MinMax(w)
+			if hi-lo <= c.ConvergeTol*math.Max(1e-12, math.Abs(hi)) {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.Final = model
+	return res, nil
+}

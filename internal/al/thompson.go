@@ -1,0 +1,80 @@
+package al
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/gp"
+	"repro/internal/mat"
+)
+
+// ModelAwareStrategy is an optional extension of Strategy for selection
+// rules that need the fitted GP itself (e.g. joint posterior draws), not
+// just per-candidate marginals. The AL loops prefer SelectWithModel when
+// a strategy implements it.
+type ModelAwareStrategy interface {
+	Strategy
+	SelectWithModel(model *gp.GP, cands []Candidate, rng *rand.Rand) int
+}
+
+// ThompsonVariance selects by posterior disagreement: draw one joint
+// sample f̃ from the GP posterior over the pool and pick the candidate
+// where the realization deviates most from the predictive mean,
+// argmax |f̃(x) − μ(x)|. In expectation this tracks variance reduction
+// (E|f̃−μ| ∝ σ), but the stochastic draw naturally diversifies repeated
+// selections — a randomized alternative to the greedy argmax-σ rule,
+// relevant to the paper's "less greedy selection strategy" note (§VI).
+type ThompsonVariance struct{}
+
+// Select implements Strategy as a marginal fallback (used when no model
+// is available): independent draws per candidate.
+func (ThompsonVariance) Select(cands []Candidate, rng *rand.Rand) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	if rng == nil {
+		return VarianceReduction{}.Select(cands, rng)
+	}
+	best, bestV := -1, math.Inf(-1)
+	for i, c := range cands {
+		if v := math.Abs(c.Pred.SD * rng.NormFloat64()); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// SelectWithModel implements ModelAwareStrategy with a joint posterior
+// draw, falling back to the marginal rule if the joint covariance cannot
+// be factorized.
+func (ThompsonVariance) SelectWithModel(model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	xs := mat.New(len(cands), len(cands[0].X))
+	for i, c := range cands {
+		copy(xs.RawRow(i), c.X)
+	}
+	sample, err := model.PosteriorSample(xs, rng)
+	if err != nil {
+		return (ThompsonVariance{}).Select(cands, rng)
+	}
+	best, bestV := -1, math.Inf(-1)
+	for i, c := range cands {
+		if v := math.Abs(sample[i] - c.Pred.Mean); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Name implements Strategy.
+func (ThompsonVariance) Name() string { return "thompson-variance" }
+
+// selectCandidate dispatches to the model-aware path when available.
+func selectCandidate(s Strategy, model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+	if ms, ok := s.(ModelAwareStrategy); ok && model != nil {
+		return ms.SelectWithModel(model, cands, rng)
+	}
+	return s.Select(cands, rng)
+}

@@ -1,0 +1,88 @@
+package al
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gp"
+)
+
+func TestThompsonMarginalFallback(t *testing.T) {
+	cands := mkCands(
+		gp.Prediction{Mean: 0, SD: 0.01},
+		gp.Prediction{Mean: 0, SD: 2.0},
+		gp.Prediction{Mean: 0, SD: 0.05},
+	)
+	rng := rand.New(rand.NewSource(1))
+	// The high-SD candidate must dominate selections.
+	counts := map[int]int{}
+	for i := 0; i < 200; i++ {
+		counts[(ThompsonVariance{}).Select(cands, rng)]++
+	}
+	if counts[1] < 150 {
+		t.Fatalf("high-SD candidate selected only %d/200 times", counts[1])
+	}
+	if (ThompsonVariance{}).Select(nil, rng) != -1 {
+		t.Fatal("empty candidates")
+	}
+	// nil rng degrades to deterministic variance reduction.
+	if got := (ThompsonVariance{}).Select(cands, nil); got != 1 {
+		t.Fatalf("nil-rng fallback picked %d", got)
+	}
+	if (ThompsonVariance{}).Name() != "thompson-variance" {
+		t.Fatal("name")
+	}
+}
+
+func TestThompsonInLoopConverges(t *testing.T) {
+	d := synthDS(t, 50, 0.05, 120)
+	p := synthPartition(t, d, 121)
+	res, err := Run(d, p, quickLoop(ThompsonVariance{}, 20), rand.New(rand.NewSource(122)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Records[0], res.Records[len(res.Records)-1]
+	if !(last.RMSE < first.RMSE) {
+		t.Fatalf("Thompson loop did not improve: %g -> %g", first.RMSE, last.RMSE)
+	}
+	if last.RMSE > 0.25 {
+		t.Fatalf("final RMSE %g too high", last.RMSE)
+	}
+	if res.Strategy != "thompson-variance" {
+		t.Fatalf("strategy %q", res.Strategy)
+	}
+}
+
+// Thompson draws must diversify: over repeated selections from the same
+// posterior, it should not always pick the same argmax-σ point the way
+// greedy VR does.
+func TestThompsonDiversifies(t *testing.T) {
+	d := synthDS(t, 40, 0.05, 123)
+	p := synthPartition(t, d, 124)
+	run := func(s Strategy) int {
+		cfg := quickLoop(s, 12)
+		cfg.ReoptimizeEvery = 100 // freeze hyperparameters: pure selection study
+		res, err := Run(d, p, cfg, rand.New(rand.NewSource(125)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := map[int]bool{}
+		for _, rec := range res.Records {
+			distinct[rec.Row] = true
+		}
+		last := res.Records[len(res.Records)-1]
+		if !math.IsNaN(last.Coverage) && (last.Coverage < 0 || last.Coverage > 1) {
+			t.Fatalf("coverage %g out of [0,1]", last.Coverage)
+		}
+		return len(distinct)
+	}
+	thompson := run(ThompsonVariance{})
+	greedy := run(VarianceReduction{})
+	if thompson < greedy {
+		t.Fatalf("Thompson (%d distinct) less diverse than greedy VR (%d)", thompson, greedy)
+	}
+	if thompson < 3 {
+		t.Fatalf("Thompson selected only %d distinct points in 12 iterations", thompson)
+	}
+}

@@ -1,0 +1,112 @@
+package al
+
+import (
+	"math"
+	"sort"
+)
+
+// TradeoffPoint is one point of a cost–error curve.
+type TradeoffPoint struct {
+	Cost float64
+	RMSE float64
+}
+
+// TradeoffCurve converts averaged batch curves into a monotone-cost
+// cost–error curve (Fig. 8b): for each iteration, the mean cumulative
+// cost and mean RMSE.
+func TradeoffCurve(c Curves) []TradeoffPoint {
+	out := make([]TradeoffPoint, 0, len(c.Iter))
+	for i := range c.Iter {
+		if math.IsNaN(c.RMSE[i]) {
+			continue
+		}
+		out = append(out, TradeoffPoint{Cost: c.CumCost[i], RMSE: c.RMSE[i]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}
+
+// RMSEAtCost interpolates a tradeoff curve at the given cost. Costs below
+// the curve's start return the first RMSE; beyond the end, the last.
+func RMSEAtCost(curve []TradeoffPoint, cost float64) float64 {
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	if cost <= curve[0].Cost {
+		return curve[0].RMSE
+	}
+	for i := 1; i < len(curve); i++ {
+		if cost <= curve[i].Cost {
+			span := curve[i].Cost - curve[i-1].Cost
+			if span <= 0 {
+				return curve[i].RMSE
+			}
+			t := (cost - curve[i-1].Cost) / span
+			return curve[i-1].RMSE*(1-t) + curve[i].RMSE*t
+		}
+	}
+	return curve[len(curve)-1].RMSE
+}
+
+// Comparison quantifies how a candidate strategy's tradeoff curve relates
+// to a baseline's — the numbers behind the paper's "up to 38%" claim.
+type Comparison struct {
+	// CrossoverCost is the smallest evaluated cost at which the
+	// candidate's RMSE is at or below the baseline's (NaN when it never
+	// crosses).
+	CrossoverCost float64
+	// MaxReduction is the maximum relative RMSE reduction
+	// (baseline − candidate)/baseline over the common cost range.
+	MaxReduction float64
+	// MaxReductionCost is the cost where MaxReduction occurs.
+	MaxReductionCost float64
+	// ReductionAt reports the relative reduction at multiples of
+	// CrossoverCost (1, 2, 3, 5, 10) — the paper quotes 38/25/21/16/13%.
+	ReductionAt map[float64]float64
+}
+
+// Compare evaluates candidate against baseline on a shared log-spaced
+// cost grid spanning the overlap of the two curves.
+func Compare(baseline, candidate []TradeoffPoint) Comparison {
+	cmp := Comparison{CrossoverCost: math.NaN(), ReductionAt: map[float64]float64{}}
+	if len(baseline) == 0 || len(candidate) == 0 {
+		return cmp
+	}
+	lo := math.Max(baseline[0].Cost, candidate[0].Cost)
+	hi := math.Min(baseline[len(baseline)-1].Cost, candidate[len(candidate)-1].Cost)
+	if hi <= lo || lo <= 0 {
+		return cmp
+	}
+	const gridN = 400
+	ratio := math.Pow(hi/lo, 1.0/float64(gridN-1))
+	cost := lo
+	for i := 0; i < gridN; i++ {
+		b := RMSEAtCost(baseline, cost)
+		c := RMSEAtCost(candidate, cost)
+		if c <= b && math.IsNaN(cmp.CrossoverCost) {
+			cmp.CrossoverCost = cost
+		}
+		if b > 0 {
+			red := (b - c) / b
+			if red > cmp.MaxReduction {
+				cmp.MaxReduction = red
+				cmp.MaxReductionCost = cost
+			}
+		}
+		cost *= ratio
+	}
+	if !math.IsNaN(cmp.CrossoverCost) {
+		for _, mult := range []float64{1, 2, 3, 5, 10} {
+			at := cmp.CrossoverCost * mult
+			if at > hi {
+				continue
+			}
+			b := RMSEAtCost(baseline, at)
+			c := RMSEAtCost(candidate, at)
+			if b > 0 {
+				cmp.ReductionAt[mult] = (b - c) / b
+			}
+		}
+	}
+	return cmp
+}

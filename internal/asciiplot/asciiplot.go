@@ -1,0 +1,214 @@
+// Package asciiplot renders the repository's experiment series as plain
+// text: scatter plots (AL trajectories, dataset subsets), line charts
+// (metric convergence), and heatmaps (LML landscapes). It exists so
+// cmd/alrepro and the examples can show the paper's figures in a terminal
+// without any plotting dependency.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Canvas is a fixed-size character grid with data-space axes.
+type Canvas struct {
+	w, h                   int
+	cells                  [][]rune
+	xmin, xmax, ymin, ymax float64
+	xlabel, ylabel, title  string
+}
+
+// NewCanvas creates a w×h plot area covering the data ranges
+// [xmin, xmax] × [ymin, ymax]. Degenerate ranges are widened slightly.
+func NewCanvas(w, h int, xmin, xmax, ymin, ymax float64) *Canvas {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	cells := make([][]rune, h)
+	for i := range cells {
+		cells[i] = make([]rune, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &Canvas{w: w, h: h, cells: cells, xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax}
+}
+
+// SetLabels attaches a title and axis labels.
+func (c *Canvas) SetLabels(title, xlabel, ylabel string) {
+	c.title, c.xlabel, c.ylabel = title, xlabel, ylabel
+}
+
+// index maps a data point to a cell, reporting whether it is in range.
+func (c *Canvas) index(x, y float64) (col, row int, ok bool) {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return 0, 0, false
+	}
+	fx := (x - c.xmin) / (c.xmax - c.xmin)
+	fy := (y - c.ymin) / (c.ymax - c.ymin)
+	if fx < 0 || fx > 1 || fy < 0 || fy > 1 {
+		return 0, 0, false
+	}
+	col = int(fx * float64(c.w-1))
+	row = c.h - 1 - int(fy*float64(c.h-1))
+	return col, row, true
+}
+
+// Plot marks one data point with the given rune; out-of-range points are
+// silently dropped.
+func (c *Canvas) Plot(x, y float64, mark rune) {
+	if col, row, ok := c.index(x, y); ok {
+		c.cells[row][col] = mark
+	}
+}
+
+// Scatter marks a series of points.
+func (c *Canvas) Scatter(xs, ys []float64, mark rune) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		c.Plot(xs[i], ys[i], mark)
+	}
+}
+
+// Line draws a polyline through the points by marking interpolated cells.
+func (c *Canvas) Line(xs, ys []float64, mark rune) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 1; i < n; i++ {
+		c.segment(xs[i-1], ys[i-1], xs[i], ys[i], mark)
+	}
+	if n == 1 {
+		c.Plot(xs[0], ys[0], mark)
+	}
+}
+
+func (c *Canvas) segment(x0, y0, x1, y1 float64, mark rune) {
+	steps := c.w * 2
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		c.Plot(x0+t*(x1-x0), y0+t*(y1-y0), mark)
+	}
+}
+
+// String renders the canvas with a border, axis ranges, and labels.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	if c.title != "" {
+		sb.WriteString(c.title)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+" + strings.Repeat("-", c.w) + "+\n")
+	for _, row := range c.cells {
+		sb.WriteByte('|')
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", c.w) + "+\n")
+	sb.WriteString(fmt.Sprintf("x: [%.3g, %.3g] %s   y: [%.3g, %.3g] %s\n",
+		c.xmin, c.xmax, c.xlabel, c.ymin, c.ymax, c.ylabel))
+	return sb.String()
+}
+
+// ramp maps normalized [0,1] intensity to a density character.
+var ramp = []rune(" .:-=+*#%@")
+
+// Heatmap renders a matrix of values (rows × cols, row 0 at the top) with
+// a character density ramp — the LML contour stand-in. NaNs render blank.
+func Heatmap(z [][]float64, title string) string {
+	if len(z) == 0 || len(z[0]) == 0 {
+		return title + "\n(empty)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range z {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	if math.IsInf(lo, 1) {
+		sb.WriteString("(all values non-finite)\n")
+		return sb.String()
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for _, row := range z {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				sb.WriteByte(' ')
+				continue
+			}
+			f := (v - lo) / span
+			idx := int(f * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteRune(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(fmt.Sprintf("scale: '%c' = %.4g … '%c' = %.4g\n", ramp[0], lo, ramp[len(ramp)-1], hi))
+	return sb.String()
+}
+
+// Series renders a quick line chart of y values against their indices —
+// the convenience path for metric trajectories.
+func Series(ys []float64, w, h int, title string) string {
+	if len(ys) == 0 {
+		return title + "\n(empty)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ys {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + "\n(all NaN)\n"
+	}
+	c := NewCanvas(w, h, 0, float64(len(ys)-1), lo, hi)
+	c.SetLabels(title, "iteration", "")
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c.Line(xs, ys, '*')
+	return c.String()
+}

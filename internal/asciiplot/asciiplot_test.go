@@ -1,0 +1,139 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCanvasPlotAndRender(t *testing.T) {
+	c := NewCanvas(20, 10, 0, 10, 0, 10)
+	c.SetLabels("test", "x", "y")
+	c.Plot(0, 0, 'A')   // bottom-left
+	c.Plot(10, 10, 'B') // top-right
+	c.Plot(5, 5, 'C')
+	out := c.String()
+	for _, m := range []string{"A", "B", "C", "test", "x: [0, 10]"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("render missing %q:\n%s", m, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + top border + 10 rows + bottom border + axis line.
+	if len(lines) < 14 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// A must be on the last canvas row, B on the first.
+	var firstRow, lastRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			if firstRow == "" {
+				firstRow = l
+			}
+			lastRow = l
+		}
+	}
+	if !strings.Contains(firstRow, "B") {
+		t.Fatalf("B not in top row: %q", firstRow)
+	}
+	if !strings.Contains(lastRow, "A") {
+		t.Fatalf("A not in bottom row: %q", lastRow)
+	}
+}
+
+func TestCanvasDropsOutOfRange(t *testing.T) {
+	c := NewCanvas(10, 5, 0, 1, 0, 1)
+	c.Plot(5, 5, 'X')
+	c.Plot(math.NaN(), 0.5, 'X')
+	if strings.Contains(c.String(), "X") {
+		t.Fatal("out-of-range point rendered")
+	}
+}
+
+func TestCanvasDegenerateRange(t *testing.T) {
+	c := NewCanvas(10, 5, 3, 3, 7, 7) // zero-width ranges get widened
+	c.Plot(3, 7, '#')
+	if !strings.Contains(c.String(), "#") {
+		t.Fatal("point lost on degenerate range")
+	}
+}
+
+func TestScatterAndLine(t *testing.T) {
+	c := NewCanvas(30, 10, 0, 10, 0, 10)
+	c.Scatter([]float64{1, 2, 3}, []float64{1, 2, 3}, 'o')
+	if got := strings.Count(c.String(), "o"); got != 3 {
+		t.Fatalf("%d scatter marks, want 3", got)
+	}
+	c2 := NewCanvas(30, 10, 0, 10, 0, 10)
+	c2.Line([]float64{0, 10}, []float64{0, 10}, '*')
+	// A diagonal across a 30-wide canvas must hit many cells.
+	if got := strings.Count(c2.String(), "*"); got < 10 {
+		t.Fatalf("line drew only %d cells", got)
+	}
+	// Single-point line degenerates to a dot.
+	c3 := NewCanvas(10, 5, 0, 1, 0, 1)
+	c3.Line([]float64{0.5}, []float64{0.5}, '+')
+	if !strings.Contains(c3.String(), "+") {
+		t.Fatal("single-point line missing")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	z := [][]float64{
+		{0, 0.5, 1},
+		{1, 0.5, 0},
+	}
+	out := Heatmap(z, "lml")
+	if !strings.Contains(out, "lml") || !strings.Contains(out, "scale:") {
+		t.Fatalf("heatmap output malformed:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) != 3 || len(lines[2]) != 3 {
+		t.Fatalf("heatmap body shape wrong:\n%s", out)
+	}
+	// Min renders as lightest, max as densest character.
+	if lines[1][0] != ' ' || lines[1][2] != '@' {
+		t.Fatalf("ramp extremes wrong: %q", lines[1])
+	}
+}
+
+func TestHeatmapEdgeCases(t *testing.T) {
+	if out := Heatmap(nil, "t"); !strings.Contains(out, "empty") {
+		t.Fatal("nil heatmap")
+	}
+	if out := Heatmap([][]float64{{math.NaN()}}, "t"); !strings.Contains(out, "non-finite") {
+		t.Fatal("all-NaN heatmap")
+	}
+	// Constant matrix must not divide by zero.
+	out := Heatmap([][]float64{{2, 2}, {2, 2}}, "t")
+	if !strings.Contains(out, "scale:") {
+		t.Fatal("constant heatmap failed")
+	}
+	// NaN cells are blank within a valid map.
+	out = Heatmap([][]float64{{0, math.NaN(), 1}}, "")
+	if !strings.Contains(out, " ") {
+		t.Fatal("NaN cell not blank")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	ys := []float64{10, 8, 6, 4, 2, 1, 0.5, 0.4, 0.35}
+	out := Series(ys, 40, 8, "rmse")
+	if !strings.Contains(out, "rmse") || !strings.Contains(out, "*") {
+		t.Fatalf("series malformed:\n%s", out)
+	}
+	if out := Series(nil, 10, 5, "t"); !strings.Contains(out, "empty") {
+		t.Fatal("empty series")
+	}
+	if out := Series([]float64{math.NaN()}, 10, 5, "t"); !strings.Contains(out, "NaN") {
+		t.Fatal("all-NaN series")
+	}
+}
+
+func TestCanvasMinimumSize(t *testing.T) {
+	c := NewCanvas(1, 1, 0, 1, 0, 1)
+	c.Plot(0.5, 0.5, 'x')
+	if c.String() == "" {
+		t.Fatal("tiny canvas broke")
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster simulates the hardware substrate the paper measured on:
+// a small CloudLab-style cluster of dual-socket Haswell nodes with DVFS,
+// a roofline-flavoured execution-time model, a node-level power model, and
+// an IPMI-style power-trace sampler with dropout from which per-job energy
+// is estimated by numerical integration (§IV-A).
+//
+// Active Learning and GPR never see the hardware directly — only (X, y)
+// samples — so what matters is that the simulated runtime/energy surfaces
+// have the qualitative structure of the real ones: runtime linear in
+// problem size on a log–log scale, strong-scaling efficiency losses with
+// process count, power rising superlinearly with frequency, and
+// heteroscedastic measurement noise.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeSpec describes one physical machine. The default mirrors the
+// CloudLab Wisconsin nodes used in the paper: 2× 8-core Intel E5-2630 v3
+// (Haswell), 128 GB RAM, 10 GbE.
+type NodeSpec struct {
+	Sockets        int
+	CoresPerSocket int
+	MemGB          float64
+
+	// FreqLevels are the selectable DVFS frequencies in GHz, ascending.
+	FreqLevels []float64
+
+	// FlopsPerCycle is the sustained per-core FP throughput in
+	// flops/cycle (well below the AVX2 peak — this is a multigrid
+	// stencil, not DGEMM).
+	FlopsPerCycle float64
+
+	// MemBWGBs is the per-node sustained memory bandwidth in GB/s.
+	MemBWGBs float64
+
+	// NetLatencyS and NetBWGBs describe the interconnect.
+	NetLatencyS float64
+	NetBWGBs    float64
+
+	// IdleWatts is the node's idle power draw; DynWattsPerCore is the
+	// additional draw of one fully busy core at the maximum frequency.
+	IdleWatts       float64
+	DynWattsPerCore float64
+}
+
+// Wisconsin returns the node model for the CloudLab Wisconsin cluster
+// used in the paper (§IV-A).
+func Wisconsin() NodeSpec {
+	return NodeSpec{
+		Sockets:         2,
+		CoresPerSocket:  8,
+		MemGB:           128,
+		FreqLevels:      []float64{1.2, 1.5, 1.8, 2.1, 2.4},
+		FlopsPerCycle:   2.0,
+		MemBWGBs:        50,
+		NetLatencyS:     20e-6,
+		NetBWGBs:        1.25, // 10 Gb/s
+		IdleWatts:       85,
+		DynWattsPerCore: 8.5,
+	}
+}
+
+// Cores returns the number of cores per node.
+func (n NodeSpec) Cores() int { return n.Sockets * n.CoresPerSocket }
+
+// MaxFreq returns the highest DVFS level.
+func (n NodeSpec) MaxFreq() float64 {
+	if len(n.FreqLevels) == 0 {
+		return 0
+	}
+	return n.FreqLevels[len(n.FreqLevels)-1]
+}
+
+// ValidFreq reports whether f is one of the node's DVFS levels.
+func (n NodeSpec) ValidFreq(f float64) bool {
+	for _, v := range n.FreqLevels {
+		if math.Abs(v-f) < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// Placement describes how a job's processes land on the cluster.
+type Placement struct {
+	Nodes        int // nodes touched
+	CoresPerNode int // processes per node on the fullest node
+	Total        int // total processes (NP)
+}
+
+// Place spreads np processes over nodes with coresPerNode slots each,
+// packing nodes densely (SLURM block distribution).
+func Place(np, coresPerNode int) (Placement, error) {
+	if np <= 0 {
+		return Placement{}, fmt.Errorf("cluster: np = %d must be positive", np)
+	}
+	if coresPerNode <= 0 {
+		return Placement{}, fmt.Errorf("cluster: coresPerNode = %d must be positive", coresPerNode)
+	}
+	nodes := (np + coresPerNode - 1) / coresPerNode
+	cpn := np
+	if cpn > coresPerNode {
+		cpn = coresPerNode
+	}
+	return Placement{Nodes: nodes, CoresPerNode: cpn, Total: np}, nil
+}
+
+// Work is a resource demand: total floating-point operations, total bytes
+// moved through memory, and bytes exchanged over the network per process.
+type Work struct {
+	Flops    float64
+	MemBytes float64
+	NetBytes float64 // per-process halo exchange volume
+	NetMsgs  float64 // per-process message count
+}
+
+// ExecTime predicts the wall-clock seconds the work takes on this node
+// type at the given placement and frequency. The model is a roofline —
+// compute and memory streams overlap, the slower one dominates — plus a
+// network term for multi-node placements:
+//
+//	t = max(t_compute, t_memory) + t_net
+//
+// Memory bandwidth does not scale with DVFS (uncore clocks are separate on
+// Haswell), which produces the flattening of runtime-vs-frequency for
+// memory-bound sizes that the paper's Fig. 1 shows.
+func (n NodeSpec) ExecTime(w Work, p Placement, freqGHz float64) (float64, error) {
+	if !n.ValidFreq(freqGHz) {
+		return 0, fmt.Errorf("cluster: %g GHz is not a DVFS level of this node", freqGHz)
+	}
+	if p.Total <= 0 {
+		return 0, fmt.Errorf("cluster: empty placement")
+	}
+	coresTotal := float64(p.Total)
+	tCompute := w.Flops / (coresTotal * freqGHz * 1e9 * n.FlopsPerCycle)
+
+	// Per-node memory bandwidth saturates: a few cores already drive
+	// the controllers near peak.
+	sat := math.Min(1, 0.35+0.65*float64(p.CoresPerNode)/float64(n.Cores()))
+	tMemory := w.MemBytes / (float64(p.Nodes) * n.MemBWGBs * 1e9 * sat)
+
+	var tNet float64
+	if p.Nodes > 1 {
+		tNet = w.NetMsgs*n.NetLatencyS + w.NetBytes/(n.NetBWGBs*1e9)
+	}
+	return math.Max(tCompute, tMemory) + tNet, nil
+}
+
+// Power returns the node's instantaneous draw in Watts with activeCores
+// busy at freqGHz. Dynamic power scales ≈ f·V² ≈ f³ with DVFS.
+func (n NodeSpec) Power(activeCores int, freqGHz float64) float64 {
+	if activeCores < 0 {
+		activeCores = 0
+	}
+	if c := n.Cores(); activeCores > c {
+		activeCores = c
+	}
+	rel := freqGHz / n.MaxFreq()
+	return n.IdleWatts + float64(activeCores)*n.DynWattsPerCore*rel*rel*rel
+}
+
+// JobPower returns the total draw across all nodes of a placement while
+// the job runs (remaining cores idle but the nodes are powered).
+func (n NodeSpec) JobPower(p Placement, freqGHz float64) float64 {
+	if p.Nodes == 0 {
+		return 0
+	}
+	full := p.Nodes - 1
+	rem := p.Total - full*p.CoresPerNode
+	pw := float64(full) * n.Power(p.CoresPerNode, freqGHz)
+	pw += n.Power(rem, freqGHz)
+	return pw
+}

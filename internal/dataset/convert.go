@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/hpgmg"
+)
+
+// Column names used by the HPGMG-derived datasets (Table I).
+const (
+	VarSize = "global_problem_size"
+	VarNP   = "np"
+	VarFreq = "cpu_frequency_ghz"
+
+	RespRuntime = "runtime_s"
+	RespEnergy  = "energy_j"
+
+	TagOperator = "operator"
+)
+
+// FromPerformance builds the Performance dataset from benchmark results:
+// variables (size, NP, frequency), response runtime, tag operator, and
+// cost in core-seconds.
+func FromPerformance(results []hpgmg.Result) (*Dataset, error) {
+	d := New([]string{VarSize, VarNP, VarFreq}, []string{RespRuntime})
+	for _, r := range results {
+		err := d.AddRow(
+			[]float64{float64(r.GlobalSize), float64(r.NP), r.FreqGHz},
+			[]float64{r.RuntimeS},
+			map[string]string{TagOperator: r.Op.String()},
+			r.CoreSeconds(),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building performance dataset: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// FromPower builds the Power dataset: same variables, responses runtime
+// and energy. Results lacking a usable energy estimate are rejected —
+// they should have been excluded upstream.
+func FromPower(results []hpgmg.Result) (*Dataset, error) {
+	d := New([]string{VarSize, VarNP, VarFreq}, []string{RespRuntime, RespEnergy})
+	for _, r := range results {
+		if !r.EnergyOK {
+			return nil, fmt.Errorf("dataset: power dataset job %v has no usable energy estimate", r.Config)
+		}
+		err := d.AddRow(
+			[]float64{float64(r.GlobalSize), float64(r.NP), r.FreqGHz},
+			[]float64{r.RuntimeS, r.EnergyJ},
+			map[string]string{TagOperator: r.Op.String()},
+			r.CoreSeconds(),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: building power dataset: %w", err)
+		}
+	}
+	return d, nil
+}

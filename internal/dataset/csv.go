@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the dataset with a header row. Column order: tags
+// (sorted by name), variables, responses, then "cost".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	tagNames := d.TagNames()
+	sort.Strings(tagNames)
+
+	header := make([]string, 0, len(tagNames)+len(d.varNames)+len(d.respNames)+1)
+	for _, t := range tagNames {
+		header = append(header, "tag:"+t)
+	}
+	header = append(header, d.varNames...)
+	for _, r := range d.respNames {
+		header = append(header, "resp:"+r)
+	}
+	header = append(header, "cost")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	row := make([]string, len(header))
+	for i := 0; i < d.n; i++ {
+		c := 0
+		for _, t := range tagNames {
+			row[c] = d.tags[t][i]
+			c++
+		}
+		for v := range d.vars {
+			row[c] = strconv.FormatFloat(d.vars[v][i], 'g', -1, 64)
+			c++
+		}
+		for r := range d.resps {
+			row[c] = strconv.FormatFloat(d.resps[r][i], 'g', -1, 64)
+			c++
+		}
+		row[c] = strconv.FormatFloat(d.cost[i], 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	var tagNames, varNames, respNames []string
+	costIdx := -1
+	type colKind int
+	const (
+		kindTag colKind = iota
+		kindVar
+		kindResp
+		kindCost
+	)
+	kinds := make([]colKind, len(header))
+	// Layout convention: tags (prefixed), then vars, then resps, then
+	// cost last. Columns between tags and "cost" split var/resp by a
+	// "resp:" prefix when present; otherwise the caller-facing writer
+	// convention is unknown, so mark them vars until a resp: appears.
+	for i, h := range header {
+		switch {
+		case len(h) > 4 && h[:4] == "tag:":
+			tagNames = append(tagNames, h[4:])
+			kinds[i] = kindTag
+		case h == "cost":
+			costIdx = i
+			kinds[i] = kindCost
+		case len(h) > 5 && h[:5] == "resp:":
+			respNames = append(respNames, h[5:])
+			kinds[i] = kindResp
+		default:
+			varNames = append(varNames, h)
+			kinds[i] = kindVar
+		}
+	}
+	_ = costIdx
+	d := New(varNames, respNames)
+	for _, t := range tagNames {
+		d.tags[t] = nil
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		x := make([]float64, 0, len(varNames))
+		y := make([]float64, 0, len(respNames))
+		tags := map[string]string{}
+		cost := 0.0
+		ti := 0
+		for i, cell := range rec {
+			switch kinds[i] {
+			case kindTag:
+				tags[tagNames[ti]] = cell
+				ti++
+			case kindVar:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: bad numeric cell %q: %w", cell, err)
+				}
+				x = append(x, v)
+			case kindResp:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: bad numeric cell %q: %w", cell, err)
+				}
+				y = append(y, v)
+			case kindCost:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: bad cost cell %q: %w", cell, err)
+				}
+				cost = v
+			}
+		}
+		if err := d.AddRow(x, y, tags, cost); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

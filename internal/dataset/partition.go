@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Partition splits a dataset's row indices into the three roles of the
+// paper's prototype (§IV): Initial seeds the first regression, Active is
+// the pool AL selects from one at a time, and Test measures prediction
+// quality (RMSE).
+type Partition struct {
+	Initial []int
+	Active  []int
+	Test    []int
+}
+
+// PartitionConfig controls the random split.
+type PartitionConfig struct {
+	// NInitial is the number of seed experiments (the paper typically
+	// uses 1: "an application is first run on a new platform to verify
+	// correctness").
+	NInitial int
+	// TestFrac is the fraction of the remaining rows assigned to the
+	// Test set (the paper splits Active:Test ≈ 8:2, i.e. 0.2).
+	TestFrac float64
+}
+
+// RandomPartition draws a partition of d's rows using rng.
+func RandomPartition(d *Dataset, cfg PartitionConfig, rng *rand.Rand) (Partition, error) {
+	n := d.Len()
+	if cfg.NInitial < 1 {
+		cfg.NInitial = 1
+	}
+	if cfg.TestFrac <= 0 || cfg.TestFrac >= 1 {
+		cfg.TestFrac = 0.2
+	}
+	nTest := int(float64(n-cfg.NInitial) * cfg.TestFrac)
+	if cfg.NInitial+nTest >= n {
+		return Partition{}, fmt.Errorf("dataset: %d rows cannot hold %d initial + %d test + a nonempty active set",
+			n, cfg.NInitial, nTest)
+	}
+	perm := rng.Perm(n)
+	p := Partition{
+		Initial: append([]int(nil), perm[:cfg.NInitial]...),
+		Test:    append([]int(nil), perm[cfg.NInitial:cfg.NInitial+nTest]...),
+		Active:  append([]int(nil), perm[cfg.NInitial+nTest:]...),
+	}
+	return p, nil
+}
+
+// Validate checks that the partition indexes d consistently: disjoint
+// sets, all indices in range.
+func (p Partition) Validate(d *Dataset) error {
+	seen := make(map[int]string, d.Len())
+	check := func(set []int, name string) error {
+		for _, i := range set {
+			if i < 0 || i >= d.Len() {
+				return fmt.Errorf("dataset: %s index %d out of range %d", name, i, d.Len())
+			}
+			if prev, dup := seen[i]; dup {
+				return fmt.Errorf("dataset: index %d in both %s and %s", i, prev, name)
+			}
+			seen[i] = name
+		}
+		return nil
+	}
+	if err := check(p.Initial, "Initial"); err != nil {
+		return err
+	}
+	if err := check(p.Active, "Active"); err != nil {
+		return err
+	}
+	return check(p.Test, "Test")
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Group is the set of rows sharing one configuration (identical variable
+// values and tags) — the repeated measurements of §V-A.
+type Group struct {
+	Key  string
+	Rows []int
+}
+
+// GroupByConfig groups rows by their full (tags + variables)
+// configuration, returning groups in deterministic key order. Groups with
+// more than one row are the repeated measurements AL may revisit.
+func (d *Dataset) GroupByConfig() []Group {
+	tagNames := d.TagNames()
+	sort.Strings(tagNames)
+	byKey := map[string][]int{}
+	for i := 0; i < d.n; i++ {
+		var sb strings.Builder
+		for _, t := range tagNames {
+			sb.WriteString(d.tags[t][i])
+			sb.WriteByte('|')
+		}
+		for v := range d.vars {
+			fmt.Fprintf(&sb, "%g|", d.vars[v][i])
+		}
+		key := sb.String()
+		byKey[key] = append(byKey[key], i)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		out[i] = Group{Key: k, Rows: byKey[k]}
+	}
+	return out
+}
+
+// RepeatStats summarizes measurement repetition: the number of distinct
+// configurations, the maximum repeats of any configuration, and the
+// median coefficient of variation of the named response across repeated
+// configurations (NaN when no configuration repeats).
+func (d *Dataset) RepeatStats(resp string) (configs, maxRepeats int, medianCV float64) {
+	groups := d.GroupByConfig()
+	configs = len(groups)
+	var cvs []float64
+	for _, g := range groups {
+		if len(g.Rows) > maxRepeats {
+			maxRepeats = len(g.Rows)
+		}
+		if len(g.Rows) < 2 {
+			continue
+		}
+		ys := make([]float64, len(g.Rows))
+		for i, r := range g.Rows {
+			ys[i] = d.RespAt(resp, r)
+		}
+		if m := stats.Mean(ys); m > 0 {
+			cvs = append(cvs, stats.StdDev(ys)/m)
+		}
+	}
+	if len(cvs) == 0 {
+		return configs, maxRepeats, nan()
+	}
+	return configs, maxRepeats, stats.Median(cvs)
+}
+
+func nan() float64 { return stats.Mean(nil) }
+
+// ColumnSummary describes one numeric column.
+type ColumnSummary struct {
+	Name           string
+	Min, Max       float64
+	Mean, Median   float64
+	DistinctLevels int
+}
+
+// Summary describes every variable and response column — the information
+// Table I tabulates.
+func (d *Dataset) Summary() []ColumnSummary {
+	out := make([]ColumnSummary, 0, len(d.varNames)+len(d.respNames))
+	describe := func(name string, col []float64) ColumnSummary {
+		lo, hi := stats.MinMax(col)
+		levels := map[float64]bool{}
+		for _, v := range col {
+			levels[v] = true
+		}
+		return ColumnSummary{
+			Name:           name,
+			Min:            lo,
+			Max:            hi,
+			Mean:           stats.Mean(col),
+			Median:         stats.Median(col),
+			DistinctLevels: len(levels),
+		}
+	}
+	for i, name := range d.varNames {
+		out = append(out, describe(name, d.vars[i]))
+	}
+	for i, name := range d.respNames {
+		out = append(out, describe("resp:"+name, d.resps[i]))
+	}
+	return out
+}

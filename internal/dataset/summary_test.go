@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func repeatDS(t *testing.T) *Dataset {
+	t.Helper()
+	d := New([]string{"x"}, []string{"y"})
+	rows := []struct {
+		x, y float64
+		op   string
+	}{
+		{1, 10, "a"}, {1, 12, "a"}, {1, 11, "a"}, // 3 repeats of (a, 1)
+		{2, 20, "a"}, {2, 22, "a"}, // 2 repeats of (a, 2)
+		{1, 30, "b"}, // distinct by tag
+		{3, 40, "a"}, // singleton
+	}
+	for _, r := range rows {
+		if err := d.AddRow([]float64{r.x}, []float64{r.y}, map[string]string{"op": r.op}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestGroupByConfig(t *testing.T) {
+	d := repeatDS(t)
+	groups := d.GroupByConfig()
+	if len(groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g.Rows)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+		t.Fatalf("group size histogram wrong: %v", sizes)
+	}
+	// Deterministic ordering.
+	again := d.GroupByConfig()
+	for i := range groups {
+		if groups[i].Key != again[i].Key {
+			t.Fatal("GroupByConfig ordering unstable")
+		}
+	}
+}
+
+func TestRepeatStats(t *testing.T) {
+	d := repeatDS(t)
+	configs, maxRep, cv := d.RepeatStats("y")
+	if configs != 4 || maxRep != 3 {
+		t.Fatalf("configs=%d maxRep=%d", configs, maxRep)
+	}
+	if math.IsNaN(cv) || cv <= 0 || cv > 0.2 {
+		t.Fatalf("median CV = %g", cv)
+	}
+	// No repeats → NaN CV.
+	single := New([]string{"x"}, []string{"y"})
+	single.AddRow([]float64{1}, []float64{1}, nil, 0)
+	if _, _, cv := single.RepeatStats("y"); !math.IsNaN(cv) {
+		t.Fatalf("expected NaN CV, got %g", cv)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	d := repeatDS(t)
+	sum := d.Summary()
+	if len(sum) != 2 { // x + resp:y
+		t.Fatalf("%d summaries", len(sum))
+	}
+	x := sum[0]
+	if x.Name != "x" || x.Min != 1 || x.Max != 3 || x.DistinctLevels != 3 {
+		t.Fatalf("x summary %+v", x)
+	}
+	y := sum[1]
+	if y.Name != "resp:y" || y.Min != 10 || y.Max != 40 {
+		t.Fatalf("y summary %+v", y)
+	}
+	if y.Mean <= 0 || y.Median <= 0 {
+		t.Fatal("summary stats missing")
+	}
+}

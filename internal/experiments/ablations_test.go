@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationGamma(t *testing.T) {
+	r, err := AblationGamma(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost must drop substantially from γ=0 to γ=1 (the whole point of
+	// cost-aware selection).
+	if r.Values["cost_ratio_0_to_1"] < 1.5 {
+		t.Fatalf("cost ratio %g — γ had no cost effect", r.Values["cost_ratio_0_to_1"])
+	}
+	if len(r.Series["gamma_sweep"]) != 5 {
+		t.Fatalf("sweep rows %d", len(r.Series["gamma_sweep"]))
+	}
+	for _, row := range r.Series["gamma_sweep"] {
+		if math.IsNaN(row[1]) || row[2] <= 0 {
+			t.Fatalf("bad sweep row %v", row)
+		}
+	}
+}
+
+func TestAblationKernel(t *testing.T) {
+	r, err := AblationKernel(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rbf", "matern32", "matern52", "rq"} {
+		v, ok := r.Values["rmse_"+name]
+		if !ok || math.IsNaN(v) || v <= 0 {
+			t.Fatalf("missing or bad RMSE for %s: %g", name, v)
+		}
+		// All families must produce usable models on this smooth data.
+		if v > 1.0 {
+			t.Fatalf("%s RMSE %g implausibly high", name, v)
+		}
+	}
+}
+
+func TestAblationSelection(t *testing.T) {
+	r, err := AblationSelection(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lml, cv := r.Values["rmse_lml"], r.Values["rmse_loocv"]
+	if math.IsNaN(lml) || math.IsNaN(cv) {
+		t.Fatal("missing RMSEs")
+	}
+	// Neither route should be wildly worse than the other on this
+	// well-behaved subset.
+	worse, better := math.Max(lml, cv), math.Min(lml, cv)
+	if worse > 6*better+0.05 {
+		t.Fatalf("selection routes diverge: LML %g vs LOO-CV %g", lml, cv)
+	}
+	// Each objective must (weakly) prefer its own fit.
+	if r.Values["lml_of_lml_fit"] < r.Values["lml_of_cv_fit"]-1e-6 {
+		t.Fatal("LML fit is not the LML argmax among the two")
+	}
+	if r.Values["loocv_of_cv_fit"] < r.Values["loocv_of_lml_fit"]-1e-6 {
+		t.Fatal("CV fit is not the LOO argmax among the two")
+	}
+}
+
+func TestAblationScaling(t *testing.T) {
+	r, err := AblationScaling(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["dense_fit_s"] <= 0 || r.Values["sparse_fit_s"] <= 0 {
+		t.Fatal("fit timings missing")
+	}
+	// Both approaches must model the smooth surface well.
+	if r.Values["dense_rmse"] > 0.2 || r.Values["sparse_rmse"] > 0.3 {
+		t.Fatalf("RMSEs too high: dense %g sparse %g",
+			r.Values["dense_rmse"], r.Values["sparse_rmse"])
+	}
+	if len(r.Series["scaling"]) < 2 {
+		t.Fatal("scaling series missing")
+	}
+}
+
+func TestAblationEMCM(t *testing.T) {
+	r, err := AblationEMCM(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpr, emcm := r.Values["final_rmse_gpr"], r.Values["final_rmse_emcm"]
+	if math.IsNaN(gpr) || math.IsNaN(emcm) {
+		t.Fatal("RMSEs missing")
+	}
+	// The paper's §III argument: GPR-driven AL must beat the EMCM
+	// baseline on this nonlinear, noisy surface.
+	if gpr >= emcm {
+		t.Fatalf("GPR RMSE %g not below EMCM %g", gpr, emcm)
+	}
+	if len(r.Series["gpr_vr"]) == 0 || len(r.Series["emcm"]) == 0 {
+		t.Fatal("curves missing")
+	}
+}
+
+func TestAblationParallel(t *testing.T) {
+	r, err := AblationParallel(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scheduling speedup (same experiments batched vs serialized) is ≥ 1
+	// by construction; the ablation's documented finding is that it
+	// stays far below the ideal batch size because one expensive pick
+	// dominates each round on this heavy-tailed cost spectrum.
+	for _, k := range []string{"vr_sched_speedup", "ce_sched_speedup"} {
+		s := r.Values[k]
+		if s < 1-1e-9 {
+			t.Fatalf("%s below 1: %g (impossible by construction)", k, s)
+		}
+		if s > 4+1e-9 {
+			t.Fatalf("%s above the batch size: %g (impossible)", k, s)
+		}
+	}
+	// Cost-aware selection must still spend fewer resources in total.
+	if r.Values["ce_par_resource"] >= r.Values["vr_par_resource"] {
+		t.Fatalf("CE batch resources %g not below VR %g",
+			r.Values["ce_par_resource"], r.Values["vr_par_resource"])
+	}
+	for _, k := range []string{"vr_par_rmse", "vr_seq_rmse", "ce_par_rmse", "ce_seq_rmse"} {
+		if math.IsNaN(r.Values[k]) {
+			t.Fatalf("missing %s", k)
+		}
+	}
+}

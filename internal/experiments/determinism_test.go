@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Every experiment must regenerate bit-identical headline values from the
+// same seed — the reproducibility contract DESIGN.md §6 promises. (A5 is
+// excluded: its values are wall-clock timings.)
+func TestExperimentsDeterministic(t *testing.T) {
+	gens := map[string]func(Options) (*Report, error){
+		"T1": TableI, "F1": Fig1, "F2": Fig2, "F3": Fig3, "F4": Fig4,
+		"F5": Fig5, "F6": Fig6, "F7": Fig7, "F8": Fig8,
+		"A1": AblationGamma, "A2": AblationKernel, "A3": AblationSelection,
+		"A4": AblationParallel,
+	}
+	for id, gen := range gens {
+		a, err := gen(quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := gen(quick)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", id, err)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s: value sets differ in size", id)
+		}
+		for k, va := range a.Values {
+			vb, ok := b.Values[k]
+			if !ok {
+				t.Fatalf("%s: rerun missing value %q", id, k)
+			}
+			if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+				t.Fatalf("%s: value %q differs across reruns: %v vs %v", id, k, va, vb)
+			}
+		}
+	}
+}
+
+// Different seeds must actually change stochastic experiments (guards
+// against accidentally hard-coded seeds).
+func TestExperimentsRespondToSeed(t *testing.T) {
+	a, err := Fig6(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6(Options{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Series["trajectory"], b.Series["trajectory"]
+	same := len(ta) == len(tb)
+	if same {
+		for i := range ta {
+			if ta[i][1] != tb[i][1] || ta[i][2] != tb[i][2] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical AL trajectories")
+	}
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) from the simulated HPGMG datasets. Each generator
+// returns a Report: the printable rows/series the paper's artifact shows,
+// plus the headline numbers EXPERIMENTS.md records (paper vs measured).
+//
+// All generators are deterministic in Options.Seed. Options.Quick shrinks
+// batch sizes so the full suite runs in seconds for tests; benchmarks and
+// cmd/alrepro use the full configuration.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/hpgmg"
+	"repro/internal/kernel"
+)
+
+// Options configures experiment generation.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Quick shrinks batch sizes and iteration counts for fast test
+	// runs; the full configuration matches the paper's.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Report is the output of one experiment generator.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	// Values holds the headline numbers for programmatic checks and
+	// EXPERIMENTS.md (e.g. "crossover_cost", "max_reduction").
+	Values map[string]float64
+	// Series holds CSV-able data series: name → rows of columns.
+	Series map[string][][]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Values: map[string]float64{}, Series: map[string][][]float64{}}
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the report as text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("-- values --\n")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s = %g\n", k, r.Values[k])
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// WriteSeriesCSV emits one named series as CSV.
+func (r *Report) WriteSeriesCSV(name string, header []string, w io.Writer) error {
+	rows, ok := r.Series[name]
+	if !ok {
+		return fmt.Errorf("experiments: report %s has no series %q", r.ID, name)
+	}
+	if len(header) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- shared dataset builders ----
+
+// perfDataset caches the regenerated Performance dataset per seed within
+// one process (generation is cheap but experiments share it).
+func perfDataset(seed int64) (*dataset.Dataset, error) {
+	results, err := hpgmg.GeneratePerformance(seed)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromPerformance(results)
+}
+
+func powerDataset(seed int64) (*dataset.Dataset, error) {
+	results, err := hpgmg.GeneratePower(seed)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromPower(results)
+}
+
+// subset2D builds the study subset of §V-B: operator poisson1, NP = 32,
+// variables (log10 size, frequency), response log10 runtime, projected to
+// two columns. This is the Fig. 6–8 dataset.
+func subset2D(seed int64) (*dataset.Dataset, error) {
+	d, err := perfDataset(seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := d.WhereTag(dataset.TagOperator, "poisson1").WhereVar(dataset.VarNP, 32)
+	if err := sub.LogVar(dataset.VarSize); err != nil {
+		return nil, err
+	}
+	if err := sub.LogResp(dataset.RespRuntime); err != nil {
+		return nil, err
+	}
+	return sub.Project(dataset.VarSize, dataset.VarFreq), nil
+}
+
+// subset1D further fixes frequency = 2.4 GHz: variable log10 size only
+// (the Fig. 3–4 dataset).
+func subset1D(seed int64) (*dataset.Dataset, error) {
+	d, err := perfDataset(seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := d.WhereTag(dataset.TagOperator, "poisson1").
+		WhereVar(dataset.VarNP, 32).
+		WhereVar(dataset.VarFreq, 2.4)
+	if err := sub.LogVar(dataset.VarSize); err != nil {
+		return nil, err
+	}
+	if err := sub.LogResp(dataset.RespRuntime); err != nil {
+		return nil, err
+	}
+	return sub.Project(dataset.VarSize), nil
+}
+
+// defaultKernel is the RBF kernel used throughout the evaluation.
+func defaultKernel(int) kernel.Kernel { return kernel.NewRBF(1, 1) }

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Seed: 1, Quick: true}
+
+func TestTableI(t *testing.T) {
+	r, err := TableI(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["performance_jobs"] != 3246 {
+		t.Fatalf("performance jobs = %g, want 3246", r.Values["performance_jobs"])
+	}
+	if r.Values["power_jobs"] != 640 {
+		t.Fatalf("power jobs = %g, want 640", r.Values["power_jobs"])
+	}
+	// Size range must match Table I's 1.7e3 – 1.1e9 order.
+	if r.Values["performance_size_min"] > 2e3 || r.Values["performance_size_max"] < 1e9 {
+		t.Fatalf("size range [%g, %g]", r.Values["performance_size_min"], r.Values["performance_size_max"])
+	}
+	// Runtime spans several orders of magnitude.
+	span := math.Log10(r.Values["performance_runtime_max_s"] / r.Values["performance_runtime_min_s"])
+	if span < 4 {
+		t.Fatalf("runtime span %.1f orders", span)
+	}
+	if r.Values["power_energy_min_j"] <= 0 {
+		t.Fatal("energy range missing")
+	}
+}
+
+func TestFig1NoisierPowerDataset(t *testing.T) {
+	r, err := Fig1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfCV := r.Values["performance_repeat_cv"]
+	powCV := r.Values["power_repeat_cv"]
+	if math.IsNaN(perfCV) || math.IsNaN(powCV) {
+		t.Fatalf("CVs missing: %g %g", perfCV, powCV)
+	}
+	if powCV <= perfCV {
+		t.Fatalf("power CV %g should exceed performance CV %g (paper: much higher variance)", powCV, perfCV)
+	}
+	if len(r.Series["performance_runtime"]) == 0 || len(r.Series["power_energy"]) == 0 {
+		t.Fatal("scatter series missing")
+	}
+}
+
+func TestFig2LogLogLinear(t *testing.T) {
+	r, err := Fig2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := r.Values["loglog_slope"]
+	r2 := r.Values["loglog_r2"]
+	if slope < 0.7 || slope > 1.3 {
+		t.Fatalf("log-log slope %g, want ≈1", slope)
+	}
+	if r2 < 0.95 {
+		t.Fatalf("log-log R² %g, want near 1", r2)
+	}
+}
+
+func TestFig3HyperparameterEffects(t *testing.T) {
+	r, err := Fig3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller l ⇒ wider CI between points (paper's key observation).
+	w0 := r.Values["a_mean_ci_width_0"] // l = 0.3
+	w1 := r.Values["a_mean_ci_width_1"] // l = 1
+	w2 := r.Values["a_mean_ci_width_2"] // l = 3
+	if !(w0 > w1 && w1 > w2) {
+		t.Fatalf("CI widths not decreasing with l: %g, %g, %g", w0, w1, w2)
+	}
+	// Edge blow-up on the 4-point subset.
+	if r.Values["b_sd_edge"] <= r.Values["b_sd_mid"] {
+		t.Fatalf("edge SD %g not above interior SD %g", r.Values["b_sd_edge"], r.Values["b_sd_mid"])
+	}
+}
+
+func TestFig4PeakedLandscape(t *testing.T) {
+	r, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-start ascent must reach (essentially) the grid peak.
+	if r.Values["fitted_lml"] < r.Values["grid_peak_lml"]-math.Abs(r.Values["grid_peak_lml"])*0.02-0.5 {
+		t.Fatalf("ascent LML %g well below grid peak %g", r.Values["fitted_lml"], r.Values["grid_peak_lml"])
+	}
+	if len(r.Series["lml_grid"]) == 0 {
+		t.Fatal("grid series missing")
+	}
+}
+
+func TestFig5ShallowLandscape(t *testing.T) {
+	r4, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The small-dataset landscape is shallower than the abundant-data one.
+	if r5.Values["peak_minus_median"] >= r4.Values["peak_minus_median"] {
+		t.Fatalf("Fig5 landscape (%g) should be shallower than Fig4 (%g)",
+			r5.Values["peak_minus_median"], r4.Values["peak_minus_median"])
+	}
+	// The far corner should be among the most uncertain areas.
+	if r5.Values["corner_sd"] < 0.3*r5.Values["max_sd"] {
+		t.Fatalf("corner SD %g vs max %g — corner should be uncertain", r5.Values["corner_sd"], r5.Values["max_sd"])
+	}
+}
+
+func TestFig6EdgesFirst(t *testing.T) {
+	r, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["subset_jobs"] < 50 {
+		t.Fatalf("subset too small: %g", r.Values["subset_jobs"])
+	}
+	if r.Values["edge_fraction_first10"] < 0.6 {
+		t.Fatalf("edge fraction in first selections %g, want ≥ 0.6 (star pattern)", r.Values["edge_fraction_first10"])
+	}
+	if len(r.Series["trajectory"]) == 0 {
+		t.Fatal("trajectory missing")
+	}
+}
+
+func TestFig7NoiseFloorFix(t *testing.T) {
+	r, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["min_noise_high_floor"] < 0.1-1e-9 {
+		t.Fatalf("floored batch violated σn ≥ 0.1: %g", r.Values["min_noise_high_floor"])
+	}
+	if r.Values["min_noise_low_floor"] >= 1e-2 {
+		t.Fatalf("low floor never overfits (min σn %g) — Fig. 7a mechanism absent", r.Values["min_noise_low_floor"])
+	}
+	if r.Values["early_collapse_high"] > r.Values["early_collapse_low"] {
+		t.Fatal("floored runs collapse more often than unfloored — wrong direction")
+	}
+	if len(r.Series["floor_1e-8"]) == 0 || len(r.Series["floor_1e-1"]) == 0 {
+		t.Fatal("trajectory series missing")
+	}
+}
+
+func TestFig8StrategyComparison(t *testing.T) {
+	r, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost efficiency must be cheaper in total.
+	if r.Values["ce_total_cost"] >= r.Values["vr_total_cost"] {
+		t.Fatalf("CE total cost %g should be below VR %g",
+			r.Values["ce_total_cost"], r.Values["vr_total_cost"])
+	}
+	// There must be a crossover and a meaningful reduction.
+	if math.IsNaN(r.Values["crossover_cost"]) {
+		t.Fatal("no tradeoff crossover found")
+	}
+	if r.Values["max_reduction"] <= 0.05 {
+		t.Fatalf("max reduction %g too small — CE advantage absent", r.Values["max_reduction"])
+	}
+	if len(r.Series["variance_reduction"]) == 0 || len(r.Series["cost_efficiency"]) == 0 {
+		t.Fatal("curves missing")
+	}
+}
+
+func TestAllAndReportIO(t *testing.T) {
+	reports, err := All(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 9 {
+		t.Fatalf("%d reports, want 9", len(reports))
+	}
+	ids := map[string]bool{}
+	for _, r := range reports {
+		ids[r.ID] = true
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), r.ID) {
+			t.Fatalf("report text missing ID %s", r.ID)
+		}
+	}
+	for _, want := range []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8"} {
+		if !ids[want] {
+			t.Fatalf("missing report %s", want)
+		}
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	r, err := Fig2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteSeriesCSV("log_runtime_vs_log_size", []string{"log_size", "log_runtime"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("CSV too short: %d lines", len(lines))
+	}
+	if lines[0] != "log_size,log_runtime" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if err := r.WriteSeriesCSV("nope", nil, &buf); err == nil {
+		t.Fatal("expected unknown-series error")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TableI regenerates Table I: the parameters of the two analyzed
+// datasets — job counts, response ranges, and controlled-variable levels.
+func TableI(opts Options) (*Report, error) {
+	r := newReport("T1", "The Parameters of the Analyzed Datasets")
+	perf, err := perfDataset(opts.seed())
+	if err != nil {
+		return nil, err
+	}
+	pow, err := powerDataset(opts.seed())
+	if err != nil {
+		return nil, err
+	}
+
+	describe := func(name string, d *dataset.Dataset, energy bool) {
+		r.addf("Dataset: %s", name)
+		r.addf("  # Jobs: %d", d.Len())
+		rt := d.Resp(dataset.RespRuntime)
+		lo, hi := stats.MinMax(rt)
+		r.addf("  Runtime, s: %.3g - %.4g", lo, hi)
+		if energy {
+			en := d.Resp(dataset.RespEnergy)
+			elo, ehi := stats.MinMax(en)
+			r.addf("  Energy, J: %.3g - %.3g", elo, ehi)
+			r.Values[name+"_energy_min_j"] = elo
+			r.Values[name+"_energy_max_j"] = ehi
+		}
+		ops := uniqueStrings(d.Tag(dataset.TagOperator))
+		r.addf("  Operator: %v", ops)
+		sizes := d.Var(dataset.VarSize)
+		slo, shi := stats.MinMax(sizes)
+		r.addf("  Global Problem Size: %.3g - %.3g", slo, shi)
+		r.addf("  NP: %v", uniqueFloats(d.Var(dataset.VarNP)))
+		r.addf("  CPU Frequency (GHz): %v", uniqueFloats(d.Var(dataset.VarFreq)))
+		r.Values[name+"_jobs"] = float64(d.Len())
+		r.Values[name+"_runtime_min_s"] = lo
+		r.Values[name+"_runtime_max_s"] = hi
+		r.Values[name+"_size_min"] = slo
+		r.Values[name+"_size_max"] = shi
+	}
+	describe("performance", perf, false)
+	describe("power", pow, true)
+
+	r.addf("paper: Performance 3246 jobs, runtime 0.005-458 s; Power 640 jobs, energy 6.4e3-1.1e5 J")
+	return r, nil
+}
+
+func uniqueStrings(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func uniqueFloats(xs []float64) []string {
+	seen := map[float64]bool{}
+	var vals []float64
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			vals = append(vals, x)
+		}
+	}
+	sort.Float64s(vals)
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%g", v)
+	}
+	return out
+}

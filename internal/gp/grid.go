@@ -1,0 +1,57 @@
+package gp
+
+import "fmt"
+
+// LMLGrid evaluates the log marginal likelihood over a 2-D grid of two
+// hyperparameters (all others held at their fitted values). It produces
+// the contour landscapes of Fig. 4 (sharp peak, abundant data) and
+// Fig. 5(b) (shallow landscape, scarce data).
+//
+// idxA and idxB index into the hyperparameter vector reported by
+// HyperNames; valsA and valsB are the (log-space) grid coordinates.
+// Z[i][j] = LML with θ[idxA] = valsA[i], θ[idxB] = valsB[j].
+func (g *GP) LMLGrid(idxA, idxB int, valsA, valsB []float64) [][]float64 {
+	nh := len(g.hyperVector())
+	if idxA < 0 || idxA >= nh || idxB < 0 || idxB >= nh || idxA == idxB {
+		panic(fmt.Sprintf("gp: LMLGrid bad hyper indices %d, %d of %d", idxA, idxB, nh))
+	}
+	base := g.hyperVector()
+	z := make([][]float64, len(valsA))
+	for i, a := range valsA {
+		z[i] = make([]float64, len(valsB))
+		theta := append([]float64(nil), base...)
+		theta[idxA] = a
+		for j, b := range valsB {
+			theta[idxB] = b
+			z[i][j] = g.LMLAt(theta)
+		}
+	}
+	return z
+}
+
+// GridPeak returns the indices and value of the largest entry of a grid
+// produced by LMLGrid.
+func GridPeak(z [][]float64) (i, j int, v float64) {
+	v = z[0][0]
+	for a := range z {
+		for b := range z[a] {
+			if z[a][b] > v {
+				i, j, v = a, b, z[a][b]
+			}
+		}
+	}
+	return i, j, v
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

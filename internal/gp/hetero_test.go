@@ -1,0 +1,113 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// Two conflicting measurements at the same input: the posterior mean must
+// side with the trusted (low-noise) one — the paper's §V-A proposal of
+// weighting meter-calibrated measurements above IPMI-derived estimates.
+func TestHeteroscedasticTrustsPreciseMeasurement(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1}, {1}})
+	y := []float64{0, 2} // disagreeing measurements
+	cfg := Config{
+		Kernel:     kernel.NewRBF(1, 1),
+		NoiseInit:  0.05,
+		FixedNoise: true,
+		// First measurement: physical meter (tiny extra noise).
+		// Second: IPMI estimate (large extra variance).
+		PointNoiseVar: []float64{0, 4.0},
+	}
+	g, err := Fit(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Predict([]float64{1}).Mean
+	if m > 0.3 {
+		t.Fatalf("posterior mean %g leans toward the noisy measurement", m)
+	}
+	// Symmetric check: trust the other one instead.
+	cfg.PointNoiseVar = []float64{4.0, 0}
+	g2, err := Fit(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 := g2.Predict([]float64{1}).Mean; m2 < 1.7 {
+		t.Fatalf("posterior mean %g ignores the trusted measurement", m2)
+	}
+}
+
+// Zero per-point variances must reproduce the homoscedastic fit exactly.
+func TestHeteroscedasticZeroMatchesPlain(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {1}, {2}, {3}})
+	y := []float64{0, 1, 0, -1}
+	plain, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.2, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := Fit(Config{
+		Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.2, FixedNoise: true,
+		PointNoiseVar: []float64{0, 0, 0, 0},
+	}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := -0.5; q < 3.5; q += 0.3 {
+		a, b := plain.Predict([]float64{q}), het.Predict([]float64{q})
+		if math.Abs(a.Mean-b.Mean) > 1e-12 || math.Abs(a.SD-b.SD) > 1e-12 {
+			t.Fatalf("zero point noise changed the fit at %g", q)
+		}
+	}
+}
+
+// Hyperparameter optimization must stay consistent: the fitted model's
+// LML is evaluated under the same heteroscedastic covariance used during
+// the search.
+func TestHeteroscedasticOptimizeConsistent(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {0.5}, {1}, {1.5}, {2}, {2.5}})
+	y := []float64{0, 0.4, 0.9, 1.0, 0.8, 0.4}
+	pv := []float64{0, 0, 1.0, 0, 1.0, 0}
+	cfg := Config{
+		Kernel:        kernel.NewRBF(1, 1),
+		NoiseInit:     0.1,
+		NoiseFloor:    1e-3,
+		Optimize:      true,
+		Restarts:      2,
+		PointNoiseVar: pv,
+	}
+	g, err := Fit(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LMLAt at the fitted hypers must match the stored LML.
+	if got := g.LMLAt(g.Hyper()); math.Abs(got-g.LML()) > 1e-8*(1+math.Abs(g.LML())) {
+		t.Fatalf("LMLAt %g != fitted LML %g (point noise applied inconsistently)", got, g.LML())
+	}
+	// Uncertain points must carry larger residual without dragging the
+	// curve: SD at a noisy observation exceeds SD at a trusted one.
+	trusted := g.Predict([]float64{0.5}).SD
+	noisy := g.Predict([]float64{1.0}).SD
+	if noisy <= trusted {
+		t.Fatalf("SD at noisy point %g not above trusted %g", noisy, trusted)
+	}
+}
+
+func TestHeteroscedasticValidation(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {1}})
+	y := []float64{0, 1}
+	base := Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1}
+	bad := base
+	bad.PointNoiseVar = []float64{1}
+	if _, err := Fit(bad, x, y, nil); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad = base
+	bad.PointNoiseVar = []float64{-1, 0}
+	if _, err := Fit(bad, x, y, nil); err == nil {
+		t.Fatal("expected negativity error")
+	}
+}

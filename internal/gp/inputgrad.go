@@ -1,0 +1,66 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// PredictGrad returns the predictive distribution at x together with the
+// input-space gradients of the mean and standard deviation:
+//
+//	∂μ/∂x  = (∂k*/∂x)ᵀ α
+//	∂σ²/∂x = ∂k**/∂x − 2 (∂k*/∂x)ᵀ Ky⁻¹ k*
+//
+// The kernel must implement kernel.InputGradient. These gradients enable
+// continuous candidate optimization by ascent on σ(x) (paper §VI).
+func (g *GP) PredictGrad(x []float64) (Prediction, []float64, []float64, error) {
+	ig, ok := g.kern.(kernel.InputGradient)
+	if !ok {
+		return Prediction{}, nil, nil, fmt.Errorf("gp: kernel %s does not provide input gradients", g.kern.Name())
+	}
+	if len(x) != g.x.Cols() {
+		return Prediction{}, nil, nil, fmt.Errorf("gp: PredictGrad dim %d, model trained on %d", len(x), g.x.Cols())
+	}
+	n := g.x.Rows()
+	d := len(x)
+
+	ks := make(mat.Vec, n)
+	// dks[j][i] = ∂k(x, x_i)/∂x_j, stored per dimension.
+	dks := make([]mat.Vec, d)
+	for j := range dks {
+		dks[j] = make(mat.Vec, n)
+	}
+	grad := make([]float64, d)
+	for i := 0; i < n; i++ {
+		ks[i] = ig.EvalInputGrad(x, g.x.RawRow(i), grad)
+		for j := 0; j < d; j++ {
+			dks[j][i] = grad[j]
+		}
+	}
+
+	mu := mat.Dot(ks, g.alpha)
+	kinvKs := g.chol.SolveVec(ks)
+	selfGrad := make([]float64, d)
+	kxx := ig.EvalInputGrad(x, x, selfGrad)
+	variance := kxx - mat.Dot(ks, kinvKs)
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+
+	dMean := make([]float64, d)
+	dSD := make([]float64, d)
+	for j := 0; j < d; j++ {
+		dMean[j] = g.yStd * mat.Dot(dks[j], g.alpha)
+		// d k(x,x)/dx = 2 ∂₁k(x,x) by kernel symmetry (zero for
+		// stationary kernels).
+		dVar := 2*selfGrad[j] - 2*mat.Dot(dks[j], kinvKs)
+		if sd > 1e-12 {
+			dSD[j] = g.yStd * dVar / (2 * sd)
+		}
+	}
+	return Prediction{Mean: g.yMean + g.yStd*mu, SD: g.yStd * sd}, dMean, dSD, nil
+}

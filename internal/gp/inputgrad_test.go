@@ -1,0 +1,111 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+func fitGradModel(t *testing.T, k kernel.Kernel) *GP {
+	t.Helper()
+	rng := rand.New(rand.NewSource(80))
+	n := 12
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 4*rng.Float64())
+		x.Set(i, 1, 4*rng.Float64())
+		y[i] = math.Sin(x.At(i, 0)) * math.Cos(x.At(i, 1))
+	}
+	g, err := Fit(Config{Kernel: k, NoiseInit: 0.05, Normalize: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Analytic ∂μ/∂x and ∂σ/∂x must match central finite differences for
+// every InputGradient kernel.
+func TestPredictGradMatchesFiniteDifferences(t *testing.T) {
+	kernels := []kernel.Kernel{
+		kernel.NewRBF(1, 1),
+		kernel.NewARD([]float64{0.8, 1.5}, 1),
+		kernel.NewMatern52(1.2, 0.9),
+		kernel.NewSum(kernel.NewRBF(1, 1), kernel.NewConstant(0.5)),
+		kernel.NewProduct(kernel.NewRBF(2, 1), kernel.NewMatern52(1, 1)),
+	}
+	rng := rand.New(rand.NewSource(81))
+	const h = 1e-5
+	for _, k := range kernels {
+		g := fitGradModel(t, k)
+		for trial := 0; trial < 5; trial++ {
+			x := []float64{4 * rng.Float64(), 4 * rng.Float64()}
+			p, dMean, dSD, err := g.PredictGrad(x)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name(), err)
+			}
+			pc := g.Predict(x)
+			if math.Abs(p.Mean-pc.Mean) > 1e-10 || math.Abs(p.SD-pc.SD) > 1e-10 {
+				t.Fatalf("%s: PredictGrad value differs from Predict", k.Name())
+			}
+			for d := 0; d < 2; d++ {
+				xp := append([]float64(nil), x...)
+				xp[d] += h
+				pPlus := g.Predict(xp)
+				xp[d] -= 2 * h
+				pMinus := g.Predict(xp)
+				fdMean := (pPlus.Mean - pMinus.Mean) / (2 * h)
+				fdSD := (pPlus.SD - pMinus.SD) / (2 * h)
+				if math.Abs(dMean[d]-fdMean) > 1e-4*(1+math.Abs(fdMean)) {
+					t.Fatalf("%s: dMean[%d] = %g, fd %g at %v", k.Name(), d, dMean[d], fdMean, x)
+				}
+				if math.Abs(dSD[d]-fdSD) > 1e-4*(1+math.Abs(fdSD)) {
+					t.Fatalf("%s: dSD[%d] = %g, fd %g at %v", k.Name(), d, dSD[d], fdSD, x)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictGradRejectsUnsupportedKernel(t *testing.T) {
+	// Matern32 does not implement InputGradient.
+	x := mat.NewFromRows([][]float64{{0}, {1}})
+	g, err := Fit(Config{Kernel: kernel.NewMatern32(1, 1), NoiseInit: 0.1}, x, []float64{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := g.PredictGrad([]float64{0.5}); err == nil {
+		t.Fatal("expected capability error")
+	}
+}
+
+func TestPredictGradDimMismatch(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {1}})
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1}, x, []float64{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := g.PredictGrad([]float64{0, 0}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// SD gradient must point away from the data: moving toward a training
+// point decreases σ.
+func TestSDGradientPointsAwayFromData(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0.0}})
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1}, x, []float64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, dSD, err := g.PredictGrad([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSD[0] <= 0 {
+		t.Fatalf("∂σ/∂x = %g at x=0.5 with data at 0; should be positive", dSD[0])
+	}
+}

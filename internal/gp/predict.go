@@ -1,0 +1,100 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// Prediction is the posterior predictive distribution at one input point
+// (paper Eqs. 4–6): Gaussian with the given mean and standard deviation.
+type Prediction struct {
+	Mean float64
+	SD   float64 // standard deviation of the latent function posterior
+}
+
+// CI returns the mean ± z·SD confidence interval bounds; z = 2 gives the
+// ~95% interval drawn in the paper's figures.
+func (p Prediction) CI(z float64) (lo, hi float64) {
+	return p.Mean - z*p.SD, p.Mean + z*p.SD
+}
+
+// Predict returns the posterior predictive mean and SD at x
+// (Eqs. 5 and 6): μ* = k*ᵀ Ky⁻¹ y, σ*² = k** − k*ᵀ Ky⁻¹ k*.
+func (g *GP) Predict(x []float64) Prediction {
+	if len(x) != g.x.Cols() {
+		panic(fmt.Sprintf("gp: Predict dim %d, model trained on %d", len(x), g.x.Cols()))
+	}
+	n := g.x.Rows()
+	ks := make(mat.Vec, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kern.Eval(x, g.x.RawRow(i))
+	}
+	mu := mat.Dot(ks, g.alpha)
+	// σ*² via the Cholesky factor: v = L⁻¹k*, σ*² = k** − vᵀv.
+	v := mat.ForwardSubst(g.chol.L(), ks)
+	variance := g.kern.Eval(x, x) - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0 // numerical round-off guard
+	}
+	return Prediction{
+		Mean: g.yMean + g.yStd*mu,
+		SD:   g.yStd * math.Sqrt(variance),
+	}
+}
+
+// PredictNoisy is Predict with the observation noise σn² added to the
+// predictive variance — the distribution of a future *measurement* rather
+// than of the latent function.
+func (g *GP) PredictNoisy(x []float64) Prediction {
+	p := g.Predict(x)
+	sn := g.yStd * math.Exp(g.logSN)
+	p.SD = math.Sqrt(p.SD*p.SD + sn*sn)
+	return p
+}
+
+// PredictBatch evaluates the predictive distribution at every row of xs.
+func (g *GP) PredictBatch(xs *mat.Dense) []Prediction {
+	if xs.Cols() != g.x.Cols() {
+		panic(fmt.Sprintf("gp: PredictBatch dim %d, model trained on %d", xs.Cols(), g.x.Cols()))
+	}
+	m := xs.Rows()
+	out := make([]Prediction, m)
+	// Cross-covariance computed in one pass: K* is m x n.
+	kstar := kernel.CrossMatrix(g.kern, xs, g.x)
+	for i := 0; i < m; i++ {
+		ks := mat.Vec(kstar.RawRow(i))
+		mu := mat.Dot(ks, g.alpha)
+		v := mat.ForwardSubst(g.chol.L(), ks)
+		xi := xs.RawRow(i)
+		variance := g.kern.Eval(xi, xi) - mat.Dot(v, v)
+		if variance < 0 {
+			variance = 0
+		}
+		out[i] = Prediction{
+			Mean: g.yMean + g.yStd*mu,
+			SD:   g.yStd * math.Sqrt(variance),
+		}
+	}
+	return out
+}
+
+// Means extracts the mean of each prediction.
+func Means(ps []Prediction) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.Mean
+	}
+	return out
+}
+
+// SDs extracts the standard deviation of each prediction.
+func SDs(ps []Prediction) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.SD
+	}
+	return out
+}

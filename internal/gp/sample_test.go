@@ -1,0 +1,119 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// Monte Carlo over many posterior draws must recover the predictive mean
+// and variance at each point.
+func TestPosteriorSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	x, y := sinData(rng, 12, 0.05)
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := mat.NewFromRows([][]float64{{0.7}, {2.9}, {5.1}, {9.0}})
+	const draws = 3000
+	samples := make([][]float64, grid.Rows())
+	for i := range samples {
+		samples[i] = make([]float64, 0, draws)
+	}
+	for d := 0; d < draws; d++ {
+		s, err := g.PosteriorSample(grid, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range s {
+			samples[i] = append(samples[i], v)
+		}
+	}
+	for i := 0; i < grid.Rows(); i++ {
+		p := g.Predict(grid.RawRow(i))
+		mcMean := stats.Mean(samples[i])
+		mcSD := stats.StdDev(samples[i])
+		if math.Abs(mcMean-p.Mean) > 0.06*(1+math.Abs(p.Mean)) {
+			t.Fatalf("point %d: MC mean %g vs predictive %g", i, mcMean, p.Mean)
+		}
+		if math.Abs(mcSD-p.SD) > 0.1*(p.SD+0.02) {
+			t.Fatalf("point %d: MC SD %g vs predictive %g", i, mcSD, p.SD)
+		}
+	}
+}
+
+// Joint draws must be smooth: correlations between nearby points mean the
+// sampled curve cannot jump wildly between adjacent grid cells, unlike
+// independent marginal draws.
+func TestPosteriorSampleIsCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	x, y := sinData(rng, 8, 0.05)
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1.5, 1), NoiseInit: 0.1, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense grid far from data: prior-dominated where marginal SD ≈ 1.
+	n := 40
+	grid := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		grid.Set(i, 0, 20+0.05*float64(i)) // spacing ≪ length scale
+	}
+	var jointRough, indepRough float64
+	const draws = 50
+	for d := 0; d < draws; d++ {
+		s, err := g.PosteriorSample(grid, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < n; i++ {
+			jointRough += math.Abs(s[i] - s[i-1])
+		}
+		for i := 1; i < n; i++ {
+			a := g.Predict(grid.RawRow(i))
+			indepRough += math.Abs(a.SD * (rng.NormFloat64() - rng.NormFloat64()))
+		}
+	}
+	if jointRough >= indepRough/3 {
+		t.Fatalf("joint draws too rough: %g vs independent %g", jointRough, indepRough)
+	}
+}
+
+func TestPosteriorSampleValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	x, y := sinData(rng, 5, 0.05)
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PosteriorSample(mat.New(2, 2), rng); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := g.PosteriorSample(mat.New(2, 1), nil); err == nil {
+		t.Fatal("expected rng error")
+	}
+}
+
+// Samples at training points with tiny noise must pass near the data.
+func TestPosteriorSampleInterpolates(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {1}, {2}})
+	y := []float64{0, 1, 0}
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 1e-3, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(113))
+	s, err := g.PosteriorSample(x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Abs(s[i]-y[i]) > 0.05 {
+			t.Fatalf("sample at training point %d: %g vs %g", i, s[i], y[i])
+		}
+	}
+}

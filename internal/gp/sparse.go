@@ -1,0 +1,205 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// SparseGP is an inducing-point approximation of GP regression (Subset of
+// Regressors mean with the DTC variance correction), reducing the cost of
+// a fit from O(n³) to O(n·m²) for m ≪ n inducing points. It addresses the
+// paper's closing future-work item: "we plan to investigate computational
+// requirements of competing GPR and AL algorithms and consider available
+// optimizations" — this is the standard optimization for AL on datasets
+// with thousands of candidate experiments.
+//
+// With U the inducing set, Kmm = k(U, U), Knm = k(X, U):
+//
+//	A   = Kmm + σn⁻² Kmnᵀ·... = Kmm + σn⁻² Knmᵀ Knm
+//	μ*  = σn⁻² k*mᵀ A⁻¹ Knmᵀ y
+//	σ*² = k** − k*mᵀ Kmm⁻¹ k*m + k*mᵀ A⁻¹ k*m   (DTC)
+//
+// When the inducing set equals the full training set these reduce exactly
+// to the dense GP equations — the property the tests pin down.
+type SparseGP struct {
+	kern  kernel.Kernel
+	u     *mat.Dense // inducing inputs, one per row
+	cholK *mat.Cholesky
+	cholA *mat.Cholesky
+	beta  mat.Vec // A⁻¹ Knmᵀ y / σn²
+	logSN float64
+
+	yMean, yStd float64
+}
+
+// SparseConfig configures a sparse fit.
+type SparseConfig struct {
+	// Kernel is the covariance function; required. Hyperparameters are
+	// used as-is (fit them on a subsample with Fit first if needed).
+	Kernel kernel.Kernel
+	// Noise is the observation noise standard deviation σn
+	// (default 0.1).
+	Noise float64
+	// Inducing is the number of inducing points m (default min(n, 64)).
+	Inducing int
+	// Normalize standardizes y before fitting.
+	Normalize bool
+	// Jitter stabilizes the Kmm factorization (default 1e-8).
+	Jitter float64
+}
+
+// FitSparse builds a sparse GP over (x, y). Inducing inputs are chosen by
+// farthest-point sampling seeded from rng (nil rng starts from row 0),
+// which spreads them across the occupied input space.
+func FitSparse(cfg SparseConfig, x *mat.Dense, y []float64, rng *rand.Rand) (*SparseGP, error) {
+	if cfg.Kernel == nil {
+		return nil, errors.New("gp: SparseConfig.Kernel is required")
+	}
+	if x == nil || x.Rows() == 0 {
+		return nil, ErrNoData
+	}
+	n := x.Rows()
+	if n != len(y) {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
+	}
+	m := cfg.Inducing
+	if m <= 0 {
+		m = 64
+	}
+	if m > n {
+		m = n
+	}
+	noise := cfg.Noise
+	if noise <= 0 {
+		noise = 0.1
+	}
+	jitter := cfg.Jitter
+	if jitter <= 0 {
+		jitter = 1e-8
+	}
+
+	s := &SparseGP{kern: cfg.Kernel, logSN: math.Log(noise), yMean: 0, yStd: 1}
+	ys := append(mat.Vec(nil), y...)
+	if cfg.Normalize {
+		s.yMean = mean(ys)
+		s.yStd = stddev(ys, s.yMean)
+		if s.yStd <= 0 || math.IsNaN(s.yStd) {
+			s.yStd = 1
+		}
+		for i := range ys {
+			ys[i] = (ys[i] - s.yMean) / s.yStd
+		}
+	}
+
+	idx := farthestPointSample(x, m, rng)
+	s.u = mat.New(m, x.Cols())
+	for i, j := range idx {
+		copy(s.u.RawRow(i), x.RawRow(j))
+	}
+
+	kmm := kernel.Matrix(s.kern, s.u)
+	kmm.AddDiag(jitter * (1 + kmm.MaxAbs()))
+	cholK, _, err := mat.NewCholeskyJitter(kmm, 0, 20)
+	if err != nil {
+		return nil, fmt.Errorf("gp: sparse Kmm factorization: %w", err)
+	}
+	s.cholK = cholK
+
+	knm := kernel.CrossMatrix(s.kern, x, s.u) // n×m
+	sn2 := noise * noise
+	a := mat.SyrkT(knm) // Knmᵀ Knm (m×m)
+	a.Scale(1 / sn2)
+	a.Add(kmm)
+	cholA, _, err := mat.NewCholeskyJitter(a, 0, 20)
+	if err != nil {
+		return nil, fmt.Errorf("gp: sparse A factorization: %w", err)
+	}
+	s.cholA = cholA
+
+	kty := knm.MulVecT(ys) // Knmᵀ y (m)
+	s.beta = cholA.SolveVec(kty)
+	for i := range s.beta {
+		s.beta[i] /= sn2
+	}
+	return s, nil
+}
+
+// farthestPointSample picks m row indices spreading over the inputs:
+// start from a random row, then repeatedly take the row farthest from the
+// chosen set.
+func farthestPointSample(x *mat.Dense, m int, rng *rand.Rand) []int {
+	n := x.Rows()
+	start := 0
+	if rng != nil {
+		start = rng.Intn(n)
+	}
+	chosen := []int{start}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDistRows(x, i, start)
+	}
+	for len(chosen) < m {
+		best, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		chosen = append(chosen, best)
+		for i := range minDist {
+			if d := sqDistRows(x, i, best); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen
+}
+
+func sqDistRows(x *mat.Dense, i, j int) float64 {
+	a, b := x.RawRow(i), x.RawRow(j)
+	var s float64
+	for d, av := range a {
+		diff := av - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// NumInducing returns the inducing-set size m.
+func (s *SparseGP) NumInducing() int { return s.u.Rows() }
+
+// Predict returns the approximate posterior at x.
+func (s *SparseGP) Predict(x []float64) Prediction {
+	if len(x) != s.u.Cols() {
+		panic(fmt.Sprintf("gp: sparse Predict dim %d, model has %d", len(x), s.u.Cols()))
+	}
+	m := s.u.Rows()
+	km := make(mat.Vec, m)
+	for i := 0; i < m; i++ {
+		km[i] = s.kern.Eval(x, s.u.RawRow(i))
+	}
+	mu := mat.Dot(km, s.beta)
+	// DTC variance: k** − k*ᵀKmm⁻¹k* + k*ᵀA⁻¹k*.
+	variance := s.kern.Eval(x, x) - s.cholK.QuadForm(km) + s.cholA.QuadForm(km)
+	if variance < 0 {
+		variance = 0
+	}
+	return Prediction{
+		Mean: s.yMean + s.yStd*mu,
+		SD:   s.yStd * math.Sqrt(variance),
+	}
+}
+
+// PredictBatch evaluates the sparse posterior at every row of xs.
+func (s *SparseGP) PredictBatch(xs *mat.Dense) []Prediction {
+	out := make([]Prediction, xs.Rows())
+	for i := range out {
+		out[i] = s.Predict(xs.RawRow(i))
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+func sinData(rng *rand.Rand, n int, noise float64) (*mat.Dense, []float64) {
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xv := 6 * float64(i) / float64(n-1)
+		x.Set(i, 0, xv)
+		y[i] = math.Sin(xv) + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// With the inducing set equal to the full training set, SoR/DTC reduce
+// exactly to the dense GP equations.
+func TestSparseWithAllInducingMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	x, y := sinData(rng, 30, 0.05)
+	noise := 0.1
+	dense, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: noise, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := FitSparse(SparseConfig{
+		Kernel:   kernel.NewRBF(1, 1),
+		Noise:    noise,
+		Inducing: 30, // = n: exact reduction
+		Jitter:   1e-12,
+	}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0.0; q <= 6; q += 0.31 {
+		pd := dense.Predict([]float64{q})
+		ps := sparse.Predict([]float64{q})
+		if math.Abs(pd.Mean-ps.Mean) > 1e-5*(1+math.Abs(pd.Mean)) {
+			t.Fatalf("mean at %g: dense %g vs sparse %g", q, pd.Mean, ps.Mean)
+		}
+		if math.Abs(pd.SD-ps.SD) > 1e-4*(1+pd.SD) {
+			t.Fatalf("SD at %g: dense %g vs sparse %g", q, pd.SD, ps.SD)
+		}
+	}
+}
+
+// A modest inducing set must approximate the dense posterior closely on
+// smooth data.
+func TestSparseApproximationQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	x, y := sinData(rng, 200, 0.05)
+	noise := 0.1
+	dense, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: noise, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := FitSparse(SparseConfig{
+		Kernel:   kernel.NewRBF(1, 1),
+		Noise:    noise,
+		Inducing: 20,
+	}, x, y, rand.New(rand.NewSource(92)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.NumInducing() != 20 {
+		t.Fatalf("NumInducing = %d", sparse.NumInducing())
+	}
+	var worstMean float64
+	for q := 0.2; q < 5.8; q += 0.23 {
+		pd := dense.Predict([]float64{q})
+		ps := sparse.Predict([]float64{q})
+		if d := math.Abs(pd.Mean - ps.Mean); d > worstMean {
+			worstMean = d
+		}
+	}
+	if worstMean > 0.05 {
+		t.Fatalf("sparse mean deviates by %g from dense", worstMean)
+	}
+}
+
+// DTC variance must revert to the prior far from data (unlike plain SoR,
+// which collapses) — the property AL's exploration depends on.
+func TestSparseVarianceRevertsToPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	x, y := sinData(rng, 100, 0.05)
+	sparse, err := FitSparse(SparseConfig{
+		Kernel:   kernel.NewRBF(1, 1),
+		Noise:    0.1,
+		Inducing: 15,
+	}, x, y, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := sparse.Predict([]float64{100}).SD
+	if math.Abs(far-1) > 0.05 { // prior amplitude σf = 1
+		t.Fatalf("far-field SD %g, want ≈1", far)
+	}
+	near := sparse.Predict([]float64{3}).SD
+	if near >= far {
+		t.Fatalf("in-data SD %g should be below far-field %g", near, far)
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}})
+	if _, err := FitSparse(SparseConfig{}, x, []float64{1}, nil); err == nil {
+		t.Fatal("expected kernel error")
+	}
+	cfg := SparseConfig{Kernel: kernel.NewRBF(1, 1)}
+	if _, err := FitSparse(cfg, nil, nil, nil); err == nil {
+		t.Fatal("expected no-data error")
+	}
+	if _, err := FitSparse(cfg, x, []float64{1, 2}, nil); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSparseNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	x, y := sinData(rng, 50, 0.02)
+	for i := range y {
+		y[i] = y[i]*100 + 500 // large offset and scale
+	}
+	sparse, err := FitSparse(SparseConfig{
+		Kernel:    kernel.NewRBF(1, 1),
+		Noise:     0.1,
+		Inducing:  25,
+		Normalize: true,
+	}, x, y, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sparse.Predict([]float64{3})
+	want := 100*math.Sin(3) + 500
+	if math.Abs(p.Mean-want) > 15 {
+		t.Fatalf("normalized sparse mean %g, want ≈%g", p.Mean, want)
+	}
+}
+
+func TestFarthestPointSampleSpreads(t *testing.T) {
+	// Points on a line 0..9; 3 samples must include both extremes.
+	x := mat.New(10, 1)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	idx := farthestPointSample(x, 3, nil)
+	has := map[int]bool{}
+	for _, i := range idx {
+		has[i] = true
+	}
+	if !has[0] && !has[9] {
+		t.Fatalf("samples %v do not reach the extremes", idx)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate inducing index in %v", idx)
+		}
+		seen[i] = true
+	}
+}
+
+func BenchmarkDenseVsSparseFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 6*rng.Float64())
+		x.Set(i, 1, 6*rng.Float64())
+		y[i] = math.Sin(x.At(i, 0)) * math.Cos(x.At(i, 1))
+	}
+	b.Run("dense-n1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1, FixedNoise: true}, x, y, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse-m64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := FitSparse(SparseConfig{Kernel: kernel.NewRBF(1, 1), Noise: 0.1, Inducing: 64}, x, y, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

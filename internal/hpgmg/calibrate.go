@@ -1,0 +1,68 @@
+package hpgmg
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/multigrid"
+)
+
+// CalibrationRow compares the analytic work model against a measured
+// execution of the real multigrid solver for one problem size.
+type CalibrationRow struct {
+	N          int     // per-dimension grid size (2^k − 1)
+	DOF        int64   // total unknowns
+	PredictedS float64 // analytic model runtime (noise-free)
+	MeasuredS  float64 // wall-clock of the real FMG solve
+	Ratio      float64 // measured / predicted
+}
+
+// WallTimer measures fn with the wall clock; the timer is injected so
+// tests can substitute a fake.
+func WallTimer(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// Calibrate runs the real FMG solver for each per-dimension size in ns
+// (each must be 2^k − 1) and compares against the analytic prediction for
+// a single-node job at the machine's maximum frequency. The returned
+// ratios show how faithfully the work model tracks real executions; a
+// flat ratio across sizes means the model's *shape* is right, which is
+// all the AL study needs.
+func Calibrate(op multigrid.Operator, ns []int, timer func(func()) float64) ([]CalibrationRow, error) {
+	if timer == nil {
+		timer = WallTimer
+	}
+	spec := cluster.Wisconsin()
+	m := ModelFor(op)
+	workers := runtime.GOMAXPROCS(0)
+	rows := make([]CalibrationRow, 0, len(ns))
+	for _, n := range ns {
+		size := int64(n) * int64(n) * int64(n)
+		cfg := Config{Op: op, GlobalSize: size, NP: workers, FreqGHz: spec.MaxFreq()}
+		p, err := cluster.Place(cfg.NP, spec.Cores())
+		if err != nil {
+			return nil, err
+		}
+		pred, err := spec.ExecTime(m.Work(cfg), p, cfg.FreqGHz)
+		if err != nil {
+			return nil, err
+		}
+		pred += m.SetupS + m.SetupPerNodeS*float64(p.Nodes)
+		res, err := RunReal(cfg, workers, timer)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CalibrationRow{
+			N:          n,
+			DOF:        size,
+			PredictedS: pred,
+			MeasuredS:  res.RuntimeS,
+			Ratio:      res.RuntimeS / pred,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,245 @@
+// Package hpgmg models the HPGMG-FE benchmark of the paper: the mapping
+// from a job configuration (operator, global problem size, process count,
+// CPU frequency) to runtime and energy on the simulated cluster.
+//
+// Two execution paths are provided. The analytic path predicts runtime
+// from a calibrated work model (total flops / bytes per degree of freedom
+// for a full-multigrid solve) pushed through the cluster's roofline; it
+// regenerates the paper's 3000+-job datasets in milliseconds. The real
+// path actually runs the internal/multigrid FMG solver and measures
+// wall-clock time, which grounds the work model and powers the "online"
+// Active Learning examples.
+package hpgmg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/multigrid"
+)
+
+// Config identifies one benchmark run; these are the controlled variables
+// of the paper's Table I.
+type Config struct {
+	Op         multigrid.Operator
+	GlobalSize int64 // total degrees of freedom
+	NP         int   // MPI process count
+	FreqGHz    float64
+}
+
+// String renders the configuration compactly for logs and job names.
+func (c Config) String() string {
+	return fmt.Sprintf("%s size=%d np=%d freq=%.1f", c.Op, c.GlobalSize, c.NP, c.FreqGHz)
+}
+
+// WorkModel is the calibrated per-operator cost of one full-multigrid
+// solve, amortized per fine-grid degree of freedom. The 8/7 geometric
+// factor of visiting the coarse hierarchy is folded in.
+type WorkModel struct {
+	// FlopsPerDOF is the total floating-point work per fine dof.
+	FlopsPerDOF float64
+	// BytesPerDOF is the total memory traffic per fine dof.
+	BytesPerDOF float64
+	// SetupS is the fixed per-job startup cost (launcher, PETSc init,
+	// grid setup) in seconds.
+	SetupS float64
+	// SetupPerNodeS adds startup cost per allocated node.
+	SetupPerNodeS float64
+	// SweepsEquivalent is the effective number of fine-grid sweeps an
+	// FMG solve performs — the halo-exchange count driver.
+	SweepsEquivalent float64
+}
+
+// ModelFor returns the work model of an operator. The ratios between
+// operators (denser stencils cost more per dof) mirror the relative flop
+// counts of the real solver in internal/multigrid.
+func ModelFor(op multigrid.Operator) WorkModel {
+	base := WorkModel{SetupS: 0.004, SetupPerNodeS: 0.0006, SweepsEquivalent: 40}
+	switch op {
+	case multigrid.Poisson1:
+		base.FlopsPerDOF = 180
+		base.BytesPerDOF = 450
+	case multigrid.Poisson2:
+		base.FlopsPerDOF = 560
+		base.BytesPerDOF = 820
+	case multigrid.Poisson2Affine:
+		base.FlopsPerDOF = 750
+		base.BytesPerDOF = 980
+	default:
+		panic(fmt.Sprintf("hpgmg: unknown operator %v", op))
+	}
+	return base
+}
+
+// Work converts a configuration into a cluster resource demand. The halo
+// volume per process scales with the subdomain surface (dof/np)^(2/3).
+func (m WorkModel) Work(cfg Config) cluster.Work {
+	size := float64(cfg.GlobalSize)
+	sub := size / float64(cfg.NP)
+	halo := 6 * math.Pow(sub, 2.0/3.0) * 8 * m.SweepsEquivalent
+	msgs := 6 * m.SweepsEquivalent * math.Max(1, math.Log2(size)/3)
+	return cluster.Work{
+		Flops:    m.FlopsPerDOF * size,
+		MemBytes: m.BytesPerDOF * size,
+		NetBytes: halo,
+		NetMsgs:  msgs,
+	}
+}
+
+// Result is one completed benchmark job — the raw material of the
+// Performance and Power datasets.
+type Result struct {
+	Config
+	RuntimeS float64
+	AvgWatts float64
+	EnergyJ  float64
+	EnergyOK bool // false when the power trace was too sparse (§V-A)
+	Trace    []cluster.PowerSample
+}
+
+// CoreSeconds returns runtime × process count — the experiment cost unit
+// of the paper's Fig. 8 ("total compute time in seconds * number of
+// cores").
+func (r Result) CoreSeconds() float64 { return r.RuntimeS * float64(r.NP) }
+
+// Runner executes benchmark configurations against a simulated cluster.
+type Runner struct {
+	// Spec is the node model; required.
+	Spec cluster.NodeSpec
+	// NoiseSigma is the σ of multiplicative lognormal runtime noise
+	// (default 0.04, matching run-to-run variation on a quiet testbed).
+	NoiseSigma float64
+	// PowerSigma is the σ of multiplicative lognormal noise on the
+	// job's power level (default 0.08) — IPMI calibration drift,
+	// ambient temperature, and fan duty make power much noisier than
+	// runtime, which is why the paper's Power dataset shows far higher
+	// variance than Performance (Fig. 1).
+	PowerSigma float64
+	// Trace configures the IPMI sampler; zero value means 1 s period,
+	// no dropout.
+	Trace cluster.TraceConfig
+	// CollectTrace retains the full power trace in each Result.
+	CollectTrace bool
+
+	rng *rand.Rand
+}
+
+// NewRunner builds a deterministic runner seeded for reproducibility.
+func NewRunner(spec cluster.NodeSpec, seed int64) *Runner {
+	return &Runner{
+		Spec:       spec,
+		NoiseSigma: 0.04,
+		PowerSigma: 0.08,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Validate checks a configuration against the node model.
+func (r *Runner) Validate(cfg Config) error {
+	if cfg.GlobalSize <= 0 {
+		return fmt.Errorf("hpgmg: non-positive problem size %d", cfg.GlobalSize)
+	}
+	if cfg.NP <= 0 {
+		return fmt.Errorf("hpgmg: non-positive process count %d", cfg.NP)
+	}
+	if !r.Spec.ValidFreq(cfg.FreqGHz) {
+		return fmt.Errorf("hpgmg: %g GHz is not a DVFS level", cfg.FreqGHz)
+	}
+	// Memory feasibility: the FMG hierarchy needs ≈ 6 fields × 8 B per
+	// fine dof, spread across the allocated nodes.
+	p, err := cluster.Place(cfg.NP, r.Spec.Cores())
+	if err != nil {
+		return err
+	}
+	needGB := float64(cfg.GlobalSize) * 8 * 6 / 1e9
+	if needGB > float64(p.Nodes)*r.Spec.MemGB {
+		return fmt.Errorf("hpgmg: %s needs %.0f GB, allocation has %.0f GB",
+			cfg, needGB, float64(p.Nodes)*r.Spec.MemGB)
+	}
+	return nil
+}
+
+// Run executes one job on the simulated cluster: predict the runtime from
+// the work model, apply measurement noise, sample an IPMI power trace,
+// and integrate it into an energy estimate.
+func (r *Runner) Run(cfg Config) (Result, error) {
+	if err := r.Validate(cfg); err != nil {
+		return Result{}, err
+	}
+	m := ModelFor(cfg.Op)
+	p, err := cluster.Place(cfg.NP, r.Spec.Cores())
+	if err != nil {
+		return Result{}, err
+	}
+	base, err := r.Spec.ExecTime(m.Work(cfg), p, cfg.FreqGHz)
+	if err != nil {
+		return Result{}, err
+	}
+	base += m.SetupS + m.SetupPerNodeS*float64(p.Nodes)
+	sigma := r.NoiseSigma
+	runtime := base * math.Exp(sigma*r.rng.NormFloat64())
+
+	fullWatts := r.Spec.JobPower(p, cfg.FreqGHz) * math.Exp(r.PowerSigma*r.rng.NormFloat64())
+	idleWatts := float64(p.Nodes) * r.Spec.Power(0, cfg.FreqGHz)
+	powerAt := phasePower(fullWatts, idleWatts, runtime)
+	trace := cluster.SampleTraceFunc(r.rng, runtime, powerAt, r.Trace)
+	energy, eerr := cluster.EnergyFromTrace(trace, runtime)
+
+	res := Result{
+		Config:   cfg,
+		RuntimeS: runtime,
+		AvgWatts: fullWatts,
+		EnergyJ:  energy,
+		EnergyOK: eerr == nil,
+	}
+	if r.CollectTrace {
+		res.Trace = trace
+	}
+	return res, nil
+}
+
+// phasePower models the instantaneous draw of an FMG solve: near the
+// full-load level while fine grids are swept, dipping toward (but not
+// reaching) idle during the coarse-grid phases that cannot keep every
+// core busy. The dips recur once per effective cycle, giving the
+// non-constant traces real IPMI captures show.
+func phasePower(fullWatts, idleWatts, runtimeS float64) func(t float64) float64 {
+	// Cycle period: roughly 8 dips over the job, but never faster than
+	// one per 2 s (IPMI could not see faster dips anyway).
+	period := runtimeS / 8
+	if period < 2 {
+		period = 2
+	}
+	depth := 0.35 * (fullWatts - idleWatts) // coarse phases idle ~1/3 of the dynamic power
+	if depth < 0 {
+		depth = 0
+	}
+	return func(t float64) float64 {
+		dip := 0.5 * (1 - math.Cos(2*math.Pi*t/period)) // 0 at cycle start, 1 mid-cycle
+		return fullWatts - depth*dip
+	}
+}
+
+// RunReal executes the configuration by actually running the
+// internal/multigrid FMG solver with workers goroutines and measuring
+// wall-clock time. Only small problems (per-dimension n = 2^k − 1, size
+// fitting in memory) are supported; it backs the "online" AL examples and
+// the work-model calibration.
+func RunReal(cfg Config, workers int, timer func(func()) float64) (Result, error) {
+	n := int(math.Round(math.Cbrt(float64(cfg.GlobalSize))))
+	if int64(n)*int64(n)*int64(n) != cfg.GlobalSize {
+		return Result{}, fmt.Errorf("hpgmg: real runs need a cubic size, got %d", cfg.GlobalSize)
+	}
+	s, err := multigrid.NewSolver(multigrid.Config{Op: cfg.Op, N: n, Workers: workers})
+	if err != nil {
+		return Result{}, err
+	}
+	s.SetRHS(func(x, y, z float64) float64 {
+		return 3 * math.Pi * math.Pi *
+			math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
+	})
+	elapsed := timer(func() { s.FMG(2) })
+	return Result{Config: cfg, RuntimeS: elapsed, EnergyOK: false}, nil
+}

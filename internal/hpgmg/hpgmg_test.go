@@ -1,0 +1,278 @@
+package hpgmg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/multigrid"
+	"repro/internal/stats"
+)
+
+func TestModelFor(t *testing.T) {
+	m1 := ModelFor(multigrid.Poisson1)
+	m2 := ModelFor(multigrid.Poisson2)
+	m2a := ModelFor(multigrid.Poisson2Affine)
+	if !(m1.FlopsPerDOF < m2.FlopsPerDOF && m2.FlopsPerDOF < m2a.FlopsPerDOF) {
+		t.Fatal("operator flop costs must be ordered poisson1 < poisson2 < poisson2affine")
+	}
+	if m1.SetupS <= 0 {
+		t.Fatal("setup cost must be positive")
+	}
+}
+
+func TestWorkScalesLinearlyWithSize(t *testing.T) {
+	m := ModelFor(multigrid.Poisson1)
+	small := m.Work(Config{GlobalSize: 1e6, NP: 8, FreqGHz: 2.4})
+	big := m.Work(Config{GlobalSize: 2e6, NP: 8, FreqGHz: 2.4})
+	if math.Abs(big.Flops/small.Flops-2) > 1e-12 {
+		t.Fatalf("flops ratio %g, want 2", big.Flops/small.Flops)
+	}
+	if math.Abs(big.MemBytes/small.MemBytes-2) > 1e-12 {
+		t.Fatalf("bytes ratio %g", big.MemBytes/small.MemBytes)
+	}
+	// Halo volume grows sublinearly (surface vs volume).
+	if big.NetBytes/small.NetBytes > 1.7 {
+		t.Fatalf("halo ratio %g should be ≈ 2^(2/3)", big.NetBytes/small.NetBytes)
+	}
+}
+
+func TestRunnerValidate(t *testing.T) {
+	r := NewRunner(cluster.Wisconsin(), 1)
+	cases := []Config{
+		{Op: multigrid.Poisson1, GlobalSize: 0, NP: 1, FreqGHz: 2.4},
+		{Op: multigrid.Poisson1, GlobalSize: 1e6, NP: 0, FreqGHz: 2.4},
+		{Op: multigrid.Poisson1, GlobalSize: 1e6, NP: 1, FreqGHz: 2.0},
+	}
+	for i, cfg := range cases {
+		if err := r.Validate(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	ok := Config{Op: multigrid.Poisson1, GlobalSize: 1e6, NP: 16, FreqGHz: 2.4}
+	if err := r.Validate(ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProducesPlausibleResult(t *testing.T) {
+	r := NewRunner(cluster.Wisconsin(), 2)
+	r.Trace.PeriodS = 1
+	res, err := r.Run(Config{Op: multigrid.Poisson2, GlobalSize: 64e6, NP: 32, FreqGHz: 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeS <= 0 {
+		t.Fatalf("runtime %g", res.RuntimeS)
+	}
+	if res.AvgWatts < 100 {
+		t.Fatalf("watts %g too low for a 2-node job", res.AvgWatts)
+	}
+	if res.CoreSeconds() != res.RuntimeS*32 {
+		t.Fatal("CoreSeconds wrong")
+	}
+}
+
+func TestRuntimeMonotoneInSize(t *testing.T) {
+	r := NewRunner(cluster.Wisconsin(), 3)
+	r.NoiseSigma = 0 // deterministic for the monotonicity check
+	prev := 0.0
+	for _, d := range []int{16, 44, 126, 359, 1023} {
+		res, err := r.Run(Config{Op: multigrid.Poisson1, GlobalSize: int64(d) * int64(d) * int64(d), NP: 16, FreqGHz: 2.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RuntimeS <= prev {
+			t.Fatalf("runtime not increasing at d=%d: %g <= %g", d, res.RuntimeS, prev)
+		}
+		prev = res.RuntimeS
+	}
+}
+
+func TestRuntimeDecreasesWithFreqForComputeBound(t *testing.T) {
+	r := NewRunner(cluster.Wisconsin(), 4)
+	r.NoiseSigma = 0
+	// Small-ish problem on one core: compute bound.
+	prev := math.Inf(1)
+	for _, f := range StandardFreqs {
+		res, err := r.Run(Config{Op: multigrid.Poisson2Affine, GlobalSize: 8e6, NP: 1, FreqGHz: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RuntimeS >= prev {
+			t.Fatalf("runtime not decreasing with freq at %g", f)
+		}
+		prev = res.RuntimeS
+	}
+}
+
+func TestEnergyIncreasesWithFreqDespiteShorterRuntime(t *testing.T) {
+	// For a memory-bound job, higher frequency burns more power without
+	// proportionally reducing runtime — energy should rise. This is the
+	// energy/performance tension the paper's Power dataset captures.
+	r := NewRunner(cluster.Wisconsin(), 5)
+	r.NoiseSigma = 0
+	r.Trace.PeriodS = 1
+	e := func(f float64) float64 {
+		res, err := r.Run(Config{Op: multigrid.Poisson1, GlobalSize: 512e6, NP: 16, FreqGHz: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.EnergyOK {
+			t.Fatal("trace unexpectedly sparse")
+		}
+		return res.EnergyJ
+	}
+	if e(2.4) <= e(1.2) {
+		t.Fatalf("memory-bound energy at 2.4 GHz (%g) should exceed 1.2 GHz (%g)", e(2.4), e(1.2))
+	}
+}
+
+func TestNoiseIsReproducible(t *testing.T) {
+	cfg := Config{Op: multigrid.Poisson1, GlobalSize: 1e6, NP: 8, FreqGHz: 2.1}
+	r1 := NewRunner(cluster.Wisconsin(), 42)
+	r2 := NewRunner(cluster.Wisconsin(), 42)
+	a, _ := r1.Run(cfg)
+	b, _ := r2.Run(cfg)
+	if a.RuntimeS != b.RuntimeS {
+		t.Fatal("same seed must reproduce identical results")
+	}
+	r3 := NewRunner(cluster.Wisconsin(), 43)
+	c, _ := r3.Run(cfg)
+	if a.RuntimeS == c.RuntimeS {
+		t.Fatal("different seeds should perturb runtime")
+	}
+}
+
+func TestSweepConfigsShape(t *testing.T) {
+	cfgs := SweepConfigs()
+	want := len(StandardOperators) * len(StandardDims) * len(StandardNP) * len(StandardFreqs)
+	if len(cfgs) != want {
+		t.Fatalf("sweep has %d configs, want %d", len(cfgs), want)
+	}
+	if want >= PerformanceJobs {
+		t.Fatalf("base sweep (%d) should be below the Table I job count (%d) so repeats exist", want, PerformanceJobs)
+	}
+}
+
+func TestGeneratePerformanceMatchesTableI(t *testing.T) {
+	res, err := GeneratePerformance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != PerformanceJobs {
+		t.Fatalf("%d jobs, want %d", len(res), PerformanceJobs)
+	}
+	var runtimes []float64
+	for _, r := range res {
+		runtimes = append(runtimes, r.RuntimeS)
+	}
+	lo, hi := stats.MinMax(runtimes)
+	// Table I: runtime 0.005 – 458 s. Shapes, not exact values: the
+	// minimum must be milliseconds, the maximum hundreds of seconds.
+	if lo > 0.05 {
+		t.Fatalf("min runtime %g too large", lo)
+	}
+	if hi < 100 || hi > 2000 {
+		t.Fatalf("max runtime %g outside plausible range", hi)
+	}
+	// Runtime must span ≥ 4 orders of magnitude (paper: 5).
+	if math.Log10(hi/lo) < 4 {
+		t.Fatalf("runtime spans only %.1f orders of magnitude", math.Log10(hi/lo))
+	}
+}
+
+func TestGeneratePowerMatchesTableI(t *testing.T) {
+	res, err := GeneratePower(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != PowerJobs {
+		t.Fatalf("%d jobs, want %d", len(res), PowerJobs)
+	}
+	for _, r := range res {
+		if !r.EnergyOK {
+			t.Fatal("power dataset contains a job with unusable trace")
+		}
+		if r.EnergyJ <= 0 {
+			t.Fatalf("non-positive energy %g", r.EnergyJ)
+		}
+	}
+	var energies []float64
+	for _, r := range res {
+		energies = append(energies, r.EnergyJ)
+	}
+	lo, hi := stats.MinMax(energies)
+	// Table I: energy 6.4e3 – 1.1e5 J; require the same orders.
+	if lo < 10 || hi > 1e7 {
+		t.Fatalf("energy range [%g, %g] implausible", lo, hi)
+	}
+	if hi/lo < 10 {
+		t.Fatalf("energy should span at least an order of magnitude, got %g", hi/lo)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GeneratePerformance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePerformance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].RuntimeS != b[i].RuntimeS || a[i].Config != b[i].Config {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRunRealSmall(t *testing.T) {
+	fakeElapsed := 0.123
+	timer := func(fn func()) float64 { fn(); return fakeElapsed }
+	res, err := RunReal(Config{Op: multigrid.Poisson1, GlobalSize: 15 * 15 * 15, NP: 1, FreqGHz: 2.4}, 2, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeS != fakeElapsed {
+		t.Fatalf("runtime %g", res.RuntimeS)
+	}
+	if _, err := RunReal(Config{Op: multigrid.Poisson1, GlobalSize: 1000, NP: 1, FreqGHz: 2.4}, 2, timer); err == nil {
+		t.Fatal("non-cubic size must error")
+	}
+}
+
+func TestCalibrateRuns(t *testing.T) {
+	rows, err := Calibrate(multigrid.Poisson1, []int{15, 31}, WallTimer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeasuredS <= 0 || r.PredictedS <= 0 || r.Ratio <= 0 {
+			t.Fatalf("bad calibration row %+v", r)
+		}
+	}
+	if rows[1].MeasuredS <= rows[0].MeasuredS {
+		t.Fatal("larger problem should take longer")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Op: multigrid.Poisson1, GlobalSize: 1000, NP: 4, FreqGHz: 2.4}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkGeneratePerformance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneratePerformance(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package hpgmg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/multigrid"
+)
+
+func TestPhasePowerShape(t *testing.T) {
+	f := phasePower(300, 100, 80) // 80 s job, full 300 W, idle 100 W
+	// Cycle start: full load.
+	if got := f(0); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("power at t=0 = %g, want 300", got)
+	}
+	// Mid-cycle (period = 10 s): dipped by 0.35·(300−100) = 70 W.
+	if got := f(5); math.Abs(got-230) > 1e-9 {
+		t.Fatalf("power at mid-dip = %g, want 230", got)
+	}
+	// Never below idle, never above full.
+	for ts := 0.0; ts < 80; ts += 0.5 {
+		v := f(ts)
+		if v < 100-1e-9 || v > 300+1e-9 {
+			t.Fatalf("power %g outside [idle, full] at t=%g", v, ts)
+		}
+	}
+	// Short jobs clamp the period at 2 s rather than dipping faster.
+	fShort := phasePower(300, 100, 1)
+	if got := fShort(1); math.Abs(got-230) > 1e-9 { // mid of the 2 s cycle
+		t.Fatalf("short-job mid-dip power %g", got)
+	}
+}
+
+func TestPhasePowerDegenerate(t *testing.T) {
+	// full below idle (can't happen physically, but stay safe): no dip.
+	f := phasePower(100, 300, 10)
+	if got := f(2.5); got != 100 {
+		t.Fatalf("degenerate dip produced %g", got)
+	}
+}
+
+// Traces of a real run must actually vary over time, and their integral
+// must track the true mean power.
+func TestTraceVariesAndIntegrates(t *testing.T) {
+	r := NewRunner(cluster.Wisconsin(), 11)
+	r.NoiseSigma = 0
+	r.PowerSigma = 0
+	r.Trace = cluster.TraceConfig{PeriodS: 1}
+	r.CollectTrace = true
+	// A long full-node job (~20 s, 16 busy cores) so the 1 Hz trace has
+	// substance and the dynamic power swing is visible.
+	res, err := r.Run(Config{Op: multigrid.Poisson2Affine, GlobalSize: 1023 * 1023 * 1023, NP: 16, FreqGHz: 2.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EnergyOK || len(res.Trace) < 10 {
+		t.Fatalf("trace unusable: %d samples", len(res.Trace))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range res.Trace {
+		if s.Watts < lo {
+			lo = s.Watts
+		}
+		if s.Watts > hi {
+			hi = s.Watts
+		}
+	}
+	if hi-lo < 10 {
+		t.Fatalf("trace barely varies: [%g, %g]", lo, hi)
+	}
+	// Energy from the trace must sit between idle·t and full·t.
+	p, _ := cluster.Place(16, 16)
+	full := cluster.Wisconsin().JobPower(p, 2.4) * res.RuntimeS
+	idle := cluster.Wisconsin().Power(0, 2.4) * res.RuntimeS
+	if res.EnergyJ <= idle || res.EnergyJ >= full {
+		t.Fatalf("energy %g outside (idle %g, full %g)", res.EnergyJ, idle, full)
+	}
+}

@@ -1,0 +1,71 @@
+package hpgmg
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/sched"
+)
+
+// PipelineResult pairs a benchmark result with its scheduler accounting
+// record — the shape of the data the paper collected ("benchmark output,
+// error logs, SLURM accounting information, power consumption traces",
+// §IV).
+type PipelineResult struct {
+	Result
+	Accounting sched.Record
+}
+
+// RunThroughScheduler reproduces the paper's collection pipeline: the
+// configurations are organized into a batch, submitted to the SLURM-like
+// scheduler, and executed as the simulated cluster frees up. Runtimes come
+// from the Runner's cluster model; accounting records carry the job
+// parameters as metadata, exactly like `sacct` output with job comments.
+func RunThroughScheduler(configs []Config, runner *Runner, partition sched.Config) ([]PipelineResult, error) {
+	if runner == nil {
+		return nil, fmt.Errorf("hpgmg: RunThroughScheduler requires a Runner")
+	}
+	s, err := sched.New(partition)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[int]Result, len(configs))
+	for i, cfg := range configs {
+		cfg := cfg
+		jobID := i + 1
+		_, err := s.Submit(sched.Job{
+			ID:   jobID,
+			Name: cfg.String(),
+			NP:   cfg.NP,
+			Run: func() float64 {
+				res, err := runner.Run(cfg)
+				if err != nil {
+					// Infeasible configurations complete instantly with
+					// no result — the paper's failed-job error logs.
+					return 0
+				}
+				results[jobID] = res
+				return res.RuntimeS
+			},
+			Meta: map[string]string{
+				"operator": cfg.Op.String(),
+				"size":     strconv.FormatInt(cfg.GlobalSize, 10),
+				"np":       strconv.Itoa(cfg.NP),
+				"freq":     strconv.FormatFloat(cfg.FreqGHz, 'g', -1, 64),
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hpgmg: submitting %s: %w", cfg, err)
+		}
+	}
+	records := s.Drain()
+	out := make([]PipelineResult, 0, len(records))
+	for _, rec := range records {
+		res, ok := results[rec.JobID]
+		if !ok {
+			continue // failed job: no benchmark output
+		}
+		out = append(out, PipelineResult{Result: res, Accounting: rec})
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package hpgmg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/multigrid"
+	"repro/internal/sched"
+)
+
+func wisconsinPartition() sched.Config {
+	// The paper's 4-node CloudLab environment.
+	return sched.Config{NodeCount: 8, CoresPerNode: 16, Policy: sched.Backfill}
+}
+
+func TestRunThroughScheduler(t *testing.T) {
+	runner := NewRunner(cluster.Wisconsin(), 1)
+	var configs []Config
+	for _, np := range []int{1, 8, 32} {
+		for _, f := range []float64{1.2, 2.4} {
+			configs = append(configs, Config{
+				Op:         multigrid.Poisson1,
+				GlobalSize: 8e6,
+				NP:         np,
+				FreqGHz:    f,
+			})
+		}
+	}
+	out, err := RunThroughScheduler(configs, runner, wisconsinPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(configs) {
+		t.Fatalf("%d results for %d jobs", len(out), len(configs))
+	}
+	for _, pr := range out {
+		if pr.Accounting.State != "COMPLETED" {
+			t.Fatalf("job %d state %s", pr.Accounting.JobID, pr.Accounting.State)
+		}
+		// Accounting elapsed must equal the benchmark's measured runtime.
+		if math.Abs(pr.Accounting.ElapsedS-pr.RuntimeS) > 1e-9 {
+			t.Fatalf("elapsed %g != runtime %g", pr.Accounting.ElapsedS, pr.RuntimeS)
+		}
+		if pr.Accounting.Meta["operator"] != "poisson1" {
+			t.Fatalf("meta lost: %v", pr.Accounting.Meta)
+		}
+		if pr.Accounting.NP != pr.NP {
+			t.Fatal("NP mismatch")
+		}
+	}
+}
+
+// The scheduler must overlap narrow jobs: total makespan below the serial
+// sum of runtimes.
+func TestPipelineOverlapsJobs(t *testing.T) {
+	runner := NewRunner(cluster.Wisconsin(), 2)
+	var configs []Config
+	for i := 0; i < 8; i++ {
+		configs = append(configs, Config{
+			Op:         multigrid.Poisson2,
+			GlobalSize: 64e6,
+			NP:         16, // one node each; 8 nodes available
+			FreqGHz:    2.4,
+		})
+	}
+	out, err := RunThroughScheduler(configs, runner, wisconsinPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, makespan float64
+	for _, pr := range out {
+		serial += pr.RuntimeS
+		if pr.Accounting.EndS > makespan {
+			makespan = pr.Accounting.EndS
+		}
+	}
+	if makespan >= serial*0.5 {
+		t.Fatalf("no overlap: makespan %g vs serial %g", makespan, serial)
+	}
+}
+
+// Infeasible configurations (too much memory per node) must not produce
+// results but must not break the pipeline either.
+func TestPipelineDropsFailedJobs(t *testing.T) {
+	runner := NewRunner(cluster.Wisconsin(), 3)
+	configs := []Config{
+		{Op: multigrid.Poisson1, GlobalSize: 8e6, NP: 16, FreqGHz: 2.4},
+		// 1.07e9 dof on a single node needs ~51 GB — fine; make it
+		// infeasible with an invalid frequency instead.
+		{Op: multigrid.Poisson1, GlobalSize: 8e6, NP: 16, FreqGHz: 9.9},
+	}
+	out, err := RunThroughScheduler(configs, runner, wisconsinPartition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d results, want 1 (one job infeasible)", len(out))
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := RunThroughScheduler(nil, nil, wisconsinPartition()); err == nil {
+		t.Fatal("expected nil-runner error")
+	}
+	runner := NewRunner(cluster.Wisconsin(), 4)
+	// Oversized job is rejected at submission.
+	configs := []Config{{Op: multigrid.Poisson1, GlobalSize: 1e6, NP: 1000, FreqGHz: 2.4}}
+	if _, err := RunThroughScheduler(configs, runner, wisconsinPartition()); err == nil {
+		t.Fatal("expected submission error for oversized job")
+	}
+}

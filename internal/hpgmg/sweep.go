@@ -1,0 +1,137 @@
+package hpgmg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/multigrid"
+)
+
+// The sweep grids mirror Table I of the paper.
+var (
+	// StandardDims are per-dimension grid sizes; cubed they span the
+	// paper's Global Problem Size range 1.7e3 – 1.1e9.
+	StandardDims = []int{12, 16, 20, 26, 34, 44, 58, 75, 97, 126, 164, 213, 277, 359, 467, 606, 787, 1023}
+
+	// StandardNP are the process counts of Table I.
+	StandardNP = []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128}
+
+	// StandardFreqs are the DVFS levels of Table I, in GHz.
+	StandardFreqs = []float64{1.2, 1.5, 1.8, 2.1, 2.4}
+
+	// StandardOperators are the three HPGMG-FE operators studied.
+	StandardOperators = []multigrid.Operator{
+		multigrid.Poisson1, multigrid.Poisson2, multigrid.Poisson2Affine,
+	}
+)
+
+// Dataset sizes from Table I, reproduced exactly.
+const (
+	PerformanceJobs = 3246
+	PowerJobs       = 640
+)
+
+// SweepConfigs enumerates the full factorial sweep:
+// operators × sizes × NP × frequencies.
+func SweepConfigs() []Config {
+	var out []Config
+	for _, op := range StandardOperators {
+		for _, d := range StandardDims {
+			for _, np := range StandardNP {
+				for _, f := range StandardFreqs {
+					out = append(out, Config{
+						Op:         op,
+						GlobalSize: int64(d) * int64(d) * int64(d),
+						NP:         np,
+						FreqGHz:    f,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GeneratePerformance regenerates the Performance dataset: the full
+// factorial sweep plus repeated runs of a seeded-random subset of
+// configurations ("up to 3 repeated experiments per combination", §V-A),
+// trimmed to exactly PerformanceJobs results.
+func GeneratePerformance(seed int64) ([]Result, error) {
+	runner := NewRunner(cluster.Wisconsin(), seed)
+	runner.Trace.PeriodS = 1
+	configs := SweepConfigs()
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	jobs := append([]Config(nil), configs...)
+	// Add repeats of random combinations until the Table I count is hit.
+	for len(jobs) < PerformanceJobs {
+		jobs = append(jobs, configs[rng.Intn(len(configs))])
+	}
+	jobs = jobs[:PerformanceJobs]
+
+	out := make([]Result, 0, len(jobs))
+	for _, cfg := range jobs {
+		res, err := runner.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hpgmg: performance sweep: %w", err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// GeneratePower regenerates the Power dataset: a sweep over the larger
+// problem sizes (jobs long enough for IPMI traces to be meaningful) with
+// realistic trace dropout; jobs whose gappy traces fail the
+// 10-samples-per-60-s rule are excluded exactly as in §V-A, and the
+// survivors are trimmed to PowerJobs results.
+func GeneratePower(seed int64) ([]Result, error) {
+	runner := NewRunner(cluster.Wisconsin(), seed+7)
+	runner.Trace = cluster.TraceConfig{PeriodS: 1, Dropout: 0.30, JitterW: 6}
+
+	// Power collection ran on the bigger problems: the largest sizes in
+	// the sweep, all operators, NP, and frequencies.
+	dims := StandardDims[len(StandardDims)-6:]
+	var configs []Config
+	for _, op := range StandardOperators {
+		for _, d := range dims {
+			for _, np := range StandardNP {
+				for _, f := range StandardFreqs {
+					configs = append(configs, Config{
+						Op:         op,
+						GlobalSize: int64(d) * int64(d) * int64(d),
+						NP:         np,
+						FreqGHz:    f,
+					})
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed + 8))
+	rng.Shuffle(len(configs), func(i, j int) { configs[i], configs[j] = configs[j], configs[i] })
+
+	// Up to 3 passes over the sweep: repeated measurements of the same
+	// combination are expected ("up to 3 repeated experiments", §V-A),
+	// and they compensate for jobs lost to sparse traces.
+	var out []Result
+	for pass := 0; pass < 3 && len(out) < PowerJobs; pass++ {
+		for _, cfg := range configs {
+			if len(out) == PowerJobs {
+				break
+			}
+			res, err := runner.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("hpgmg: power sweep: %w", err)
+			}
+			if !res.EnergyOK {
+				continue // trace too sparse — excluded per §V-A
+			}
+			out = append(out, res)
+		}
+	}
+	if len(out) < PowerJobs {
+		return nil, fmt.Errorf("hpgmg: power sweep yielded only %d usable jobs, want %d", len(out), PowerJobs)
+	}
+	return out, nil
+}

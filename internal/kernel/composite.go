@@ -1,0 +1,151 @@
+package kernel
+
+// Sum is the kernel k(x, y) = a(x, y) + b(x, y). Hyperparameters are the
+// concatenation [θ_a, θ_b].
+type Sum struct {
+	A, B Kernel
+}
+
+// NewSum returns the sum kernel a + b.
+func NewSum(a, b Kernel) *Sum { return &Sum{A: a, B: b} }
+
+// Eval implements Kernel.
+func (k *Sum) Eval(x, y []float64) float64 { return k.A.Eval(x, y) + k.B.Eval(x, y) }
+
+// EvalGrad implements Kernel.
+func (k *Sum) EvalGrad(x, y []float64, grad []float64) float64 {
+	na := k.A.NumHyper()
+	checkHyperLen(len(grad), na+k.B.NumHyper(), "Sum")
+	va := k.A.EvalGrad(x, y, grad[:na])
+	vb := k.B.EvalGrad(x, y, grad[na:])
+	return va + vb
+}
+
+// NumHyper implements Kernel.
+func (k *Sum) NumHyper() int { return k.A.NumHyper() + k.B.NumHyper() }
+
+// Hyper implements Kernel.
+func (k *Sum) Hyper() []float64 { return append(k.A.Hyper(), k.B.Hyper()...) }
+
+// SetHyper implements Kernel.
+func (k *Sum) SetHyper(theta []float64) {
+	na := k.A.NumHyper()
+	checkHyperLen(len(theta), na+k.B.NumHyper(), "Sum")
+	k.A.SetHyper(theta[:na])
+	k.B.SetHyper(theta[na:])
+}
+
+// Bounds implements Kernel.
+func (k *Sum) Bounds() []Bounds { return append(k.A.Bounds(), k.B.Bounds()...) }
+
+// HyperNames implements Kernel.
+func (k *Sum) HyperNames() []string {
+	names := make([]string, 0, k.NumHyper())
+	for _, n := range k.A.HyperNames() {
+		names = append(names, "a."+n)
+	}
+	for _, n := range k.B.HyperNames() {
+		names = append(names, "b."+n)
+	}
+	return names
+}
+
+// Name implements Kernel.
+func (k *Sum) Name() string { return k.A.Name() + "+" + k.B.Name() }
+
+// Product is the kernel k(x, y) = a(x, y) · b(x, y). Hyperparameters are
+// the concatenation [θ_a, θ_b].
+type Product struct {
+	A, B Kernel
+}
+
+// NewProduct returns the product kernel a · b.
+func NewProduct(a, b Kernel) *Product { return &Product{A: a, B: b} }
+
+// Eval implements Kernel.
+func (k *Product) Eval(x, y []float64) float64 { return k.A.Eval(x, y) * k.B.Eval(x, y) }
+
+// EvalGrad implements Kernel. Product rule:
+// ∂(ab)/∂θ_a = b ∂a/∂θ_a, ∂(ab)/∂θ_b = a ∂b/∂θ_b.
+func (k *Product) EvalGrad(x, y []float64, grad []float64) float64 {
+	na := k.A.NumHyper()
+	checkHyperLen(len(grad), na+k.B.NumHyper(), "Product")
+	va := k.A.EvalGrad(x, y, grad[:na])
+	vb := k.B.EvalGrad(x, y, grad[na:])
+	for i := 0; i < na; i++ {
+		grad[i] *= vb
+	}
+	for i := na; i < len(grad); i++ {
+		grad[i] *= va
+	}
+	return va * vb
+}
+
+// NumHyper implements Kernel.
+func (k *Product) NumHyper() int { return k.A.NumHyper() + k.B.NumHyper() }
+
+// Hyper implements Kernel.
+func (k *Product) Hyper() []float64 { return append(k.A.Hyper(), k.B.Hyper()...) }
+
+// SetHyper implements Kernel.
+func (k *Product) SetHyper(theta []float64) {
+	na := k.A.NumHyper()
+	checkHyperLen(len(theta), na+k.B.NumHyper(), "Product")
+	k.A.SetHyper(theta[:na])
+	k.B.SetHyper(theta[na:])
+}
+
+// Bounds implements Kernel.
+func (k *Product) Bounds() []Bounds { return append(k.A.Bounds(), k.B.Bounds()...) }
+
+// HyperNames implements Kernel.
+func (k *Product) HyperNames() []string {
+	names := make([]string, 0, k.NumHyper())
+	for _, n := range k.A.HyperNames() {
+		names = append(names, "a."+n)
+	}
+	for _, n := range k.B.HyperNames() {
+		names = append(names, "b."+n)
+	}
+	return names
+}
+
+// Name implements Kernel.
+func (k *Product) Name() string { return k.A.Name() + "*" + k.B.Name() }
+
+// Fixed wraps a kernel and hides its hyperparameters from optimization;
+// Eval passes through unchanged. Useful for ablations where one component
+// is held at known-good values.
+type Fixed struct {
+	K Kernel
+}
+
+// NewFixed returns k with frozen hyperparameters.
+func NewFixed(k Kernel) *Fixed { return &Fixed{K: k} }
+
+// Eval implements Kernel.
+func (k *Fixed) Eval(x, y []float64) float64 { return k.K.Eval(x, y) }
+
+// EvalGrad implements Kernel (no free hyperparameters, so no gradient).
+func (k *Fixed) EvalGrad(x, y []float64, grad []float64) float64 {
+	checkHyperLen(len(grad), 0, "Fixed")
+	return k.K.Eval(x, y)
+}
+
+// NumHyper implements Kernel.
+func (k *Fixed) NumHyper() int { return 0 }
+
+// Hyper implements Kernel.
+func (k *Fixed) Hyper() []float64 { return nil }
+
+// SetHyper implements Kernel.
+func (k *Fixed) SetHyper(theta []float64) { checkHyperLen(len(theta), 0, "Fixed") }
+
+// Bounds implements Kernel.
+func (k *Fixed) Bounds() []Bounds { return nil }
+
+// HyperNames implements Kernel.
+func (k *Fixed) HyperNames() []string { return nil }
+
+// Name implements Kernel.
+func (k *Fixed) Name() string { return "Fixed(" + k.K.Name() + ")" }

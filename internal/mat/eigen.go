@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEigen computes all eigenvalues (ascending) and eigenvectors of a
+// symmetric matrix with the cyclic Jacobi method. Eigenvectors are the
+// columns of the returned matrix. Used for kernel-spectrum diagnostics:
+// the eigenvalue decay of a covariance matrix reveals the effective
+// degrees of freedom a GP has, and near-zero eigenvalues flag numerical
+// trouble before a Cholesky fails.
+func SymEigen(a *Dense, maxSweeps int) (vals []float64, vecs *Dense, err error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: SymEigen of non-square %dx%d", a.rows, a.cols))
+	}
+	if !a.IsSymmetric(1e-10 * (1 + a.MaxAbs())) {
+		return nil, nil, fmt.Errorf("mat: SymEigen requires a symmetric matrix")
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	n := a.rows
+	w := a.Clone()
+	v := Eye(n)
+	d := w.data
+
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += d[i*n+j] * d[i*n+j]
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+
+	tol := 1e-12 * (1 + w.MaxAbs()) * float64(n)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if off() < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := d[p*n+q]
+				if math.Abs(apq) < tol/float64(n*n) {
+					continue
+				}
+				app, aqq := d[p*n+p], d[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Rotate rows/columns p, q of W.
+				for k := 0; k < n; k++ {
+					akp, akq := d[k*n+p], d[k*n+q]
+					d[k*n+p] = c*akp - s*akq
+					d[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := d[p*n+k], d[q*n+k]
+					d[p*n+k] = c*apk - s*aqk
+					d[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors.
+				vd := v.data
+				for k := 0; k < n; k++ {
+					vkp, vkq := vd[k*n+p], vd[k*n+q]
+					vd[k*n+p] = c*vkp - s*vkq
+					vd[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if off() >= tol*10 {
+		return nil, nil, fmt.Errorf("mat: Jacobi eigensolver did not converge in %d sweeps", maxSweeps)
+	}
+
+	vals = w.Diag()
+	// Sort ascending with matching eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[idx[j]] < vals[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	vecs = New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			vecs.data[r*n+newCol] = v.data[r*n+oldCol]
+		}
+	}
+	return sortedVals, vecs, nil
+}
+
+// EffectiveRank returns the number of eigenvalues above tol·λ_max —
+// the spectrum-based conditioning diagnostic for covariance matrices.
+func EffectiveRank(vals []float64, tol float64) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	lmax := vals[len(vals)-1]
+	if lmax <= 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range vals {
+		if v > tol*lmax {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,137 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the flop count below which Mul stays single-threaded;
+// goroutine fan-out costs more than it saves on small products.
+const parallelThreshold = 64 * 64 * 64
+
+// Mul returns a·b as a new matrix. Large products are computed with a
+// row-blocked goroutine fan-out over runtime.GOMAXPROCS(0) workers.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := New(a.rows, b.cols)
+	flops := a.rows * a.cols * b.cols
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers < 2 || a.rows < 2 {
+		mulRange(a, b, c, 0, a.rows)
+		return c
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	chunk := (a.rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// mulRange computes rows [lo,hi) of c = a·b using an ikj loop order that
+// streams rows of b, which is cache-friendly for row-major storage.
+func mulRange(a, b, c *Dense, lo, hi int) {
+	n := b.cols
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		crow := c.data[i*n : (i+1)*n]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// MulT returns a·bᵀ as a new matrix without forming the transpose. Each
+// output element is a dot product of two rows, which vectorizes well.
+func MulT(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulT shape mismatch %dx%d · (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := New(a.rows, b.rows)
+	workers := runtime.GOMAXPROCS(0)
+	flops := a.rows * a.cols * b.rows
+	if flops < parallelThreshold || workers < 2 || a.rows < 2 {
+		mulTRange(a, b, c, 0, a.rows)
+		return c
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	chunk := (a.rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulTRange(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+func mulTRange(a, b, c *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		crow := c.data[i*b.rows : (i+1)*b.rows]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// SyrkT returns aᵀ·a, exploiting symmetry by computing only the upper
+// triangle and mirroring.
+func SyrkT(a *Dense) *Dense {
+	n := a.cols
+	c := New(n, n)
+	for k := 0; k < a.rows; k++ {
+		row := a.data[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			vi := row[i]
+			if vi == 0 {
+				continue
+			}
+			crow := c.data[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				crow[j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.data[j*n+i] = c.data[i*n+j]
+		}
+	}
+	return c
+}

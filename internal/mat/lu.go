@@ -1,0 +1,172 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, stored packed.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  float64 // determinant sign from row swaps
+	n     int
+}
+
+// NewLU factorizes the square matrix a with partial pivoting.
+func NewLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: LU of non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1.0
+	d := lu.data
+	for k := 0; k < n; k++ {
+		// Pivot: largest absolute value in column k at/below row k.
+		p := k
+		mx := math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(d[i*n+k]); v > mx {
+				p, mx = i, v
+			}
+		}
+		pivot[k] = p
+		if mx == 0 || math.IsNaN(mx) {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk := d[k*n : (k+1)*n]
+			rp := d[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			sign = -sign
+		}
+		pivKK := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := d[i*n+k] / pivKK
+			d[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := d[i*n : (i+1)*n]
+			rk := d[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign, n: n}, nil
+}
+
+// SolveVec solves A·x = b.
+func (f *LU) SolveVec(b Vec) Vec {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("mat: LU SolveVec length %d != %d", len(b), f.n))
+	}
+	n := f.n
+	x := b.Clone()
+	// Apply the pivot permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	d := f.lu.data
+	// Forward: L y = Pb (unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		ri := d[i*n : i*n+i]
+		for k, v := range ri {
+			s -= v * x[k]
+		}
+		x[i] = s
+	}
+	// Backward: U x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		ri := d[i*n : (i+1)*n]
+		for k := i + 1; k < n; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}
+
+// Solve solves A·X = B column by column.
+func (f *LU) Solve(b *Dense) *Dense {
+	if b.rows != f.n {
+		panic(fmt.Sprintf("mat: LU Solve rows %d != %d", b.rows, f.n))
+	}
+	x := New(b.rows, b.cols)
+	col := make(Vec, f.n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < f.n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		sol := f.SolveVec(col)
+		for i := 0; i < f.n; i++ {
+			x.data[i*b.cols+j] = sol[i]
+		}
+	}
+	return x
+}
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	det := f.sign
+	for i := 0; i < f.n; i++ {
+		det *= f.lu.data[i*f.n+i]
+	}
+	return det
+}
+
+// CondEst1 returns a cheap lower-bound estimate of the 1-norm condition
+// number κ₁(A) ≈ ‖A‖₁·‖A⁻¹‖₁, estimating ‖A⁻¹‖₁ by solving against a few
+// probe vectors. Used to warn when covariance matrices approach numerical
+// singularity.
+func CondEst1(a *Dense) (float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	n := a.rows
+	norm := a.Norm1()
+	var invNorm float64
+	// Probes: e_j for a few columns plus the all-ones vector.
+	probes := []int{0, n / 2, n - 1}
+	for _, j := range probes {
+		e := make(Vec, n)
+		e[j] = 1
+		x := f.SolveVec(e)
+		var s float64
+		for _, v := range x {
+			s += math.Abs(v)
+		}
+		if s > invNorm {
+			invNorm = s
+		}
+	}
+	ones := make(Vec, n)
+	for i := range ones {
+		ones[i] = 1.0 / float64(n)
+	}
+	x := f.SolveVec(ones)
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	if s > invNorm {
+		invNorm = s
+	}
+	return norm * invNorm, nil
+}

@@ -1,0 +1,128 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR is a Householder QR factorization A = Q·R of an m×n matrix with
+// m ≥ n. Q is applied implicitly through the stored reflectors; R is
+// upper triangular. QR backs the numerically stable least-squares path
+// (normal equations square the condition number; QR does not).
+type QR struct {
+	qr    *Dense    // Householder vectors below the diagonal, R strictly above
+	beta  []float64 // reflector scalings 2/(vᵀv)
+	rdiag []float64 // diagonal of R
+	m, n  int
+}
+
+// NewQR factorizes a (m ≥ n required).
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, fmt.Errorf("mat: QR needs rows ≥ cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	beta := make([]float64, n)
+	rdiag := make([]float64, n)
+	d := qr.data
+	for k := 0; k < n; k++ {
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, d[i*n+k])
+		}
+		if nrm == 0 {
+			beta[k] = 0
+			rdiag[k] = 0
+			continue
+		}
+		alpha := -math.Copysign(nrm, d[k*n+k])
+		// v = x − α e₁ stored in place of the column.
+		d[k*n+k] -= alpha
+		var vv float64
+		for i := k; i < m; i++ {
+			vv += d[i*n+k] * d[i*n+k]
+		}
+		beta[k] = 2 / vv
+		rdiag[k] = alpha
+		// Reflect the trailing columns: A_j ← A_j − β v (vᵀ A_j).
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += d[i*n+k] * d[i*n+j]
+			}
+			s *= beta[k]
+			for i := k; i < m; i++ {
+				d[i*n+j] -= s * d[i*n+k]
+			}
+		}
+	}
+	return &QR{qr: qr, beta: beta, rdiag: rdiag, m: m, n: n}, nil
+}
+
+// R returns the upper-triangular factor as a new n×n matrix.
+func (f *QR) R() *Dense {
+	r := New(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		r.data[i*f.n+i] = f.rdiag[i]
+		for j := i + 1; j < f.n; j++ {
+			r.data[i*f.n+j] = f.qr.data[i*f.n+j]
+		}
+	}
+	return r
+}
+
+// applyQT overwrites b (length m) with Qᵀ·b by applying the reflectors
+// in order.
+func (f *QR) applyQT(b Vec) {
+	d := f.qr.data
+	for k := 0; k < f.n; k++ {
+		if f.beta[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += d[i*f.n+k] * b[i]
+		}
+		s *= f.beta[k]
+		for i := k; i < f.m; i++ {
+			b[i] -= s * d[i*f.n+k]
+		}
+	}
+}
+
+// SolveLS returns the least-squares solution of A·x ≈ b (minimizing
+// ‖Ax − b‖₂) via x = R⁻¹ (Qᵀb)[:n]. Returns ErrSingular when R has an
+// (effectively) zero diagonal entry (rank-deficient A).
+func (f *QR) SolveLS(b Vec) (Vec, error) {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("mat: QR SolveLS length %d != %d", len(b), f.m))
+	}
+	var rmax float64
+	for _, v := range f.rdiag {
+		if a := math.Abs(v); a > rmax {
+			rmax = a
+		}
+	}
+	work := b.Clone()
+	f.applyQT(work)
+	x := make(Vec, f.n)
+	d := f.qr.data
+	for i := f.n - 1; i >= 0; i-- {
+		s := work[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= d[i*f.n+j] * x[j]
+		}
+		rii := f.rdiag[i]
+		if math.Abs(rii) <= 1e-13*rmax {
+			return nil, fmt.Errorf("%w: R[%d,%d] ≈ 0 in QR solve", ErrSingular, i, i)
+		}
+		x[i] = s / rii
+	}
+	return x, nil
+}
+
+// Residual returns ‖A·x − b‖₂ for a computed least-squares solution.
+func Residual(a *Dense, x, b Vec) float64 {
+	return Norm2(SubVec(a.MulVec(x), b))
+}

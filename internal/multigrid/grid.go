@@ -1,0 +1,120 @@
+// Package multigrid implements a real geometric full-multigrid (FMG)
+// solver for Poisson-type problems on structured 3-D grids — the
+// repository's stand-in for the HPGMG-FE benchmark kernel. It provides
+// three operators mirroring the paper's HPGMG-FE configurations:
+//
+//   - Poisson1:       second-order 7-point finite-difference Laplacian
+//     (models Q1 elements),
+//   - Poisson2:       27-point Mehrstellen discretization with denser
+//     coupling (models Q2 elements),
+//   - Poisson2Affine: anisotropic 7-point operator arising from a Poisson
+//     problem on an affine-deformed mesh.
+//
+// Grid sweeps (smoothing, residual, transfer) are parallelized over z-slabs
+// with a goroutine worker pool sized by the caller, standing in for MPI
+// ranks. The solver counts flops and memory traffic so the cluster
+// simulator's cost model can be calibrated against real executions.
+package multigrid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator selects the discretization.
+type Operator int
+
+// Supported operators (names match the paper's dataset variable).
+const (
+	Poisson1 Operator = iota
+	Poisson2
+	Poisson2Affine
+)
+
+// String implements fmt.Stringer with the dataset's level names.
+func (op Operator) String() string {
+	switch op {
+	case Poisson1:
+		return "poisson1"
+	case Poisson2:
+		return "poisson2"
+	case Poisson2Affine:
+		return "poisson2affine"
+	default:
+		return fmt.Sprintf("operator(%d)", int(op))
+	}
+}
+
+// ParseOperator converts a dataset string to an Operator.
+func ParseOperator(s string) (Operator, error) {
+	switch s {
+	case "poisson1":
+		return Poisson1, nil
+	case "poisson2":
+		return Poisson2, nil
+	case "poisson2affine":
+		return Poisson2Affine, nil
+	default:
+		return 0, fmt.Errorf("multigrid: unknown operator %q", s)
+	}
+}
+
+// affineMetric holds the inverse-squared stretch factors of the affine
+// mesh deformation used by Poisson2Affine: solving -Δu on the deformed
+// mesh equals solving -(cx uxx + cy uyy + cz uzz) on the unit cube.
+var affineMetric = [3]float64{1.0, 1.0 / (1.2 * 1.2), 1.0 / (0.8 * 0.8)}
+
+// level is one grid in the hierarchy: n interior points per dimension on
+// the unit cube, plus a one-cell ghost boundary (Dirichlet zero).
+type level struct {
+	n int     // interior points per dimension
+	h float64 // grid spacing = 1/(n+1)
+	u []float64
+	f []float64
+	r []float64 // residual / scratch
+}
+
+func newLevel(n int) *level {
+	s := n + 2
+	return &level{
+		n: n,
+		h: 1.0 / float64(n+1),
+		u: make([]float64, s*s*s),
+		f: make([]float64, s*s*s),
+		r: make([]float64, s*s*s),
+	}
+}
+
+// idx maps (i, j, k) in [0, n+2)³ to linear storage.
+func (l *level) idx(i, j, k int) int {
+	s := l.n + 2
+	return (k*s+j)*s + i
+}
+
+// zero clears a field.
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// norm2Scaled returns the grid-scaled L2 norm sqrt(h³ Σ v²) over interior
+// points of the level.
+func (l *level) norm2Scaled(v []float64) float64 {
+	s := l.n + 2
+	var sum float64
+	for k := 1; k <= l.n; k++ {
+		for j := 1; j <= l.n; j++ {
+			base := (k*s + j) * s
+			for i := 1; i <= l.n; i++ {
+				x := v[base+i]
+				sum += x * x
+			}
+		}
+	}
+	return math.Sqrt(sum * l.h * l.h * l.h)
+}
+
+// DOF returns the number of interior unknowns for a grid with n interior
+// points per dimension.
+func DOF(n int) int64 { return int64(n) * int64(n) * int64(n) }

@@ -1,0 +1,120 @@
+package multigrid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRedBlackRejectedForMehrstellen(t *testing.T) {
+	_, err := NewSolver(Config{Op: Poisson2, N: 15, Smooth: RedBlack})
+	if err == nil || !strings.Contains(err.Error(), "red-black") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRedBlackVCycleConverges(t *testing.T) {
+	for _, op := range []Operator{Poisson1, Poisson2Affine} {
+		s, err := NewSolver(Config{Op: op, N: 31, Smooth: RedBlack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(op))
+		r0 := s.ResidualNorm()
+		r1 := s.VCycle()
+		r2 := s.VCycle()
+		if r1 > 0.25*r0 || r2 > 0.25*r1 {
+			t.Fatalf("%v RB: weak contraction %g -> %g -> %g", op, r0, r1, r2)
+		}
+	}
+}
+
+// Red-black Gauss-Seidel smoothing contracts faster per V-cycle than
+// weighted Jacobi — the textbook advantage.
+func TestRedBlackBeatsJacobi(t *testing.T) {
+	run := func(sm Smoother) float64 {
+		s, err := NewSolver(Config{Op: Poisson1, N: 31, Smooth: sm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(Poisson1))
+		s.VCycle()
+		return s.VCycle()
+	}
+	rb, jac := run(RedBlack), run(Jacobi)
+	if rb >= jac {
+		t.Fatalf("RB residual %g not below Jacobi %g after 2 V-cycles", rb, jac)
+	}
+}
+
+func TestRedBlackParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		s, err := NewSolver(Config{Op: Poisson1, N: 15, Workers: workers, Smooth: RedBlack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(Poisson1))
+		s.FMG(1)
+		out := make([]float64, len(s.levels[0].u))
+		copy(out, s.levels[0].u)
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("RB solution differs at %d: %g vs %g", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWCycleContraction(t *testing.T) {
+	run := func(shape Cycle) float64 {
+		s, err := NewSolver(Config{Op: Poisson1, N: 31, Shape: shape})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(Poisson1))
+		return s.VCycle() // one cycle of the configured shape
+	}
+	w, v := run(WCycle), run(VCycle)
+	// W must be at least as good per cycle (it does strictly more work).
+	if w > v*1.05 {
+		t.Fatalf("W-cycle residual %g worse than V-cycle %g", w, v)
+	}
+}
+
+func TestWCycleCostsMoreFlops(t *testing.T) {
+	run := func(shape Cycle) int64 {
+		s, err := NewSolver(Config{Op: Poisson1, N: 31, Shape: shape})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(Poisson1))
+		s.VCycle()
+		return s.Stats().Flops
+	}
+	if run(WCycle) <= run(VCycle) {
+		t.Fatal("W-cycle should perform more work than V-cycle")
+	}
+}
+
+func TestSmootherCycleStrings(t *testing.T) {
+	if Jacobi.String() != "jacobi" || RedBlack.String() != "red-black" {
+		t.Fatal("Smoother strings")
+	}
+	if Smoother(9).String() == "" {
+		t.Fatal("unknown smoother string empty")
+	}
+}
+
+func TestRedBlackFMGReachesDiscretizationError(t *testing.T) {
+	s, err := NewSolver(Config{Op: Poisson1, N: 31, Smooth: RedBlack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRHS(rhsFor(Poisson1))
+	s.FMG(2)
+	if errNorm := solutionError(s); errNorm > 8e-3 {
+		t.Fatalf("RB FMG error %g too large", errNorm)
+	}
+}

@@ -1,0 +1,262 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+)
+
+// exact solution u = sin(πx)sin(πy)sin(πz) and matching RHS per operator.
+func exactU(x, y, z float64) float64 {
+	return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
+}
+
+func rhsFor(op Operator) func(x, y, z float64) float64 {
+	c := 3.0
+	if op == Poisson2Affine {
+		c = affineMetric[0] + affineMetric[1] + affineMetric[2]
+	}
+	return func(x, y, z float64) float64 {
+		return c * math.Pi * math.Pi * exactU(x, y, z)
+	}
+}
+
+// solutionError returns the scaled L2 error of the finest solution
+// against the analytic solution.
+func solutionError(s *Solver) float64 {
+	l := s.levels[0]
+	st := l.n + 2
+	var sum float64
+	for k := 1; k <= l.n; k++ {
+		for j := 1; j <= l.n; j++ {
+			for i := 1; i <= l.n; i++ {
+				d := l.u[(k*st+j)*st+i] -
+					exactU(float64(i)*l.h, float64(j)*l.h, float64(k)*l.h)
+				sum += d * d
+			}
+		}
+	}
+	return math.Sqrt(sum * l.h * l.h * l.h)
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	if _, err := NewSolver(Config{Op: Poisson1, N: 2}); err == nil {
+		t.Fatal("expected error for tiny N")
+	}
+	if _, err := NewSolver(Config{Op: Poisson1, N: 10}); err == nil {
+		t.Fatal("expected error for non 2^k-1 N")
+	}
+	s, err := NewSolver(Config{Op: Poisson1, N: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLevels() != 4 { // 31, 15, 7, 3
+		t.Fatalf("NumLevels = %d, want 4", s.NumLevels())
+	}
+}
+
+func TestOperatorString(t *testing.T) {
+	for _, tc := range []struct {
+		op   Operator
+		want string
+	}{{Poisson1, "poisson1"}, {Poisson2, "poisson2"}, {Poisson2Affine, "poisson2affine"}} {
+		if tc.op.String() != tc.want {
+			t.Fatalf("String = %q, want %q", tc.op.String(), tc.want)
+		}
+		back, err := ParseOperator(tc.want)
+		if err != nil || back != tc.op {
+			t.Fatalf("ParseOperator(%q) = %v, %v", tc.want, back, err)
+		}
+	}
+	if _, err := ParseOperator("bogus"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+// Each V-cycle must contract the residual substantially — textbook
+// multigrid efficiency.
+func TestVCycleContraction(t *testing.T) {
+	for _, op := range []Operator{Poisson1, Poisson2, Poisson2Affine} {
+		s, err := NewSolver(Config{Op: op, N: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(op))
+		r0 := s.ResidualNorm()
+		r1 := s.VCycle()
+		r2 := s.VCycle()
+		if r1 > 0.35*r0 || r2 > 0.35*r1 {
+			t.Fatalf("%v: weak contraction %g -> %g -> %g", op, r0, r1, r2)
+		}
+	}
+}
+
+// FMG must reach discretization-level error in one pass.
+func TestFMGReachesDiscretizationError(t *testing.T) {
+	for _, op := range []Operator{Poisson1, Poisson2, Poisson2Affine} {
+		s, err := NewSolver(Config{Op: op, N: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(op))
+		s.FMG(2)
+		errNorm := solutionError(s)
+		// h = 1/32, so O(h²) ≈ 1e-3; allow a modest constant.
+		if errNorm > 8e-3 {
+			t.Fatalf("%v: FMG error %g too large", op, errNorm)
+		}
+	}
+}
+
+// Refining the grid must reduce the discretization error at roughly
+// second order (factor ≈ 4 per halving of h).
+func TestSecondOrderConvergence(t *testing.T) {
+	errAt := func(n int) float64 {
+		s, err := NewSolver(Config{Op: Poisson1, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(Poisson1))
+		// Run enough V-cycles after FMG to make algebraic error
+		// negligible against discretization error.
+		s.FMG(2)
+		for i := 0; i < 6; i++ {
+			s.VCycle()
+		}
+		return solutionError(s)
+	}
+	e15, e31 := errAt(15), errAt(31)
+	ratio := e15 / e31
+	if ratio < 3.2 || ratio > 5.0 {
+		t.Fatalf("convergence ratio %g (e15=%g e31=%g), want ≈4", ratio, e15, e31)
+	}
+}
+
+// Jacobi smoothing is partition-independent: parallel sweeps must give
+// bitwise-identical results to serial.
+func TestParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		s, err := NewSolver(Config{Op: Poisson2, N: 15, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(Poisson2))
+		s.FMG(1)
+		out := make([]float64, len(s.levels[0].u))
+		copy(out, s.levels[0].u)
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("solution differs at %d: %g vs %g", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWorkStatsAccumulate(t *testing.T) {
+	s, err := NewSolver(Config{Op: Poisson1, N: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRHS(rhsFor(Poisson1))
+	if s.Stats().Flops != 0 {
+		t.Fatal("stats should start at zero")
+	}
+	s.VCycle()
+	st1 := s.Stats()
+	if st1.Flops <= 0 || st1.Bytes <= 0 {
+		t.Fatalf("stats not accumulated: %+v", st1)
+	}
+	s.VCycle()
+	st2 := s.Stats()
+	if st2.Flops <= st1.Flops {
+		t.Fatal("stats must grow monotonically")
+	}
+}
+
+// The Mehrstellen operator must cost more flops per point than the 7-point
+// stencil — the property the HPGMG cost model keys on.
+func TestOperatorCostOrdering(t *testing.T) {
+	run := func(op Operator) int64 {
+		s, err := NewSolver(Config{Op: op, N: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetRHS(rhsFor(op))
+		s.VCycle()
+		return s.Stats().Flops
+	}
+	f1, f2 := run(Poisson1), run(Poisson2)
+	if f2 <= f1 {
+		t.Fatalf("poisson2 flops %d should exceed poisson1 %d", f2, f1)
+	}
+}
+
+func TestSolutionAtAndH(t *testing.T) {
+	s, err := NewSolver(Config{Op: Poisson1, N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.H(); math.Abs(got-1.0/8.0) > 1e-15 {
+		t.Fatalf("H = %g", got)
+	}
+	s.SetRHS(rhsFor(Poisson1))
+	s.FMG(2)
+	center := s.SolutionAt(4, 4, 4)
+	want := exactU(0.5, 0.5, 0.5) // = 1
+	if math.Abs(center-want) > 0.05 {
+		t.Fatalf("center solution %g, want ≈%g", center, want)
+	}
+}
+
+func TestDOF(t *testing.T) {
+	if DOF(31) != 31*31*31 {
+		t.Fatalf("DOF = %d", DOF(31))
+	}
+}
+
+// Zero RHS must stay (near) zero through the full solver path.
+func TestZeroRHSStaysZero(t *testing.T) {
+	s, err := NewSolver(Config{Op: Poisson1, N: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRHS(func(x, y, z float64) float64 { return 0 })
+	s.FMG(2)
+	if errNorm := solutionError(s); false {
+		_ = errNorm
+	}
+	l := s.levels[0]
+	for _, v := range l.u {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("nonzero solution %g for zero RHS", v)
+		}
+	}
+}
+
+func BenchmarkVCyclePoisson1N31(b *testing.B) {
+	s, err := NewSolver(Config{Op: Poisson1, N: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetRHS(rhsFor(Poisson1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.VCycle()
+	}
+}
+
+func BenchmarkFMGPoisson2N31(b *testing.B) {
+	s, err := NewSolver(Config{Op: Poisson2, N: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetRHS(rhsFor(Poisson2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FMG(1)
+	}
+}

@@ -1,0 +1,81 @@
+package multigrid
+
+// stencilOps abstracts the discrete operator A over the three supported
+// discretizations. apply computes A·u at one interior point; diag returns
+// the diagonal coefficient (used by Jacobi).
+type stencilOps struct {
+	op Operator
+}
+
+// diag returns the diagonal entry of A at spacing h.
+func (s stencilOps) diag(h float64) float64 {
+	inv := 1 / (h * h)
+	switch s.op {
+	case Poisson1:
+		return 6 * inv
+	case Poisson2:
+		return 128.0 / 30.0 * inv
+	case Poisson2Affine:
+		return 2 * (affineMetric[0] + affineMetric[1] + affineMetric[2]) * inv
+	default:
+		panic("multigrid: unknown operator")
+	}
+}
+
+// flopsPerPoint returns the floating-point operations one apply costs,
+// used for work accounting.
+func (s stencilOps) flopsPerPoint() int64 {
+	switch s.op {
+	case Poisson1:
+		return 8 // 6 adds + scale
+	case Poisson2:
+		return 33 // 26 neighbours + weights
+	case Poisson2Affine:
+		return 12
+	default:
+		panic("multigrid: unknown operator")
+	}
+}
+
+// apply computes (A·u)(i,j,k) for the interior point (i,j,k) of a grid
+// with stride st and spacing h. u must include the ghost boundary.
+func (s stencilOps) apply(u []float64, c, st, st2 int, h float64) float64 {
+	inv := 1 / (h * h)
+	switch s.op {
+	case Poisson1:
+		return inv * (6*u[c] -
+			u[c-1] - u[c+1] -
+			u[c-st] - u[c+st] -
+			u[c-st2] - u[c+st2])
+	case Poisson2Affine:
+		cx, cy, cz := affineMetric[0], affineMetric[1], affineMetric[2]
+		return inv * (2*(cx+cy+cz)*u[c] -
+			cx*(u[c-1]+u[c+1]) -
+			cy*(u[c-st]+u[c+st]) -
+			cz*(u[c-st2]+u[c+st2]))
+	case Poisson2:
+		// Mehrstellen 27-point stencil:
+		// (1/30h²)·(128 center − 14·faces − 3·edges − 1·corners).
+		faces := u[c-1] + u[c+1] + u[c-st] + u[c+st] + u[c-st2] + u[c+st2]
+		edges := u[c-1-st] + u[c+1-st] + u[c-1+st] + u[c+1+st] +
+			u[c-1-st2] + u[c+1-st2] + u[c-1+st2] + u[c+1+st2] +
+			u[c-st-st2] + u[c+st-st2] + u[c-st+st2] + u[c+st+st2]
+		corners := u[c-1-st-st2] + u[c+1-st-st2] + u[c-1+st-st2] + u[c+1+st-st2] +
+			u[c-1-st+st2] + u[c+1-st+st2] + u[c-1+st+st2] + u[c+1+st+st2]
+		return inv / 30.0 * (128*u[c] - 14*faces - 3*edges - corners)
+	default:
+		panic("multigrid: unknown operator")
+	}
+}
+
+// smootherWeight returns the weighted-Jacobi damping factor ω for the
+// operator. 2/3 is optimal for the 7-point Laplacian; the denser stencils
+// use slightly heavier damping for robustness.
+func (s stencilOps) smootherWeight() float64 {
+	switch s.op {
+	case Poisson2:
+		return 0.85
+	default:
+		return 2.0 / 3.0
+	}
+}

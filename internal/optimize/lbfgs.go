@@ -1,0 +1,206 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// LBFGS minimizes a smooth objective with the limited-memory BFGS method,
+// optionally restricted to a box via gradient projection. The zero value is
+// usable with sensible defaults.
+type LBFGS struct {
+	// Memory is the number of (s, y) correction pairs kept (default 8).
+	Memory int
+	// MaxIter bounds outer iterations (default 200).
+	MaxIter int
+	// GradTol terminates when the projected-gradient infinity norm drops
+	// below it (default 1e-6).
+	GradTol float64
+	// StepTol terminates when both the step size and the objective
+	// decrease stagnate (default 1e-10).
+	StepTol float64
+	// Bounds, when non-nil, confines iterates to the box (len == dim).
+	Bounds []Bounds
+}
+
+func (o *LBFGS) defaults() (mem, maxIter int, gtol, stol float64) {
+	mem, maxIter, gtol, stol = o.Memory, o.MaxIter, o.GradTol, o.StepTol
+	if mem <= 0 {
+		mem = 8
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if gtol <= 0 {
+		gtol = 1e-6
+	}
+	if stol <= 0 {
+		stol = 1e-10
+	}
+	return mem, maxIter, gtol, stol
+}
+
+// Minimize runs L-BFGS from x0 and returns the best point found.
+func (o *LBFGS) Minimize(f Objective, x0 []float64) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("%w: empty start point", ErrDimension)
+	}
+	if o.Bounds != nil && len(o.Bounds) != n {
+		return Result{}, fmt.Errorf("%w: %d bounds for %d variables", ErrDimension, len(o.Bounds), n)
+	}
+	mem, maxIter, gtol, stol := o.defaults()
+
+	x := append([]float64(nil), x0...)
+	project(x, o.Bounds)
+	g := make([]float64, n)
+	evals := 0
+	fx := f(x, g)
+	evals++
+	if !isFinite(fx) || !allFinite(g) {
+		return Result{X: x, F: fx, Evals: evals, Status: LineSearchFailed},
+			fmt.Errorf("optimize: non-finite objective or gradient at start")
+	}
+
+	// Ring buffers of correction pairs.
+	sList := make([][]float64, 0, mem)
+	yList := make([][]float64, 0, mem)
+	rhoList := make([]float64, 0, mem)
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+
+	res := Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iters = iter + 1
+		if projectedGradInf(x, g, o.Bounds) < gtol {
+			res.Status = GradientConverged
+			break
+		}
+
+		// Two-loop recursion: dir = -H·g.
+		copy(dir, g)
+		alpha := make([]float64, len(sList))
+		for i := len(sList) - 1; i >= 0; i-- {
+			alpha[i] = rhoList[i] * dot(sList[i], dir)
+			axpy(-alpha[i], yList[i], dir)
+		}
+		if len(sList) > 0 {
+			last := len(sList) - 1
+			gammaK := dot(sList[last], yList[last]) / dot(yList[last], yList[last])
+			scal(gammaK, dir)
+		}
+		for i := 0; i < len(sList); i++ {
+			beta := rhoList[i] * dot(yList[i], dir)
+			axpy(alpha[i]-beta, sList[i], dir)
+		}
+		scal(-1, dir)
+
+		// Fall back to steepest descent if the direction is not a
+		// descent direction (can happen after projections).
+		if dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+			sList, yList, rhoList = sList[:0], yList[:0], rhoList[:0]
+		}
+
+		// Backtracking Armijo line search with projection.
+		step := 1.0
+		if len(sList) == 0 {
+			// First iteration: scale to a modest step.
+			if dn := norm2(dir); dn > 1 {
+				step = 1 / dn
+			}
+		}
+		const c1 = 1e-4
+		gd := dot(g, dir)
+		var fNew float64
+		accepted := false
+		for ls := 0; ls < 50; ls++ {
+			for i := range xNew {
+				xNew[i] = x[i] + step*dir[i]
+			}
+			project(xNew, o.Bounds)
+			fNew = f(xNew, gNew)
+			evals++
+			if isFinite(fNew) && allFinite(gNew) && fNew <= fx+c1*step*gd {
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			res.Status = LineSearchFailed
+			break
+		}
+
+		// Update correction pairs.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		var sNorm float64
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+			sNorm += s[i] * s[i]
+		}
+		sy := dot(s, y)
+		if sy > 1e-12*math.Sqrt(sNorm)*norm2(y) && sy > 0 {
+			if len(sList) == mem {
+				sList = sList[1:]
+				yList = yList[1:]
+				rhoList = rhoList[1:]
+			}
+			sList = append(sList, s)
+			yList = append(yList, y)
+			rhoList = append(rhoList, 1/sy)
+		}
+
+		fPrev := fx
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+
+		if math.Sqrt(sNorm) < stol && math.Abs(fPrev-fx) < stol*(1+math.Abs(fx)) {
+			res.Status = StepConverged
+			break
+		}
+		if iter == maxIter-1 {
+			res.Status = MaxIterReached
+		}
+	}
+
+	res.X = x
+	res.F = fx
+	res.Evals = evals
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+func scal(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+func norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,158 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Minimizer is any optimizer that can be restarted from a point.
+type Minimizer interface {
+	Minimize(f Objective, x0 []float64) (Result, error)
+}
+
+// MultiStart runs a Minimizer from several start points — a provided one
+// plus uniform random draws inside the bounds box — and keeps the best
+// finishing point. This is the paper's "repeats this search multiple times,
+// each time starting from a random point" mechanism for LML optimization
+// (§V-B1), made deterministic via an explicit RNG.
+type MultiStart struct {
+	// Opt is the underlying optimizer; required.
+	Opt Minimizer
+	// Restarts is the number of additional random starts (default 4).
+	Restarts int
+	// Bounds defines the sampling box; required when Restarts > 0.
+	Bounds []Bounds
+	// Parallel fans restarts out over GOMAXPROCS workers when true.
+	// The objective must then be safe for concurrent use.
+	Parallel bool
+}
+
+// Minimize runs all restarts and returns the result with the lowest F.
+// rng drives start-point sampling and must be non-nil when Restarts > 0.
+func (m *MultiStart) Minimize(f Objective, x0 []float64, rng *rand.Rand) (Result, error) {
+	if m.Opt == nil {
+		return Result{}, fmt.Errorf("optimize: MultiStart requires Opt")
+	}
+	restarts := m.Restarts
+	if restarts < 0 {
+		restarts = 0
+	}
+	if restarts > 0 && m.Bounds == nil {
+		return Result{}, fmt.Errorf("optimize: MultiStart with restarts requires Bounds")
+	}
+	if restarts > 0 && rng == nil {
+		return Result{}, fmt.Errorf("optimize: MultiStart with restarts requires rng")
+	}
+
+	starts := make([][]float64, 0, restarts+1)
+	if x0 != nil {
+		starts = append(starts, append([]float64(nil), x0...))
+	}
+	for r := 0; r < restarts; r++ {
+		x := make([]float64, len(m.Bounds))
+		for i, b := range m.Bounds {
+			lo, hi := b.Lo, b.Hi
+			if math.IsInf(lo, -1) {
+				lo = -10
+			}
+			if math.IsInf(hi, 1) {
+				hi = 10
+			}
+			x[i] = lo + rng.Float64()*(hi-lo)
+		}
+		starts = append(starts, x)
+	}
+	if len(starts) == 0 {
+		return Result{}, fmt.Errorf("optimize: MultiStart has no start points")
+	}
+
+	results := make([]Result, len(starts))
+	errs := make([]error, len(starts))
+	if m.Parallel && len(starts) > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(starts) {
+			workers = len(starts)
+		}
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = m.Opt.Minimize(f, starts[i])
+				}
+			}()
+		}
+		for i := range starts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i, s := range starts {
+			results[i], errs[i] = m.Opt.Minimize(f, s)
+		}
+	}
+
+	best := -1
+	for i := range results {
+		if errs[i] != nil || !isFinite(results[i].F) {
+			continue
+		}
+		if best < 0 || results[i].F < results[best].F {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Every restart failed; surface the first error.
+		for _, err := range errs {
+			if err != nil {
+				return Result{}, fmt.Errorf("optimize: all %d restarts failed: %w", len(starts), err)
+			}
+		}
+		return Result{}, fmt.Errorf("optimize: all %d restarts produced non-finite objectives", len(starts))
+	}
+	agg := results[best]
+	for i, r := range results {
+		if i != best {
+			agg.Evals += r.Evals
+		}
+	}
+	return agg, nil
+}
+
+// CheckGradient compares the analytic gradient of f at x against central
+// finite differences with step h, returning the maximum relative error.
+// A tool for validating Objective implementations in tests.
+func CheckGradient(f Objective, x []float64, h float64) float64 {
+	if h <= 0 {
+		h = 1e-6
+	}
+	g := make([]float64, len(x))
+	f(x, g)
+	var worst float64
+	xp := append([]float64(nil), x...)
+	for i := range x {
+		xp[i] = x[i] + h
+		fPlus := f(xp, nil)
+		xp[i] = x[i] - h
+		fMinus := f(xp, nil)
+		xp[i] = x[i]
+		fd := (fPlus - fMinus) / (2 * h)
+		denom := math.Max(math.Abs(fd), math.Abs(g[i]))
+		var rel float64
+		if denom > 1e-10 {
+			rel = math.Abs(fd-g[i]) / denom
+		} else {
+			rel = math.Abs(fd - g[i])
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,168 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes an objective without derivatives using the
+// downhill-simplex method, with optional box projection. It is the fallback
+// for objectives whose gradients are unavailable or unreliable (e.g. noisy
+// cross-validation losses).
+type NelderMead struct {
+	// MaxIter bounds iterations (default 500·dim).
+	MaxIter int
+	// Tol terminates when the simplex spread in both x and f collapses
+	// below it (default 1e-8).
+	Tol float64
+	// InitialStep sets the initial simplex edge length (default 0.5).
+	InitialStep float64
+	// Bounds, when non-nil, confines iterates to the box.
+	Bounds []Bounds
+}
+
+// Minimize runs Nelder–Mead from x0.
+func (o *NelderMead) Minimize(f Objective, x0 []float64) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("%w: empty start point", ErrDimension)
+	}
+	if o.Bounds != nil && len(o.Bounds) != n {
+		return Result{}, fmt.Errorf("%w: %d bounds for %d variables", ErrDimension, len(o.Bounds), n)
+	}
+	maxIter := o.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500 * n
+	}
+	tol := o.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	step := o.InitialStep
+	if step <= 0 {
+		step = 0.5
+	}
+
+	eval := func(x []float64) float64 {
+		project(x, o.Bounds)
+		v := f(x, nil)
+		if !isFinite(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build the initial simplex: x0 plus a perturbation per dimension.
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	simplex := make([]vertex, n+1)
+	base := append([]float64(nil), x0...)
+	project(base, o.Bounds)
+	simplex[0] = vertex{x: base, f: eval(append([]float64(nil), base...))}
+	evals++
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), base...)
+		if x[i] != 0 {
+			x[i] += step * math.Abs(x[i])
+		} else {
+			x[i] += step
+		}
+		simplex[i+1] = vertex{x: x, f: eval(x)}
+		evals++
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	res := Result{Status: MaxIterReached}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iters = iter + 1
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+
+		// Convergence: spread of f values and of vertices.
+		fSpread := simplex[n].f - simplex[0].f
+		var xSpread float64
+		for i := 1; i <= n; i++ {
+			for j := 0; j < n; j++ {
+				if d := math.Abs(simplex[i].x[j] - simplex[0].x[j]); d > xSpread {
+					xSpread = d
+				}
+			}
+		}
+		if fSpread < tol && xSpread < tol {
+			res.Status = StepConverged
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+
+		worst := simplex[n]
+		refl := make([]float64, n)
+		for j := range refl {
+			refl[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fRefl := eval(refl)
+		evals++
+
+		switch {
+		case fRefl < simplex[0].f:
+			// Try expansion.
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			fExp := eval(exp)
+			evals++
+			if fExp < fRefl {
+				simplex[n] = vertex{x: exp, f: fExp}
+			} else {
+				simplex[n] = vertex{x: refl, f: fRefl}
+			}
+		case fRefl < simplex[n-1].f:
+			simplex[n] = vertex{x: refl, f: fRefl}
+		default:
+			// Contraction.
+			con := make([]float64, n)
+			for j := range con {
+				con[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			fCon := eval(con)
+			evals++
+			if fCon < worst.f {
+				simplex[n] = vertex{x: con, f: fCon}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = eval(simplex[i].x)
+					evals++
+				}
+			}
+		}
+	}
+
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	res.X = simplex[0].x
+	res.F = simplex[0].f
+	res.Evals = evals
+	return res, nil
+}

@@ -1,0 +1,114 @@
+// Package optimize provides the numerical optimizers used for Gaussian
+// process model selection: a box-constrained L-BFGS with backtracking line
+// search, a derivative-free Nelder–Mead fallback, and a parallel
+// multi-restart driver. All routines minimize; callers maximizing (e.g. log
+// marginal likelihood) negate their objective.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Objective evaluates the function at x and, when grad is non-nil, writes
+// the gradient into grad (len(grad) == len(x)). It returns the objective
+// value. Implementations must not retain x or grad.
+type Objective func(x []float64, grad []float64) float64
+
+// Bounds is a box constraint for one coordinate.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Clamp restricts v to [Lo, Hi].
+func (b Bounds) Clamp(v float64) float64 {
+	if v < b.Lo {
+		return b.Lo
+	}
+	if v > b.Hi {
+		return b.Hi
+	}
+	return v
+}
+
+// Status describes how an optimization run terminated.
+type Status int
+
+// Termination reasons.
+const (
+	GradientConverged Status = iota // ‖∇f‖∞ below tolerance
+	StepConverged                   // step or objective change below tolerance
+	MaxIterReached                  // iteration budget exhausted
+	LineSearchFailed                // no acceptable step found (often already at a minimum)
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case GradientConverged:
+		return "gradient-converged"
+	case StepConverged:
+		return "step-converged"
+	case MaxIterReached:
+		return "max-iterations"
+	case LineSearchFailed:
+		return "line-search-failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result reports the outcome of an optimization run.
+type Result struct {
+	X      []float64 // minimizer found
+	F      float64   // objective at X
+	Iters  int       // outer iterations performed
+	Evals  int       // objective evaluations
+	Status Status
+}
+
+// ErrDimension is returned when inputs disagree about dimensionality.
+var ErrDimension = errors.New("optimize: dimension mismatch")
+
+// project clamps x into bounds in place; nil bounds is unconstrained.
+func project(x []float64, bounds []Bounds) {
+	if bounds == nil {
+		return
+	}
+	for i := range x {
+		x[i] = bounds[i].Clamp(x[i])
+	}
+}
+
+// projectedGradInf returns the infinity norm of the projected gradient:
+// components pushing against an active bound are ignored, so convergence is
+// judged correctly on the boundary.
+func projectedGradInf(x, g []float64, bounds []Bounds) float64 {
+	var mx float64
+	for i, gi := range g {
+		if bounds != nil {
+			if x[i] <= bounds[i].Lo && gi > 0 {
+				continue // descent would leave the box
+			}
+			if x[i] >= bounds[i].Hi && gi < 0 {
+				continue
+			}
+		}
+		if a := math.Abs(gi); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if !isFinite(x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,343 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quadratic is a convex bowl with minimum at center.
+func quadratic(center []float64) Objective {
+	return func(x []float64, grad []float64) float64 {
+		var f float64
+		for i := range x {
+			d := x[i] - center[i]
+			f += d * d
+			if grad != nil {
+				grad[i] = 2 * d
+			}
+		}
+		return f
+	}
+}
+
+// rosenbrock is the classic banana function, minimum 0 at (1,...,1).
+func rosenbrock(x []float64, grad []float64) float64 {
+	n := len(x)
+	var f float64
+	if grad != nil {
+		for i := range grad {
+			grad[i] = 0
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		f += 100*a*a + b*b
+		if grad != nil {
+			grad[i] += -400*x[i]*a - 2*b
+			grad[i+1] += 200 * a
+		}
+	}
+	return f
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	center := []float64{3, -2, 0.5}
+	opt := &LBFGS{}
+	res, err := opt.Minimize(quadratic(center), []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range center {
+		if math.Abs(res.X[i]-center[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], center[i])
+		}
+	}
+	if res.F > 1e-9 {
+		t.Fatalf("F = %g", res.F)
+	}
+	if res.Status != GradientConverged && res.Status != StepConverged {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	opt := &LBFGS{MaxIter: 2000, GradTol: 1e-8}
+	res, err := opt.Minimize(rosenbrock, []float64{-1.2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Fatalf("minimum at %v, want (1,1); f=%g status=%v", res.X, res.F, res.Status)
+	}
+}
+
+func TestLBFGSBounds(t *testing.T) {
+	// Minimum of (x-3)² restricted to [0, 1] is at x = 1.
+	opt := &LBFGS{Bounds: []Bounds{{Lo: 0, Hi: 1}}}
+	res, err := opt.Minimize(quadratic([]float64{3}), []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-8 {
+		t.Fatalf("bounded minimum = %g, want 1", res.X[0])
+	}
+}
+
+func TestLBFGSStartOutsideBoundsIsProjected(t *testing.T) {
+	opt := &LBFGS{Bounds: []Bounds{{Lo: -1, Hi: 1}}}
+	res, err := opt.Minimize(quadratic([]float64{0}), []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]) > 1e-6 {
+		t.Fatalf("minimum = %g, want 0", res.X[0])
+	}
+}
+
+func TestLBFGSEmptyStartErrors(t *testing.T) {
+	opt := &LBFGS{}
+	if _, err := opt.Minimize(quadratic(nil), nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLBFGSBoundsDimMismatch(t *testing.T) {
+	opt := &LBFGS{Bounds: []Bounds{{Lo: 0, Hi: 1}}}
+	if _, err := opt.Minimize(quadratic([]float64{0, 0}), []float64{0, 0}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestLBFGSNonFiniteStart(t *testing.T) {
+	bad := func(x []float64, grad []float64) float64 {
+		if grad != nil {
+			for i := range grad {
+				grad[i] = math.NaN()
+			}
+		}
+		return math.NaN()
+	}
+	opt := &LBFGS{}
+	if _, err := opt.Minimize(bad, []float64{1}); err == nil {
+		t.Fatal("expected error on NaN objective")
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	center := []float64{1.5, -0.5}
+	opt := &NelderMead{}
+	res, err := opt.Minimize(quadratic(center), []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range center {
+		if math.Abs(res.X[i]-center[i]) > 1e-4 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], center[i])
+		}
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	opt := &NelderMead{MaxIter: 20000, Tol: 1e-10}
+	res, err := opt.Minimize(rosenbrock, []float64{-1.2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("minimum at %v, f=%g", res.X, res.F)
+	}
+}
+
+func TestNelderMeadBounds(t *testing.T) {
+	opt := &NelderMead{Bounds: []Bounds{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}
+	res, err := opt.Minimize(quadratic([]float64{5, -5}), []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]) > 1e-5 {
+		t.Fatalf("bounded minimum %v, want (1,0)", res.X)
+	}
+}
+
+func TestNelderMeadNoGradientCalls(t *testing.T) {
+	f := func(x []float64, grad []float64) float64 {
+		if grad != nil {
+			t.Fatal("Nelder-Mead must not request gradients")
+		}
+		return x[0] * x[0]
+	}
+	opt := &NelderMead{}
+	if _, err := opt.Minimize(f, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// multiModal has local minima at roughly x=±2 with f(2) < f(-2);
+// restarts should find the global one.
+func multiModal(x []float64, grad []float64) float64 {
+	v := x[0]
+	f := 0.05*v*v + math.Sin(2*v) // global min near 2.2 within [-4, 4]
+	if grad != nil {
+		grad[0] = 0.1*v + 2*math.Cos(2*v)
+	}
+	return f
+}
+
+func TestMultiStartFindsGlobal(t *testing.T) {
+	bounds := []Bounds{{Lo: -4, Hi: 4}}
+	ms := &MultiStart{
+		Opt:      &LBFGS{Bounds: bounds},
+		Restarts: 20,
+		Bounds:   bounds,
+	}
+	// Start deliberately in the basin of a worse local minimum (near
+	// x≈2.4); restarts must still find the global minimum, identified
+	// here by a fine grid scan.
+	res, err := ms.Minimize(multiModal, []float64{2.4}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridBest := math.Inf(1)
+	for x := -4.0; x <= 4; x += 1e-3 {
+		if v := multiModal([]float64{x}, nil); v < gridBest {
+			gridBest = v
+		}
+	}
+	if res.F > gridBest+1e-6 {
+		t.Fatalf("stuck in local minimum: f=%g at x=%g, global f=%g", res.F, res.X[0], gridBest)
+	}
+}
+
+func TestMultiStartParallelMatchesSerial(t *testing.T) {
+	bounds := []Bounds{{Lo: -4, Hi: 4}}
+	mk := func(par bool) float64 {
+		ms := &MultiStart{
+			Opt:      &LBFGS{Bounds: bounds},
+			Restarts: 8,
+			Bounds:   bounds,
+			Parallel: par,
+		}
+		res, err := ms.Minimize(multiModal, []float64{0}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.F
+	}
+	serial, parallel := mk(false), mk(true)
+	if math.Abs(serial-parallel) > 1e-9 {
+		t.Fatalf("serial %g vs parallel %g", serial, parallel)
+	}
+}
+
+func TestMultiStartValidation(t *testing.T) {
+	if _, err := (&MultiStart{}).Minimize(multiModal, []float64{0}, nil); err == nil {
+		t.Fatal("expected error without Opt")
+	}
+	ms := &MultiStart{Opt: &LBFGS{}, Restarts: 2}
+	if _, err := ms.Minimize(multiModal, []float64{0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error without Bounds")
+	}
+	ms = &MultiStart{Opt: &LBFGS{}, Restarts: 2, Bounds: []Bounds{{Lo: -1, Hi: 1}}}
+	if _, err := ms.Minimize(multiModal, []float64{0}, nil); err == nil {
+		t.Fatal("expected error without rng")
+	}
+	ms = &MultiStart{Opt: &LBFGS{}}
+	if _, err := ms.Minimize(multiModal, nil, nil); err == nil {
+		t.Fatal("expected error with no start points")
+	}
+}
+
+func TestCheckGradientDetectsBadGradient(t *testing.T) {
+	good := quadratic([]float64{0, 0})
+	if rel := CheckGradient(good, []float64{1, 2}, 1e-6); rel > 1e-6 {
+		t.Fatalf("good gradient flagged: %g", rel)
+	}
+	bad := func(x []float64, grad []float64) float64 {
+		if grad != nil {
+			for i := range grad {
+				grad[i] = 0 // wrong
+			}
+		}
+		return x[0] * x[0]
+	}
+	if rel := CheckGradient(bad, []float64{3}, 1e-6); rel < 0.5 {
+		t.Fatalf("bad gradient not detected: %g", rel)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{GradientConverged, StepConverged, MaxIterReached, LineSearchFailed, Status(99)} {
+		if s.String() == "" {
+			t.Fatal("empty Status string")
+		}
+	}
+}
+
+// Property: LBFGS on a random convex quadratic always reaches the center.
+func TestLBFGSConvexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		center := make([]float64, n)
+		start := make([]float64, n)
+		for i := range center {
+			center[i] = 4 * rng.NormFloat64()
+			start[i] = 4 * rng.NormFloat64()
+		}
+		opt := &LBFGS{}
+		res, err := opt.Minimize(quadratic(center), start)
+		if err != nil {
+			return false
+		}
+		for i := range center {
+			if math.Abs(res.X[i]-center[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bounded LBFGS never leaves the box.
+func TestLBFGSStaysInBoxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		center := []float64{6 * rng.NormFloat64(), 6 * rng.NormFloat64()}
+		bounds := []Bounds{{Lo: -1, Hi: 1}, {Lo: -1, Hi: 1}}
+		opt := &LBFGS{Bounds: bounds}
+		res, err := opt.Minimize(quadratic(center), []float64{0, 0})
+		if err != nil {
+			return false
+		}
+		for i, b := range bounds {
+			if res.X[i] < b.Lo-1e-12 || res.X[i] > b.Hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLBFGSRosenbrock10(b *testing.B) {
+	start := make([]float64, 10)
+	for i := range start {
+		start[i] = -1.2
+	}
+	opt := &LBFGS{MaxIter: 500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Minimize(rosenbrock, start); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

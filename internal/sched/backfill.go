@@ -1,0 +1,26 @@
+package sched
+
+import "sort"
+
+// reservationTime computes the earliest time at which np cores will be
+// free, given the currently free cores and the end times of running jobs.
+// This is the head-of-line job's reservation used by EASY backfill.
+func reservationTime(now float64, freeCores, np int, active []running) float64 {
+	if np <= freeCores {
+		return now
+	}
+	ends := append([]running(nil), active...)
+	sort.Slice(ends, func(i, j int) bool { return ends[i].endS < ends[j].endS })
+	free := freeCores
+	for _, r := range ends {
+		free += r.cores
+		if free >= np {
+			return r.endS
+		}
+	}
+	// Unreachable when the job fits the partition, but stay defensive.
+	if len(ends) > 0 {
+		return ends[len(ends)-1].endS
+	}
+	return now
+}

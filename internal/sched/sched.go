@@ -1,0 +1,240 @@
+// Package sched simulates the SLURM batch environment the paper used to
+// run HPGMG-FE job sweeps (§IV): a discrete-event scheduler over a fixed
+// pool of nodes, FIFO with optional EASY backfill, producing per-job
+// accounting records equivalent to `sacct` output.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+// Queueing disciplines.
+const (
+	FIFO Policy = iota
+	// Backfill is EASY backfill: later jobs may start early if, by
+	// their walltime estimate, they cannot delay the queue head's
+	// reservation.
+	Backfill
+)
+
+// Job is one batch submission.
+type Job struct {
+	ID      int
+	Name    string
+	NP      int     // cores requested
+	SubmitS float64 // submit time, seconds since epoch
+	// EstimateS is the walltime estimate used for backfill reservations.
+	EstimateS float64
+	// WalltimeS, when positive, is a hard limit: jobs running longer are
+	// killed with state TIMEOUT, as SLURM does.
+	WalltimeS float64
+	// Run produces the job's actual runtime in seconds when it starts.
+	// It is called exactly once. Must be non-nil.
+	Run func() float64
+	// Meta carries arbitrary job parameters into the accounting record.
+	Meta map[string]string
+}
+
+// Record is the accounting entry for a completed job (the simulated
+// `sacct` row the dataset layer consumes).
+type Record struct {
+	JobID    int
+	Name     string
+	NP       int
+	Nodes    int
+	SubmitS  float64
+	StartS   float64
+	EndS     float64
+	ElapsedS float64
+	WaitS    float64
+	State    string
+	Meta     map[string]string
+}
+
+// Config sizes the simulated cluster partition.
+type Config struct {
+	NodeCount    int
+	CoresPerNode int
+	Policy       Policy
+}
+
+// Scheduler queues and executes jobs against the simulated partition.
+type Scheduler struct {
+	cfg     Config
+	pending []Job
+	nextID  int
+}
+
+// New validates the partition shape and returns an empty scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.NodeCount <= 0 || cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("sched: invalid partition %d nodes x %d cores", cfg.NodeCount, cfg.CoresPerNode)
+	}
+	return &Scheduler{cfg: cfg, nextID: 1}, nil
+}
+
+// TotalCores returns the partition capacity.
+func (s *Scheduler) TotalCores() int { return s.cfg.NodeCount * s.cfg.CoresPerNode }
+
+// Submit enqueues a job, assigning an ID when the caller left it zero.
+// Jobs wider than the partition are rejected.
+func (s *Scheduler) Submit(j Job) (int, error) {
+	if j.Run == nil {
+		return 0, errors.New("sched: job has no Run function")
+	}
+	if j.NP <= 0 {
+		return 0, fmt.Errorf("sched: job %q requests %d cores", j.Name, j.NP)
+	}
+	if j.NP > s.TotalCores() {
+		return 0, fmt.Errorf("sched: job %q requests %d cores, partition has %d",
+			j.Name, j.NP, s.TotalCores())
+	}
+	if j.ID == 0 {
+		j.ID = s.nextID
+	}
+	if j.ID >= s.nextID {
+		s.nextID = j.ID + 1
+	}
+	if j.EstimateS <= 0 {
+		j.EstimateS = 3600
+	}
+	s.pending = append(s.pending, j)
+	return j.ID, nil
+}
+
+// running tracks one executing job.
+type running struct {
+	job    Job
+	startS float64
+	endS   float64
+	cores  int
+	nodes  int
+	state  string
+}
+
+// Drain runs the discrete-event simulation until every submitted job has
+// completed, returning accounting records in completion order.
+func (s *Scheduler) Drain() []Record {
+	queue := append([]Job(nil), s.pending...)
+	s.pending = nil
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].SubmitS < queue[j].SubmitS })
+
+	freeCores := s.TotalCores()
+	var active []running
+	var records []Record
+	now := 0.0
+	if len(queue) > 0 {
+		now = queue[0].SubmitS
+	}
+
+	nodesFor := func(np int) int {
+		return (np + s.cfg.CoresPerNode - 1) / s.cfg.CoresPerNode
+	}
+
+	start := func(idx int) {
+		j := queue[idx]
+		queue = append(queue[:idx], queue[idx+1:]...)
+		elapsed := j.Run()
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		state := "COMPLETED"
+		if j.WalltimeS > 0 && elapsed > j.WalltimeS {
+			elapsed = j.WalltimeS
+			state = "TIMEOUT"
+		}
+		freeCores -= j.NP
+		active = append(active, running{
+			job:    j,
+			startS: now,
+			endS:   now + elapsed,
+			cores:  j.NP,
+			nodes:  nodesFor(j.NP),
+			state:  state,
+		})
+	}
+
+	for len(queue) > 0 || len(active) > 0 {
+		// Start every job the policy admits at the current instant.
+		progressed := true
+		for progressed {
+			progressed = false
+			// Head-of-line first (FIFO order among arrived jobs).
+			arrived := func(i int) bool { return queue[i].SubmitS <= now }
+			headIdx := -1
+			for i := range queue {
+				if arrived(i) {
+					headIdx = i
+					break
+				}
+			}
+			if headIdx >= 0 && queue[headIdx].NP <= freeCores {
+				start(headIdx)
+				progressed = true
+				continue
+			}
+			if s.cfg.Policy == Backfill && headIdx >= 0 {
+				// Head blocked: compute its reservation time — the
+				// earliest instant enough cores free up.
+				reservation := reservationTime(now, freeCores, queue[headIdx].NP, active)
+				for i := headIdx + 1; i < len(queue); i++ {
+					if !arrived(i) {
+						continue
+					}
+					if queue[i].NP <= freeCores && now+queue[i].EstimateS <= reservation {
+						start(i)
+						progressed = true
+						break
+					}
+				}
+			}
+		}
+
+		// Advance time to the next event: a completion or an arrival.
+		nextT := -1.0
+		for _, r := range active {
+			if nextT < 0 || r.endS < nextT {
+				nextT = r.endS
+			}
+		}
+		for i := range queue {
+			if queue[i].SubmitS > now && (nextT < 0 || queue[i].SubmitS < nextT) {
+				nextT = queue[i].SubmitS
+			}
+		}
+		if nextT < 0 {
+			break // nothing running, nothing arriving: deadlock guard
+		}
+		now = nextT
+
+		// Retire completions at the new time.
+		kept := active[:0]
+		for _, r := range active {
+			if r.endS <= now {
+				freeCores += r.cores
+				records = append(records, Record{
+					JobID:    r.job.ID,
+					Name:     r.job.Name,
+					NP:       r.job.NP,
+					Nodes:    r.nodes,
+					SubmitS:  r.job.SubmitS,
+					StartS:   r.startS,
+					EndS:     r.endS,
+					ElapsedS: r.endS - r.startS,
+					WaitS:    r.startS - r.job.SubmitS,
+					State:    r.state,
+					Meta:     r.job.Meta,
+				})
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		active = kept
+	}
+	return records
+}

@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func fixed(d float64) func() float64 { return func() float64 { return d } }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NodeCount: 0, CoresPerNode: 16}); err == nil {
+		t.Fatal("expected error")
+	}
+	s, err := New(Config{NodeCount: 4, CoresPerNode: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalCores() != 64 {
+		t.Fatalf("TotalCores = %d", s.TotalCores())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	if _, err := s.Submit(Job{NP: 4}); err == nil {
+		t.Fatal("expected error without Run")
+	}
+	if _, err := s.Submit(Job{NP: 0, Run: fixed(1)}); err == nil {
+		t.Fatal("expected error for zero NP")
+	}
+	if _, err := s.Submit(Job{NP: 17, Run: fixed(1)}); err == nil {
+		t.Fatal("expected error for oversized job")
+	}
+	id, err := s.Submit(Job{NP: 4, Run: fixed(1)})
+	if err != nil || id != 1 {
+		t.Fatalf("Submit = %d, %v", id, err)
+	}
+	id2, _ := s.Submit(Job{NP: 4, Run: fixed(1)})
+	if id2 != 2 {
+		t.Fatalf("second ID = %d", id2)
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	if _, err := s.Submit(Job{Name: "a", NP: 8, Run: fixed(10), Meta: map[string]string{"op": "poisson1"}}); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	r := recs[0]
+	if r.ElapsedS != 10 || r.StartS != 0 || r.EndS != 10 || r.WaitS != 0 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.State != "COMPLETED" || r.Meta["op"] != "poisson1" || r.Nodes != 1 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestParallelJobsShareCluster(t *testing.T) {
+	// Two 8-core jobs fit a 16-core node simultaneously.
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	s.Submit(Job{NP: 8, Run: fixed(10)})
+	s.Submit(Job{NP: 8, Run: fixed(10)})
+	recs := s.Drain()
+	for _, r := range recs {
+		if r.StartS != 0 {
+			t.Fatalf("job should start immediately: %+v", r)
+		}
+	}
+}
+
+func TestFIFOQueuesWhenFull(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	s.Submit(Job{NP: 16, Run: fixed(10)})
+	s.Submit(Job{NP: 16, Run: fixed(5)})
+	recs := s.Drain()
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	var second Record
+	for _, r := range recs {
+		if r.JobID == 2 {
+			second = r
+		}
+	}
+	if second.StartS != 10 || second.WaitS != 10 {
+		t.Fatalf("second job: %+v", second)
+	}
+}
+
+func TestNodesComputed(t *testing.T) {
+	s, _ := New(Config{NodeCount: 4, CoresPerNode: 16})
+	s.Submit(Job{NP: 48, Run: fixed(1)})
+	recs := s.Drain()
+	if recs[0].Nodes != 3 {
+		t.Fatalf("Nodes = %d, want 3", recs[0].Nodes)
+	}
+}
+
+func TestBackfillLetsSmallJobJumpAhead(t *testing.T) {
+	// Running: 8 cores for 100s. Head: needs 16 (blocked until 100).
+	// Small job: 8 cores, estimate 50 ≤ reservation → backfills at t=0.
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16, Policy: Backfill})
+	s.Submit(Job{Name: "running", NP: 8, Run: fixed(100), EstimateS: 100})
+	s.Submit(Job{Name: "head", NP: 16, Run: fixed(10), EstimateS: 10})
+	s.Submit(Job{Name: "small", NP: 8, Run: fixed(50), EstimateS: 50})
+	recs := s.Drain()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["small"].StartS != 0 {
+		t.Fatalf("small should backfill at 0, got %g", byName["small"].StartS)
+	}
+	if byName["head"].StartS != 100 {
+		t.Fatalf("head should start at 100, got %g", byName["head"].StartS)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	// Small job estimate exceeds the head's reservation → must NOT
+	// backfill under EASY.
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16, Policy: Backfill})
+	s.Submit(Job{Name: "running", NP: 8, Run: fixed(100), EstimateS: 100})
+	s.Submit(Job{Name: "head", NP: 16, Run: fixed(10), EstimateS: 10})
+	s.Submit(Job{Name: "big-est", NP: 8, Run: fixed(150), EstimateS: 150})
+	recs := s.Drain()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["big-est"].StartS == 0 {
+		t.Fatal("job with estimate past reservation must not backfill")
+	}
+	if byName["head"].StartS != 100 {
+		t.Fatalf("head delayed to %g", byName["head"].StartS)
+	}
+}
+
+func TestFIFONoBackfill(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16, Policy: FIFO})
+	s.Submit(Job{Name: "running", NP: 8, Run: fixed(100)})
+	s.Submit(Job{Name: "head", NP: 16, Run: fixed(10)})
+	s.Submit(Job{Name: "small", NP: 8, Run: fixed(5), EstimateS: 5})
+	recs := s.Drain()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["small"].StartS == 0 {
+		t.Fatal("FIFO must not backfill")
+	}
+}
+
+func TestStaggeredSubmitTimes(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	s.Submit(Job{Name: "late", NP: 4, SubmitS: 50, Run: fixed(10)})
+	s.Submit(Job{Name: "early", NP: 4, SubmitS: 0, Run: fixed(10)})
+	recs := s.Drain()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["early"].StartS != 0 {
+		t.Fatalf("early start = %g", byName["early"].StartS)
+	}
+	if byName["late"].StartS != 50 {
+		t.Fatalf("late start = %g, want 50 (at submit)", byName["late"].StartS)
+	}
+}
+
+func TestSweepThroughput(t *testing.T) {
+	// A batch of 100 single-core 1-second jobs on 64 cores must finish
+	// in ceil(100/64) seconds of simulated time.
+	s, _ := New(Config{NodeCount: 4, CoresPerNode: 16})
+	for i := 0; i < 100; i++ {
+		s.Submit(Job{NP: 1, Run: fixed(1)})
+	}
+	recs := s.Drain()
+	if len(recs) != 100 {
+		t.Fatalf("%d records", len(recs))
+	}
+	var makespan float64
+	for _, r := range recs {
+		if r.EndS > makespan {
+			makespan = r.EndS
+		}
+	}
+	if math.Abs(makespan-2) > 1e-9 {
+		t.Fatalf("makespan = %g, want 2", makespan)
+	}
+}
+
+func TestWalltimeTimeout(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	s.Submit(Job{Name: "long", NP: 4, Run: fixed(100), WalltimeS: 30})
+	s.Submit(Job{Name: "ok", NP: 4, Run: fixed(10), WalltimeS: 30})
+	recs := s.Drain()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["long"].State != "TIMEOUT" || byName["long"].ElapsedS != 30 {
+		t.Fatalf("long job: %+v", byName["long"])
+	}
+	if byName["ok"].State != "COMPLETED" || byName["ok"].ElapsedS != 10 {
+		t.Fatalf("ok job: %+v", byName["ok"])
+	}
+}
+
+// A timed-out wide job frees its cores at the walltime, letting the queue
+// advance.
+func TestTimeoutFreesCluster(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	s.Submit(Job{Name: "hog", NP: 16, Run: fixed(1e6), WalltimeS: 50})
+	s.Submit(Job{Name: "next", NP: 16, Run: fixed(5)})
+	recs := s.Drain()
+	for _, r := range recs {
+		if r.Name == "next" && r.StartS != 50 {
+			t.Fatalf("next started at %g, want 50", r.StartS)
+		}
+	}
+}
+
+func TestDrainTwiceIsEmpty(t *testing.T) {
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16})
+	s.Submit(Job{NP: 1, Run: fixed(1)})
+	if n := len(s.Drain()); n != 1 {
+		t.Fatalf("first drain %d", n)
+	}
+	if n := len(s.Drain()); n != 0 {
+		t.Fatalf("second drain %d, want 0", n)
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import "sort"
+
+// Utilization computes the time-averaged fraction of the partition's
+// cores that were busy over the records' makespan — the efficiency view
+// of a collection campaign like the paper's 3000-job sweep.
+func Utilization(records []Record, totalCores int) float64 {
+	if len(records) == 0 || totalCores <= 0 {
+		return 0
+	}
+	var start, end float64
+	start = records[0].StartS
+	var coreSeconds float64
+	for _, r := range records {
+		if r.StartS < start {
+			start = r.StartS
+		}
+		if r.EndS > end {
+			end = r.EndS
+		}
+		coreSeconds += float64(r.NP) * r.ElapsedS
+	}
+	span := end - start
+	if span <= 0 {
+		return 0
+	}
+	return coreSeconds / (span * float64(totalCores))
+}
+
+// PeakCoresInUse returns the maximum simultaneous core usage across the
+// records — a sanity check that the scheduler never oversubscribed the
+// partition.
+func PeakCoresInUse(records []Record) int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(records))
+	for _, r := range records {
+		events = append(events, event{r.StartS, r.NP}, event{r.EndS, -r.NP})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		// Process releases before acquisitions at the same instant.
+		return events[i].delta < events[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// WaitStats returns the mean and maximum queue wait across records.
+func WaitStats(records []Record) (mean, max float64) {
+	if len(records) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, r := range records {
+		sum += r.WaitS
+		if r.WaitS > max {
+			max = r.WaitS
+		}
+	}
+	return sum / float64(len(records)), max
+}

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUtilization(t *testing.T) {
+	// Two 8-core jobs of 10 s run concurrently on a 16-core node:
+	// utilization = 1.
+	recs := []Record{
+		{NP: 8, StartS: 0, EndS: 10, ElapsedS: 10},
+		{NP: 8, StartS: 0, EndS: 10, ElapsedS: 10},
+	}
+	if got := Utilization(recs, 16); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Utilization = %g, want 1", got)
+	}
+	// One of them alone: 0.5.
+	if got := Utilization(recs[:1], 16); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Utilization = %g, want 0.5", got)
+	}
+	if Utilization(nil, 16) != 0 || Utilization(recs, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestPeakCoresInUse(t *testing.T) {
+	recs := []Record{
+		{NP: 8, StartS: 0, EndS: 10},
+		{NP: 8, StartS: 5, EndS: 15},
+		{NP: 8, StartS: 10, EndS: 20}, // starts exactly as the first ends
+	}
+	if got := PeakCoresInUse(recs); got != 16 {
+		t.Fatalf("Peak = %d, want 16 (release before acquire at t=10)", got)
+	}
+	if PeakCoresInUse(nil) != 0 {
+		t.Fatal("empty records")
+	}
+}
+
+func TestWaitStats(t *testing.T) {
+	recs := []Record{{WaitS: 0}, {WaitS: 10}, {WaitS: 20}}
+	mean, max := WaitStats(recs)
+	if mean != 10 || max != 20 {
+		t.Fatalf("WaitStats = %g, %g", mean, max)
+	}
+	if m, x := WaitStats(nil); m != 0 || x != 0 {
+		t.Fatal("empty records")
+	}
+}
+
+// End to end: a drained sweep must never oversubscribe and should keep
+// the partition reasonably busy.
+func TestSweepUtilizationAndPeak(t *testing.T) {
+	s, _ := New(Config{NodeCount: 4, CoresPerNode: 16, Policy: Backfill})
+	for i := 0; i < 40; i++ {
+		np := []int{4, 8, 16, 32}[i%4]
+		s.Submit(Job{NP: np, Run: fixed(float64(5 + i%7)), EstimateS: 12})
+	}
+	recs := s.Drain()
+	if got := PeakCoresInUse(recs); got > s.TotalCores() {
+		t.Fatalf("oversubscribed: peak %d > %d", got, s.TotalCores())
+	}
+	if u := Utilization(recs, s.TotalCores()); u < 0.5 {
+		t.Fatalf("utilization %g too low for a dense sweep", u)
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// OLS is a fitted ordinary-least-squares linear model y ≈ β₀ + βᵀx,
+// used as the weak learner in the EMCM baseline (paper Eq. 1 context).
+type OLS struct {
+	// Coef holds [β₀, β₁, …, β_D]: intercept first.
+	Coef []float64
+}
+
+// FitOLS fits y ≈ β₀ + βᵀx by solving the normal equations with a
+// Cholesky factorization (ridge-stabilized with a tiny diagonal when the
+// design is rank deficient). x has one observation per row.
+func FitOLS(x *mat.Dense, y []float64) (*OLS, error) {
+	n, d := x.Rows(), x.Cols()
+	if n != len(y) {
+		return nil, fmt.Errorf("stats: OLS rows %d != len(y) %d", n, len(y))
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("stats: OLS needs at least one observation")
+	}
+	// Augment with an intercept column.
+	a := mat.New(n, d+1)
+	for i := 0; i < n; i++ {
+		row := a.RawRow(i)
+		row[0] = 1
+		copy(row[1:], x.RawRow(i))
+	}
+	ata := mat.SyrkT(a)
+	aty := a.MulVecT(mat.Vec(y))
+	ch, _, err := mat.NewCholeskyJitter(ata, 0, 20)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS normal equations singular: %w", err)
+	}
+	beta := ch.SolveVec(aty)
+	return &OLS{Coef: beta}, nil
+}
+
+// Predict returns β₀ + βᵀx for one input point.
+func (m *OLS) Predict(x []float64) float64 {
+	if len(x) != len(m.Coef)-1 {
+		panic(fmt.Sprintf("stats: OLS Predict dim %d, model has %d features", len(x), len(m.Coef)-1))
+	}
+	s := m.Coef[0]
+	for i, xv := range x {
+		s += m.Coef[i+1] * xv
+	}
+	return s
+}
+
+// PredictAll applies Predict to each row of x.
+func (m *OLS) PredictAll(x *mat.Dense) []float64 {
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = m.Predict(x.RawRow(i))
+	}
+	return out
+}

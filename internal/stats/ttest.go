@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult reports a paired two-sided t-test.
+type TTestResult struct {
+	T        float64 // t statistic
+	DF       float64 // degrees of freedom (n−1)
+	P        float64 // two-sided p-value
+	MeanDiff float64 // mean of (a_i − b_i)
+}
+
+// PairedTTest tests whether paired observations a and b share a mean
+// (two-sided). In this repository it judges whether one AL strategy's
+// final RMSE differs significantly from another's across the *same*
+// random partitions. At least two pairs are required; zero variance in
+// the differences yields P = 0 for a nonzero mean difference and P = 1
+// otherwise.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test needs ≥ 2 pairs, got %d", n)
+	}
+	d := make([]float64, n)
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	md := Mean(d)
+	sd := StdDev(d)
+	res := TTestResult{DF: float64(n - 1), MeanDiff: md}
+	if sd == 0 {
+		if md == 0 {
+			res.P = 1
+		} else {
+			res.T = math.Inf(int(math.Copysign(1, md)))
+			res.P = 0
+		}
+		return res, nil
+	}
+	res.T = md / (sd / math.Sqrt(float64(n)))
+	res.P = 2 * studentTTail(math.Abs(res.T), res.DF)
+	return res, nil
+}
+
+// studentTTail returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function:
+// P(T > t) = ½ I_{df/(df+t²)}(df/2, ½).
+func studentTTail(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the standard continued-fraction expansion (Numerical Recipes
+// §6.4), accurate to ~1e-12 for moderate parameters.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

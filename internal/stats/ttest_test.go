@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},     // I_x(1,1) = x
+		{2, 1, 0.5, 0.25},    // I_x(2,1) = x²
+		{1, 2, 0.5, 0.75},    // I_x(1,2) = 1-(1-x)²
+		{0.5, 0.5, 0.5, 0.5}, // symmetry point of arcsine distribution
+		{3, 3, 0.5, 0.5},     // symmetric beta at its median
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Fatalf("I_%g(%g,%g) = %g, want %g", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values")
+	}
+}
+
+// Student-t tail probabilities against standard table values.
+func TestStudentTTail(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{2.228, 10, 0.025},  // t_{0.975, 10}
+		{1.812, 10, 0.05},   // t_{0.95, 10}
+		{2.086, 20, 0.025},  // t_{0.975, 20}
+		{12.706, 1, 0.025},  // t_{0.975, 1}
+		{1.96, 1e6, 0.0250}, // approaches the normal for large df
+	}
+	for _, c := range cases {
+		if got := studentTTail(c.t, c.df); math.Abs(got-c.want) > 2e-3 {
+			t.Fatalf("P(T>%g|df=%g) = %g, want %g", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestPairedTTestDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.NormFloat64()
+		a[i] = base + 1.0 + 0.1*rng.NormFloat64() // consistent +1 shift
+		b[i] = base + 0.1*rng.NormFloat64()
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("obvious shift not detected: p = %g", res.P)
+	}
+	if res.MeanDiff < 0.8 || res.MeanDiff > 1.2 {
+		t.Fatalf("mean diff %g, want ≈1", res.MeanDiff)
+	}
+}
+
+func TestPairedTTestNullIsInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 25
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.NormFloat64()
+		a[i] = base + 0.3*rng.NormFloat64()
+		b[i] = base + 0.3*rng.NormFloat64()
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("null rejected with p = %g", res.P)
+	}
+}
+
+func TestPairedTTestEdgeCases(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected size error")
+	}
+	// Identical pairs: p = 1.
+	res, err := PairedTTest([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("identical pairs p = %g", res.P)
+	}
+	// Constant nonzero difference: p = 0.
+	res, err = PairedTTest([]float64{2, 3, 4}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("constant shift p = %g", res.P)
+	}
+}
+
+// Property: p-values live in [0, 1] and the test is symmetric in sign.
+func TestPairedTTestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		ab, err1 := PairedTTest(a, b)
+		ba, err2 := PairedTTest(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ab.P < 0 || ab.P > 1 {
+			return false
+		}
+		return math.Abs(ab.P-ba.P) < 1e-9 && math.Abs(ab.T+ba.T) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package repro is the public façade of alperf — a from-scratch Go
+// reproduction of "Active Learning in Performance Analysis" (Duplyakin,
+// Brown, Ricci; IEEE CLUSTER 2016).
+//
+// The library combines Gaussian Process Regression (GPR) with Active
+// Learning (AL) to build predictive models of program performance and
+// energy consumption from as few experiments as possible: a GP supplies a
+// full predictive distribution over the input space, and AL repeatedly
+// selects the next experiment where that distribution is least certain
+// (VarianceReduction) or where uncertainty per unit cost is highest
+// (CostEfficiency, the paper's Eq. 14).
+//
+// # Quick start
+//
+//	ds, _ := repro.GeneratePerformanceDataset(1)
+//	sub := repro.StudySubset2D(ds)              // log size × frequency, poisson1, NP=32
+//	part, _ := repro.NewPartition(sub, repro.PartitionConfig{NInitial: 1, TestFrac: 0.2}, rng)
+//	res, _ := repro.RunAL(sub, part, repro.LoopConfig{
+//		Response: repro.RespRuntime,
+//		Strategy: repro.VarianceReduction{},
+//		Iterations: 50,
+//		NoiseFloor: 0.1,
+//	}, rng)
+//
+// Every subsystem the paper depends on is implemented in internal/
+// packages: dense linear algebra (internal/mat), covariance kernels
+// (internal/kernel), L-BFGS/Nelder-Mead optimizers (internal/optimize),
+// GPR (internal/gp), a real geometric multigrid solver standing in for
+// HPGMG-FE (internal/multigrid), a simulated CloudLab cluster with DVFS
+// and IPMI power traces (internal/cluster), a SLURM-like batch scheduler
+// (internal/sched), the HPGMG benchmark model (internal/hpgmg), the
+// dataset layer (internal/dataset), the AL core (internal/al), and the
+// per-figure experiment harness (internal/experiments).
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/al"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/gp"
+	"repro/internal/hpgmg"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// Re-exported dataset types and column names.
+type (
+	// Dataset is the tabular experiment container.
+	Dataset = dataset.Dataset
+	// Partition is an Initial/Active/Test split.
+	Partition = dataset.Partition
+	// PartitionConfig controls random splits.
+	PartitionConfig = dataset.PartitionConfig
+)
+
+// Dataset column names (Table I).
+const (
+	VarSize     = dataset.VarSize
+	VarNP       = dataset.VarNP
+	VarFreq     = dataset.VarFreq
+	RespRuntime = dataset.RespRuntime
+	RespEnergy  = dataset.RespEnergy
+	TagOperator = dataset.TagOperator
+)
+
+// Re-exported Active Learning types.
+type (
+	// LoopConfig drives one AL realization.
+	LoopConfig = al.LoopConfig
+	// BatchConfig drives AL over many random partitions.
+	BatchConfig = al.BatchConfig
+	// Result is one AL realization's records.
+	Result = al.Result
+	// IterationRecord is one AL step's monitoring quantities.
+	IterationRecord = al.IterationRecord
+	// Strategy selects the next experiment.
+	Strategy = al.Strategy
+	// VarianceReduction is argmax-σ selection.
+	VarianceReduction = al.VarianceReduction
+	// CostEfficiency is argmax (σ−μ) selection (Eq. 14).
+	CostEfficiency = al.CostEfficiency
+	// Random is the uniform baseline.
+	Random = al.Random
+	// Oracle runs live experiments for online AL.
+	Oracle = al.Oracle
+	// OracleFunc adapts a function to Oracle.
+	OracleFunc = al.OracleFunc
+	// Curves are per-iteration batch averages.
+	Curves = al.Curves
+	// TradeoffPoint is one cost–error point.
+	TradeoffPoint = al.TradeoffPoint
+)
+
+// Dense is a dense row-major matrix; AL candidate grids and GP training
+// inputs hold one point per row.
+type Dense = mat.Dense
+
+// NewDense returns a zeroed rows × cols matrix.
+func NewDense(rows, cols int) *Dense { return mat.New(rows, cols) }
+
+// NewDenseFromRows builds a matrix from row slices, copying.
+func NewDenseFromRows(rows [][]float64) *Dense { return mat.NewFromRows(rows) }
+
+// Re-exported GP types.
+type (
+	// GP is a fitted Gaussian process regressor.
+	GP = gp.GP
+	// GPConfig configures GP fitting.
+	GPConfig = gp.Config
+	// Prediction is a posterior mean/SD pair.
+	Prediction = gp.Prediction
+	// Kernel is a covariance function.
+	Kernel = kernel.Kernel
+)
+
+// NewRBF returns the paper's squared-exponential kernel (Eq. 11).
+func NewRBF(lengthScale, amplitude float64) Kernel { return kernel.NewRBF(lengthScale, amplitude) }
+
+// NewMatern52 returns a Matérn-5/2 kernel, a robust RBF alternative.
+func NewMatern52(lengthScale, amplitude float64) Kernel {
+	return kernel.NewMatern52(lengthScale, amplitude)
+}
+
+// FitGP fits a Gaussian process to (x rows, y) under cfg.
+func FitGP(cfg GPConfig, x *Dense, y []float64, rng *rand.Rand) (*GP, error) {
+	return gp.Fit(cfg, x, y, rng)
+}
+
+// GeneratePerformanceDataset regenerates the paper's Performance dataset
+// (3246 jobs) on the simulated cluster.
+func GeneratePerformanceDataset(seed int64) (*Dataset, error) {
+	results, err := hpgmg.GeneratePerformance(seed)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromPerformance(results)
+}
+
+// GeneratePowerDataset regenerates the paper's Power dataset (640 jobs).
+func GeneratePowerDataset(seed int64) (*Dataset, error) {
+	results, err := hpgmg.GeneratePower(seed)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromPower(results)
+}
+
+// StudySubset2D extracts the §V-B study subset from a Performance
+// dataset: operator poisson1, NP = 32, variables (log10 size, frequency),
+// response log10 runtime.
+func StudySubset2D(d *Dataset) (*Dataset, error) {
+	sub := d.WhereTag(TagOperator, "poisson1").WhereVar(VarNP, 32)
+	if err := sub.LogVar(VarSize); err != nil {
+		return nil, err
+	}
+	if err := sub.LogResp(RespRuntime); err != nil {
+		return nil, err
+	}
+	return sub.Project(VarSize, VarFreq), nil
+}
+
+// NewPartition draws a random Initial/Active/Test split (§IV).
+func NewPartition(d *Dataset, cfg PartitionConfig, rng *rand.Rand) (Partition, error) {
+	return dataset.RandomPartition(d, cfg, rng)
+}
+
+// RunAL executes one Active Learning realization.
+func RunAL(d *Dataset, part Partition, cfg LoopConfig, rng *rand.Rand) (Result, error) {
+	return al.Run(d, part, cfg, rng)
+}
+
+// RunALBatch executes AL over many random partitions.
+func RunALBatch(d *Dataset, cfg BatchConfig) ([]Result, error) {
+	return al.RunBatch(d, cfg)
+}
+
+// RunOnlineAL executes AL against a live Oracle over a candidate grid.
+func RunOnlineAL(candidates *Dense, seeds []int, oracle Oracle, cfg LoopConfig, rng *rand.Rand) (Result, error) {
+	return al.RunOnline(candidates, seeds, oracle, cfg, rng)
+}
+
+// AverageCurves aggregates batch results per iteration.
+func AverageCurves(results []Result) Curves { return al.AverageCurves(results) }
+
+// TradeoffCurve converts averaged curves into a cost–error curve.
+func TradeoffCurve(c Curves) []TradeoffPoint { return al.TradeoffCurve(c) }
+
+// CompareTradeoffs quantifies candidate vs baseline cost–error curves.
+func CompareTradeoffs(baseline, candidate []TradeoffPoint) al.Comparison {
+	return al.Compare(baseline, candidate)
+}
+
+// Experiments re-exports.
+type (
+	// ExperimentOptions configures experiment generation.
+	ExperimentOptions = experiments.Options
+	// ExperimentReport is one regenerated table/figure.
+	ExperimentReport = experiments.Report
+)
+
+// AllExperiments regenerates every table and figure of the paper.
+func AllExperiments(opts ExperimentOptions) ([]*ExperimentReport, error) {
+	return experiments.All(opts)
+}

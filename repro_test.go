@@ -1,0 +1,174 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// End-to-end through the public façade: dataset → subset → partition →
+// AL → prediction. This is the README quick-start, asserted.
+func TestEndToEndQuickstart(t *testing.T) {
+	ds, err := GeneratePerformanceDataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3246 {
+		t.Fatalf("dataset has %d jobs", ds.Len())
+	}
+	sub, err := StudySubset2D(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() < 80 {
+		t.Fatalf("subset too small: %d", sub.Len())
+	}
+	rng := rand.New(rand.NewSource(7))
+	part, err := NewPartition(sub, PartitionConfig{NInitial: 1, TestFrac: 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAL(sub, part, LoopConfig{
+		Response:     RespRuntime,
+		Strategy:     VarianceReduction{},
+		Iterations:   15,
+		NoiseFloor:   0.1,
+		Restarts:     1,
+		AllowRevisit: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Records[len(res.Records)-1]
+	if !(last.RMSE < res.Records[0].RMSE) {
+		t.Fatalf("AL did not reduce RMSE: %g -> %g", res.Records[0].RMSE, last.RMSE)
+	}
+	if last.RMSE > 0.3 {
+		t.Fatalf("final RMSE %g too high", last.RMSE)
+	}
+	p := res.Final.Predict([]float64{7.0, 2.1})
+	lo, hi := p.CI(2)
+	if !(lo < p.Mean && p.Mean < hi) {
+		t.Fatal("CI does not bracket the mean")
+	}
+	// log10 runtime of a 1e7-dof job at 2.1 GHz on 32 cores must be a
+	// sane magnitude (between 1 ms and 100 s).
+	if p.Mean < -3 || p.Mean > 2 {
+		t.Fatalf("implausible prediction %g", p.Mean)
+	}
+}
+
+// The two strategy endpoints must behave per the paper: CE accumulates
+// far less cost for the same number of iterations.
+func TestEndToEndStrategyCost(t *testing.T) {
+	ds, err := GeneratePerformanceDataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := StudySubset2D(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s Strategy) float64 {
+		results, err := RunALBatch(sub, BatchConfig{
+			Loop: LoopConfig{
+				Response:        RespRuntime,
+				Strategy:        s,
+				Iterations:      10,
+				NoiseFloor:      0.1,
+				Restarts:        1,
+				ReoptimizeEvery: 5,
+				AllowRevisit:    true,
+			},
+			Partition: PartitionConfig{NInitial: 1, TestFrac: 0.2},
+			Runs:      3,
+			Seed:      5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := AverageCurves(results)
+		return c.CumCost[len(c.CumCost)-1]
+	}
+	vr, ce := run(VarianceReduction{}), run(CostEfficiency{})
+	if ce >= vr {
+		t.Fatalf("CE cost %g should be below VR %g", ce, vr)
+	}
+}
+
+func TestEndToEndOnline(t *testing.T) {
+	grid := NewDenseFromRows([][]float64{{0}, {1}, {2}, {3}, {4}})
+	calls := 0
+	oracle := OracleFunc(func(x []float64) (float64, float64, error) {
+		calls++
+		return x[0] * x[0], 1, nil
+	})
+	res, err := RunOnlineAL(grid, []int{2}, oracle, LoopConfig{
+		Response:   "y",
+		Strategy:   VarianceReduction{},
+		Iterations: 5,
+		NoiseFloor: 0.05,
+		Restarts:   3,
+		Normalize:  true, // raw y spans 0..16 — normalize inside the GP
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Fatalf("oracle called %d times", calls)
+	}
+	p := res.Final.Predict([]float64{1.5})
+	if math.Abs(p.Mean-2.25) > 0.5 {
+		t.Fatalf("online model predicts %g at 1.5, want ≈2.25", p.Mean)
+	}
+}
+
+func TestEndToEndGPFacade(t *testing.T) {
+	x := NewDenseFromRows([][]float64{{0}, {1}, {2}, {3}})
+	y := []float64{0, 1, 4, 9}
+	g, err := FitGP(GPConfig{
+		Kernel:    NewRBF(1, 1),
+		NoiseInit: 0.05,
+		Optimize:  true,
+		Restarts:  2,
+	}, x, y, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Predict([]float64{1.5})
+	if math.Abs(p.Mean-2.25) > 0.5 {
+		t.Fatalf("GP predicts %g at 1.5", p.Mean)
+	}
+	// Matern facade constructor too.
+	g2, err := FitGP(GPConfig{Kernel: NewMatern52(1, 1), NoiseInit: 0.05}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTrain() != 4 {
+		t.Fatal("NumTrain")
+	}
+}
+
+func TestEndToEndTradeoffFacade(t *testing.T) {
+	base := []TradeoffPoint{{Cost: 1, RMSE: 1}, {Cost: 10, RMSE: 0.5}}
+	cand := []TradeoffPoint{{Cost: 1, RMSE: 1.2}, {Cost: 10, RMSE: 0.3}}
+	cmp := CompareTradeoffs(base, cand)
+	if math.IsNaN(cmp.CrossoverCost) {
+		t.Fatal("no crossover")
+	}
+}
+
+func TestPowerDatasetFacade(t *testing.T) {
+	ds, err := GeneratePowerDataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 640 {
+		t.Fatalf("power dataset has %d jobs", ds.Len())
+	}
+	for _, e := range ds.Resp(RespEnergy) {
+		if e <= 0 {
+			t.Fatal("non-positive energy")
+		}
+	}
+}
