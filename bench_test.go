@@ -8,7 +8,38 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hpgmg"
 	"repro/internal/multigrid"
+	"repro/internal/obs"
 )
+
+// obsCounters samples the observability counters that describe the
+// linear-algebra and AL work a benchmark performed. Reporting their
+// per-op deltas turns `go test -bench` output into a perf trajectory:
+// an optimization PR must show the same (or lower) work counts at lower
+// ns/op, and a regression shows up as a count jump even when wall time
+// hides it on faster hardware.
+type obsCounters struct {
+	gpFits, cholesky, candEvals, lmlEvals int64
+}
+
+func sampleObs() obsCounters {
+	return obsCounters{
+		gpFits:    obs.C("gp.fit.count").Value(),
+		cholesky:  obs.C("mat.cholesky.count").Value(),
+		candEvals: obs.C("al.candidates.evaluated").Value(),
+		lmlEvals:  obs.C("gp.lml.evals").Value(),
+	}
+}
+
+// reportObs emits the per-iteration deltas of the key obs counters as
+// benchmark metrics.
+func reportObs(b *testing.B, before, after obsCounters) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(float64(after.gpFits-before.gpFits)/n, "gp_fits/op")
+	b.ReportMetric(float64(after.cholesky-before.cholesky)/n, "cholesky/op")
+	b.ReportMetric(float64(after.candEvals-before.candEvals)/n, "cand_evals/op")
+	b.ReportMetric(float64(after.lmlEvals-before.lmlEvals)/n, "lml_evals/op")
+}
 
 // Each benchmark regenerates one of the paper's artifacts end to end —
 // dataset synthesis, GP fits, AL batches — and reports the headline
@@ -22,12 +53,14 @@ func benchReport(b *testing.B, gen func(experiments.Options) (*experiments.Repor
 	b.ReportAllocs()
 	var rep *experiments.Report
 	var err error
+	before := sampleObs()
 	for i := 0; i < b.N; i++ {
 		rep, err = gen(benchOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportObs(b, before, sampleObs())
 	for _, k := range keys {
 		if v, ok := rep.Values[k]; ok {
 			b.ReportMetric(v, k)
@@ -157,11 +190,13 @@ func BenchmarkALIteration(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	before := sampleObs()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunAL(sub, part, cfg, rand.New(rand.NewSource(2))); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportObs(b, before, sampleObs())
 }
 
 // BenchmarkMultigridFMG measures the real HPGMG-FE stand-in across

@@ -10,11 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 var generators = map[string]func(experiments.Options) (*experiments.Report, error){
@@ -43,12 +46,44 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "smaller batches for a fast pass")
 	plot := flag.Bool("plot", false, "render ASCII plots of each report's series")
+	metrics := flag.String("metrics", "", "write obs spans/events/metrics to this JSONL file (see OBSERVABILITY.md)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*exp, *out, *seed, *quick, *plot); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "alrepro: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var sinkFile *os.File
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alrepro:", err)
+			os.Exit(1)
+		}
+		sinkFile = f
+		obs.SetSink(f)
+	}
+
+	err := run(*exp, *out, *seed, *quick, *plot)
+
+	if sinkFile != nil {
+		obs.DumpMetrics()
+		obs.SetSink(nil)
+		if cerr := sinkFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		fmt.Printf("metrics: wrote %s\n", *metrics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "alrepro:", err)
 		os.Exit(1)
 	}
+	fmt.Println(obs.Brief())
 }
 
 func run(exp, out string, seed int64, quick, plot bool) error {

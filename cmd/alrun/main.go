@@ -6,20 +6,34 @@
 //
 //	alrun -data performance.csv -response runtime_s -strategy cost-efficiency \
 //	      -operator poisson1 -np 32 -iters 100 -floor 0.1 -seed 1
+//
+//	alrun -quick -metrics /tmp/m.jsonl   # no CSV needed: regenerate the
+//	                                     # §V-B study subset in process and
+//	                                     # dump the obs metrics as JSONL
+//
+// Observability (see OBSERVABILITY.md): -metrics streams span/event
+// records and a final metric snapshot to a JSONL file; -pprof serves
+// net/http/pprof on the given address for CPU/heap profiling while the
+// loop runs; -summary prints the full metric report instead of the
+// one-line digest.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"repro"
 	"repro/internal/al"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
-	data := flag.String("data", "", "dataset CSV (required)")
+	data := flag.String("data", "", "dataset CSV (omit with -quick)")
 	response := flag.String("response", dataset.RespRuntime, "response column")
 	strategyName := flag.String("strategy", "variance-reduction",
 		"selection strategy: variance-reduction | cost-efficiency | thompson | random | emcm")
@@ -32,28 +46,76 @@ func main() {
 	testFrac := flag.Float64("test", 0.2, "test-set fraction")
 	seed := flag.Int64("seed", 1, "random seed")
 	logTransform := flag.Bool("log", true, "log10-transform size and response")
+	quick := flag.Bool("quick", false,
+		"regenerate the Performance dataset in process (no -data needed) and run a short loop")
+	metrics := flag.String("metrics", "", "write obs spans/events/metrics to this JSONL file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	summary := flag.Bool("summary", false, "print the full obs metric summary after the run")
 	flag.Parse()
 
-	if err := run(*data, *response, *strategyName, *operator, *np, *iters, *floor,
-		*nInitial, *testFrac, *seed, *logTransform, *budget); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "alrun: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var sinkFile *os.File
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alrun:", err)
+			os.Exit(1)
+		}
+		sinkFile = f
+		obs.SetSink(f)
+	}
+
+	err := run(*data, *response, *strategyName, *operator, *np, *iters, *floor,
+		*nInitial, *testFrac, *seed, *logTransform, *budget, *quick)
+
+	if sinkFile != nil {
+		obs.DumpMetrics()
+		obs.SetSink(nil)
+		if cerr := sinkFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		fmt.Printf("metrics: wrote %s\n", *metrics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "alrun:", err)
 		os.Exit(1)
 	}
+	if *summary {
+		fmt.Print(obs.Summary())
+	} else {
+		fmt.Println(obs.Brief())
+	}
 }
 
-func run(data, response, strategyName, operator string, np float64, iters int,
-	floor float64, nInitial int, testFrac float64, seed int64, logT bool, budget float64) error {
+// loadDataset reads the CSV (or regenerates the paper's Performance
+// dataset for -quick) and applies the operator/NP filters and log
+// transforms.
+func loadDataset(data, response, operator string, np float64, logT, quick bool, seed int64) (*dataset.Dataset, error) {
+	var d *dataset.Dataset
+	var err error
 	if data == "" {
-		return fmt.Errorf("-data is required")
-	}
-	f, err := os.Open(data)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	d, err := dataset.ReadCSV(f)
-	if err != nil {
-		return err
+		if !quick {
+			return nil, fmt.Errorf("-data is required (or pass -quick)")
+		}
+		if d, err = repro.GeneratePerformanceDataset(seed); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if d, err = dataset.ReadCSV(f); err != nil {
+			return nil, err
+		}
 	}
 	if operator != "" {
 		d = d.WhereTag(dataset.TagOperator, operator)
@@ -64,11 +126,24 @@ func run(data, response, strategyName, operator string, np float64, iters int,
 	}
 	if logT {
 		if err := d.LogVar(dataset.VarSize); err != nil {
-			return err
+			return nil, err
 		}
 		if err := d.LogResp(response); err != nil {
-			return err
+			return nil, err
 		}
+	}
+	return d, nil
+}
+
+func run(data, response, strategyName, operator string, np float64, iters int,
+	floor float64, nInitial int, testFrac float64, seed int64, logT bool, budget float64,
+	quick bool) error {
+	d, err := loadDataset(data, response, operator, np, logT, quick, seed)
+	if err != nil {
+		return err
+	}
+	if quick && iters > 15 {
+		iters = 15 // keep the in-process demonstration short
 	}
 	fmt.Printf("dataset: %d jobs after filtering\n", d.Len())
 

@@ -16,6 +16,7 @@ import (
 	"repro"
 	"repro/internal/hpgmg"
 	"repro/internal/multigrid"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -85,4 +86,9 @@ func main() {
 		p := res.Final.Predict([]float64{math.Log10(size), float64(maxWorkers)})
 		fmt.Printf("  size=%7.0f workers=%d: %.3f ± %.3f\n", size, maxWorkers, p.Mean, 2*p.SD)
 	}
+
+	// The obs digest shows the modelling overhead next to the live
+	// experiment time (al.experiment spans); see OBSERVABILITY.md.
+	fmt.Println()
+	fmt.Println(obs.Brief())
 }

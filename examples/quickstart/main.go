@@ -10,6 +10,7 @@ import (
 
 	"repro"
 	"repro/internal/asciiplot"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -73,4 +74,9 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(asciiplot.Series(rmses, 64, 10, "test RMSE per AL iteration"))
+
+	// 7. What did all that cost? One line from the observability layer
+	//    (see OBSERVABILITY.md): GP fits, Cholesky calls, pool scans.
+	fmt.Println()
+	fmt.Println(obs.Brief())
 }

@@ -1,0 +1,44 @@
+// Package al implements the paper's Active Learning framework for
+// performance analysis: pool-based experiment selection driven by the
+// predictive distribution of a Gaussian process regressor. It reproduces
+// the core loop of §IV–§V and the trajectories of Figs. 6–8.
+//
+// Two selection strategies are the paper's focus (§V-B):
+//
+//   - VarianceReduction picks the pool point with the highest predictive
+//     standard deviation — pure uncertainty reduction (Fig. 6);
+//   - CostEfficiency maximizes σ − μ on log-transformed responses
+//     (Eq. 14), i.e. the variance/cost ratio, preferring cheap
+//     experiments that still carry information (Fig. 8's 38% headline).
+//
+// Random selection and the EMCM method of Cai et al. (the baseline the
+// paper argues against, §III) are provided for comparison, plus
+// Thompson-style sampling, continuous candidate optimization, and the
+// kriging-believer batch selection of the §VI future work.
+//
+// # Key types
+//
+//   - Strategy / ModelAwareStrategy: acquisition rules over Candidate
+//     scores.
+//   - LoopConfig / Run: one AL realization over a dataset Partition
+//     (Initial seeds, Active pool, Test RMSE); IterationRecord carries
+//     the §V-B3 monitoring quantities per step.
+//   - RunOnline: the same loop against a live Oracle (§VI) instead of a
+//     recorded dataset.
+//   - BatchSelect / RunParallel: batched selection with simulated
+//     scheduler accounting (ablation A4).
+//
+// # Observability
+//
+// Run and RunOnline open one "al.iteration" span per step with
+// "al.model.update", "al.score" and "al.select" children, and feed the
+// al.* counters; see OBSERVABILITY.md for the full catalog.
+//
+// # Concurrency contract
+//
+// Strategies are stateless values and safe for concurrent use. Run,
+// RunOnline, RunParallel and the config/result structs are not
+// goroutine-safe: each realization owns its *rand.Rand and dataset
+// partition, so run concurrent realizations with separate arguments
+// (as al.RunBatch does internally).
+package al

@@ -1,6 +1,7 @@
 package al
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,7 +10,20 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gp"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/stats"
+)
+
+// AL-loop metrics (see OBSERVABILITY.md). Each iteration of Run and
+// RunOnline opens an "al.iteration" span with "al.model.update",
+// "al.score" and "al.select" children; the counters tally work volumes
+// the spans do not capture.
+var (
+	candidatesEvaluated = obs.C("al.candidates.evaluated")
+	refits              = obs.C("al.refit.count")
+	conditionUpdates    = obs.C("al.condition.count")
+	experiments         = obs.C("al.experiments.count")
+	poolSize            = obs.G("al.pool.size")
 )
 
 // LoopConfig drives one Active Learning realization over a partitioned
@@ -156,17 +170,22 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 	var amsdHist []float64
 	var lastX []float64
 	var lastY float64
+	ctx := context.Background()
 
 	for iter := 1; iter <= maxIter; iter++ {
 		if len(pool) == 0 {
 			break
 		}
+		iterCtx, iterSpan := obs.Start(ctx, "al.iteration")
+		iterSpan.SetAttr("iter", iter)
 		floor := c.NoiseFloor
 		if c.DynamicFloorC > 0 {
 			floor = gp.DynamicNoiseFloor(c.DynamicFloorC, len(train))
 		}
 		reopt := model == nil || (iter-1)%c.ReoptimizeEvery == 0
+		updateCtx, updateSpan := obs.Start(iterCtx, "al.model.update")
 		if reopt {
+			refits.Inc()
 			gcfg := gp.Config{
 				Kernel:     c.NewKernel(dims),
 				NoiseInit:  math.Max(0.1, floor),
@@ -180,17 +199,20 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
 				gcfg.NoiseInit = math.Max(model.Noise(), floor)
 			}
-			model, err = gp.Fit(gcfg, ds.Matrix(train), ds.RespVec(c.Response, train), rng)
+			model, err = gp.FitCtx(updateCtx, gcfg, ds.Matrix(train), ds.RespVec(c.Response, train), rng)
 		} else {
 			// Between refits, condition on the new observation with the
 			// O(n²) bordered-Cholesky update instead of refitting.
+			conditionUpdates.Inc()
 			model, err = model.Condition(lastX, lastY)
 		}
+		updateSpan.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("al: iteration %d: %w", iter, err)
 		}
 
 		// Score the pool.
+		_, scoreSpan := obs.Start(iterCtx, "al.score")
 		poolX := ds.Matrix(pool)
 		preds := model.PredictBatch(poolX)
 		cands := make([]Candidate, len(pool))
@@ -200,12 +222,18 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 			amsd += preds[i].SD
 		}
 		amsd /= float64(len(pool))
+		scoreSpan.End()
+		candidatesEvaluated.Add(int64(len(pool)))
+		poolSize.Set(float64(len(pool)))
 
+		_, selectSpan := obs.Start(iterCtx, "al.select")
 		sel := selectCandidate(c.Strategy, model, cands, rng)
+		selectSpan.End()
 		if sel < 0 || sel >= len(cands) {
 			return Result{}, fmt.Errorf("al: strategy %s returned invalid index %d", c.Strategy.Name(), sel)
 		}
 		chosen := cands[sel]
+		experiments.Inc()
 		train = append(train, chosen.Row)
 		cumCost += ds.CostAt(chosen.Row)
 		lastX = append([]float64(nil), chosen.X...)
@@ -235,6 +263,7 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 			Noise:    model.Noise(),
 			Train:    len(train),
 		})
+		iterSpan.End()
 
 		// Budget exhaustion (§I's fixed-allocation constraint).
 		if c.CostBudget > 0 && cumCost >= c.CostBudget {

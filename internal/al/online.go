@@ -1,6 +1,7 @@
 package al
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/gp"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -56,22 +58,26 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 	var trainX [][]float64
 	var trainY []float64
 	var cumCost float64
-	runAt := func(row int) error {
+	runAt := func(ctx context.Context, row int) error {
+		_, span := obs.Start(ctx, "al.experiment")
+		defer span.End()
 		x := append([]float64(nil), candidates.RawRow(row)...)
 		y, cost, err := oracle.RunExperiment(x)
 		if err != nil {
 			return fmt.Errorf("al: oracle at row %d: %w", row, err)
 		}
+		experiments.Inc()
 		trainX = append(trainX, x)
 		trainY = append(trainY, y)
 		cumCost += cost
 		return nil
 	}
+	ctx := context.Background()
 	for _, s := range seeds {
 		if s < 0 || s >= candidates.Rows() {
 			return Result{}, fmt.Errorf("al: seed index %d out of range %d", s, candidates.Rows())
 		}
-		if err := runAt(s); err != nil {
+		if err := runAt(ctx, s); err != nil {
 			return Result{}, err
 		}
 	}
@@ -80,12 +86,16 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 	var model *gp.GP
 	var amsdHist []float64
 	for iter := 1; iter <= maxIter; iter++ {
+		iterCtx, iterSpan := obs.Start(ctx, "al.iteration")
+		iterSpan.SetAttr("iter", iter)
 		floor := c.NoiseFloor
 		if c.DynamicFloorC > 0 {
 			floor = gp.DynamicNoiseFloor(c.DynamicFloorC, len(trainY))
 		}
 		reopt := model == nil || (iter-1)%c.ReoptimizeEvery == 0
+		updateCtx, updateSpan := obs.Start(iterCtx, "al.model.update")
 		if reopt {
+			refits.Inc()
 			gcfg := gp.Config{
 				Kernel:     c.NewKernel(dims),
 				NoiseInit:  math.Max(0.1, floor),
@@ -98,16 +108,19 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
 				gcfg.NoiseInit = math.Max(model.Noise(), floor)
 			}
-			model, err = gp.Fit(gcfg, mat.NewFromRows(trainX), trainY, rng)
+			model, err = gp.FitCtx(updateCtx, gcfg, mat.NewFromRows(trainX), trainY, rng)
 		} else {
 			// O(n²) conditioning on the newest measurement.
+			conditionUpdates.Inc()
 			last := len(trainY) - 1
 			model, err = model.Condition(trainX[last], trainY[last])
 		}
+		updateSpan.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("al: online iteration %d: %w", iter, err)
 		}
 
+		_, scoreSpan := obs.Start(iterCtx, "al.score")
 		preds := model.PredictBatch(candidates)
 		cands := make([]Candidate, candidates.Rows())
 		var amsd float64
@@ -116,12 +129,17 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 			amsd += preds[i].SD
 		}
 		amsd /= float64(len(cands))
+		scoreSpan.End()
+		candidatesEvaluated.Add(int64(len(cands)))
+		poolSize.Set(float64(len(cands)))
 
+		_, selectSpan := obs.Start(iterCtx, "al.select")
 		sel := selectCandidate(c.Strategy, model, cands, rng)
+		selectSpan.End()
 		if sel < 0 || sel >= len(cands) {
 			return Result{}, fmt.Errorf("al: strategy %s returned invalid index %d", c.Strategy.Name(), sel)
 		}
-		if err := runAt(cands[sel].Row); err != nil {
+		if err := runAt(iterCtx, cands[sel].Row); err != nil {
 			return Result{}, err
 		}
 
@@ -137,6 +155,7 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 			Train:    len(trainY),
 		})
 		res.TrainRows = append(res.TrainRows, cands[sel].Row)
+		iterSpan.End()
 
 		amsdHist = append(amsdHist, amsd)
 		if c.ConvergeWindow > 0 && len(amsdHist) > c.ConvergeWindow {

@@ -1,17 +1,3 @@
-// Package al implements the paper's Active Learning framework for
-// performance analysis: pool-based experiment selection driven by the
-// predictive distribution of a Gaussian process regressor.
-//
-// Two selection strategies are the paper's focus (§V-B):
-//
-//   - VarianceReduction picks the pool point with the highest predictive
-//     standard deviation — pure uncertainty reduction;
-//   - CostEfficiency maximizes σ − μ on log-transformed responses
-//     (Eq. 14), i.e. the variance/cost ratio, preferring cheap
-//     experiments that still carry information.
-//
-// Random selection and the EMCM method of Cai et al. (the baseline the
-// paper argues against, §III) are provided for comparison.
 package al
 
 import (

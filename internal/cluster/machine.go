@@ -1,20 +1,21 @@
-// Package cluster simulates the hardware substrate the paper measured on:
-// a small CloudLab-style cluster of dual-socket Haswell nodes with DVFS,
-// a roofline-flavoured execution-time model, a node-level power model, and
-// an IPMI-style power-trace sampler with dropout from which per-job energy
-// is estimated by numerical integration (§IV-A).
-//
-// Active Learning and GPR never see the hardware directly — only (X, y)
-// samples — so what matters is that the simulated runtime/energy surfaces
-// have the qualitative structure of the real ones: runtime linear in
-// problem size on a log–log scale, strong-scaling efficiency losses with
-// process count, power rising superlinearly with frequency, and
-// heteroscedastic measurement noise.
 package cluster
 
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
+)
+
+// Simulation metrics (see OBSERVABILITY.md): how many simulated
+// executions and power readings the substrate served — the "experiments"
+// whose cost the AL machinery is meant to amortize.
+var (
+	simulatedRuns   = obs.C("cluster.exec.count")
+	powerSamples    = obs.C("cluster.power.samples")
+	powerTraces     = obs.C("cluster.power.traces")
+	energyEstimates = obs.C("cluster.energy.estimates")
+	sparseTraces    = obs.C("cluster.trace.sparse")
 )
 
 // NodeSpec describes one physical machine. The default mirrors the
@@ -134,6 +135,7 @@ func (n NodeSpec) ExecTime(w Work, p Placement, freqGHz float64) (float64, error
 	if p.Total <= 0 {
 		return 0, fmt.Errorf("cluster: empty placement")
 	}
+	simulatedRuns.Inc()
 	coresTotal := float64(p.Total)
 	tCompute := w.Flops / (coresTotal * freqGHz * 1e9 * n.FlopsPerCycle)
 

@@ -66,6 +66,8 @@ func SampleTraceFunc(rng *rand.Rand, durationS float64, watts func(t float64) fl
 		}
 		out = append(out, PowerSample{T: t, Watts: w})
 	}
+	powerTraces.Inc()
+	powerSamples.Add(int64(len(out)))
 	return out
 }
 
@@ -83,6 +85,7 @@ func EnergyFromTrace(samples []PowerSample, durationS float64) (float64, error) 
 		need = 2
 	}
 	if len(samples) < need {
+		sparseTraces.Inc()
 		return 0, ErrTraceTooSparse
 	}
 	ts := make([]float64, 0, len(samples)+2)
@@ -102,5 +105,6 @@ func EnergyFromTrace(samples []PowerSample, durationS float64) (float64, error) 
 		ts = append(ts, durationS)
 		ws = append(ws, ws[len(ws)-1])
 	}
+	energyEstimates.Inc()
 	return stats.Trapezoid(ts, ws), nil
 }

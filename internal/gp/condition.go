@@ -21,6 +21,7 @@ func (g *GP) Condition(x []float64, y float64) (*GP, error) {
 	if len(x) != g.x.Cols() {
 		return nil, fmt.Errorf("gp: Condition dim %d, model trained on %d", len(x), g.x.Cols())
 	}
+	conditionOps.Inc()
 	n := g.x.Rows()
 
 	// Border of the covariance matrix: b_i = k(x, x_i), c = k(x,x)+σn².

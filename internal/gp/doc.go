@@ -1,0 +1,42 @@
+// Package gp implements Gaussian Process Regression (GPR) as used by the
+// paper (§III): a Bayesian regressor returning a full predictive
+// distribution — mean and variance — at every input point, with
+// hyperparameters fit by gradient ascent on the log marginal likelihood
+// (LML, Eq. 12–13) under configurable noise-level bounds. It reproduces
+// the 1-D/2-D fits of Figs. 3 and 5 and the LML landscapes of Fig. 4.
+//
+// The noise lower bound is load-bearing: §V-B4 (Fig. 7) shows that with
+// σn allowed down to 1e-8 small training sets overfit (the GP believes
+// its data are noise-free and the AL loop collapses), while σn ≥ 1e-1
+// restores sane behaviour. Both the fixed floor and the paper's proposed
+// dynamic c/√N floor (DynamicNoiseFloor) are provided.
+//
+// # Key types
+//
+//   - Config / Fit / FitCtx: model construction and LML fitting with
+//     multi-restart L-BFGS; FitCtx only threads an observability
+//     context.
+//   - GP: the fitted model — Predict/PredictBatch for the posterior,
+//     Condition for the O(n²) bordered-Cholesky online update,
+//     Augmented for the general retrain path, LMLAt for landscapes.
+//   - FitLOOCV: leave-one-out pseudo-likelihood model selection, the
+//     §III comparison the paper defers (ablation A3).
+//   - FitSparse: inducing-point approximation for the scaling study
+//     (ablation A5).
+//
+// # Observability
+//
+// Fits open "gp.fit" spans (with a "gp.hyperopt" child covering the
+// optimizer); gp.lml.evals, gp.condition.ops and gp.predict.* count the
+// high-frequency work. See OBSERVABILITY.md.
+//
+// # Concurrency contract
+//
+// A fitted *GP is immutable through its exported query methods
+// (Predict, PredictBatch, LML, Noise, …) and safe for concurrent
+// readers, with two exceptions: LMLAt temporarily mutates kernel
+// hyperparameters and must not race with anything, and mutating the
+// value returned by Kernel or TrainX invalidates the model. Fit,
+// Condition and Augmented construct fresh models and may run
+// concurrently with each other when given distinct inputs.
+package gp

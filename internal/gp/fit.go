@@ -1,12 +1,14 @@
 package gp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 )
 
@@ -50,6 +52,7 @@ func (g *GP) hyperBounds() []optimize.Bounds {
 // with ∂Ky/∂log σn = 2σn² I. Non-PD covariance evaluates to +Inf so the
 // line search backs off rather than aborting.
 func (g *GP) negLML(theta []float64, grad []float64) float64 {
+	lmlEvals.Inc()
 	saved := g.hyperVector()
 	defer g.setHyperVector(saved)
 	g.setHyperVector(theta)
@@ -112,11 +115,13 @@ func (g *GP) negLML(theta []float64, grad []float64) float64 {
 
 // optimizeHypers maximizes the LML over [kernel θ, log σn] with
 // multi-restart L-BFGS inside the configured bounds (Eq. 13).
-func (g *GP) optimizeHypers(rng *rand.Rand) error {
+func (g *GP) optimizeHypers(ctx context.Context, rng *rand.Rand) error {
 	bounds := g.hyperBounds()
 	if len(bounds) == 0 {
 		return nil // Fixed kernel and fixed noise: nothing to do.
 	}
+	_, span := obs.Start(ctx, "gp.hyperopt")
+	defer span.End()
 	restarts := g.cfg.Restarts
 	if rng == nil {
 		restarts = 0

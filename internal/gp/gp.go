@@ -1,17 +1,7 @@
-// Package gp implements Gaussian Process Regression (GPR) as used by the
-// paper (§III): a Bayesian regressor returning a full predictive
-// distribution — mean and variance — at every input point, with
-// hyperparameters fit by gradient ascent on the log marginal likelihood
-// (LML, Eq. 12–13) under configurable noise-level bounds.
-//
-// The noise lower bound is load-bearing: §V-B4 shows that with σn allowed
-// down to 1e-8 small training sets overfit (the GP believes its data are
-// noise-free and the AL loop collapses), while σn ≥ 1e-1 restores sane
-// behaviour. Both the fixed floor and the paper's proposed dynamic
-// 1/√N floor are provided.
 package gp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +10,17 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// Fit/refit metrics (see OBSERVABILITY.md): spans cover whole fits and
+// the hyperparameter search inside them; the counters below tally the
+// cheap high-frequency operations a span per call would distort.
+var (
+	lmlEvals       = obs.C("gp.lml.evals")
+	conditionOps   = obs.C("gp.condition.ops")
+	predictBatches = obs.C("gp.predict.batches")
+	predictPoints  = obs.C("gp.predict.points")
 )
 
 // Default noise bounds (standard deviations, not variances).
@@ -129,6 +130,18 @@ var ErrNoData = errors.New("gp: no training data")
 // optimizing hyperparameters when cfg.Optimize is set. rng seeds the
 // optimizer restarts and may be nil when Optimize is false or Restarts is 0.
 func Fit(cfg Config, x *mat.Dense, y []float64, rng *rand.Rand) (*GP, error) {
+	return FitCtx(context.Background(), cfg, x, y, rng)
+}
+
+// FitCtx is Fit with a context used only for observability: the fit's
+// "gp.fit" span nests under any span already carried by ctx (e.g. the
+// AL loop's "al.model.update"). ctx does not cancel the fit.
+func FitCtx(ctx context.Context, cfg Config, x *mat.Dense, y []float64, rng *rand.Rand) (*GP, error) {
+	ctx, span := obs.Start(ctx, "gp.fit")
+	defer span.End()
+	if x != nil {
+		span.SetAttr("n", x.Rows())
+	}
 	if cfg.Kernel == nil {
 		return nil, errors.New("gp: Config.Kernel is required")
 	}
@@ -165,7 +178,7 @@ func Fit(cfg Config, x *mat.Dense, y []float64, rng *rand.Rand) (*GP, error) {
 	g.logSN = math.Log(clamp(c.NoiseInit, c.NoiseFloor, c.NoiseCeil))
 
 	if c.Optimize {
-		if err := g.optimizeHypers(rng); err != nil {
+		if err := g.optimizeHypers(ctx, rng); err != nil {
 			return nil, err
 		}
 	}

@@ -61,6 +61,8 @@ func (g *GP) PredictBatch(xs *mat.Dense) []Prediction {
 		panic(fmt.Sprintf("gp: PredictBatch dim %d, model trained on %d", xs.Cols(), g.x.Cols()))
 	}
 	m := xs.Rows()
+	predictBatches.Inc()
+	predictPoints.Add(int64(m))
 	out := make([]Prediction, m)
 	// Cross-covariance computed in one pass: K* is m x n.
 	kstar := kernel.CrossMatrix(g.kern, xs, g.x)

@@ -1,12 +1,3 @@
-// Package kernel implements covariance functions for Gaussian process
-// regression, together with analytic gradients with respect to
-// log-hyperparameters, as required for Bayesian model selection by gradient
-// ascent on the log marginal likelihood (Rasmussen & Williams ch. 5; paper
-// §III).
-//
-// All hyperparameters are exposed in log space: positivity is automatic and
-// gradient ascent is much better conditioned when length scales and
-// amplitudes span orders of magnitude, as they do for performance data.
 package kernel
 
 import (

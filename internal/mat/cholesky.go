@@ -4,6 +4,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Factorization metrics: every Cholesky — the O(n³) inner kernel of each
+// GP fit, LML evaluation and refit — counts itself, so the AL loop's
+// linear-algebra bill is visible end to end (see OBSERVABILITY.md).
+var (
+	choleskyCount    = obs.C("mat.cholesky.count")
+	choleskyDur      = obs.T("mat.cholesky.duration")
+	choleskySize     = obs.H("mat.cholesky.size", 16, 64, 256, 1024, 4096)
+	choleskyParCount = obs.C("mat.cholesky.parallel.count")
 )
 
 // ErrNotPositiveDefinite is returned when a Cholesky factorization
@@ -25,6 +38,10 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", a.rows, a.cols))
 	}
 	n := a.rows
+	choleskyCount.Inc()
+	choleskySize.Observe(float64(n))
+	start := time.Now()
+	defer func() { choleskyDur.Observe(time.Since(start).Seconds()) }()
 	l := New(n, n)
 	for i := 0; i < n; i++ {
 		lrow := l.data[i*n : (i+1)*n]

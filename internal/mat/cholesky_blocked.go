@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // defaultBlock is the panel width of the blocked factorization; sized so
@@ -32,6 +33,11 @@ func NewCholeskyParallel(a *Dense, nb int) (*Cholesky, error) {
 	if n <= 2*nb {
 		return NewCholesky(a)
 	}
+	choleskyCount.Inc()
+	choleskyParCount.Inc()
+	choleskySize.Observe(float64(n))
+	startT := time.Now()
+	defer func() { choleskyDur.Observe(time.Since(startT).Seconds()) }()
 	w := a.Clone() // factorize in place on a working copy
 	d := w.data
 	workers := runtime.GOMAXPROCS(0)

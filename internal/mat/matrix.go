@@ -1,8 +1,3 @@
-// Package mat provides the dense linear algebra used throughout the
-// repository: matrices, vectors, goroutine-parallel products, Cholesky
-// factorization, and triangular solves. It is a deliberately small,
-// stdlib-only kernel sized for Gaussian-process workloads (dense symmetric
-// positive-definite systems with a few thousand unknowns).
 package mat
 
 import (

@@ -1,0 +1,44 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// process-global metrics registry, span-style tracing, and a JSONL event
+// sink. It exists because the paper's argument is economic — Active
+// Learning pays off only when model fitting and point selection cost far
+// less than the experiments they avoid — so every hot path (GP fits,
+// Cholesky factorizations, AL iterations, scheduler events, power
+// sampling) reports where its time goes. OBSERVABILITY.md at the
+// repository root catalogs the metric and span names each package emits.
+//
+// # Metrics
+//
+// Three metric kinds live in a Registry, each get-or-created by name:
+//
+//   - Counter: monotone int64 (obs.C("mat.cholesky.count").Inc())
+//   - Gauge: last-value float64 (obs.G("al.pool.size").Set(128))
+//   - Histogram: fixed-bucket distribution with count/sum/min/max;
+//     obs.T(name) is a histogram with duration buckets in seconds.
+//
+// The package-level helpers C, G, H and T use the Default registry,
+// which instrumented packages cache in package-level vars so the hot
+// path is a single atomic add. Registry.Snapshot, WriteJSONL and
+// WriteSummary export the state; ReadJSONL parses it back.
+//
+// # Spans
+//
+// obs.Start(ctx, "gp.fit") opens a timed region; the returned context
+// carries the span so nested Start calls record parent/child structure.
+// Span.End records `<name>.duration` and `<name>.count` in the Default
+// registry and, when a sink is installed, one JSONL line per span.
+//
+// # Sink
+//
+// SetSink(w) streams span and event records to w as JSON lines;
+// DumpMetrics appends a final metric line per registered metric. The
+// `-metrics` flag of cmd/alrun and cmd/alrepro wires this to a file.
+//
+// # Concurrency contract
+//
+// Counter, Gauge, Histogram and Registry are safe for concurrent use by
+// any number of goroutines. A Span is owned by the goroutine that
+// started it: SetAttr and End must not race. SetSink may be called
+// concurrently with emission; records are serialized under an internal
+// mutex.
+package obs

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric, safe for
+// concurrent use. The zero value is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n may be any non-negative value;
+// negative deltas are ignored to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric, safe for concurrent use. The
+// zero value is ready and reads as 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v as the current gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the most recently set value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultTimerBounds are the fixed histogram bucket upper bounds (in
+// seconds) used by Registry.Timer: exponential from 1 µs to 10 s, wide
+// enough for both a single Cholesky pivot sweep and a full GP refit.
+var DefaultTimerBounds = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// DefaultHistogramBounds are the generic value buckets used when a
+// histogram is created without explicit bounds.
+var DefaultHistogramBounds = []float64{
+	0.001, 0.01, 0.1, 1, 10, 100, 1e3, 1e4,
+}
+
+// Histogram is a fixed-bucket histogram with running count, sum, min and
+// max, safe for concurrent use. Buckets are cumulative-style upper
+// bounds; observations above the last bound land in an overflow bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64 // math.Float64bits(+Inf) initially
+	maxBits atomic.Uint64 // math.Float64bits(-Inf) initially
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultHistogramBounds
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the arithmetic mean of observations (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return math.NaN()
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation (+Inf when empty).
+func (h *Histogram) Min() float64 { return math.Float64frombits(h.minBits.Load()) }
+
+// Max returns the largest observation (-Inf when empty).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Bounds returns the bucket upper bounds (aliased; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a copy of the per-bucket counts; the final entry
+// is the overflow bucket (observations above the last bound).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// atomicAddFloat adds delta to the float64 stored in bits via a CAS loop.
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Registry is a namespace of metrics, each get-or-created by name on
+// first use and safe for concurrent access from any goroutine.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-global registry used by the package-level
+// helpers and by the repository's instrumented packages.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use (DefaultHistogramBounds when
+// none are supplied). Bounds of an existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Timer returns a histogram with DefaultTimerBounds, intended for
+// durations observed in seconds.
+func (r *Registry) Timer(name string) *Histogram {
+	return r.Histogram(name, DefaultTimerBounds...)
+}
+
+// Reset zeroes every registered metric in place. Metrics stay
+// registered, so pointers cached in package-level vars (the instrumented
+// packages' fast path) keep feeding the same registry entries; intended
+// for tests and benchmark isolation.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sumBits.Store(0)
+		h.minBits.Store(math.Float64bits(math.Inf(1)))
+		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	}
+}
+
+// C returns (creating if needed) a counter in the Default registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns (creating if needed) a gauge in the Default registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns (creating if needed) a histogram in the Default registry.
+func H(name string, bounds ...float64) *Histogram { return Default.Histogram(name, bounds...) }
+
+// T returns (creating if needed) a duration histogram in the Default
+// registry.
+func T(name string) *Histogram { return Default.Timer(name) }

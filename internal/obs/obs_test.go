@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge and one
+// histogram from many goroutines; run with -race this is the package's
+// concurrency contract check.
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("c")
+			g := reg.Gauge("g")
+			h := reg.Histogram("h", 1, 10, 100)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 150))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := reg.Histogram("h")
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var bucketSum int64
+	for _, b := range h.BucketCounts() {
+		bucketSum += b
+	}
+	if bucketSum != h.Count() {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 149 {
+		t.Errorf("min/max = %g/%g, want 0/149", h.Min(), h.Max())
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5 (negative deltas ignored)", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 105.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	want := []int64{1, 1, 1, 1} // one per bucket incl. overflow
+	for i, b := range h.BucketCounts() {
+		if b != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, b, want[i])
+		}
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 4 {
+		t.Errorf("NaN observation changed count to %d", h.Count())
+	}
+}
+
+// TestSpanNesting checks that contexts thread parent/child structure
+// and that ending a span feeds the duration and count metrics.
+func TestSpanNesting(t *testing.T) {
+	Default.Reset()
+	var buf bytes.Buffer
+	SetSink(&buf)
+	defer SetSink(nil)
+
+	ctx, root := Start(context.Background(), "outer")
+	ctx2, child := Start(ctx, "inner")
+	_, grand := Start(ctx2, "leaf")
+	if FromContext(ctx2) != child {
+		t.Fatal("context does not carry the innermost span")
+	}
+	grand.SetAttr("k", 42)
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+
+	if got := C("outer.count").Value(); got != 1 {
+		t.Errorf("outer.count = %d, want 1", got)
+	}
+	if T("leaf.duration").Count() != 1 {
+		t.Error("leaf.duration histogram empty")
+	}
+	if d := T("leaf.duration").Sum(); d <= 0 {
+		t.Errorf("leaf duration = %g, want > 0", d)
+	}
+
+	spans, err := ReadJSONLSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("sink has %d spans, want 3", len(spans))
+	}
+	// Spans end innermost-first.
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["leaf"].Parent != "inner" || byName["leaf"].Depth != 2 {
+		t.Errorf("leaf span = %+v, want parent=inner depth=2", byName["leaf"])
+	}
+	if byName["inner"].Parent != "outer" || byName["inner"].Depth != 1 {
+		t.Errorf("inner span = %+v, want parent=outer depth=1", byName["inner"])
+	}
+	if byName["outer"].Parent != "" || byName["outer"].Depth != 0 {
+		t.Errorf("outer span = %+v, want root", byName["outer"])
+	}
+	if v, ok := byName["leaf"].Attrs["k"]; !ok || v.(float64) != 42 {
+		t.Errorf("leaf attrs = %v, want k=42", byName["leaf"].Attrs)
+	}
+}
+
+func TestSpanDoubleEndRecordsOnce(t *testing.T) {
+	Default.Reset()
+	_, sp := Start(context.Background(), "once")
+	sp.End()
+	sp.End()
+	if got := C("once.count").Value(); got != 1 {
+		t.Errorf("once.count = %d after double End, want 1", got)
+	}
+}
+
+// TestJSONLRoundTrip dumps a registry and parses it back.
+func TestJSONLRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs").Add(7)
+	reg.Gauge("util").Set(0.5)
+	h := reg.Timer("fit.duration")
+	h.Observe(0.002)
+	h.Observe(0.2)
+	reg.Histogram("empty") // no observations: ±Inf min/max must not break JSON
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if len(byName) != 4 {
+		t.Fatalf("round-trip has %d metrics, want 4", len(byName))
+	}
+	if m := byName["jobs"]; m.Type != "counter" || m.Value != 7 {
+		t.Errorf("jobs = %+v", m)
+	}
+	if m := byName["util"]; m.Type != "gauge" || m.Value != 0.5 {
+		t.Errorf("util = %+v", m)
+	}
+	m := byName["fit.duration"]
+	if m.Type != "histogram" || m.Count != 2 || m.Min != 0.002 || m.Max != 0.2 {
+		t.Errorf("fit.duration = %+v", m)
+	}
+	var bucketSum int64
+	for _, b := range m.Bucket {
+		bucketSum += b
+	}
+	if bucketSum != 2 || len(m.Bucket) != len(m.Bounds)+1 {
+		t.Errorf("buckets %v over bounds %v", m.Bucket, m.Bounds)
+	}
+}
+
+func TestEmitAndDumpMetrics(t *testing.T) {
+	Default.Reset()
+	var buf bytes.Buffer
+	SetSink(&buf)
+	defer SetSink(nil)
+
+	Emit("job.end", map[string]any{"state": "COMPLETED"})
+	C("n").Inc()
+	DumpMetrics()
+
+	out := buf.String()
+	if !strings.Contains(out, `"t":"event"`) || !strings.Contains(out, "job.end") {
+		t.Errorf("sink missing event line: %q", out)
+	}
+	snaps, err := ReadJSONL(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range snaps {
+		if s.Name == "n" && s.Type == "counter" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dumped metrics missing n=1: %+v", snaps)
+	}
+}
+
+func TestSummaryAndBrief(t *testing.T) {
+	Default.Reset()
+	C("gp.fit.count").Add(3)
+	T("gp.fit.duration").Observe(0.5)
+	s := Summary()
+	if !strings.Contains(s, "gp.fit.count") || !strings.Contains(s, "bucket occupancy") {
+		t.Errorf("summary missing content:\n%s", s)
+	}
+	b := Brief()
+	if !strings.Contains(b, "obs:") || !strings.Contains(b, "gp.fit.count=3") {
+		t.Errorf("brief = %q", b)
+	}
+
+	var sb strings.Builder
+	if err := NewRegistry().WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no metrics recorded") {
+		t.Errorf("empty summary = %q", sb.String())
+	}
+}
+
+// TestResetZeroesInPlace is the contract the instrumented packages rely
+// on: package-level metric pointers keep feeding the registry across a
+// Reset.
+func TestResetZeroesInPlace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	h := reg.Histogram("h", 1, 2)
+	c.Add(5)
+	h.Observe(1.5)
+	reg.Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Errorf("after Reset: counter=%d hist=%d, want 0/0", c.Value(), h.Count())
+	}
+	c.Inc()
+	h.Observe(0.5)
+	if reg.Counter("x") != c {
+		t.Fatal("Reset dropped the registered counter identity")
+	}
+	snapCount := 0
+	for _, m := range reg.Snapshot() {
+		if m.Name == "x" && m.Value == 1 {
+			snapCount++
+		}
+		if m.Name == "h" && m.Count == 1 {
+			snapCount++
+		}
+	}
+	if snapCount != 2 {
+		t.Errorf("post-Reset updates not visible in snapshot: %+v", reg.Snapshot())
+	}
+}

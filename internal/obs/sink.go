@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The sink serializes span and event records as JSONL onto a single
+// writer. It is process-global (like the Default registry) so that deep
+// library code can emit without plumbing a handle through every call
+// chain; installing is cheap and the disabled fast path is one atomic
+// load.
+type sinkState struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+var sink atomic.Pointer[sinkState]
+
+// SetSink routes span and event records to w as JSON lines. A nil w
+// disables the sink (the default). The caller keeps ownership of w and
+// is responsible for closing it after the last emit.
+func SetSink(w io.Writer) {
+	if w == nil {
+		sink.Store(nil)
+		return
+	}
+	sink.Store(&sinkState{enc: json.NewEncoder(w)})
+}
+
+func sinkInstalled() bool { return sink.Load() != nil }
+
+func emitRecord(rec jsonlRecord) {
+	s := sink.Load()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Encoding errors (closed file, full disk) are deliberately dropped:
+	// observability must never fail the computation it observes.
+	_ = s.enc.Encode(rec)
+}
+
+func emitSpan(rec SpanRecord) {
+	emitRecord(jsonlRecord{T: "span", Span: &rec, AtUS: time.Now().UnixMicro()})
+}
+
+// Emit writes one free-form event record to the sink, if installed —
+// the JSONL line `{"t":"event","event":name,"attrs":...}`. Used for
+// point-in-time lifecycle facts (job submitted, trace rejected) that
+// have no duration.
+func Emit(name string, attrs map[string]any) {
+	if !sinkInstalled() {
+		return
+	}
+	emitRecord(jsonlRecord{T: "event", Event: name, Attrs: attrs, AtUS: time.Now().UnixMicro()})
+}
+
+// DumpMetrics appends a metric line per registered metric in the
+// Default registry to the sink, if installed. Call once at the end of a
+// run so the JSONL file carries both the trace and the final totals.
+func DumpMetrics() {
+	s := sink.Load()
+	if s == nil {
+		return
+	}
+	for _, m := range Default.Snapshot() {
+		emitRecord(jsonlRecord{T: "metric", MetricSnapshot: sanitizeSnapshot(m)})
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// MetricSnapshot is the serializable point-in-time state of one metric.
+// Counter and gauge snapshots carry Value; histogram snapshots carry
+// Count/Sum/Min/Max and the per-bucket tallies.
+type MetricSnapshot struct {
+	Name   string    `json:"name"`
+	Type   string    `json:"type"` // "counter" | "gauge" | "histogram"
+	Value  float64   `json:"value,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Bucket []int64   `json:"bucket,omitempty"`
+}
+
+// Snapshot returns the state of every registered metric, sorted by name
+// (histograms and scalars interleaved).
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, MetricSnapshot{Name: name, Type: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricSnapshot{Name: name, Type: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s := MetricSnapshot{
+			Name:   name,
+			Type:   "histogram",
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.Bounds()...),
+			Bucket: h.BucketCounts(),
+		}
+		if s.Count > 0 {
+			s.Min, s.Max = h.Min(), h.Max()
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// jsonlRecord is one line of the JSONL sink/dump format, discriminated
+// by T: "metric" lines embed a MetricSnapshot, "span" and "event" lines
+// carry the trace fields.
+type jsonlRecord struct {
+	T string `json:"t"`
+	MetricSnapshot
+	Span  *SpanRecord    `json:"span,omitempty"`
+	Event string         `json:"event,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	AtUS  int64          `json:"at_us,omitempty"`
+}
+
+// WriteJSONL dumps a snapshot of every registered metric as one JSON
+// object per line (the `{"t":"metric",...}` records of the sink format).
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, m := range r.Snapshot() {
+		m = sanitizeSnapshot(m)
+		if err := enc.Encode(jsonlRecord{T: "metric", MetricSnapshot: m}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// sanitizeSnapshot clears non-finite fields (empty-histogram ±Inf
+// min/max) that encoding/json cannot represent.
+func sanitizeSnapshot(m MetricSnapshot) MetricSnapshot {
+	if math.IsInf(m.Min, 0) || math.IsNaN(m.Min) {
+		m.Min = 0
+	}
+	if math.IsInf(m.Max, 0) || math.IsNaN(m.Max) {
+		m.Max = 0
+	}
+	return m
+}
+
+// ReadJSONL parses a JSONL stream (as produced by WriteJSONL or the
+// event sink) and returns the metric snapshots it contains, ignoring
+// span and event lines.
+func ReadJSONL(r io.Reader) ([]MetricSnapshot, error) {
+	var out []MetricSnapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: JSONL line %d: %w", line, err)
+		}
+		if rec.T == "metric" {
+			out = append(out, rec.MetricSnapshot)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadJSONLSpans parses a JSONL stream and returns the span records it
+// contains, ignoring metric and event lines.
+func ReadJSONLSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: JSONL line %d: %w", line, err)
+		}
+		if rec.T == "span" && rec.Span != nil {
+			out = append(out, *rec.Span)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanRecord is the serialized form of a finished span, one line of the
+// JSONL sink. Durations are microseconds so records stay integral.
+type SpanRecord struct {
+	Name    string         `json:"name"`
+	Parent  string         `json:"parent,omitempty"`
+	Depth   int            `json:"depth"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Span measures one timed region of execution. Spans nest through
+// contexts: Start derives the parent from ctx, so a span tree mirrors
+// the call tree wherever the context is threaded through. A Span is
+// owned by the goroutine that started it; End must be called exactly
+// once.
+type Span struct {
+	name   string
+	parent *Span
+	depth  int
+	start  time.Time
+	attrs  map[string]any
+	ended  bool
+}
+
+type spanKey struct{}
+
+// Start begins a span named name whose parent is the span carried by
+// ctx, if any. The returned context carries the new span; pass it to
+// callees whose spans should nest beneath this one. Ending the span
+// records `<name>.duration` (seconds) and `<name>.count` in the Default
+// registry and emits a span line to the sink when one is installed.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	sp := &Span{name: name, parent: parent, start: time.Now()}
+	if parent != nil {
+		sp.depth = parent.depth + 1
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// SetAttr attaches a key/value annotation that is emitted with the
+// span's sink record. Call only from the goroutine that owns the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// End finishes the span, records its duration and count in the Default
+// registry, emits a sink record when a sink is installed, and returns
+// the measured wall time. Calling End more than once records nothing
+// after the first call.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	T(s.name + ".duration").Observe(d.Seconds())
+	C(s.name + ".count").Inc()
+	if sinkInstalled() {
+		rec := SpanRecord{
+			Name:    s.name,
+			Depth:   s.depth,
+			StartUS: s.start.UnixMicro(),
+			DurUS:   d.Microseconds(),
+			Attrs:   s.attrs,
+		}
+		if s.parent != nil {
+			rec.Parent = s.parent.name
+		}
+		emitSpan(rec)
+	}
+	return d
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/asciiplot"
+)
+
+// WriteSummary renders a human-readable report of every metric in the
+// registry: scalars as an aligned table, histograms with count/mean/
+// min/max plus an asciiplot chart of the bucket occupancy, so a
+// terminal user can see at a glance where the run's time went.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	snaps := r.Snapshot()
+	if len(snaps) == 0 {
+		_, err := fmt.Fprintln(w, "obs: no metrics recorded")
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("== obs metrics ==\n")
+	wide := 0
+	for _, m := range snaps {
+		if len(m.Name) > wide {
+			wide = len(m.Name)
+		}
+	}
+	for _, m := range snaps {
+		switch m.Type {
+		case "counter":
+			fmt.Fprintf(&sb, "%-*s  %d\n", wide, m.Name, int64(m.Value))
+		case "gauge":
+			fmt.Fprintf(&sb, "%-*s  %g\n", wide, m.Name, m.Value)
+		}
+	}
+	for _, m := range snaps {
+		if m.Type != "histogram" {
+			continue
+		}
+		if m.Count == 0 {
+			fmt.Fprintf(&sb, "%-*s  (no observations)\n", wide, m.Name)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-*s  n=%d sum=%.4g mean=%.4g min=%.4g max=%.4g\n",
+			wide, m.Name, m.Count, m.Sum, m.Sum/float64(m.Count), m.Min, m.Max)
+		ys := make([]float64, len(m.Bucket))
+		for i, c := range m.Bucket {
+			ys[i] = float64(c)
+		}
+		sb.WriteString(asciiplot.Series(ys, 48, 5,
+			fmt.Sprintf("%s bucket occupancy (last = >%.3g)", m.Name, lastBound(m.Bounds))))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func lastBound(bounds []float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Summary renders the Default registry with WriteSummary.
+func Summary() string {
+	var sb strings.Builder
+	_ = Default.WriteSummary(&sb)
+	return sb.String()
+}
+
+// Brief returns a one-line digest of the Default registry — the headline
+// counters plus total time in the busiest timers — for examples and CLI
+// footers. Empty registry yields "obs: no metrics recorded".
+func Brief() string {
+	snaps := Default.Snapshot()
+	if len(snaps) == 0 {
+		return "obs: no metrics recorded"
+	}
+	type kv struct {
+		name string
+		text string
+		sum  float64
+	}
+	var counters, timers []kv
+	for _, m := range snaps {
+		switch {
+		case m.Type == "counter":
+			counters = append(counters, kv{m.Name, fmt.Sprintf("%s=%d", m.Name, int64(m.Value)), m.Value})
+		case m.Type == "histogram" && strings.HasSuffix(m.Name, ".duration") && m.Count > 0:
+			timers = append(timers, kv{m.Name, fmt.Sprintf("%s=%.3gs", strings.TrimSuffix(m.Name, ".duration"), m.Sum), m.Sum})
+		}
+	}
+	// Busiest timers first; keep the line short.
+	sort.Slice(timers, func(i, j int) bool { return timers[i].sum > timers[j].sum })
+	if len(timers) > 4 {
+		timers = timers[:4]
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].sum > counters[j].sum })
+	if len(counters) > 4 {
+		counters = counters[:4]
+	}
+	parts := make([]string, 0, 1+len(counters)+len(timers))
+	parts = append(parts, fmt.Sprintf("obs: %d metrics", len(snaps)))
+	for _, t := range timers {
+		parts = append(parts, t.text)
+	}
+	for _, c := range counters {
+		parts = append(parts, c.text)
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,13 +1,23 @@
-// Package sched simulates the SLURM batch environment the paper used to
-// run HPGMG-FE job sweeps (§IV): a discrete-event scheduler over a fixed
-// pool of nodes, FIFO with optional EASY backfill, producing per-job
-// accounting records equivalent to `sacct` output.
 package sched
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Job lifecycle metrics (see OBSERVABILITY.md). Times here are simulated
+// seconds, so wait/elapsed histograms use value buckets, not the
+// wall-clock timer buckets.
+var (
+	jobsSubmitted = obs.C("sched.jobs.submitted")
+	jobsCompleted = obs.C("sched.jobs.completed")
+	jobsTimeout   = obs.C("sched.jobs.timeout")
+	jobWait       = obs.H("sched.job.wait", 0, 1, 10, 60, 600, 3600, 36000)
+	jobElapsed    = obs.H("sched.job.elapsed", 1, 10, 60, 600, 3600, 36000)
+	makespan      = obs.G("sched.makespan")
 )
 
 // Policy selects the queueing discipline.
@@ -104,6 +114,10 @@ func (s *Scheduler) Submit(j Job) (int, error) {
 		j.EstimateS = 3600
 	}
 	s.pending = append(s.pending, j)
+	jobsSubmitted.Inc()
+	obs.Emit("sched.job.submit", map[string]any{
+		"id": j.ID, "name": j.Name, "np": j.NP, "submit_s": j.SubmitS,
+	})
 	return j.ID, nil
 }
 
@@ -217,7 +231,7 @@ func (s *Scheduler) Drain() []Record {
 		for _, r := range active {
 			if r.endS <= now {
 				freeCores += r.cores
-				records = append(records, Record{
+				rec := Record{
 					JobID:    r.job.ID,
 					Name:     r.job.Name,
 					NP:       r.job.NP,
@@ -229,6 +243,18 @@ func (s *Scheduler) Drain() []Record {
 					WaitS:    r.startS - r.job.SubmitS,
 					State:    r.state,
 					Meta:     r.job.Meta,
+				}
+				records = append(records, rec)
+				if rec.State == "TIMEOUT" {
+					jobsTimeout.Inc()
+				} else {
+					jobsCompleted.Inc()
+				}
+				jobWait.Observe(rec.WaitS)
+				jobElapsed.Observe(rec.ElapsedS)
+				obs.Emit("sched.job.end", map[string]any{
+					"id": rec.JobID, "name": rec.Name, "np": rec.NP,
+					"wait_s": rec.WaitS, "elapsed_s": rec.ElapsedS, "state": rec.State,
 				})
 			} else {
 				kept = append(kept, r)
@@ -236,5 +262,6 @@ func (s *Scheduler) Drain() []Record {
 		}
 		active = kept
 	}
+	makespan.Set(now)
 	return records
 }
