@@ -2,11 +2,15 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/gp"
 	"repro/internal/hpgmg"
+	"repro/internal/kernel"
+	"repro/internal/mat"
 	"repro/internal/multigrid"
 	"repro/internal/obs"
 )
@@ -197,6 +201,56 @@ func BenchmarkALIteration(b *testing.B) {
 		}
 	}
 	reportObs(b, before, sampleObs())
+}
+
+// BenchmarkALLoop isolates the model-update step of one AL iteration at a
+// large training size: the O(n³) from-scratch refit against the O(n²)
+// incremental UpdateWithPoint path used between hyperparameter refits.
+// The per-op cholesky work counts make the asymptotic difference visible
+// (refit: one full factorization; incremental: zero), and the ns/op ratio
+// is guarded by scripts/benchdiff via the speedup check recorded in
+// BENCH_baseline.json.
+func BenchmarkALLoop(b *testing.B) {
+	const n = 512
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float64, n+1)
+	ys := make([]float64, n+1)
+	for i := range xs {
+		x := []float64{4 * rng.Float64(), 4 * rng.Float64()}
+		xs[i] = x
+		ys[i] = math.Sin(2*x[0]) + 0.5*math.Cos(3*x[1]) + 0.05*rng.NormFloat64()
+	}
+	newCfg := func() gp.Config {
+		return gp.Config{Kernel: kernel.NewRBF(0.8, 1.2), NoiseInit: 0.1, FixedNoise: true}
+	}
+	base, err := gp.Fit(newCfg(), mat.NewFromRows(xs[:n]), ys[:n], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("refit", func(b *testing.B) {
+		full := mat.NewFromRows(xs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := sampleObs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.Fit(newCfg(), full, ys, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportObs(b, before, sampleObs())
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := sampleObs()
+		for i := 0; i < b.N; i++ {
+			if _, err := base.UpdateWithPoint(xs[n], ys[n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportObs(b, before, sampleObs())
+	})
 }
 
 // BenchmarkMultigridFMG measures the real HPGMG-FE stand-in across

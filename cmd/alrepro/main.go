@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/al"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -48,7 +49,13 @@ func main() {
 	plot := flag.Bool("plot", false, "render ASCII plots of each report's series")
 	metrics := flag.String("metrics", "", "write obs spans/events/metrics to this JSONL file (see OBSERVABILITY.md)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	parallel := flag.Bool("parallel", true,
+		"score AL candidates on all cores (results are identical either way; -parallel=false forces the serial scorer)")
 	flag.Parse()
+
+	if !*parallel {
+		al.SetDefaultScoreWorkers(1)
+	}
 
 	if *pprofAddr != "" {
 		go func() {

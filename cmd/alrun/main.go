@@ -51,7 +51,13 @@ func main() {
 	metrics := flag.String("metrics", "", "write obs spans/events/metrics to this JSONL file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	summary := flag.Bool("summary", false, "print the full obs metric summary after the run")
+	parallel := flag.Bool("parallel", true,
+		"score candidates on all cores (selection traces are identical either way; -parallel=false forces the serial scorer)")
 	flag.Parse()
+
+	if !*parallel {
+		al.SetDefaultScoreWorkers(1)
+	}
 
 	if *pprofAddr != "" {
 		go func() {

@@ -41,4 +41,24 @@
 // goroutine-safe: each realization owns its *rand.Rand and dataset
 // partition, so run concurrent realizations with separate arguments
 // (as al.RunBatch does internally).
+//
+// # Scorer pool
+//
+// Candidate scoring fans out over a worker pool by default
+// (LoopConfig.ScoreWorkers = 0 → SetDefaultScoreWorkers, falling back to
+// runtime.GOMAXPROCS). The pool's contract:
+//
+//   - Workers only *read* the fitted GP — gp.Predict/PredictBatch on a
+//     fitted model are safe for concurrent use, and one model may back
+//     many concurrent scoring passes.
+//   - Each worker owns a contiguous chunk of the candidate matrix and
+//     writes predictions into its own index range of the shared output
+//     slice; no two workers touch the same element, so no locking is
+//     needed and the race detector stays quiet.
+//   - Per-candidate scores never depend on other candidates, so chunking
+//     cannot change any floating-point result: serial (ScoreWorkers = 1)
+//     and parallel runs produce byte-identical selection traces for a
+//     fixed seed. The argmax over scores always runs serially.
+//   - The *rand.Rand is only touched by the (serial) strategy selection
+//     and model fitting, never from scorer workers.
 package al

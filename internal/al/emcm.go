@@ -90,18 +90,28 @@ func RunEMCM(ds *dataset.Dataset, part dataset.Partition, cfg EMCMConfig, rng *r
 			weak = append(weak, w)
 		}
 
+		// Ensemble-disagreement scores are independent per candidate, so
+		// they fan out over the scorer worker pool; the argmax below stays
+		// serial (first maximum wins) so the selection trace is identical
+		// to a serial pass.
+		scores := make([]float64, len(pool))
+		parChunks(len(pool), resolveScoreWorkers(0), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := ds.Row(pool[i])
+				fx := main.Predict(x)
+				var score float64
+				for _, w := range weak {
+					score += math.Abs(fx-w.Predict(x)) * mat.Norm2(mat.Vec(x))
+				}
+				if len(weak) > 0 {
+					score /= float64(len(weak))
+				}
+				scores[i] = score
+			}
+		})
 		best, bestScore := -1, math.Inf(-1)
 		var spreadSum float64
-		for i, row := range pool {
-			x := ds.Row(row)
-			fx := main.Predict(x)
-			var score float64
-			for _, w := range weak {
-				score += math.Abs(fx-w.Predict(x)) * mat.Norm2(mat.Vec(x))
-			}
-			if len(weak) > 0 {
-				score /= float64(len(weak))
-			}
+		for i, score := range scores {
 			spreadSum += score
 			if score > bestScore {
 				best, bestScore = i, score

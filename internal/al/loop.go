@@ -88,6 +88,15 @@ type LoopConfig struct {
 	// in a cloud environment", §I). The experiment that crosses the
 	// budget is still executed and recorded.
 	CostBudget float64
+
+	// ScoreWorkers sizes the candidate-scorer worker pool: 0 defers to
+	// the process default (SetDefaultScoreWorkers, falling back to
+	// runtime.GOMAXPROCS — scoring is parallel by default), 1 forces
+	// serial scoring, n > 1 uses n workers. Each prediction depends only
+	// on its own pool row and results are written by index, so serial
+	// and parallel scoring produce identical selection traces for a
+	// fixed seed.
+	ScoreWorkers int
 }
 
 func (c *LoopConfig) withDefaults() (LoopConfig, error) {
@@ -204,7 +213,7 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 			// Between refits, condition on the new observation with the
 			// O(n²) bordered-Cholesky update instead of refitting.
 			conditionUpdates.Inc()
-			model, err = model.Condition(lastX, lastY)
+			model, err = model.UpdateWithPoint(lastX, lastY)
 		}
 		updateSpan.End()
 		if err != nil {
@@ -214,7 +223,7 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 		// Score the pool.
 		_, scoreSpan := obs.Start(iterCtx, "al.score")
 		poolX := ds.Matrix(pool)
-		preds := model.PredictBatch(poolX)
+		preds := scorePool(model, poolX, resolveScoreWorkers(c.ScoreWorkers))
 		cands := make([]Candidate, len(pool))
 		var amsd float64
 		for i, row := range pool {

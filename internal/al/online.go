@@ -113,7 +113,7 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 			// O(n²) conditioning on the newest measurement.
 			conditionUpdates.Inc()
 			last := len(trainY) - 1
-			model, err = model.Condition(trainX[last], trainY[last])
+			model, err = model.UpdateWithPoint(trainX[last], trainY[last])
 		}
 		updateSpan.End()
 		if err != nil {
@@ -121,7 +121,7 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 		}
 
 		_, scoreSpan := obs.Start(iterCtx, "al.score")
-		preds := model.PredictBatch(candidates)
+		preds := scorePool(model, candidates, resolveScoreWorkers(c.ScoreWorkers))
 		cands := make([]Candidate, candidates.Rows())
 		var amsd float64
 		for i := range cands {

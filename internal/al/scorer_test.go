@@ -1,0 +1,171 @@
+package al
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// fitTestGP builds a small fitted GP over a 1-D grid for scorer tests.
+func fitTestGP(t *testing.T, n int) *gp.GP {
+	t.Helper()
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := 4 * float64(i) / float64(n-1)
+		xs[i] = []float64{x}
+		ys[i] = x * x
+	}
+	model, err := gp.Fit(gp.Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1, FixedNoise: true},
+		mat.NewFromRows(xs), ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// bigGrid returns m 1-D query points.
+func bigGrid(m int) *mat.Dense {
+	g := mat.New(m, 1)
+	for i := 0; i < m; i++ {
+		g.Set(i, 0, 5*float64(i)/float64(m))
+	}
+	return g
+}
+
+// TestScorePoolMatchesSerial: the worker-pool scorer must be bitwise
+// identical to a single PredictBatch call — each prediction depends only
+// on its own row, so chunking cannot change any float.
+func TestScorePoolMatchesSerial(t *testing.T) {
+	model := fitTestGP(t, 12)
+	grid := bigGrid(137) // odd size: exercises a ragged final chunk
+	want := model.PredictBatch(grid)
+	for _, workers := range []int{1, 2, 3, 4, 8, 137, 200} {
+		got := scorePool(model, grid, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d predictions, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: prediction %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScorePoolConcurrentModels: one fitted GP backing many concurrent
+// scorePool calls — the scorer's documented read-only contract, and the
+// surface the race detector checks.
+func TestScorePoolConcurrentModels(t *testing.T) {
+	model := fitTestGP(t, 10)
+	grid := bigGrid(96)
+	want := model.PredictBatch(grid)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := scorePool(model, grid, 4)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("concurrent scorePool diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestResolveScoreWorkers pins the ScoreWorkers semantics: explicit
+// values win, 0 defers to the process default.
+func TestResolveScoreWorkers(t *testing.T) {
+	defer SetDefaultScoreWorkers(0)
+	if got := resolveScoreWorkers(3); got != 3 {
+		t.Fatalf("explicit 3 resolved to %d", got)
+	}
+	SetDefaultScoreWorkers(1)
+	if got := resolveScoreWorkers(0); got != 1 {
+		t.Fatalf("default 1 resolved to %d", got)
+	}
+	SetDefaultScoreWorkers(0)
+	if got := resolveScoreWorkers(0); got < 1 {
+		t.Fatalf("GOMAXPROCS default resolved to %d", got)
+	}
+}
+
+// TestSerialParallelTracesIdentical runs every strategy through the full
+// AL loop twice — serial scorer vs worker pool — with identical seeds and
+// asserts the selection traces and monitoring records match exactly. This
+// is the determinism contract that lets the parallel scorer be the
+// default.
+func TestSerialParallelTracesIdentical(t *testing.T) {
+	ds := synthDS(t, 60, 0.05, 9)
+	part := synthPartition(t, ds, 9)
+	strategies := []Strategy{
+		VarianceReduction{},
+		CostEfficiency{},
+		CostExponent{Gamma: 0.5},
+		EpsilonGreedy{Base: VarianceReduction{}, Eps: 0.3},
+		Random{},
+		ThompsonVariance{},
+	}
+	for _, s := range strategies {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			runWith := func(workers int) Result {
+				cfg := quickLoop(s, 8)
+				cfg.ScoreWorkers = workers
+				res, err := Run(ds, part, cfg, rand.New(rand.NewSource(21)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := runWith(1)
+			parallel := runWith(8)
+			if len(serial.TrainRows) != len(parallel.TrainRows) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(serial.TrainRows), len(parallel.TrainRows))
+			}
+			for i := range serial.TrainRows {
+				if serial.TrainRows[i] != parallel.TrainRows[i] {
+					t.Fatalf("selection traces diverge at step %d: %d vs %d",
+						i, serial.TrainRows[i], parallel.TrainRows[i])
+				}
+			}
+			for i := range serial.Records {
+				a, b := serial.Records[i], parallel.Records[i]
+				if a != b {
+					t.Fatalf("iteration records diverge at step %d:\nserial:   %+v\nparallel: %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestEMCMSerialParallelTracesIdentical covers the EMCM scorer fan-out
+// with the same serial-equivalence contract.
+func TestEMCMSerialParallelTracesIdentical(t *testing.T) {
+	ds := synthDS(t, 60, 0.05, 9)
+	part := synthPartition(t, ds, 9)
+	runWith := func(workers int) Result {
+		SetDefaultScoreWorkers(workers)
+		defer SetDefaultScoreWorkers(0)
+		res, err := RunEMCM(ds, part, EMCMConfig{Response: "y", Iterations: 6}, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := runWith(1)
+	parallel := runWith(8)
+	for i := range serial.Records {
+		if serial.Records[i] != parallel.Records[i] {
+			t.Fatalf("EMCM records diverge at step %d", i)
+		}
+	}
+}

@@ -1,12 +1,5 @@
 package gp
 
-import (
-	"fmt"
-	"math"
-
-	"repro/internal/mat"
-)
-
 // Condition returns a new GP incorporating one additional observation
 // (x, y) via an O(n²) bordered-Cholesky update — no refactorization and
 // no hyperparameter change. This is the "available optimization" the
@@ -14,48 +7,10 @@ import (
 // refits, each new measurement costs a rank-1 update instead of an O(n³)
 // refit (Augmented is the slow general path; Condition the fast one).
 //
-// Normalization constants are kept from the original fit, so conditioning
-// is exact only relative to those constants — re-fit periodically when
-// the response distribution drifts.
+// Condition is the historical name of UpdateWithPoint and now shares its
+// implementation, including the fall-back to a full refactorization at
+// unchanged hyperparameters when the bordered update is numerically
+// degenerate.
 func (g *GP) Condition(x []float64, y float64) (*GP, error) {
-	if len(x) != g.x.Cols() {
-		return nil, fmt.Errorf("gp: Condition dim %d, model trained on %d", len(x), g.x.Cols())
-	}
-	conditionOps.Inc()
-	n := g.x.Rows()
-
-	// Border of the covariance matrix: b_i = k(x, x_i), c = k(x,x)+σn².
-	border := make(mat.Vec, n)
-	for i := 0; i < n; i++ {
-		border[i] = g.kern.Eval(x, g.x.RawRow(i))
-	}
-	diag := g.kern.Eval(x, x) + math.Exp(2*g.logSN) + g.jitter
-
-	ext, err := g.chol.Extended(border, diag)
-	if err != nil {
-		return nil, fmt.Errorf("gp: Condition update failed: %w", err)
-	}
-
-	nx := mat.New(n+1, g.x.Cols())
-	for i := 0; i < n; i++ {
-		copy(nx.RawRow(i), g.x.RawRow(i))
-	}
-	copy(nx.RawRow(n), x)
-	ny := append(g.y.Clone(), (y-g.yMean)/g.yStd)
-
-	out := &GP{
-		cfg:    g.cfg,
-		kern:   g.kern,
-		x:      nx,
-		y:      ny,
-		yMean:  g.yMean,
-		yStd:   g.yStd,
-		logSN:  g.logSN,
-		chol:   ext,
-		jitter: g.jitter,
-	}
-	out.alpha = ext.SolveVec(ny)
-	out.lml = -0.5*mat.Dot(ny, out.alpha) - 0.5*ext.LogDet() -
-		0.5*float64(n+1)*math.Log(2*math.Pi)
-	return out, nil
+	return g.UpdateWithPoint(x, y)
 }

@@ -86,8 +86,14 @@ func Load(r io.Reader) (*GP, error) {
 	if len(mf.X) == 0 || len(mf.X) != len(mf.Y) {
 		return nil, fmt.Errorf("gp: model file has %d inputs and %d targets", len(mf.X), len(mf.Y))
 	}
-	if mf.Dims <= 0 || len(mf.X[0]) != mf.Dims {
+	if mf.Dims <= 0 {
 		return nil, fmt.Errorf("gp: model file dimension mismatch")
+	}
+	for i, row := range mf.X {
+		if len(row) != mf.Dims {
+			return nil, fmt.Errorf("gp: model file row %d has %d coordinates, want %d",
+				i, len(row), mf.Dims)
+		}
 	}
 	if mf.YStd <= 0 || math.IsNaN(mf.YStd) {
 		return nil, fmt.Errorf("gp: model file has invalid y_std %g", mf.YStd)

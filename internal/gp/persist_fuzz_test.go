@@ -1,0 +1,75 @@
+package gp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// validModelJSON builds a fitted model and returns its Save output — the
+// well-formed corpus seed the fuzzer mutates.
+func validModelJSON(f *testing.F) []byte {
+	f.Helper()
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	ys := []float64{0, 1, 2, 3, 1.5}
+	g, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1, FixedNoise: true},
+		mat.NewFromRows(xs), ys, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzPersistRoundTrip feeds adversarial bytes to Load. Invalid input
+// must be rejected with an error, never a panic; any input Load accepts
+// must survive a full Save→Load round trip with byte-identical
+// predictions — the persistence contract behind model checkpointing.
+func FuzzPersistRoundTrip(f *testing.F) {
+	valid := validModelJSON(f)
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kernel":"RBF","kernel_hyper":[0,0],"y_std":1,"dims":1,"x":[[0]],"y":[1]}`))
+	f.Add([]byte(`{"kernel":"Matern52","kernel_hyper":[0,0],"y_std":0,"dims":1,"x":[[0]],"y":[1]}`))
+	f.Add(bytes.Replace(valid, []byte(`"RBF"`), []byte(`"Periodic"`), 1))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<13 {
+			t.Skip("oversized input: factorization cost, not parsing, would dominate")
+		}
+		// Load refactorizes (with jitter retries), so cap the training-set
+		// size up front: '[' count bounds the number of encoded rows.
+		if bytes.Count(data, []byte("[")) > 64 {
+			t.Skip("too many rows: O(n³) factorization would dominate")
+		}
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the expected path for garbage
+		}
+
+		// Accepted models must be fully usable.
+		probe := append([]float64(nil), g.TrainX().RawRow(0)...)
+		p1 := g.Predict(probe)
+
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("Load accepted a model Save cannot write: %v", err)
+		}
+		g2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round-tripped model failed to load: %v", err)
+		}
+		if g2.NumTrain() != g.NumTrain() {
+			t.Fatalf("round trip changed training size %d → %d", g.NumTrain(), g2.NumTrain())
+		}
+		p2 := g2.Predict(probe)
+		if p1 != p2 {
+			t.Fatalf("round trip changed prediction: %+v → %+v", p1, p2)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// synthPoint draws one input in [0,3]² and a smooth noisy response.
+func synthPoint(rng *rand.Rand) ([]float64, float64) {
+	x := []float64{3 * rng.Float64(), 3 * rng.Float64()}
+	y := math.Sin(2*x[0]) + 0.5*math.Cos(3*x[1]) + 0.05*rng.NormFloat64()
+	return x, y
+}
+
+// TestUpdateWithPointMatchesFullFit chains 50 incremental updates and
+// checks after every step that predictions (mean and variance) match a
+// from-scratch Fit on the same data at the same hyperparameters within
+// 1e-8 — the equivalence contract that lets the AL loop use the O(n²)
+// path between hyperparameter refits.
+func TestUpdateWithPointMatchesFullFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nSeed, nAdd = 8, 50
+
+	xs := make([][]float64, 0, nSeed+nAdd)
+	ys := make([]float64, 0, nSeed+nAdd)
+	for i := 0; i < nSeed+nAdd; i++ {
+		x, y := synthPoint(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	grid := mat.NewFromRows([][]float64{
+		{0, 0}, {1.5, 1.5}, {3, 3}, {0.7, 2.2}, {2.9, 0.1}, {1.1, 0.4},
+	})
+
+	cfg := Config{Kernel: kernel.NewRBF(0.8, 1.2), NoiseInit: 0.1, FixedNoise: true}
+	model, err := Fit(cfg, mat.NewFromRows(xs[:nSeed]), ys[:nSeed], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for step := 0; step < nAdd; step++ {
+		i := nSeed + step
+		model, err = model.UpdateWithPoint(xs[i], ys[i])
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+
+		refCfg := Config{Kernel: kernel.NewRBF(0.8, 1.2), NoiseInit: 0.1, FixedNoise: true}
+		ref, err := Fit(refCfg, mat.NewFromRows(xs[:i+1]), ys[:i+1], nil)
+		if err != nil {
+			t.Fatalf("step %d reference fit: %v", step, err)
+		}
+
+		got := model.PredictBatch(grid)
+		want := ref.PredictBatch(grid)
+		for j := range got {
+			if d := math.Abs(got[j].Mean - want[j].Mean); d > 1e-8 {
+				t.Fatalf("step %d point %d: |Δmean| = %g", step, j, d)
+			}
+			gv, wv := got[j].SD*got[j].SD, want[j].SD*want[j].SD
+			if d := math.Abs(gv - wv); d > 1e-8 {
+				t.Fatalf("step %d point %d: |Δvariance| = %g", step, j, d)
+			}
+		}
+		if d := math.Abs(model.LML() - ref.LML()); d > 1e-6 {
+			t.Fatalf("step %d: |ΔLML| = %g", step, d)
+		}
+	}
+	if got, want := model.NumTrain(), nSeed+nAdd; got != want {
+		t.Fatalf("chained model has %d training points, want %d", got, want)
+	}
+}
+
+// TestUpdateWithPointNormalized checks the incremental path keeps the
+// original normalization constants: predictions still agree with a full
+// refactorization at those constants (exercised through Load-style
+// factorize would renormalize, so compare against a chain-free Fit on the
+// seed scaling).
+func TestUpdateWithPointNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([][]float64, 12)
+	ys := make([]float64, 12)
+	for i := range xs {
+		xs[i], ys[i] = synthPoint(rng)
+		ys[i] = 100*ys[i] + 500 // force non-trivial normalization
+	}
+	cfg := Config{Kernel: kernel.NewRBF(0.8, 1.2), NoiseInit: 0.1, FixedNoise: true, Normalize: true}
+	model, err := Fit(cfg, mat.NewFromRows(xs[:10]), ys[:10], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 12; i++ {
+		if model, err = model.UpdateWithPoint(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := model.Predict(xs[0])
+	if math.IsNaN(p.Mean) || math.IsNaN(p.SD) {
+		t.Fatalf("NaN prediction after normalized updates: %+v", p)
+	}
+	if p.Mean < 300 || p.Mean > 700 {
+		t.Fatalf("prediction lost the response scale: %+v", p)
+	}
+}
+
+// TestUpdateWithPointFallback forces the degenerate-border path: adding
+// an exact duplicate of an existing point with a tiny noise floor makes
+// the bordered pivot nonpositive, which must trigger the full-refit
+// fallback (with jitter) rather than an error.
+func TestUpdateWithPointFallback(t *testing.T) {
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	ys := []float64{0, 1, 2, 3}
+	cfg := Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 1e-9, NoiseFloor: 1e-10, FixedNoise: true}
+	model, err := Fit(cfg, mat.NewFromRows(xs), ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := updateRefit.Value()
+	upd, err := model.UpdateWithPoint([]float64{1, 1}, 3)
+	if err != nil {
+		t.Fatalf("duplicate-point update: %v", err)
+	}
+	if upd.NumTrain() != 5 {
+		t.Fatalf("updated model has %d points, want 5", upd.NumTrain())
+	}
+	if updateRefit.Value() == before {
+		t.Fatal("expected the refit fallback to fire for a duplicate point at ~zero noise")
+	}
+	p := upd.Predict([]float64{0.5, 0.5})
+	if math.IsNaN(p.Mean) || math.IsNaN(p.SD) {
+		t.Fatalf("NaN prediction after fallback: %+v", p)
+	}
+}

@@ -172,6 +172,7 @@ func (c *Cholesky) Extended(b Vec, diag float64) (*Cholesky, error) {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("mat: Extended border length %d != %d", len(b), c.n))
 	}
+	choleskyExtendCount.Inc()
 	row := ForwardSubst(c.l, b)
 	pivot := diag - Dot(row, row)
 	if pivot <= 0 || math.IsNaN(pivot) {

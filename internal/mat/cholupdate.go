@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// Rank-one factor maintenance metrics: the incremental GP conditioning
+// path replaces full O(n³) refactorizations with these O(n²) kernels, so
+// counting them next to mat.cholesky.count makes the refit/update ratio
+// visible in -metrics output (see OBSERVABILITY.md).
+var (
+	choleskyRank1Count  = obs.C("mat.cholesky.rank1.count")
+	choleskyExtendCount = obs.C("mat.cholesky.extend.count")
+)
+
+// RankOneUpdate returns the Cholesky factor of A + v·vᵀ given the factor
+// of A, in O(n²) via a sweep of Givens rotations (LINPACK dchud). The
+// receiver is not modified. A + v·vᵀ is always SPD when A is, so the
+// update cannot fail.
+func (c *Cholesky) RankOneUpdate(v Vec) *Cholesky {
+	if len(v) != c.n {
+		panic(fmt.Sprintf("mat: RankOneUpdate length %d != %d", len(v), c.n))
+	}
+	choleskyRank1Count.Inc()
+	n := c.n
+	l := c.l.Clone()
+	d := l.data
+	w := append(Vec(nil), v...)
+	for k := 0; k < n; k++ {
+		lkk := d[k*n+k]
+		r := math.Hypot(lkk, w[k])
+		cc := r / lkk
+		s := w[k] / lkk
+		d[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (d[i*n+k] + s*w[i]) / cc
+			w[i] = cc*w[i] - s*lik
+			d[i*n+k] = lik
+		}
+	}
+	return &Cholesky{l: l, n: n}
+}
+
+// RankOneDowndate returns the Cholesky factor of A − v·vᵀ given the
+// factor of A, in O(n²) via hyperbolic rotations (LINPACK dchdd). The
+// receiver is not modified. It returns ErrNotPositiveDefinite when the
+// downdated matrix is not SPD — removing v may destroy positive
+// definiteness, unlike the update direction.
+func (c *Cholesky) RankOneDowndate(v Vec) (*Cholesky, error) {
+	if len(v) != c.n {
+		panic(fmt.Sprintf("mat: RankOneDowndate length %d != %d", len(v), c.n))
+	}
+	choleskyRank1Count.Inc()
+	n := c.n
+	l := c.l.Clone()
+	d := l.data
+	w := append(Vec(nil), v...)
+	for k := 0; k < n; k++ {
+		lkk := d[k*n+k]
+		r2 := lkk*lkk - w[k]*w[k]
+		if r2 <= 0 || math.IsNaN(r2) {
+			return nil, fmt.Errorf("%w: downdate pivot %d² = %g", ErrNotPositiveDefinite, k, r2)
+		}
+		r := math.Sqrt(r2)
+		cc := r / lkk
+		s := w[k] / lkk
+		d[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (d[i*n+k] - s*w[i]) / cc
+			w[i] = cc*w[i] - s*lik
+			d[i*n+k] = lik
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}

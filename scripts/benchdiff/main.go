@@ -1,0 +1,236 @@
+// Command benchdiff is the CI benchmark-regression guard. It parses
+// `go test -bench` output, extracts the deterministic work-count metrics
+// emitted by reportObs (gp_fits/op, cholesky/op, cand_evals/op,
+// lml_evals/op), and compares them against a checked-in baseline JSON.
+//
+// Timing (ns/op) is far too noisy to gate CI on shared runners, but the
+// amount of linear-algebra work a benchmark performs per op is exactly
+// reproducible: a fit that starts factorizing twice, or an AL iteration
+// that starts refitting where it used to update incrementally, shows up
+// as a work-count jump regardless of hardware. benchdiff fails when any
+// guarded metric regresses (increases) by more than -tol relative to the
+// baseline.
+//
+// One relative timing check IS stable enough to gate: the refit vs
+// incremental ratio inside BenchmarkALLoop runs both paths on the same
+// machine in the same process, so machine speed cancels. benchdiff
+// requires refit/incremental ≥ -min-speedup (default 3, the paper-repro
+// acceptance floor for the O(n³)→O(n²) update path).
+//
+// Usage:
+//
+//	go test -run='^$' -bench 'BenchmarkALIteration|BenchmarkALLoop' -benchtime=1x . > bench.txt
+//	go run ./scripts/benchdiff -baseline BENCH_baseline.json bench.txt   # compare
+//	go run ./scripts/benchdiff -baseline BENCH_baseline.json -update bench.txt  # record
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// guardedMetrics are the work-count metrics gated against the baseline.
+// They are deterministic per benchmark op, so any tolerance here is
+// headroom for intentional small changes, not measurement noise.
+var guardedMetrics = []string{"gp_fits/op", "cholesky/op", "cand_evals/op", "lml_evals/op"}
+
+// benchResult holds every `value unit` metric pair reported on one
+// benchmark output line, keyed by unit.
+type benchResult map[string]float64
+
+// baselineFile is the checked-in BENCH_baseline.json schema. Informational
+// holds ns/op and allocation figures for human reference; only Guarded
+// metrics and the speedup floor are enforced.
+type baselineFile struct {
+	Note       string                 `json:"note"`
+	MinSpeedup float64                `json:"min_alloop_speedup"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchLine matches one data line of `go test -bench` output, e.g.
+//
+//	BenchmarkALLoop/refit-8   1   19317649 ns/op   1.000 cholesky/op ...
+//
+// The trailing -N is the GOMAXPROCS suffix and is stripped so baselines
+// transfer between machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parseBenchOutput(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		res := out[name]
+		if res == nil {
+			res = make(benchResult)
+			out[name] = res
+		}
+		// rest is alternating value/unit pairs.
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q: %v", name, rest[i], err)
+			}
+			res[rest[i+1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// checkSpeedup enforces the incremental-update acceptance floor: the
+// refit sub-benchmark must cost at least minSpeedup× the incremental one.
+func checkSpeedup(results map[string]benchResult, minSpeedup float64) error {
+	refit, okR := results["BenchmarkALLoop/refit"]
+	incr, okI := results["BenchmarkALLoop/incremental"]
+	if !okR || !okI {
+		return nil // ALLoop not in this run; nothing to enforce
+	}
+	rn, in := refit["ns/op"], incr["ns/op"]
+	if in <= 0 {
+		return fmt.Errorf("BenchmarkALLoop/incremental reported ns/op=%g", in)
+	}
+	ratio := rn / in
+	if ratio < minSpeedup {
+		return fmt.Errorf("incremental update speedup %.2fx < required %.2fx (refit %.0f ns/op, incremental %.0f ns/op)",
+			ratio, minSpeedup, rn, in)
+	}
+	fmt.Printf("ok\tBenchmarkALLoop refit/incremental speedup %.1fx (floor %.1fx)\n", ratio, minSpeedup)
+	return nil
+}
+
+func compare(base *baselineFile, results map[string]benchResult, tol float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from bench output", name))
+			continue
+		}
+		for _, metric := range guardedMetrics {
+			w, okW := want[metric]
+			g, okG := got[metric]
+			if !okW {
+				continue // metric not recorded in baseline; nothing to guard
+			}
+			if !okG {
+				failures = append(failures, fmt.Sprintf("%s: metric %s missing from bench output", name, metric))
+				continue
+			}
+			// Only increases are regressions; doing less work is fine.
+			limit := w * (1 + tol)
+			if w == 0 {
+				limit = tol // zero-baseline: allow only tiny absolute drift
+			}
+			if g > limit {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.3f → %.3f (limit %.3f, tol %.0f%%)",
+					name, metric, w, g, limit, tol*100))
+			} else {
+				fmt.Printf("ok\t%s %s %.3f (baseline %.3f)\n", name, metric, g, w)
+			}
+		}
+	}
+	return failures
+}
+
+func writeBaseline(path string, results map[string]benchResult, minSpeedup float64) error {
+	base := baselineFile{
+		Note: "Deterministic work counts per benchmark op, recorded by scripts/benchdiff -update. " +
+			"CI fails if a guarded metric (gp_fits/op, cholesky/op, cand_evals/op, lml_evals/op) " +
+			"rises more than the tolerance, or if the ALLoop refit/incremental speedup drops below the floor. " +
+			"ns/op and allocation figures are informational only.",
+		MinSpeedup: minSpeedup,
+		Benchmarks: results,
+	}
+	buf, err := json.MarshalIndent(&base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against (or write with -update)")
+	update := flag.Bool("update", false, "record the bench output as the new baseline instead of comparing")
+	tol := flag.Float64("tol", 0.20, "allowed relative increase of guarded work-count metrics")
+	minSpeedup := flag.Float64("min-speedup", 3, "required BenchmarkALLoop refit/incremental ns-per-op ratio")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-update] [-tol frac] [-min-speedup x] bench.txt")
+		os.Exit(2)
+	}
+	results, err := parseBenchOutput(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	if err := checkSpeedup(results, *minSpeedup); err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
+		os.Exit(1)
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, results, *minSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *baselinePath, len(results))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+	if base.MinSpeedup > 0 && base.MinSpeedup != *minSpeedup {
+		if err := checkSpeedup(results, base.MinSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
+			os.Exit(1)
+		}
+	}
+	failures := compare(&base, results, *tol)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL\t"+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all guarded metrics within tolerance")
+}
