@@ -5,6 +5,12 @@
 //
 //	alrepro -out results/            # everything, full size
 //	alrepro -exp F8 -quick           # one experiment, small batches
+//	alrepro -out results/ -resume    # continue a killed run: experiments
+//	                                 # with an existing <id>.txt are skipped
+//
+// SIGINT/SIGTERM flush the -metrics sink before exiting; reports
+// already written stay on disk, so a -resume pass picks up where the
+// interrupted campaign stopped.
 package main
 
 import (
@@ -13,8 +19,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/al"
 	"repro/internal/experiments"
@@ -51,6 +59,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	parallel := flag.Bool("parallel", true,
 		"score AL candidates on all cores (results are identical either way; -parallel=false forces the serial scorer)")
+	resume := flag.Bool("resume", false,
+		"skip experiments whose <id>.txt report already exists in -out (continue an interrupted campaign)")
 	flag.Parse()
 
 	if !*parallel {
@@ -76,7 +86,26 @@ func main() {
 		obs.SetSink(f)
 	}
 
-	err := run(*exp, *out, *seed, *quick, *plot)
+	// Each report is written as soon as its generator finishes, so on
+	// SIGINT/SIGTERM only the metrics sink needs flushing — completed
+	// reports are already on disk for a -resume pass.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nalrepro: caught %v, flushing\n", s)
+		if sinkFile != nil {
+			obs.DumpMetrics()
+			obs.SetSink(nil)
+			sinkFile.Sync()
+			sinkFile.Close()
+			fmt.Fprintf(os.Stderr, "alrepro: metrics flushed to %s\n", *metrics)
+		}
+		fmt.Fprintf(os.Stderr, "alrepro: continue with -resume -out %s\n", *out)
+		os.Exit(130)
+	}()
+
+	err := run(*exp, *out, *seed, *quick, *plot, *resume)
 
 	if sinkFile != nil {
 		obs.DumpMetrics()
@@ -93,7 +122,7 @@ func main() {
 	fmt.Println(obs.Brief())
 }
 
-func run(exp, out string, seed int64, quick, plot bool) error {
+func run(exp, out string, seed int64, quick, plot, resume bool) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -107,7 +136,15 @@ func run(exp, out string, seed int64, quick, plot bool) error {
 		}
 		ids = []string{id}
 	}
+	skipped := 0
 	for _, id := range ids {
+		if resume {
+			if _, err := os.Stat(filepath.Join(out, id+".txt")); err == nil {
+				fmt.Printf("%s: report exists, skipping (resume)\n", id)
+				skipped++
+				continue
+			}
+		}
 		rep, err := generators[id](opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
@@ -143,6 +180,6 @@ func run(exp, out string, seed int64, quick, plot bool) error {
 			}
 		}
 	}
-	fmt.Printf("wrote %d report(s) to %s\n", len(ids), out)
+	fmt.Printf("wrote %d report(s) to %s (%d skipped)\n", len(ids)-skipped, out, skipped)
 	return nil
 }

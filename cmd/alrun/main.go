@@ -16,6 +16,12 @@
 // net/http/pprof on the given address for CPU/heap profiling while the
 // loop runs; -summary prints the full metric report instead of the
 // one-line digest.
+//
+// Fault tolerance (see DESIGN.md §8): -checkpoint writes a resumable
+// JSON snapshot after every iteration; an interrupted run continues
+// with -resume (pass -checkpoint too to keep checkpointing) and
+// reproduces the uninterrupted selection trace exactly. SIGINT/SIGTERM
+// flush the -metrics sink before exiting.
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/al"
@@ -53,6 +61,10 @@ func main() {
 	summary := flag.Bool("summary", false, "print the full obs metric summary after the run")
 	parallel := flag.Bool("parallel", true,
 		"score candidates on all cores (selection traces are identical either way; -parallel=false forces the serial scorer)")
+	checkpoint := flag.String("checkpoint", "",
+		"write a resumable JSON checkpoint here after every iteration (uses a loop-owned RNG seeded by -seed)")
+	resume := flag.String("resume", "",
+		"resume an interrupted run from this checkpoint file (other flags must match the interrupted run)")
 	flag.Parse()
 
 	if !*parallel {
@@ -78,8 +90,30 @@ func main() {
 		obs.SetSink(f)
 	}
 
+	// On SIGINT/SIGTERM, flush the metrics sink before dying; the loop
+	// writes its checkpoint after every iteration, so the file named by
+	// -checkpoint already holds the latest completed iteration and the
+	// run can be continued with -resume.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nalrun: caught %v, flushing\n", s)
+		if sinkFile != nil {
+			obs.DumpMetrics()
+			obs.SetSink(nil)
+			sinkFile.Sync()
+			sinkFile.Close()
+			fmt.Fprintf(os.Stderr, "alrun: metrics flushed to %s\n", *metrics)
+		}
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "alrun: continue with -resume %s\n", *checkpoint)
+		}
+		os.Exit(130)
+	}()
+
 	err := run(*data, *response, *strategyName, *operator, *np, *iters, *floor,
-		*nInitial, *testFrac, *seed, *logTransform, *budget, *quick)
+		*nInitial, *testFrac, *seed, *logTransform, *budget, *quick, *checkpoint, *resume)
 
 	if sinkFile != nil {
 		obs.DumpMetrics()
@@ -143,7 +177,7 @@ func loadDataset(data, response, operator string, np float64, logT, quick bool, 
 
 func run(data, response, strategyName, operator string, np float64, iters int,
 	floor float64, nInitial int, testFrac float64, seed int64, logT bool, budget float64,
-	quick bool) error {
+	quick bool, checkpoint, resume string) error {
 	d, err := loadDataset(data, response, operator, np, logT, quick, seed)
 	if err != nil {
 		return err
@@ -161,6 +195,9 @@ func run(data, response, strategyName, operator string, np float64, iters int,
 
 	var res al.Result
 	if strategyName == "emcm" {
+		if checkpoint != "" || resume != "" {
+			return fmt.Errorf("-checkpoint/-resume are not supported with -strategy emcm")
+		}
 		res, err = al.RunEMCM(d, part, al.EMCMConfig{Response: response, Iterations: iters}, rng)
 	} else {
 		var strategy al.Strategy
@@ -176,14 +213,30 @@ func run(data, response, strategyName, operator string, np float64, iters int,
 		default:
 			return fmt.Errorf("unknown strategy %q", strategyName)
 		}
-		res, err = al.Run(d, part, al.LoopConfig{
+		cfg := al.LoopConfig{
 			Response:     response,
 			Strategy:     strategy,
 			Iterations:   iters,
 			NoiseFloor:   floor,
 			AllowRevisit: true,
 			CostBudget:   budget,
-		}, rng)
+		}
+		if checkpoint == "" && resume == "" {
+			// Historical path: partition rng continues into the loop.
+			res, err = al.Run(d, part, cfg, rng)
+		} else {
+			// Checkpointing needs a loop-owned counting RNG so the
+			// stream position can be saved; the partition above was
+			// already drawn from its own rand.NewSource(seed), so the
+			// interrupted and resumed processes see the same split.
+			cfg.Seed = seed
+			cfg.CheckpointPath = checkpoint
+			if resume != "" {
+				res, err = al.Resume(d, part, cfg, resume)
+			} else {
+				res, err = al.Run(d, part, cfg, nil)
+			}
+		}
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,289 @@
+package al
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/obs"
+)
+
+var checkpointsSaved = obs.C("al.checkpoints.saved")
+
+// CheckpointVersion is the on-disk format version; Resume rejects
+// checkpoints written by an incompatible loop.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete, JSON-serializable state of a Run loop at
+// an iteration boundary. Together with the dataset, partition and the
+// LoopConfig that produced it, it deterministically reconstructs the
+// loop: the GP is rebuilt bit-for-bit from the recorded hyperparameter
+// state (gp.FitAtHypers over the refit prefix, then the same
+// incremental-update chain), and the RNG is fast-forwarded to Draws, so
+// a resumed run selects exactly the rows the uninterrupted run would
+// have.
+type Checkpoint struct {
+	Version  int    `json:"version"`
+	Strategy string `json:"strategy"`
+	Response string `json:"response"`
+
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+
+	// NextIter is the 1-based iteration the resumed loop starts at.
+	NextIter int `json:"next_iter"`
+
+	Train  []int     `json:"train"`
+	TrainY []float64 `json:"train_y"`
+	Pool   []int     `json:"pool"`
+
+	CumCost  float64   `json:"cum_cost"`
+	AMSDHist []float64 `json:"amsd_hist"`
+
+	// The model is stored as a recipe, not a matrix dump: hypers of the
+	// last (possibly degraded) refit, the train-prefix length it was
+	// fitted on, and the pending point not yet conditioned in.
+	RefitHyper []float64 `json:"refit_hyper"`
+	RefitLogSN float64   `json:"refit_log_sn"`
+	RefitN     int       `json:"refit_n"`
+
+	HasPending bool      `json:"has_pending"`
+	PendingX   []float64 `json:"pending_x,omitempty"`
+	PendingY   float64   `json:"pending_y"`
+
+	// Attempts counts measurement attempts per dataset row, keying the
+	// fault injector so a resumed retry is the same draw it would have
+	// been uninterrupted.
+	Attempts map[int]int `json:"attempts,omitempty"`
+
+	Records []ckptRecord `json:"records"`
+}
+
+// nanFloat is a float64 whose JSON encoding tolerates the non-finite
+// values encoding/json rejects: NaN marshals as null, infinities as
+// signed strings. Finite values use the standard shortest-round-trip
+// encoding, so they survive a save/load cycle bit-exactly.
+type nanFloat float64
+
+func (f nanFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte("null"), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *nanFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case "null":
+		*f = nanFloat(math.NaN())
+		return nil
+	case `"+inf"`:
+		*f = nanFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = nanFloat(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = nanFloat(v)
+	return nil
+}
+
+// ckptRecord mirrors IterationRecord with NaN-safe floats (RMSE and
+// Coverage are NaN when the partition has no Test set).
+type ckptRecord struct {
+	Iter     int      `json:"iter"`
+	Row      int      `json:"row"`
+	SDChosen nanFloat `json:"sd_chosen"`
+	AMSD     nanFloat `json:"amsd"`
+	RMSE     nanFloat `json:"rmse"`
+	Coverage nanFloat `json:"coverage"`
+	CumCost  nanFloat `json:"cum_cost"`
+	LML      nanFloat `json:"lml"`
+	Noise    nanFloat `json:"noise"`
+	Train    int      `json:"train"`
+}
+
+func toCkptRecord(r IterationRecord) ckptRecord {
+	return ckptRecord{
+		Iter: r.Iter, Row: r.Row, SDChosen: nanFloat(r.SDChosen),
+		AMSD: nanFloat(r.AMSD), RMSE: nanFloat(r.RMSE), Coverage: nanFloat(r.Coverage),
+		CumCost: nanFloat(r.CumCost), LML: nanFloat(r.LML), Noise: nanFloat(r.Noise),
+		Train: r.Train,
+	}
+}
+
+func fromCkptRecord(r ckptRecord) IterationRecord {
+	return IterationRecord{
+		Iter: r.Iter, Row: r.Row, SDChosen: float64(r.SDChosen),
+		AMSD: float64(r.AMSD), RMSE: float64(r.RMSE), Coverage: float64(r.Coverage),
+		CumCost: float64(r.CumCost), LML: float64(r.LML), Noise: float64(r.Noise),
+		Train: r.Train,
+	}
+}
+
+// Save writes the checkpoint atomically: a temp file in the target
+// directory, fsynced, then renamed over the destination — a crash
+// mid-write leaves the previous checkpoint intact.
+func (ck *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("al: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.json")
+	if err != nil {
+		return fmt.Errorf("al: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("al: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("al: commit checkpoint: %w", err)
+	}
+	checkpointsSaved.Inc()
+	obs.Emit("al.checkpoint.saved", map[string]any{
+		"path": path, "next_iter": ck.NextIter, "train": len(ck.Train),
+	})
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("al: read checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("al: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("al: checkpoint %s has version %d, want %d", path, ck.Version, CheckpointVersion)
+	}
+	if len(ck.Train) != len(ck.TrainY) {
+		return nil, fmt.Errorf("al: checkpoint %s: %d train rows but %d responses", path, len(ck.Train), len(ck.TrainY))
+	}
+	if ck.RefitN < 0 || ck.RefitN > len(ck.Train) {
+		return nil, fmt.Errorf("al: checkpoint %s: refit prefix %d outside train size %d", path, ck.RefitN, len(ck.Train))
+	}
+	return &ck, nil
+}
+
+// Resume loads the checkpoint at path and continues the loop it
+// describes to completion. cfg must match the run that wrote the
+// checkpoint (same Response, Strategy, kernel, and fault setup); the
+// stationary parts of the state — dataset and partition — are the
+// caller's to reproduce. The returned Result spans the whole run:
+// records from before the checkpoint plus those of the resumed
+// iterations, indistinguishable from an uninterrupted run.
+func Resume(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, path string) (Result, error) {
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		return Result{}, err
+	}
+	return ResumeFrom(ds, part, cfg, ck)
+}
+
+// ResumeFrom is Resume with an already loaded checkpoint.
+func ResumeFrom(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, ck *Checkpoint) (Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if ck.Response != c.Response {
+		return Result{}, fmt.Errorf("al: checkpoint models response %q, config asks for %q", ck.Response, c.Response)
+	}
+	if ck.Strategy != c.Strategy.Name() {
+		return Result{}, fmt.Errorf("al: checkpoint used strategy %q, config uses %q", ck.Strategy, c.Strategy.Name())
+	}
+	if err := part.Validate(ds); err != nil {
+		return Result{}, err
+	}
+	if len(ck.RefitHyper) == 0 {
+		return Result{}, errors.New("al: checkpoint carries no fitted model state")
+	}
+
+	st := &loopState{
+		train:      append([]int(nil), ck.Train...),
+		trainY:     append([]float64(nil), ck.TrainY...),
+		pool:       append([]int(nil), ck.Pool...),
+		cumCost:    ck.CumCost,
+		amsdHist:   append([]float64(nil), ck.AMSDHist...),
+		attempts:   ck.Attempts,
+		hasPending: ck.HasPending,
+		pendingY:   ck.PendingY,
+		refitHyper: append([]float64(nil), ck.RefitHyper...),
+		refitLogSN: ck.RefitLogSN,
+		refitN:     ck.RefitN,
+		startIter:  ck.NextIter,
+	}
+	if st.attempts == nil {
+		st.attempts = map[int]int{}
+	}
+	if ck.HasPending {
+		st.pendingX = append([]float64(nil), ck.PendingX...)
+	}
+	for _, r := range ck.Records {
+		st.records = append(st.records, fromCkptRecord(r))
+	}
+
+	// Rebuild the model exactly: an exact-hyperparameter fit over the
+	// refit prefix, then the same O(n²) update chain the live loop ran.
+	// The pending point (when present) is deliberately NOT conditioned
+	// in here — the first resumed iteration consumes it, as the live
+	// loop would have.
+	modelN := len(st.train)
+	if st.hasPending {
+		modelN--
+	}
+	if modelN < st.refitN {
+		return Result{}, fmt.Errorf("al: checkpoint model covers %d points but refit prefix is %d", modelN, st.refitN)
+	}
+	dims := len(ds.VarNames())
+	gcfg := gp.Config{Kernel: c.NewKernel(dims), Normalize: c.Normalize}
+	trainX := ds.Matrix(st.train)
+	prefixX := ds.Matrix(st.train[:st.refitN])
+	model, err := gp.FitAtHypers(gcfg, prefixX, st.trainY[:st.refitN], ck.RefitHyper, ck.RefitLogSN)
+	if err != nil {
+		return Result{}, fmt.Errorf("al: resume refit: %w", err)
+	}
+	for j := st.refitN; j < modelN; j++ {
+		model, err = model.UpdateWithPoint(trainX.RawRow(j), st.trainY[j])
+		if err != nil {
+			return Result{}, fmt.Errorf("al: resume update at train index %d: %w", j, err)
+		}
+	}
+	st.model = model
+
+	rng, cs := newCountingRand(ck.Seed, ck.Draws)
+	c.Seed = ck.Seed
+	obs.Emit("al.resume", map[string]any{
+		"next_iter": ck.NextIter, "train": len(st.train), "draws": ck.Draws,
+	})
+	return runLoop(ds, part, c, rng, cs, st)
+}

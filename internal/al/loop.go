@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/gp"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -17,13 +18,17 @@ import (
 // AL-loop metrics (see OBSERVABILITY.md). Each iteration of Run and
 // RunOnline opens an "al.iteration" span with "al.model.update",
 // "al.score" and "al.select" children; the counters tally work volumes
-// the spans do not capture.
+// the spans do not capture. The fault-path counters (al.retries,
+// al.rejected, al.skipped) stay at zero in healthy runs.
 var (
 	candidatesEvaluated = obs.C("al.candidates.evaluated")
 	refits              = obs.C("al.refit.count")
 	conditionUpdates    = obs.C("al.condition.count")
 	experiments         = obs.C("al.experiments.count")
 	poolSize            = obs.G("al.pool.size")
+	alRetries           = obs.C("al.retries")
+	alRejected          = obs.C("al.rejected")
+	alSkipped           = obs.C("al.skipped")
 )
 
 // LoopConfig drives one Active Learning realization over a partitioned
@@ -97,6 +102,50 @@ type LoopConfig struct {
 	// and parallel scoring produce identical selection traces for a
 	// fixed seed.
 	ScoreWorkers int
+
+	// Measure, when non-nil, performs the experiment for a selected
+	// dataset row instead of reading the dataset: attempt is the 0-based
+	// per-row attempt count (retries and revisits keep counting up).
+	// Errors and rejected observations are retried per RetryBudget. The
+	// default reads ds.RespAt/ds.CostAt, routed through Faults when one
+	// is configured.
+	Measure func(row int, x []float64, attempt int) (y, cost float64, err error)
+
+	// Faults, when non-nil (and Measure is nil), wires a fault injector
+	// into the default measurement: node/job failures become measurement
+	// errors, corruption maps the response through Corrupt, and
+	// stragglers inflate the experiment cost. Nil runs fault-free.
+	Faults *faults.Injector
+
+	// RetryBudget is the number of additional attempts for a selected
+	// candidate whose measurement fails or whose observation is rejected
+	// (default 2; negative disables retries). When the budget is
+	// exhausted the candidate is skipped: dropped from the pool without
+	// entering the training set, and the iteration leaves no record.
+	RetryBudget int
+
+	// GuardSigma, when positive, rejects measured responses farther than
+	// GuardSigma predictive standard deviations (latent SD and σn
+	// combined) from the model mean at the selected candidate — the
+	// gross-outlier guard in front of model conditioning. Non-finite
+	// observations are always rejected. Zero disables the distance
+	// guard.
+	GuardSigma float64
+
+	// CheckpointPath, when set, saves the loop state as JSON after every
+	// CheckpointEvery-th iteration (atomically: temp file + rename), for
+	// al.Resume. Requires a nil rng argument to Run — the loop then owns
+	// a counting RNG seeded from Seed whose position the checkpoint
+	// records.
+	CheckpointPath string
+
+	// CheckpointEvery is the checkpoint cadence in iterations
+	// (default 1).
+	CheckpointEvery int
+
+	// Seed seeds the loop-owned RNG used when Run's rng argument is nil
+	// (default 1, matching the historical default stream).
+	Seed int64
 }
 
 func (c *LoopConfig) withDefaults() (LoopConfig, error) {
@@ -118,6 +167,17 @@ func (c *LoopConfig) withDefaults() (LoopConfig, error) {
 	}
 	if out.ReoptimizeEvery <= 0 {
 		out.ReoptimizeEvery = 1
+	}
+	if out.RetryBudget == 0 {
+		out.RetryBudget = 2
+	} else if out.RetryBudget < 0 {
+		out.RetryBudget = 0
+	}
+	if out.CheckpointEvery <= 0 {
+		out.CheckpointEvery = 1
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
 	}
 	return out, nil
 }
@@ -146,7 +206,41 @@ type Result struct {
 	Converged bool  // true when the AMSD rule stopped the loop early
 }
 
-// Run executes Active Learning on ds under the given partition.
+// loopState is the mutable state of a Run loop between iterations —
+// exactly what a Checkpoint serializes.
+type loopState struct {
+	train    []int
+	trainY   []float64 // measured responses aligned with train
+	pool     []int
+	records  []IterationRecord
+	cumCost  float64
+	amsdHist []float64
+
+	// pending is the measurement taken at the end of the previous
+	// iteration, not yet conditioned into the model; a skipped iteration
+	// leaves it unset and the next model update is a no-op.
+	pendingX   []float64
+	pendingY   float64
+	hasPending bool
+
+	attempts map[int]int // dataset row → measurement attempts so far
+
+	// Hyperparameter state of the last refit and the train-prefix length
+	// it covered — the recipe Resume uses to rebuild the model.
+	refitHyper []float64
+	refitLogSN float64
+	refitN     int
+
+	startIter int
+	model     *gp.GP
+	converged bool
+}
+
+// Run executes Active Learning on ds under the given partition. With a
+// nil rng the loop owns a deterministic counting RNG seeded from
+// cfg.Seed (required when CheckpointPath is set, so the RNG position can
+// be checkpointed); the stream is identical to
+// rand.New(rand.NewSource(seed)).
 func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.Rand) (Result, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
@@ -158,14 +252,67 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 	if len(part.Initial) == 0 || len(part.Active) == 0 {
 		return Result{}, errors.New("al: partition needs nonempty Initial and Active sets")
 	}
+	var cs *countingSource
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng, cs = newCountingRand(c.Seed, 0)
+	} else if c.CheckpointPath != "" {
+		return Result{}, errors.New("al: checkpointing requires a loop-owned RNG: pass a nil rng and set LoopConfig.Seed")
 	}
 
-	train := append([]int(nil), part.Initial...)
-	pool := append([]int(nil), part.Active...)
+	st := &loopState{
+		train:     append([]int(nil), part.Initial...),
+		trainY:    ds.RespVec(c.Response, part.Initial),
+		pool:      append([]int(nil), part.Active...),
+		attempts:  map[int]int{},
+		startIter: 1,
+	}
+	return runLoop(ds, part, c, rng, cs, st)
+}
+
+// measureFunc resolves the experiment executor: the caller's Measure,
+// or the dataset lookup optionally routed through the fault injector.
+// With a nil injector the default is exactly the historical behavior
+// (y = ds.RespAt, cost = ds.CostAt), keeping fault-free traces
+// unchanged.
+func measureFunc(ds *dataset.Dataset, c LoopConfig) func(row int, x []float64, attempt int) (float64, float64, error) {
+	if c.Measure != nil {
+		return c.Measure
+	}
+	inj := c.Faults
+	resp := c.Response
+	return func(row int, x []float64, attempt int) (float64, float64, error) {
+		if inj.NodeFails(row, attempt) {
+			return 0, 0, fmt.Errorf("al: node failure during experiment at row %d (attempt %d)", row, attempt)
+		}
+		if inj.JobFails(row, attempt) {
+			return 0, 0, fmt.Errorf("al: experiment failed at row %d (attempt %d)", row, attempt)
+		}
+		y, _ := inj.Corrupt(row, attempt, ds.RespAt(resp, row))
+		cost := ds.CostAt(row) * inj.Slowdown(row, attempt)
+		return y, cost, nil
+	}
+}
+
+// guardRejects applies the observation guard: non-finite responses are
+// always rejected; with guard > 0, responses farther than guard
+// predictive SDs (latent and noise combined) from the model mean at the
+// candidate are too.
+func guardRejects(guard float64, pred gp.Prediction, obsNoise, y float64) bool {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return true
+	}
+	if guard <= 0 {
+		return false
+	}
+	sd := math.Sqrt(pred.SD*pred.SD + obsNoise*obsNoise)
+	return math.Abs(y-pred.Mean) > guard*sd
+}
+
+// runLoop is the iteration engine shared by Run and ResumeFrom.
+func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *rand.Rand, cs *countingSource, st *loopState) (Result, error) {
 	testX := ds.Matrix(part.Test)
 	testY := ds.RespVec(c.Response, part.Test)
+	measure := measureFunc(ds, c)
 
 	maxIter := c.Iterations
 	if maxIter <= 0 {
@@ -174,47 +321,108 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 
 	dims := len(ds.VarNames())
 	res := Result{Strategy: c.Strategy.Name()}
-	var model *gp.GP
-	var cumCost float64
-	var amsdHist []float64
-	var lastX []float64
-	var lastY float64
+	model := st.model
 	ctx := context.Background()
 
-	for iter := 1; iter <= maxIter; iter++ {
-		if len(pool) == 0 {
+	// robustRefit fits the full training set through the GP degradation
+	// chain, warm-starting from the current model, and records the refit
+	// recipe for checkpointing. A degraded fit that rejected trailing
+	// points pops them from the training set (returning them to the pool
+	// for non-revisiting runs).
+	robustRefit := func(fitCtx context.Context, iter int) error {
+		refits.Inc()
+		floor := c.NoiseFloor
+		if c.DynamicFloorC > 0 {
+			floor = gp.DynamicNoiseFloor(c.DynamicFloorC, len(st.train))
+		}
+		gcfg := gp.Config{
+			Kernel:     c.NewKernel(dims),
+			NoiseInit:  math.Max(0.1, floor),
+			NoiseFloor: floor,
+			Optimize:   true,
+			Restarts:   c.Restarts,
+			Normalize:  c.Normalize,
+		}
+		if model != nil {
+			// Warm-start from the previous hyperparameters.
+			gcfg.Kernel.SetHyper(model.Kernel().Hyper())
+			gcfg.NoiseInit = math.Max(model.Noise(), floor)
+		}
+		m, deg, err := gp.FitRobust(fitCtx, gcfg, ds.Matrix(st.train), st.trainY, model, rng)
+		if err != nil {
+			return err
+		}
+		if deg.Rejected > 0 {
+			// The degraded fit dropped the newest observations: drop the
+			// same rows from the loop's training set so model and state
+			// stay aligned.
+			n := len(st.train)
+			for k := n - deg.Rejected; k < n; k++ {
+				alRejected.Inc()
+				if !c.AllowRevisit {
+					st.pool = append(st.pool, st.train[k])
+				}
+			}
+			obs.Emit("al.train.rejected", map[string]any{
+				"iter": iter, "rows": append([]int(nil), st.train[n-deg.Rejected:]...),
+				"level": deg.Level.String(),
+			})
+			st.train = st.train[:n-deg.Rejected]
+			st.trainY = st.trainY[:n-deg.Rejected]
+		}
+		model = m
+		st.refitHyper = append(st.refitHyper[:0], m.Kernel().Hyper()...)
+		st.refitLogSN = m.LogNoise()
+		st.refitN = m.NumTrain()
+		return nil
+	}
+
+	saveCheckpoint := func(nextIter int) error {
+		if c.CheckpointPath == "" {
+			return nil
+		}
+		ck := &Checkpoint{
+			Version: CheckpointVersion, Strategy: c.Strategy.Name(), Response: c.Response,
+			Seed: c.Seed, Draws: cs.draws, NextIter: nextIter,
+			Train: st.train, TrainY: st.trainY, Pool: st.pool,
+			CumCost: st.cumCost, AMSDHist: st.amsdHist,
+			RefitHyper: st.refitHyper, RefitLogSN: st.refitLogSN, RefitN: st.refitN,
+			HasPending: st.hasPending, PendingX: st.pendingX, PendingY: st.pendingY,
+			Attempts: st.attempts,
+		}
+		for _, r := range st.records {
+			ck.Records = append(ck.Records, toCkptRecord(r))
+		}
+		return ck.Save(c.CheckpointPath)
+	}
+
+	for iter := st.startIter; iter <= maxIter; iter++ {
+		if len(st.pool) == 0 {
 			break
 		}
 		iterCtx, iterSpan := obs.Start(ctx, "al.iteration")
 		iterSpan.SetAttr("iter", iter)
-		floor := c.NoiseFloor
-		if c.DynamicFloorC > 0 {
-			floor = gp.DynamicNoiseFloor(c.DynamicFloorC, len(train))
-		}
 		reopt := model == nil || (iter-1)%c.ReoptimizeEvery == 0
 		updateCtx, updateSpan := obs.Start(iterCtx, "al.model.update")
+		var err error
 		if reopt {
-			refits.Inc()
-			gcfg := gp.Config{
-				Kernel:     c.NewKernel(dims),
-				NoiseInit:  math.Max(0.1, floor),
-				NoiseFloor: floor,
-				Optimize:   true,
-				Restarts:   c.Restarts,
-				Normalize:  c.Normalize,
-			}
-			if model != nil {
-				// Warm-start from the previous hyperparameters.
-				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
-				gcfg.NoiseInit = math.Max(model.Noise(), floor)
-			}
-			model, err = gp.FitCtx(updateCtx, gcfg, ds.Matrix(train), ds.RespVec(c.Response, train), rng)
-		} else {
+			err = robustRefit(updateCtx, iter)
+		} else if st.hasPending {
 			// Between refits, condition on the new observation with the
 			// O(n²) bordered-Cholesky update instead of refitting.
 			conditionUpdates.Inc()
-			model, err = model.UpdateWithPoint(lastX, lastY)
+			m, uerr := model.UpdateWithPoint(st.pendingX, st.pendingY)
+			if uerr == nil {
+				model = m
+			} else {
+				// Degenerate update: fall back down the refit chain.
+				err = robustRefit(updateCtx, iter)
+			}
 		}
+		// No pending point (previous iteration was skipped): the model
+		// already covers the training set; nothing to update.
+		st.hasPending = false
+		st.pendingX = nil
 		updateSpan.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("al: iteration %d: %w", iter, err)
@@ -222,18 +430,18 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 
 		// Score the pool.
 		_, scoreSpan := obs.Start(iterCtx, "al.score")
-		poolX := ds.Matrix(pool)
+		poolX := ds.Matrix(st.pool)
 		preds := scorePool(model, poolX, resolveScoreWorkers(c.ScoreWorkers))
-		cands := make([]Candidate, len(pool))
+		cands := make([]Candidate, len(st.pool))
 		var amsd float64
-		for i, row := range pool {
+		for i, row := range st.pool {
 			cands[i] = Candidate{Row: row, X: poolX.RawRow(i), Pred: preds[i], Cost: ds.CostAt(row)}
 			amsd += preds[i].SD
 		}
-		amsd /= float64(len(pool))
+		amsd /= float64(len(st.pool))
 		scoreSpan.End()
-		candidatesEvaluated.Add(int64(len(pool)))
-		poolSize.Set(float64(len(pool)))
+		candidatesEvaluated.Add(int64(len(st.pool)))
+		poolSize.Set(float64(len(st.pool)))
 
 		_, selectSpan := obs.Start(iterCtx, "al.select")
 		sel := selectCandidate(c.Strategy, model, cands, rng)
@@ -242,13 +450,64 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 			return Result{}, fmt.Errorf("al: strategy %s returned invalid index %d", c.Strategy.Name(), sel)
 		}
 		chosen := cands[sel]
+
+		// Measure, with retries on failure and the observation guard in
+		// front of model conditioning.
+		var y, cost float64
+		measured := false
+		for try := 0; try <= c.RetryBudget; try++ {
+			attempt := st.attempts[chosen.Row]
+			st.attempts[chosen.Row] = attempt + 1
+			my, mcost, merr := measure(chosen.Row, chosen.X, attempt)
+			if merr != nil {
+				obs.Emit("al.experiment.failed", map[string]any{
+					"iter": iter, "row": chosen.Row, "attempt": attempt, "err": merr.Error(),
+				})
+				if try < c.RetryBudget {
+					alRetries.Inc()
+				}
+				continue
+			}
+			if guardRejects(c.GuardSigma, chosen.Pred, model.ObservationNoise(), my) {
+				alRejected.Inc()
+				obs.Emit("al.observation.rejected", map[string]any{
+					"iter": iter, "row": chosen.Row, "attempt": attempt, "y": my,
+					"mean": chosen.Pred.Mean, "sd": chosen.Pred.SD,
+				})
+				if try < c.RetryBudget {
+					alRetries.Inc()
+				}
+				continue
+			}
+			y, cost, measured = my, mcost, true
+			break
+		}
+		if !measured {
+			// Retry budget exhausted: skip the candidate entirely — out
+			// of the pool, never into the training set. The model is
+			// unchanged, so without removal a deterministic strategy
+			// would re-select it forever.
+			alSkipped.Inc()
+			obs.Emit("al.candidate.skipped", map[string]any{"iter": iter, "row": chosen.Row})
+			st.pool = append(st.pool[:sel], st.pool[sel+1:]...)
+			iterSpan.End()
+			if iter%c.CheckpointEvery == 0 {
+				if err := saveCheckpoint(iter + 1); err != nil {
+					return Result{}, err
+				}
+			}
+			continue
+		}
+
 		experiments.Inc()
-		train = append(train, chosen.Row)
-		cumCost += ds.CostAt(chosen.Row)
-		lastX = append([]float64(nil), chosen.X...)
-		lastY = ds.RespAt(c.Response, chosen.Row)
+		st.train = append(st.train, chosen.Row)
+		st.trainY = append(st.trainY, y)
+		st.cumCost += cost
+		st.pendingX = append([]float64(nil), chosen.X...)
+		st.pendingY = y
+		st.hasPending = true
 		if !c.AllowRevisit {
-			pool = append(pool[:sel], pool[sel+1:]...)
+			st.pool = append(st.pool[:sel], st.pool[sel+1:]...)
 		}
 
 		// Test-set error and CI coverage with the current model.
@@ -260,39 +519,47 @@ func Run(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, rng *rand.
 			coverage = coverage95(model, preds, testY)
 		}
 
-		res.Records = append(res.Records, IterationRecord{
+		st.records = append(st.records, IterationRecord{
 			Iter:     iter,
 			Row:      chosen.Row,
 			SDChosen: chosen.Pred.SD,
 			AMSD:     amsd,
 			RMSE:     rmse,
 			Coverage: coverage,
-			CumCost:  cumCost,
+			CumCost:  st.cumCost,
 			LML:      model.LML(),
 			Noise:    model.Noise(),
-			Train:    len(train),
+			Train:    len(st.train),
 		})
 		iterSpan.End()
 
+		if iter%c.CheckpointEvery == 0 {
+			if err := saveCheckpoint(iter + 1); err != nil {
+				return Result{}, err
+			}
+		}
+
 		// Budget exhaustion (§I's fixed-allocation constraint).
-		if c.CostBudget > 0 && cumCost >= c.CostBudget {
+		if c.CostBudget > 0 && st.cumCost >= c.CostBudget {
 			break
 		}
 
 		// AMSD convergence rule (§V-B4).
-		amsdHist = append(amsdHist, amsd)
-		if c.ConvergeWindow > 0 && len(amsdHist) > c.ConvergeWindow {
-			w := amsdHist[len(amsdHist)-1-c.ConvergeWindow:]
+		st.amsdHist = append(st.amsdHist, amsd)
+		if c.ConvergeWindow > 0 && len(st.amsdHist) > c.ConvergeWindow {
+			w := st.amsdHist[len(st.amsdHist)-1-c.ConvergeWindow:]
 			lo, hi := stats.MinMax(w)
 			if hi-lo <= c.ConvergeTol*math.Max(1e-12, math.Abs(hi)) {
-				res.Converged = true
+				st.converged = true
 				break
 			}
 		}
 	}
 
+	res.Records = st.records
+	res.Converged = st.converged
 	res.Final = model
-	res.TrainRows = train
+	res.TrainRows = st.train
 	return res, nil
 }
 

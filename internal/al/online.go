@@ -32,6 +32,14 @@ func (f OracleFunc) RunExperiment(x []float64) (y, cost float64, err error) { re
 // learning starts (≥ 1 required). Candidates stay available for repeated
 // measurement. The returned records carry NaN RMSE (there is no held-out
 // ground truth online); AMSD remains the convergence monitor.
+//
+// Oracle failures and non-finite measurements are retried up to
+// cfg.RetryBudget additional attempts; a seed that exhausts its budget
+// is dropped (an error only if no seed survives), and an AL candidate
+// that exhausts it is skipped for that iteration — the model is left
+// unchanged and no record is emitted. With cfg.GuardSigma > 0, AL
+// measurements farther than that many predictive SDs from the model
+// mean are rejected like failures.
 func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig, rng *rand.Rand) (Result, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
@@ -58,33 +66,70 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 	var trainX [][]float64
 	var trainY []float64
 	var cumCost float64
-	runAt := func(ctx context.Context, row int) error {
+	attempts := map[int]int{}
+	var lastMeasureErr error
+
+	// runAt measures row with retries; guard, when non-nil, vets the
+	// observation before it may enter the training set. Returns false
+	// when the retry budget is exhausted (the row is skipped).
+	runAt := func(ctx context.Context, row int, guard func(y float64) bool) (bool, error) {
 		_, span := obs.Start(ctx, "al.experiment")
 		defer span.End()
 		x := append([]float64(nil), candidates.RawRow(row)...)
-		y, cost, err := oracle.RunExperiment(x)
-		if err != nil {
-			return fmt.Errorf("al: oracle at row %d: %w", row, err)
+		for try := 0; try <= c.RetryBudget; try++ {
+			attempt := attempts[row]
+			attempts[row] = attempt + 1
+			y, cost, err := oracle.RunExperiment(x)
+			if err != nil {
+				lastMeasureErr = fmt.Errorf("al: oracle at row %d: %w", row, err)
+				obs.Emit("al.experiment.failed", map[string]any{
+					"row": row, "attempt": attempt, "err": err.Error(),
+				})
+				if try < c.RetryBudget {
+					alRetries.Inc()
+				}
+				continue
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) || (guard != nil && guard(y)) {
+				alRejected.Inc()
+				obs.Emit("al.observation.rejected", map[string]any{
+					"row": row, "attempt": attempt, "y": y,
+				})
+				if try < c.RetryBudget {
+					alRetries.Inc()
+				}
+				continue
+			}
+			experiments.Inc()
+			trainX = append(trainX, x)
+			trainY = append(trainY, y)
+			cumCost += cost
+			return true, nil
 		}
-		experiments.Inc()
-		trainX = append(trainX, x)
-		trainY = append(trainY, y)
-		cumCost += cost
-		return nil
+		alSkipped.Inc()
+		obs.Emit("al.candidate.skipped", map[string]any{"row": row})
+		return false, nil
 	}
 	ctx := context.Background()
 	for _, s := range seeds {
 		if s < 0 || s >= candidates.Rows() {
 			return Result{}, fmt.Errorf("al: seed index %d out of range %d", s, candidates.Rows())
 		}
-		if err := runAt(ctx, s); err != nil {
+		if _, err := runAt(ctx, s, nil); err != nil {
 			return Result{}, err
 		}
+	}
+	if len(trainY) == 0 {
+		if lastMeasureErr != nil {
+			return Result{}, fmt.Errorf("al: every seed experiment failed: %w", lastMeasureErr)
+		}
+		return Result{}, errors.New("al: every seed experiment failed")
 	}
 
 	res := Result{Strategy: c.Strategy.Name()}
 	var model *gp.GP
 	var amsdHist []float64
+	hasPending := false
 	for iter := 1; iter <= maxIter; iter++ {
 		iterCtx, iterSpan := obs.Start(ctx, "al.iteration")
 		iterSpan.SetAttr("iter", iter)
@@ -108,13 +153,29 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
 				gcfg.NoiseInit = math.Max(model.Noise(), floor)
 			}
-			model, err = gp.FitCtx(updateCtx, gcfg, mat.NewFromRows(trainX), trainY, rng)
-		} else {
+			var deg gp.Degradation
+			model, deg, err = gp.FitRobust(updateCtx, gcfg, mat.NewFromRows(trainX), trainY, model, rng)
+			if err == nil && deg.Rejected > 0 {
+				// Keep the loop's training set aligned with the degraded
+				// model: drop the same trailing observations.
+				for k := 0; k < deg.Rejected; k++ {
+					alRejected.Inc()
+				}
+				trainX = trainX[:len(trainX)-deg.Rejected]
+				trainY = trainY[:len(trainY)-deg.Rejected]
+			}
+		} else if hasPending {
 			// O(n²) conditioning on the newest measurement.
 			conditionUpdates.Inc()
 			last := len(trainY) - 1
-			model, err = model.UpdateWithPoint(trainX[last], trainY[last])
+			m, uerr := model.UpdateWithPoint(trainX[last], trainY[last])
+			if uerr == nil {
+				model = m
+			} else {
+				err = uerr
+			}
 		}
+		hasPending = false
 		updateSpan.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("al: online iteration %d: %w", iter, err)
@@ -139,9 +200,23 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 		if sel < 0 || sel >= len(cands) {
 			return Result{}, fmt.Errorf("al: strategy %s returned invalid index %d", c.Strategy.Name(), sel)
 		}
-		if err := runAt(iterCtx, cands[sel].Row); err != nil {
+		var guard func(float64) bool
+		if c.GuardSigma > 0 {
+			pred := cands[sel].Pred
+			sn := model.ObservationNoise()
+			guard = func(y float64) bool { return guardRejects(c.GuardSigma, pred, sn, y) }
+		}
+		ok, err := runAt(iterCtx, cands[sel].Row, guard)
+		if err != nil {
 			return Result{}, err
 		}
+		if !ok {
+			// Skipped: the model saw nothing new; move to the next
+			// iteration without a record.
+			iterSpan.End()
+			continue
+		}
+		hasPending = true
 
 		res.Records = append(res.Records, IterationRecord{
 			Iter:     iter,

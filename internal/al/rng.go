@@ -1,0 +1,43 @@
+package al
+
+import "math/rand"
+
+// countingSource wraps math/rand's default source and counts Int63
+// draws, so the RNG's stream position can be checkpointed as a single
+// integer and restored by fast-forwarding a freshly seeded source.
+//
+// It deliberately implements only rand.Source, not Source64: without a
+// native Uint64, every rand.Rand method funnels through Int63, making
+// the draw count a complete description of the stream position. All
+// rand.Rand methods the pipeline uses (Float64, Intn, NormFloat64,
+// Perm, ...) derive from Int63 alone, so their streams are
+// byte-identical to rand.New(rand.NewSource(seed)) and loops that
+// default to a counting RNG keep their historical selection traces.
+// (Only rand.Rand.Uint64 itself would differ — it has a native
+// Source64 fast path — and nothing in this repository calls it.)
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// newCountingRand returns a deterministic RNG positioned draws Int63
+// calls into the stream of seed, plus its source for reading the
+// position back at checkpoint time.
+func newCountingRand(seed int64, draws uint64) (*rand.Rand, *countingSource) {
+	cs := &countingSource{src: rand.NewSource(seed)}
+	for i := uint64(0); i < draws; i++ {
+		cs.src.Int63()
+	}
+	cs.draws = draws
+	return rand.New(cs), cs
+}

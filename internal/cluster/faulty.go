@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"repro/internal/faults"
+)
+
+// Execution states reported by ExecTimeFaulty. They mirror the
+// scheduler's accounting states (internal/sched) so outcomes flow into
+// sacct-style records unchanged.
+const (
+	ExecCompleted = "COMPLETED"
+	ExecFailed    = "FAILED"
+	ExecNodeFail  = "NODE_FAIL"
+)
+
+// ExecOutcome is the result of one fault-aware simulated execution
+// attempt.
+type ExecOutcome struct {
+	// ElapsedS is the attempt's wall-clock seconds: the roofline
+	// prediction scaled by any straggler slowdown and, for failed
+	// attempts, truncated at the crash instant.
+	ElapsedS float64
+	// State is ExecCompleted, ExecFailed or ExecNodeFail.
+	State string
+	// Slowdown is the straggler factor applied (1 = none).
+	Slowdown float64
+}
+
+// Failed reports whether the attempt did not complete.
+func (o ExecOutcome) Failed() bool { return o.State != ExecCompleted }
+
+// ExecTimeFaulty is ExecTime routed through a fault injector: the
+// failure-aware execution hook the scheduler and AL layers drive.
+// Decisions are keyed by (job, attempt) so a retry of the same job is an
+// independent draw, and a resumed run re-derives identical faults. A nil
+// injector makes this exactly ExecTime with a COMPLETED outcome.
+func (n NodeSpec) ExecTimeFaulty(inj *faults.Injector, job, attempt int, w Work, p Placement, freqGHz float64) (ExecOutcome, error) {
+	t, err := n.ExecTime(w, p, freqGHz)
+	if err != nil {
+		return ExecOutcome{}, err
+	}
+	out := ExecOutcome{ElapsedS: t, State: ExecCompleted, Slowdown: inj.Slowdown(job, attempt)}
+	out.ElapsedS *= out.Slowdown
+	switch {
+	case inj.NodeFails(job, attempt):
+		out.State = ExecNodeFail
+		out.ElapsedS *= inj.FailFraction(job, attempt)
+	case inj.JobFails(job, attempt):
+		out.State = ExecFailed
+		out.ElapsedS *= inj.FailFraction(job, attempt)
+	}
+	return out, nil
+}
+
+// SampleTraceFaulty is SampleTraceFunc with additional injector-keyed
+// sample dropout: beyond the stochastic TraceConfig.Dropout, each
+// reading is dropped when the injector's PowerDropout draw for
+// (job, sample index) fires. The deterministic keying means a resumed or
+// re-scored campaign loses exactly the same readings.
+func SampleTraceFaulty(inj *faults.Injector, job int, rng *rand.Rand, durationS float64, watts func(t float64) float64, cfg TraceConfig) []PowerSample {
+	samples := SampleTraceFunc(rng, durationS, watts, cfg)
+	if !inj.Enabled() {
+		return samples
+	}
+	kept := samples[:0]
+	for i, s := range samples {
+		if inj.DropPowerSample(job, i) {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func testWork() (Work, Placement) {
+	w := Work{Flops: 1e12, MemBytes: 1e11, NetBytes: 1e7, NetMsgs: 100}
+	p, _ := Place(32, 16)
+	return w, p
+}
+
+func TestExecTimeFaultyNilInjectorMatchesExecTime(t *testing.T) {
+	n := Wisconsin()
+	w, p := testWork()
+	want, err := n.ExecTime(w, p, 2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.ExecTimeFaulty(nil, 1, 0, w, p, 2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ElapsedS != want || out.State != ExecCompleted || out.Slowdown != 1 {
+		t.Fatalf("nil-injector outcome %+v, want elapsed %g COMPLETED", out, want)
+	}
+	if out.Failed() {
+		t.Fatal("completed outcome reports Failed")
+	}
+}
+
+func TestExecTimeFaultyInjectsFailuresAndStragglers(t *testing.T) {
+	n := Wisconsin()
+	w, p := testWork()
+	base, _ := n.ExecTime(w, p, 2.4)
+	inj := faults.New(faults.Config{Seed: 9, JobFailRate: 0.3, NodeFailRate: 0.1, StragglerRate: 0.3})
+
+	var failed, nodeFailed, slowed int
+	for job := 0; job < 300; job++ {
+		out, err := n.ExecTimeFaulty(inj, job, 0, w, p, 2.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch out.State {
+		case ExecFailed:
+			failed++
+			if !out.Failed() || out.ElapsedS > base*out.Slowdown {
+				t.Fatalf("failed attempt elapsed %g exceeds full run %g", out.ElapsedS, base*out.Slowdown)
+			}
+		case ExecNodeFail:
+			nodeFailed++
+		case ExecCompleted:
+		default:
+			t.Fatalf("unknown state %q", out.State)
+		}
+		if out.Slowdown > 1 {
+			slowed++
+		}
+	}
+	if failed == 0 || nodeFailed == 0 || slowed == 0 {
+		t.Fatalf("faults not injected: failed=%d nodefail=%d slowed=%d", failed, nodeFailed, slowed)
+	}
+
+	// Deterministic: the same (job, attempt) keys reproduce outcomes.
+	a, _ := n.ExecTimeFaulty(inj, 17, 2, w, p, 2.4)
+	b, _ := n.ExecTimeFaulty(inj, 17, 2, w, p, 2.4)
+	if a != b {
+		t.Fatalf("non-deterministic outcome: %+v vs %+v", a, b)
+	}
+}
+
+func TestSampleTraceFaultyDropsDeterministically(t *testing.T) {
+	inj := faults.New(faults.Config{Seed: 4, PowerDropRate: 0.3})
+	watts := func(float64) float64 { return 200 }
+	a := SampleTraceFaulty(inj, 5, rand.New(rand.NewSource(1)), 120, watts, TraceConfig{PeriodS: 1})
+	b := SampleTraceFaulty(inj, 5, rand.New(rand.NewSource(1)), 120, watts, TraceConfig{PeriodS: 1})
+	full := SampleTraceFunc(rand.New(rand.NewSource(1)), 120, watts, TraceConfig{PeriodS: 1})
+	if len(a) == len(full) {
+		t.Fatalf("no samples dropped: %d of %d", len(a), len(full))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic dropout: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical runs", i)
+		}
+	}
+	// Nil injector is a pass-through.
+	c := SampleTraceFaulty(nil, 5, rand.New(rand.NewSource(1)), 120, watts, TraceConfig{PeriodS: 1})
+	if len(c) != len(full) {
+		t.Fatalf("nil injector dropped samples: %d of %d", len(c), len(full))
+	}
+}

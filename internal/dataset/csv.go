@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -52,7 +53,11 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset written by WriteCSV.
+// ReadCSV parses a dataset written by WriteCSV. Response cells must be
+// finite: a NaN or ±Inf response (e.g. from a corrupted measurement
+// logger) is rejected with an error naming the offending data row and
+// column, so garbage is stopped at ingestion instead of surfacing later
+// as a failed Cholesky factorization deep inside the GP.
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
@@ -94,7 +99,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	for _, t := range tagNames {
 		d.tags[t] = nil
 	}
-	for {
+	for row := 1; ; row++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
@@ -106,7 +111,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		y := make([]float64, 0, len(respNames))
 		tags := map[string]string{}
 		cost := 0.0
-		ti := 0
+		ti, ri, vi := 0, 0, 0
 		for i, cell := range rec {
 			switch kinds[i] {
 			case kindTag:
@@ -115,19 +120,27 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			case kindVar:
 				v, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: bad numeric cell %q: %w", cell, err)
+					return nil, fmt.Errorf("dataset: bad numeric cell %q in column %q at data row %d: %w",
+						cell, varNames[vi], row, err)
 				}
 				x = append(x, v)
+				vi++
 			case kindResp:
 				v, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: bad numeric cell %q: %w", cell, err)
+					return nil, fmt.Errorf("dataset: bad numeric cell %q in column %q at data row %d: %w",
+						cell, respNames[ri], row, err)
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("dataset: non-finite response %q in column %q at data row %d",
+						cell, respNames[ri], row)
 				}
 				y = append(y, v)
+				ri++
 			case kindCost:
 				v, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: bad cost cell %q: %w", cell, err)
+					return nil, fmt.Errorf("dataset: bad cost cell %q at data row %d: %w", cell, row, err)
 				}
 				cost = v
 			}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -348,5 +349,27 @@ func TestPartitionDeterminismProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A non-finite response cell must be rejected at load time with an
+// error that names the offending data row and column.
+func TestReadCSVRejectsNonFiniteResponse(t *testing.T) {
+	for _, cell := range []string{"NaN", "Inf", "+Inf", "-Inf", "nan", "1e309"} {
+		in := "a,resp:y,cost\n1,2,3\n4," + cell + ",6\n"
+		_, err := ReadCSV(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("ReadCSV accepted response %q", cell)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `column "y"`) || !strings.Contains(msg, "row 2") {
+			t.Fatalf("error for %q lacks row/column: %v", cell, err)
+		}
+	}
+	// Non-finite variables and costs are untouched by this guard only
+	// if they parse; the finite happy path still loads.
+	d, err := ReadCSV(strings.NewReader("a,resp:y,cost\n1,2,3\n"))
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("finite CSV rejected: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -18,10 +19,22 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("")                           // empty
 	f.Add("a,b\n\"quoted,comma\",2\n")  // quoting
 	f.Add("a,resp:y,cost\n1e308,2,3\n") // extreme value
+	f.Add("a,resp:y,cost\n1,NaN,3\n")   // non-finite response
+	f.Add("a,resp:y,cost\n1,+Inf,3\n")
+	f.Add("a,resp:y,cost\n1,-inf,3\n")
+	f.Add("a,resp:y,cost\n1,1e309,3\n") // overflows to +Inf
 	f.Fuzz(func(t *testing.T, input string) {
 		d, err := ReadCSV(strings.NewReader(input))
 		if err != nil {
 			return // rejecting malformed input is fine
+		}
+		// Ingestion must never admit a non-finite response.
+		for _, name := range d.RespNames() {
+			for i := 0; i < d.Len(); i++ {
+				if y := d.RespAt(name, i); math.IsNaN(y) || math.IsInf(y, 0) {
+					t.Fatalf("accepted non-finite response %g in %q row %d", y, name, i)
+				}
+			}
 		}
 		// Accepted input must produce an internally consistent dataset
 		// that round-trips.

@@ -1,0 +1,135 @@
+package gp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// fitDegraded counts fits that could not complete on the normal path and
+// fell back down the degradation chain (see OBSERVABILITY.md).
+var fitDegraded = obs.C("gp.fit.degraded")
+
+// DegradeLevel identifies how far down the degradation chain FitRobust
+// had to fall to produce a model.
+type DegradeLevel int
+
+const (
+	// DegradeNone: the normal fit (with its internal jitter escalation)
+	// succeeded.
+	DegradeNone DegradeLevel = iota
+	// DegradeReusedHypers: hyperparameter optimization failed or the
+	// optimized hypers did not factorize; the previous model's
+	// hyperparameters were reused without optimization.
+	DegradeReusedHypers
+	// DegradeRejectedPoints: the fit only succeeded after dropping one
+	// or more trailing observations (the most recent, and most suspect,
+	// measurements).
+	DegradeRejectedPoints
+)
+
+// String names the level for logs and events.
+func (d DegradeLevel) String() string {
+	switch d {
+	case DegradeNone:
+		return "none"
+	case DegradeReusedHypers:
+		return "reused_hypers"
+	case DegradeRejectedPoints:
+		return "rejected_points"
+	}
+	return fmt.Sprintf("DegradeLevel(%d)", int(d))
+}
+
+// Degradation reports what FitRobust had to do to produce a model.
+type Degradation struct {
+	Level DegradeLevel
+	// Rejected is the number of trailing observations dropped
+	// (non-zero only at DegradeRejectedPoints). The caller owns the
+	// consequence: the returned model covers y[:len(y)-Rejected].
+	Rejected int
+	// Err is the error from the normal fit path when any degradation
+	// fired, kept for logging; nil at DegradeNone.
+	Err error
+}
+
+// maxRejectPoints bounds stage three of the chain: how many trailing
+// observations FitRobust will sacrifice before giving up.
+const maxRejectPoints = 3
+
+// FitRobust is FitCtx wrapped in a degradation chain for fault-tolerant
+// loops that must produce a model even when a fit fails:
+//
+//  1. the normal fit (FitCtx, whose factorization already escalates
+//     diagonal jitter internally);
+//  2. refit at the previous model's hyperparameters, skipping
+//     optimization (prev carries them; nil skips this stage);
+//  3. reject trailing observations one at a time — newest first, since
+//     in an AL loop the newest measurement is the likely culprit —
+//     retrying stages 1–2 on the truncated data, up to maxRejectPoints.
+//
+// On success the Degradation return says which stage produced the model
+// and how many points it covers; gp.fit.degraded counts every fit that
+// needed stage 2 or 3. On total failure the model is nil and the error
+// is from the last attempt.
+func FitRobust(ctx context.Context, cfg Config, x *mat.Dense, y []float64, prev *GP, rng *rand.Rand) (*GP, Degradation, error) {
+	// Failed optimization attempts mutate cfg.Kernel's hyperparameters;
+	// restore the caller's initial state before each retry so every
+	// attempt starts from the same place.
+	initHyper := append([]float64(nil), cfg.Kernel.Hyper()...)
+
+	g, err := FitCtx(ctx, cfg, x, y, rng)
+	if err == nil {
+		return g, Degradation{}, nil
+	}
+	firstErr := err
+
+	try := func(xs *mat.Dense, ys []float64) (*GP, error) {
+		c := cfg
+		if c.PointNoiseVar != nil && len(c.PointNoiseVar) > len(ys) {
+			c.PointNoiseVar = c.PointNoiseVar[:len(ys)]
+		}
+		c.Kernel.SetHyper(initHyper)
+		if g, err := FitCtx(ctx, c, xs, ys, rng); err == nil {
+			return g, nil
+		}
+		if prev != nil {
+			return FitAtHypers(c, xs, ys, prev.Kernel().Hyper(), prev.LogNoise())
+		}
+		return nil, err
+	}
+
+	if prev != nil {
+		c := cfg
+		if g, err2 := FitAtHypers(c, x, y, prev.Kernel().Hyper(), prev.LogNoise()); err2 == nil {
+			fitDegraded.Inc()
+			obs.Emit("gp.fit.degrade", map[string]any{
+				"level": DegradeReusedHypers.String(), "n": x.Rows(), "err": firstErr.Error(),
+			})
+			return g, Degradation{Level: DegradeReusedHypers, Err: firstErr}, nil
+		}
+	}
+
+	n := x.Rows()
+	for k := 1; k <= maxRejectPoints && n-k >= 1; k++ {
+		xs := mat.New(n-k, x.Cols())
+		for i := 0; i < n-k; i++ {
+			copy(xs.RawRow(i), x.RawRow(i))
+		}
+		ys := append([]float64(nil), y[:n-k]...)
+		if g, err2 := try(xs, ys); err2 == nil {
+			fitDegraded.Inc()
+			obs.Emit("gp.fit.degrade", map[string]any{
+				"level": DegradeRejectedPoints.String(), "n": n, "rejected": k,
+				"err": firstErr.Error(),
+			})
+			return g, Degradation{Level: DegradeRejectedPoints, Rejected: k, Err: firstErr}, nil
+		} else {
+			err = err2
+		}
+	}
+	return nil, Degradation{}, fmt.Errorf("gp: fit degradation chain exhausted: %w", err)
+}

@@ -1,0 +1,178 @@
+package gp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+func degradeData(n int) (*mat.Dense, []float64) {
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i)/float64(n))
+		y[i] = math.Sin(3 * x.At(i, 0))
+	}
+	return x, y
+}
+
+// hyperPoisonKernel returns NaN covariance unless its hyperparameters
+// exactly equal good, and reports optimizer bounds that exclude good —
+// so optimization always fails while an exact refit at good succeeds.
+type hyperPoisonKernel struct {
+	kernel.Kernel
+	good []float64
+}
+
+func (p *hyperPoisonKernel) atGood() bool {
+	h := p.Kernel.Hyper()
+	for i := range h {
+		if h[i] != p.good[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *hyperPoisonKernel) Eval(x, y []float64) float64 {
+	if !p.atGood() {
+		return math.NaN()
+	}
+	return p.Kernel.Eval(x, y)
+}
+
+func (p *hyperPoisonKernel) EvalGrad(x, y []float64, grad []float64) float64 {
+	if !p.atGood() {
+		for i := range grad {
+			grad[i] = 0
+		}
+		return math.NaN()
+	}
+	return p.Kernel.EvalGrad(x, y, grad)
+}
+
+func (p *hyperPoisonKernel) Bounds() []kernel.Bounds {
+	b := make([]kernel.Bounds, p.NumHyper())
+	for i := range b {
+		b[i] = kernel.Bounds{Lo: 5, Hi: 6} // excludes good = log 1 = 0
+	}
+	return b
+}
+
+// pointPoisonKernel returns NaN whenever either argument is the bad
+// input point, regardless of hyperparameters — only dropping the point
+// can save the fit.
+type pointPoisonKernel struct {
+	kernel.Kernel
+	bad float64
+}
+
+func (p *pointPoisonKernel) Eval(x, y []float64) float64 {
+	if x[0] == p.bad || y[0] == p.bad {
+		return math.NaN()
+	}
+	return p.Kernel.Eval(x, y)
+}
+
+func (p *pointPoisonKernel) EvalGrad(x, y []float64, grad []float64) float64 {
+	if x[0] == p.bad || y[0] == p.bad {
+		for i := range grad {
+			grad[i] = 0
+		}
+		return math.NaN()
+	}
+	return p.Kernel.EvalGrad(x, y, grad)
+}
+
+func TestFitRobustHealthyPassthrough(t *testing.T) {
+	before := obs.C("gp.fit.degraded").Value()
+	x, y := degradeData(10)
+	g, d, err := FitRobust(context.Background(),
+		Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1, FixedNoise: true},
+		x, y, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Level != DegradeNone || d.Rejected != 0 || d.Err != nil {
+		t.Fatalf("degradation = %+v, want none", d)
+	}
+	if g.NumTrain() != 10 {
+		t.Fatalf("NumTrain = %d", g.NumTrain())
+	}
+	if delta := obs.C("gp.fit.degraded").Value() - before; delta != 0 {
+		t.Fatalf("gp.fit.degraded rose by %d on a healthy fit", delta)
+	}
+}
+
+func TestFitRobustReusesPreviousHypers(t *testing.T) {
+	before := obs.C("gp.fit.degraded").Value()
+	x, y := degradeData(12)
+
+	prev, err := Fit(Config{Kernel: kernel.NewRBF(1, 1), NoiseInit: 0.1, FixedNoise: true}, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pk := &hyperPoisonKernel{Kernel: kernel.NewRBF(1, 1), good: kernel.NewRBF(1, 1).Hyper()}
+	cfg := Config{Kernel: pk, NoiseInit: 0.1, FixedNoise: true, Optimize: true, Restarts: 2}
+	g, d, err := FitRobust(context.Background(), cfg, x, y, prev, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Level != DegradeReusedHypers {
+		t.Fatalf("level = %v, want reused_hypers", d.Level)
+	}
+	if d.Err == nil {
+		t.Fatal("degradation kept no cause error")
+	}
+	if g.NumTrain() != 12 || d.Rejected != 0 {
+		t.Fatalf("NumTrain = %d, Rejected = %d", g.NumTrain(), d.Rejected)
+	}
+	// The reused-hyper model must actually predict finitely.
+	p := g.Predict([]float64{0.5})
+	if math.IsNaN(p.Mean) || math.IsNaN(p.SD) {
+		t.Fatalf("degraded model predicts (%g, %g)", p.Mean, p.SD)
+	}
+	if delta := obs.C("gp.fit.degraded").Value() - before; delta != 1 {
+		t.Fatalf("gp.fit.degraded rose by %d, want 1", delta)
+	}
+}
+
+func TestFitRobustRejectsTrailingPoint(t *testing.T) {
+	before := obs.C("gp.fit.degraded").Value()
+	x, y := degradeData(10)
+	bad := x.At(9, 0) // newest observation poisons the covariance
+
+	pk := &pointPoisonKernel{Kernel: kernel.NewRBF(1, 1), bad: bad}
+	g, d, err := FitRobust(context.Background(),
+		Config{Kernel: pk, NoiseInit: 0.1, FixedNoise: true}, x, y, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Level != DegradeRejectedPoints || d.Rejected != 1 {
+		t.Fatalf("degradation = %+v, want 1 rejected point", d)
+	}
+	if g.NumTrain() != 9 {
+		t.Fatalf("NumTrain = %d, want 9", g.NumTrain())
+	}
+	if delta := obs.C("gp.fit.degraded").Value() - before; delta != 1 {
+		t.Fatalf("gp.fit.degraded rose by %d, want 1", delta)
+	}
+}
+
+func TestFitRobustChainExhausted(t *testing.T) {
+	// Every input point is poisoned: no amount of trailing rejection
+	// (bounded at maxRejectPoints) can recover.
+	x, y := degradeData(8)
+	pk := &pointPoisonKernel{Kernel: kernel.NewRBF(1, 1), bad: x.At(0, 0)}
+	// Poison the FIRST point so truncating the tail never removes it.
+	if _, _, err := FitRobust(context.Background(),
+		Config{Kernel: pk, NoiseInit: 0.1, FixedNoise: true}, x, y, nil, nil); err == nil {
+		t.Fatal("want error when the chain is exhausted")
+	}
+}

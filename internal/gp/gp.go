@@ -142,6 +142,45 @@ func FitCtx(ctx context.Context, cfg Config, x *mat.Dense, y []float64, rng *ran
 	if x != nil {
 		span.SetAttr("n", x.Rows())
 	}
+	g, err := buildGP(cfg, x, y)
+	if err != nil {
+		return nil, err
+	}
+	if g.cfg.Optimize {
+		if err := g.optimizeHypers(ctx, rng); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.factorize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FitAtHypers builds a GP at an exact, previously fitted hyperparameter
+// state — kernel log-hyperparameters plus log σn — without optimization
+// or the log/exp clamping round trip of Fit. This is the
+// checkpoint-resume and degradation-chain path: given the same data and
+// the state captured from a fitted model (Kernel().Hyper(), LogNoise()),
+// it reproduces that model's factorization bit for bit.
+func FitAtHypers(cfg Config, x *mat.Dense, y []float64, kernelHyper []float64, logSN float64) (*GP, error) {
+	cfg.Optimize = false
+	g, err := buildGP(cfg, x, y)
+	if err != nil {
+		return nil, err
+	}
+	g.kern.SetHyper(kernelHyper)
+	g.logSN = logSN
+	if err := g.factorize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildGP validates inputs and assembles the unfitted model state shared
+// by FitCtx and FitAtHypers: cloned inputs, (optionally normalized)
+// targets, and the initial noise level.
+func buildGP(cfg Config, x *mat.Dense, y []float64) (*GP, error) {
 	if cfg.Kernel == nil {
 		return nil, errors.New("gp: Config.Kernel is required")
 	}
@@ -161,7 +200,6 @@ func FitCtx(ctx context.Context, cfg Config, x *mat.Dense, y []float64, rng *ran
 		}
 	}
 	c := cfg.withDefaults()
-
 	g := &GP{cfg: c, kern: c.Kernel, x: x.Clone(), yMean: 0, yStd: 1}
 	ys := append(mat.Vec(nil), y...)
 	if c.Normalize {
@@ -176,21 +214,17 @@ func FitCtx(ctx context.Context, cfg Config, x *mat.Dense, y []float64, rng *ran
 	}
 	g.y = ys
 	g.logSN = math.Log(clamp(c.NoiseInit, c.NoiseFloor, c.NoiseCeil))
-
-	if c.Optimize {
-		if err := g.optimizeHypers(ctx, rng); err != nil {
-			return nil, err
-		}
-	}
-	if err := g.factorize(); err != nil {
-		return nil, err
-	}
 	return g, nil
 }
 
 // Noise returns the fitted noise standard deviation σn (in model space:
 // normalized units when cfg.Normalize is set).
 func (g *GP) Noise() float64 { return math.Exp(g.logSN) }
+
+// LogNoise returns log σn exactly as stored, for checkpointing: feeding
+// it back through FitAtHypers reproduces the model without the
+// exp(log(·)) rounding a Noise()/NoiseInit round trip would introduce.
+func (g *GP) LogNoise() float64 { return g.logSN }
 
 // ObservationNoise returns σn in the original response units (identical
 // to Noise unless cfg.Normalize rescaled the targets).

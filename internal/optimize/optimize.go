@@ -14,6 +14,17 @@ import (
 // Objective evaluates the function at x and, when grad is non-nil, writes
 // the gradient into grad (len(grad) == len(x)). It returns the objective
 // value. Implementations must not retain x or grad.
+//
+// Non-finite contract: an Objective MAY return NaN or ±Inf (a GP's LML
+// does, at hyperparameters where the Gram matrix loses positive
+// definiteness). Optimizers must treat such values as "worse than any
+// finite value", never as progress: L-BFGS and Nelder–Mead reject
+// non-finite trial points during line search / reflection, and
+// MultiStart discards any restart that finishes with a non-finite
+// objective, returning the best finite restart instead. Only when every
+// restart ends non-finite (or in error) does MultiStart return an error
+// — callers such as gp.FitRobust rely on that error, not a poisoned
+// Result, to trigger their degradation chain.
 type Objective func(x []float64, grad []float64) float64
 
 // Bounds is a box constraint for one coordinate.

@@ -211,6 +211,51 @@ func TestMultiStartFindsGlobal(t *testing.T) {
 	}
 }
 
+// The non-finite contract of Objective: restarts that land in (or
+// wander into) a region where the objective is NaN are discarded, and
+// the best finite restart wins — this is what lets GP hyperparameter
+// search survive non-PD corners of the space. Only when every start
+// ends non-finite may Minimize error.
+func TestMultiStartNaNOnSomeStarts(t *testing.T) {
+	// NaN on the entire negative half-line, a clean bowl at x=1 on the
+	// positive side. Half the sampling box is poisoned.
+	half := func(x, grad []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		if grad != nil {
+			grad[0] = 2 * (x[0] - 1)
+		}
+		return (x[0] - 1) * (x[0] - 1)
+	}
+	bounds := []Bounds{{Lo: -4, Hi: 4}}
+	for _, par := range []bool{false, true} {
+		ms := &MultiStart{
+			Opt:      &LBFGS{Bounds: bounds},
+			Restarts: 10,
+			Bounds:   bounds,
+			Parallel: par,
+		}
+		// x0 itself is poisoned: the explicit start must be discarded
+		// too, not just random ones.
+		res, err := ms.Minimize(half, []float64{-2}, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("parallel=%v: %v", par, err)
+		}
+		if !isFinite(res.F) || res.F > 1e-8 || math.Abs(res.X[0]-1) > 1e-4 {
+			t.Fatalf("parallel=%v: got f=%g at x=%g, want ~0 at 1", par, res.F, res.X[0])
+		}
+	}
+
+	// Fully poisoned objective: every restart is non-finite and the
+	// driver must say so rather than return a NaN minimizer.
+	poison := func(x, grad []float64) float64 { return math.NaN() }
+	ms := &MultiStart{Opt: &LBFGS{Bounds: bounds}, Restarts: 5, Bounds: bounds}
+	if _, err := ms.Minimize(poison, []float64{1}, rand.New(rand.NewSource(3))); err == nil {
+		t.Fatal("all-NaN objective must error")
+	}
+}
+
 func TestMultiStartParallelMatchesSerial(t *testing.T) {
 	bounds := []Bounds{{Lo: -4, Hi: 4}}
 	mk := func(par bool) float64 {

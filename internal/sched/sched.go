@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/obs"
@@ -15,9 +16,27 @@ var (
 	jobsSubmitted = obs.C("sched.jobs.submitted")
 	jobsCompleted = obs.C("sched.jobs.completed")
 	jobsTimeout   = obs.C("sched.jobs.timeout")
+	jobsFailed    = obs.C("sched.jobs.failed")
+	jobsNodeFail  = obs.C("sched.jobs.node_fail")
+	jobsRequeued  = obs.C("sched.jobs.requeued")
 	jobWait       = obs.H("sched.job.wait", 0, 1, 10, 60, 600, 3600, 36000)
 	jobElapsed    = obs.H("sched.job.elapsed", 1, 10, 60, 600, 3600, 36000)
 	makespan      = obs.G("sched.makespan")
+)
+
+// Accounting states, mirroring SLURM's sacct vocabulary.
+const (
+	StateCompleted = "COMPLETED"
+	StateTimeout   = "TIMEOUT"
+	StateFailed    = "FAILED"
+	StateNodeFail  = "NODE_FAIL"
+)
+
+// Default requeue backoff policy: min(base·2^(retry−1), cap) seconds
+// between a failed attempt and its resubmission.
+const (
+	DefaultBackoffBaseS = 30
+	DefaultBackoffCapS  = 3600
 )
 
 // Policy selects the queueing discipline.
@@ -44,8 +63,13 @@ type Job struct {
 	// killed with state TIMEOUT, as SLURM does.
 	WalltimeS float64
 	// Run produces the job's actual runtime in seconds when it starts.
-	// It is called exactly once. Must be non-nil.
+	// It is called once per execution attempt. Must be non-nil.
 	Run func() float64
+	// MaxRetries is the job's requeue budget: a FAILED or NODE_FAIL
+	// attempt is resubmitted (after backoff) up to this many times, each
+	// attempt leaving its own accounting record like sacct's requeue
+	// rows. TIMEOUT kills are final and never requeued.
+	MaxRetries int
 	// Meta carries arbitrary job parameters into the accounting record.
 	Meta map[string]string
 }
@@ -63,14 +87,55 @@ type Record struct {
 	ElapsedS float64
 	WaitS    float64
 	State    string
-	Meta     map[string]string
+	// Attempt is the 0-based execution attempt this record accounts for;
+	// a requeued job leaves one record per attempt.
+	Attempt int
+	Meta    map[string]string
 }
 
-// Config sizes the simulated cluster partition.
+// Config sizes the simulated cluster partition and wires its failure
+// model.
 type Config struct {
 	NodeCount    int
 	CoresPerNode int
 	Policy       Policy
+
+	// FailureFn, when non-nil, is consulted once per execution attempt
+	// with the job and its 0-based attempt number. Returning StateFailed
+	// or StateNodeFail fails the attempt after fraction ∈ (0, 1] of its
+	// runtime (fraction outside that range means the full runtime); any
+	// other state string leaves the attempt healthy. Wire a fault
+	// injector in with FaultHooks.
+	FailureFn func(j Job, attempt int) (state string, fraction float64)
+
+	// SlowdownFn, when non-nil, scales an attempt's runtime — the
+	// straggler model. Factors ≤ 1 leave the runtime unchanged.
+	SlowdownFn func(j Job, attempt int) float64
+
+	// BackoffBaseS and BackoffCapS define the requeue delay after retry
+	// r (1-based): min(BackoffBaseS·2^(r−1), BackoffCapS) simulated
+	// seconds. Zero values take the package defaults.
+	BackoffBaseS float64
+	BackoffCapS  float64
+}
+
+// backoff returns the requeue delay before retry r (1-based).
+func (c Config) backoff(r int) float64 {
+	base, cap := c.BackoffBaseS, c.BackoffCapS
+	if base <= 0 {
+		base = DefaultBackoffBaseS
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCapS
+	}
+	d := base
+	for i := 1; i < r; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	return math.Min(d, cap)
 }
 
 // Scheduler queues and executes jobs against the simulated partition.
@@ -121,18 +186,23 @@ func (s *Scheduler) Submit(j Job) (int, error) {
 	return j.ID, nil
 }
 
-// running tracks one executing job.
+// running tracks one executing job attempt.
 type running struct {
-	job    Job
-	startS float64
-	endS   float64
-	cores  int
-	nodes  int
-	state  string
+	job     Job
+	startS  float64
+	endS    float64
+	cores   int
+	nodes   int
+	state   string
+	attempt int
 }
 
 // Drain runs the discrete-event simulation until every submitted job has
-// completed, returning accounting records in completion order.
+// reached a terminal state, returning accounting records in completion
+// order. A FAILED or NODE_FAIL attempt with retry budget left is
+// resubmitted at the back of the queue after its backoff delay; every
+// attempt leaves its own record, so a requeued job appears several times
+// (distinguished by Record.Attempt), like sacct's requeue rows.
 func (s *Scheduler) Drain() []Record {
 	queue := append([]Job(nil), s.pending...)
 	s.pending = nil
@@ -141,6 +211,7 @@ func (s *Scheduler) Drain() []Record {
 	freeCores := s.TotalCores()
 	var active []running
 	var records []Record
+	attempts := map[int]int{} // job ID → 0-based attempt about to run
 	now := 0.0
 	if len(queue) > 0 {
 		now = queue[0].SubmitS
@@ -153,23 +224,40 @@ func (s *Scheduler) Drain() []Record {
 	start := func(idx int) {
 		j := queue[idx]
 		queue = append(queue[:idx], queue[idx+1:]...)
+		attempt := attempts[j.ID]
 		elapsed := j.Run()
 		if elapsed < 0 {
 			elapsed = 0
 		}
-		state := "COMPLETED"
+		if s.cfg.SlowdownFn != nil {
+			if f := s.cfg.SlowdownFn(j, attempt); f > 1 {
+				elapsed *= f
+			}
+		}
+		state := StateCompleted
+		if s.cfg.FailureFn != nil {
+			if fs, frac := s.cfg.FailureFn(j, attempt); fs == StateFailed || fs == StateNodeFail {
+				state = fs
+				if frac > 0 && frac <= 1 {
+					elapsed *= frac
+				}
+			}
+		}
+		// The walltime kill applies to faulty attempts too: a straggler
+		// (or a crash that somehow outlives the limit) is killed first.
 		if j.WalltimeS > 0 && elapsed > j.WalltimeS {
 			elapsed = j.WalltimeS
-			state = "TIMEOUT"
+			state = StateTimeout
 		}
 		freeCores -= j.NP
 		active = append(active, running{
-			job:    j,
-			startS: now,
-			endS:   now + elapsed,
-			cores:  j.NP,
-			nodes:  nodesFor(j.NP),
-			state:  state,
+			job:     j,
+			startS:  now,
+			endS:    now + elapsed,
+			cores:   j.NP,
+			nodes:   nodesFor(j.NP),
+			state:   state,
+			attempt: attempt,
 		})
 	}
 
@@ -242,12 +330,34 @@ func (s *Scheduler) Drain() []Record {
 					ElapsedS: r.endS - r.startS,
 					WaitS:    r.startS - r.job.SubmitS,
 					State:    r.state,
+					Attempt:  r.attempt,
 					Meta:     r.job.Meta,
 				}
 				records = append(records, rec)
-				if rec.State == "TIMEOUT" {
+				switch rec.State {
+				case StateTimeout:
 					jobsTimeout.Inc()
-				} else {
+				case StateFailed, StateNodeFail:
+					if rec.State == StateNodeFail {
+						jobsNodeFail.Inc()
+					}
+					jobsFailed.Inc()
+					// Requeue with capped exponential backoff while the
+					// job's retry budget lasts; the failed attempt's
+					// record above is the sacct requeue row.
+					if r.attempt < r.job.MaxRetries {
+						retry := r.attempt + 1
+						attempts[r.job.ID] = retry
+						jobsRequeued.Inc()
+						nj := r.job
+						nj.SubmitS = now + s.cfg.backoff(retry)
+						queue = append(queue, nj)
+						obs.Emit("sched.job.requeue", map[string]any{
+							"id": nj.ID, "name": nj.Name, "attempt": retry,
+							"resubmit_s": nj.SubmitS, "prev_state": rec.State,
+						})
+					}
+				default:
 					jobsCompleted.Inc()
 				}
 				jobWait.Observe(rec.WaitS)
@@ -255,6 +365,7 @@ func (s *Scheduler) Drain() []Record {
 				obs.Emit("sched.job.end", map[string]any{
 					"id": rec.JobID, "name": rec.Name, "np": rec.NP,
 					"wait_s": rec.WaitS, "elapsed_s": rec.ElapsedS, "state": rec.State,
+					"attempt": rec.Attempt,
 				})
 			} else {
 				kept = append(kept, r)

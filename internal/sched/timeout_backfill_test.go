@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// A TIMEOUT kill must free cores at the walltime limit, not the job's
+// natural runtime: the head-of-line reservation is computed from the
+// truncated end, a backfilled job may start in the freed window, and the
+// waiting wide job starts at the kill instant. The partial accounting
+// record reflects the truncated elapsed time, and sched.jobs.timeout
+// rises exactly once per kill.
+func TestTimeoutInteractsWithBackfillReservation(t *testing.T) {
+	timeoutBefore := obs.C("sched.jobs.timeout").Value()
+
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16, Policy: Backfill})
+	// Hog: takes the whole partition, would run 200s but is killed at 50.
+	if _, err := s.Submit(Job{Name: "hog", NP: 16, Run: fixed(200), WalltimeS: 50, EstimateS: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Wide: blocked behind the hog; its reservation must be t=50 (the
+	// kill), not t=200 (the hog's natural end).
+	if _, err := s.Submit(Job{Name: "wide", NP: 16, Run: fixed(10), EstimateS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Filler: 0 free cores until the kill, so it cannot backfill before
+	// t=50; with the reservation at 50 it must wait its FIFO turn after
+	// wide rather than delaying it.
+	if _, err := s.Submit(Job{Name: "filler", NP: 4, Run: fixed(30), EstimateS: 30}); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Drain()
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	hog, wide, filler := byName["hog"], byName["wide"], byName["filler"]
+	if hog.State != StateTimeout || hog.ElapsedS != 50 || hog.EndS != 50 {
+		t.Fatalf("hog record = %+v, want TIMEOUT at 50", hog)
+	}
+	if wide.StartS != 50 {
+		t.Fatalf("wide started at %g, want 50 (the kill instant)", wide.StartS)
+	}
+	// Filler backfills the 16 free cores alongside nothing... it can only
+	// start once wide is done (wide takes the full partition).
+	if filler.StartS != 60 {
+		t.Fatalf("filler started at %g, want 60", filler.StartS)
+	}
+	if d := obs.C("sched.jobs.timeout").Value() - timeoutBefore; d != 1 {
+		t.Fatalf("sched.jobs.timeout rose by %d, want exactly 1", d)
+	}
+}
+
+// With spare cores during the doomed job's run, a short job backfills
+// into the pre-kill window because the reservation (computed from the
+// truncated end) leaves room for it.
+func TestBackfillIntoPreKillWindow(t *testing.T) {
+	timeoutBefore := obs.C("sched.jobs.timeout").Value()
+
+	s, _ := New(Config{NodeCount: 1, CoresPerNode: 16, Policy: Backfill})
+	// Hog takes 12 of 16 cores and is killed at its 60s walltime.
+	if _, err := s.Submit(Job{Name: "hog", NP: 12, Run: fixed(500), WalltimeS: 60, EstimateS: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Wide needs the full partition: blocked until the kill frees cores,
+	// reservation = 60.
+	if _, err := s.Submit(Job{Name: "wide", NP: 16, Run: fixed(10), EstimateS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Short fits in the 4 spare cores and its estimate (40s) ends by the
+	// reservation, so EASY backfill starts it immediately.
+	if _, err := s.Submit(Job{Name: "short", NP: 4, Run: fixed(40), EstimateS: 40}); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Drain()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if got := byName["short"].StartS; got != 0 {
+		t.Fatalf("short backfilled at %g, want 0", got)
+	}
+	if got := byName["hog"]; got.State != StateTimeout || got.EndS != 60 {
+		t.Fatalf("hog = %+v, want TIMEOUT at 60", got)
+	}
+	if got := byName["wide"].StartS; got != 60 {
+		t.Fatalf("wide started at %g, want 60", got)
+	}
+	if d := obs.C("sched.jobs.timeout").Value() - timeoutBefore; d != 1 {
+		t.Fatalf("sched.jobs.timeout rose by %d, want exactly 1", d)
+	}
+}

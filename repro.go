@@ -39,6 +39,7 @@ import (
 	"repro/internal/al"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/gp"
 	"repro/internal/hpgmg"
 	"repro/internal/kernel"
@@ -171,6 +172,14 @@ func RunAL(d *Dataset, part Partition, cfg LoopConfig, rng *rand.Rand) (Result, 
 	return al.Run(d, part, cfg, rng)
 }
 
+// ResumeAL continues a checkpointed AL realization from the file at
+// path (written when cfg.CheckpointPath is set). cfg must match the
+// interrupted run's configuration; the resumed run reproduces the
+// uninterrupted selection trace exactly.
+func ResumeAL(d *Dataset, part Partition, cfg LoopConfig, path string) (Result, error) {
+	return al.Resume(d, part, cfg, path)
+}
+
 // RunALBatch executes AL over many random partitions.
 func RunALBatch(d *Dataset, cfg BatchConfig) ([]Result, error) {
 	return al.RunBatch(d, cfg)
@@ -190,6 +199,24 @@ func TradeoffCurve(c Curves) []TradeoffPoint { return al.TradeoffCurve(c) }
 // CompareTradeoffs quantifies candidate vs baseline cost–error curves.
 func CompareTradeoffs(baseline, candidate []TradeoffPoint) al.Comparison {
 	return al.Compare(baseline, candidate)
+}
+
+// Fault-injection re-exports (DESIGN.md §8).
+type (
+	// FaultConfig sets per-class fault rates and the injection seed.
+	FaultConfig = faults.Config
+	// FaultInjector makes deterministic seeded fault decisions; wire
+	// one into LoopConfig.Faults to harden-test an AL campaign.
+	FaultInjector = faults.Injector
+)
+
+// NewFaultInjector builds an injector; a nil injector injects nothing.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
+
+// CompositeFaultConfig sets job-failure, straggler, and corruption
+// rates all to rate — the chaos-testing preset.
+func CompositeFaultConfig(seed int64, rate float64) FaultConfig {
+	return faults.CompositeConfig(seed, rate)
 }
 
 // Experiments re-exports.
