@@ -54,6 +54,9 @@ func finalRMSE(t *testing.T, res Result) float64 {
 // run — with every injected fault class visible in the counters and no
 // panics anywhere in the stack.
 func TestChaosConvergenceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
 	sub, part := chaosSetup(t)
 
 	clean, err := RunAL(sub, part, chaosLoop(), nil)
@@ -98,6 +101,9 @@ func TestChaosConvergenceUnderFaults(t *testing.T) {
 // Checkpoint/resume through the public façade: interrupting the chaos
 // run and resuming must reproduce the uninterrupted selection trace.
 func TestChaosCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
 	sub, part := chaosSetup(t)
 	dir := t.TempDir()
 

@@ -1,0 +1,158 @@
+// Command alserve hosts concurrent Active Learning campaigns over HTTP.
+//
+// A campaign is one al.RunOnline realization. In dataset mode the server
+// measures points itself against a registered dataset generator; in
+// client mode the server publishes suggestions and the client POSTs the
+// measured responses, so a lab harness (or a person at a terminal) can
+// be the oracle. Every model update is checkpointed to -checkpoint-dir
+// as a spec-plus-journal JSON file; a killed server replays the journals
+// on restart and resumes every campaign byte-identically (DESIGN.md §9).
+//
+// Quickstart:
+//
+//	alserve -addr localhost:8080 -checkpoint-dir /tmp/alserve &
+//
+//	# create a dataset-backed campaign on the synthetic 1-D benchmark
+//	curl -s -X POST localhost:8080/campaigns -d '{
+//	  "name": "demo", "source": "dataset",
+//	  "dataset": {"name": "synthetic", "n": 40, "noise": 0.1},
+//	  "strategy": "variance-reduction", "iterations": 10, "seed": 7}'
+//
+//	curl -s localhost:8080/campaigns/c0001          # status + trace
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics                  # obs JSONL snapshot
+//
+// Client-oracle campaigns instead poll GET /campaigns/{id}/suggest and
+// answer with POST /campaigns/{id}/observe; see README.md for a full
+// session. The "performance" dataset (the paper's §V-B study subset:
+// operator poisson1, NP = 32, log10 size × frequency → log10 runtime)
+// is registered at startup next to the built-in "synthetic" generator.
+//
+// SIGINT/SIGTERM drain in-flight requests, stop every campaign engine,
+// flush final checkpoints, and dump obs metrics to the -metrics sink.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/al"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoints (empty = no persistence)")
+	cacheSize := flag.Int("cache", 4096, "prediction LRU capacity in points")
+	scoreWorkers := flag.Int("score-workers", 0, "workers per scoring call (0 = all cores)")
+	maxScores := flag.Int("max-scores", 0, "concurrent scoring operations across all campaigns (0 = GOMAXPROCS)")
+	parallel := flag.Bool("parallel", true, "score candidates on all cores inside campaign engines")
+	metrics := flag.String("metrics", "", "write obs spans/events/metrics to this JSONL file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+	flag.Parse()
+
+	if !*parallel {
+		al.SetDefaultScoreWorkers(1)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "alserve: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var sinkFile *os.File
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alserve:", err)
+			os.Exit(1)
+		}
+		sinkFile = f
+		obs.SetSink(f)
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "alserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	serve.RegisterDataset("performance", performanceDataset)
+
+	mgr := serve.NewManager(serve.Config{
+		CheckpointDir:       *ckptDir,
+		CacheSize:           *cacheSize,
+		ScoreWorkers:        *scoreWorkers,
+		MaxConcurrentScores: *maxScores,
+	})
+	if n, err := mgr.ResumeAll(); err != nil {
+		fmt.Fprintln(os.Stderr, "alserve: resume:", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Printf("alserve: resumed %d campaign(s) from %s\n", n, *ckptDir)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("alserve: listening on http://%s (datasets: %v)\n", *addr, serve.DatasetNames())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	exit := 0
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "alserve:", err)
+		exit = 1
+	case s := <-sigc:
+		fmt.Fprintf(os.Stderr, "alserve: caught %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "alserve: http shutdown:", err)
+			exit = 1
+		}
+		if err := mgr.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "alserve:", err)
+			exit = 1
+		}
+		cancel()
+	}
+	if sinkFile != nil {
+		obs.DumpMetrics()
+		obs.SetSink(nil)
+		sinkFile.Sync()
+		sinkFile.Close()
+		fmt.Fprintf(os.Stderr, "alserve: metrics flushed to %s\n", *metrics)
+	}
+	os.Exit(exit)
+}
+
+// performanceDataset regenerates the paper's §V-B study subset
+// (deterministic in the seed, so checkpoint resume rebuilds the exact
+// same candidate grid). The spec's N and Noise fields are ignored — the
+// simulated cluster fixes both.
+func performanceDataset(spec serve.DatasetSpec) (*dataset.Dataset, string, error) {
+	d, err := repro.GeneratePerformanceDataset(spec.Seed)
+	if err != nil {
+		return nil, "", err
+	}
+	sub, err := repro.StudySubset2D(d)
+	if err != nil {
+		return nil, "", err
+	}
+	return sub, dataset.RespRuntime, nil
+}

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/mat"
+	"repro/internal/serve"
+)
+
+// crashGrid and crashOracle define the deterministic client-mode
+// campaign the crash test drives (mirroring the serve package's trace
+// tests).
+func crashGrid() [][]float64 {
+	out := make([][]float64, 12)
+	for i := range out {
+		out[i] = []float64{3 * float64(i) / 11}
+	}
+	return out
+}
+
+func crashOracle(x []float64) (y, cost float64) {
+	y = math.Sin(2*x[0]) + 0.5*x[0]
+	return y, 1 + x[0]
+}
+
+func crashSpec() serve.CampaignSpec {
+	return serve.CampaignSpec{
+		Name:       "crash",
+		Source:     "client",
+		Candidates: crashGrid(),
+		Seeds:      []int{0, 11},
+		Strategy:   "variance-reduction",
+		Iterations: 5,
+		Restarts:   1,
+		Seed:       17,
+	}
+}
+
+type testServer struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func buildAlserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "alserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startAlserve(t *testing.T, bin, addr, ckptDir string) *testServer {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-checkpoint-dir", ckptDir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start alserve: %v", err)
+	}
+	s := &testServer{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(s.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return s
+			}
+		}
+		if time.Now().After(deadline) {
+			s.kill(t)
+			t.Fatalf("alserve on %s never became healthy: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — no graceful shutdown, no final flush; only
+// what the server checkpointed before the signal survives.
+func (s *testServer) kill(t *testing.T) {
+	t.Helper()
+	if err := s.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	s.cmd.Wait()
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func httpJSON(method, url string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s: %w (%s)", url, err, data)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func isTerminal(state string) bool {
+	switch state {
+	case serve.StateDone, serve.StateFailed, serve.StateStopped:
+		return true
+	}
+	return false
+}
+
+// drive answers suggestions until the campaign is terminal or maxObs
+// observations have been accepted.
+func drive(t *testing.T, base, id string, maxObs int) [][]float64 {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var xs [][]float64
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("drive timeout after %d observations", len(xs))
+		}
+		var sug serve.Suggestion
+		code, err := httpJSON("GET", base+"/campaigns/"+id+"/suggest", nil, &sug)
+		if err != nil {
+			t.Fatalf("suggest: %v", err)
+		}
+		if code == http.StatusConflict {
+			var st serve.CampaignStatus
+			if _, err := httpJSON("GET", base+"/campaigns/"+id, nil, &st); err != nil {
+				t.Fatalf("status: %v", err)
+			}
+			if isTerminal(st.State) {
+				return xs
+			}
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if code != http.StatusOK {
+			t.Fatalf("suggest: HTTP %d", code)
+		}
+		y, cost := crashOracle(sug.X)
+		req := serve.ObserveRequest{Seq: sug.Seq, Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+		if code, err := httpJSON("POST", base+"/campaigns/"+id+"/observe", req, nil); err != nil || code != http.StatusOK {
+			t.Fatalf("observe seq %d: HTTP %d err %v", sug.Seq, code, err)
+		}
+		xs = append(xs, sug.X)
+		if maxObs > 0 && len(xs) >= maxObs {
+			return xs
+		}
+	}
+}
+
+func waitDone(t *testing.T, base, id string) serve.CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st serve.CampaignStatus
+		if code, err := httpJSON("GET", base+"/campaigns/"+id, nil, &st); err != nil || code != http.StatusOK {
+			t.Fatalf("status: HTTP %d err %v", code, err)
+		}
+		if isTerminal(st.State) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAlserveCrashResume is the end-to-end durability test: a client
+// campaign is driven partway over HTTP, the server process is SIGKILLed
+// (no graceful shutdown), a fresh process is started on the same
+// checkpoint directory, and the campaign must resume and finish with a
+// suggestion stream and record trace byte-identical to an in-process
+// al.RunOnline of the same spec. CI runs it in the chaos-smoke lane.
+func TestAlserveCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-resume integration test skipped in -short mode")
+	}
+
+	spec := crashSpec()
+
+	// Reference trace, straight through the AL engine.
+	oracle := al.OracleFunc(func(x []float64) (float64, float64, error) {
+		y, c := crashOracle(x)
+		return y, c, nil
+	})
+	cfg := al.LoopConfig{
+		Response:     "y",
+		Strategy:     al.VarianceReduction{},
+		Iterations:   spec.Iterations,
+		Restarts:     spec.Restarts,
+		AllowRevisit: true,
+		Seed:         spec.Seed,
+	}
+	ref, err := al.RunOnline(mat.NewFromRows(spec.Candidates), spec.Seeds, oracle, cfg, rand.New(rand.NewSource(spec.Seed)))
+	if err != nil {
+		t.Fatalf("reference RunOnline: %v", err)
+	}
+	wantRows := append(append([]int(nil), spec.Seeds...), ref.TrainRows...)
+
+	bin := buildAlserve(t)
+	ckptDir := t.TempDir()
+	addr := freeAddr(t)
+
+	// Lifetime 1: create the campaign, observe 3 points, SIGKILL.
+	srv1 := startAlserve(t, bin, addr, ckptDir)
+	var created serve.CampaignStatus
+	if code, err := httpJSON("POST", srv1.base+"/campaigns", spec, &created); err != nil || code != http.StatusCreated {
+		srv1.kill(t)
+		t.Fatalf("create: HTTP %d err %v", code, err)
+	}
+	xs := drive(t, srv1.base, created.ID, 3)
+	srv1.kill(t)
+
+	// Lifetime 2: same checkpoint dir, fresh process. The campaign must
+	// come back (same id) and continue exactly where the journal ends.
+	srv2 := startAlserve(t, bin, addr, ckptDir)
+	defer srv2.kill(t)
+	xs = append(xs, drive(t, srv2.base, created.ID, 0)...)
+	final := waitDone(t, srv2.base, created.ID)
+	if final.State != serve.StateDone {
+		t.Fatalf("resumed campaign ended %s (err %q), want done", final.State, final.Error)
+	}
+
+	// Byte-identical suggestion stream across the kill.
+	if len(xs) != len(wantRows) {
+		t.Fatalf("measured %d points across both lifetimes, reference measured %d", len(xs), len(wantRows))
+	}
+	grid := crashGrid()
+	for i, x := range xs {
+		want := grid[wantRows[i]]
+		if math.Float64bits(x[0]) != math.Float64bits(want[0]) {
+			t.Fatalf("suggestion %d: got x=%v, want row %d x=%v", i, x, wantRows[i], want)
+		}
+	}
+
+	// Byte-identical record trace (via the JSON wire format, which
+	// round-trips float64 exactly).
+	if len(final.Records) != len(ref.Records) {
+		t.Fatalf("final status has %d records, reference has %d", len(final.Records), len(ref.Records))
+	}
+	for i, r := range ref.Records {
+		want := al.ToJSONRecord(r)
+		got := final.Records[i]
+		if !sameJSONRecord(got, want) {
+			t.Fatalf("record %d differs after crash-resume:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// sameJSONRecord compares records bit-exactly, treating NaN == NaN
+// (RunOnline records carry NaN RMSE — there is no held-out test set).
+func sameJSONRecord(a, b al.JSONRecord) bool {
+	bits := func(f al.JSONFloat) uint64 { return math.Float64bits(float64(f)) }
+	return a.Iter == b.Iter && a.Row == b.Row && a.Train == b.Train &&
+		bits(a.SDChosen) == bits(b.SDChosen) && bits(a.AMSD) == bits(b.AMSD) &&
+		bits(a.RMSE) == bits(b.RMSE) && bits(a.Coverage) == bits(b.Coverage) &&
+		bits(a.CumCost) == bits(b.CumCost) && bits(a.LML) == bits(b.LML) &&
+		bits(a.Noise) == bits(b.Noise)
+}

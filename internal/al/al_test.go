@@ -309,6 +309,9 @@ func TestCostBudgetStopsLoop(t *testing.T) {
 // the model has converged — the calibration behind "high-confidence
 // predictions".
 func TestCoverageCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch calibration study skipped in -short mode")
+	}
 	d := synthDS(t, 80, 0.1, 28)
 	p := synthPartition(t, d, 29)
 	cfg := quickLoop(VarianceReduction{}, 25)

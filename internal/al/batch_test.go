@@ -118,6 +118,9 @@ func TestFinalRMSEs(t *testing.T) {
 // training sets let the fitted noise collapse toward zero (the GP
 // believes its data are exact — overfitting); the 1e-1 floor forbids it.
 func TestNoiseFloorControlsOverfitting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch noise-floor study skipped in -short mode")
+	}
 	d := synthDS(t, 60, 0.15, 35)
 	mk := func(floor float64) []Result {
 		cfg := quickBatch(VarianceReduction{}, 6, 12, 13)

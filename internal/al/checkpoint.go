@@ -62,16 +62,16 @@ type Checkpoint struct {
 	// been uninterrupted.
 	Attempts map[int]int `json:"attempts,omitempty"`
 
-	Records []ckptRecord `json:"records"`
+	Records []JSONRecord `json:"records"`
 }
 
-// nanFloat is a float64 whose JSON encoding tolerates the non-finite
+// JSONFloat is a float64 whose JSON encoding tolerates the non-finite
 // values encoding/json rejects: NaN marshals as null, infinities as
 // signed strings. Finite values use the standard shortest-round-trip
 // encoding, so they survive a save/load cycle bit-exactly.
-type nanFloat float64
+type JSONFloat float64
 
-func (f nanFloat) MarshalJSON() ([]byte, error) {
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
 	v := float64(f)
 	switch {
 	case math.IsNaN(v):
@@ -84,51 +84,51 @@ func (f nanFloat) MarshalJSON() ([]byte, error) {
 	return json.Marshal(v)
 }
 
-func (f *nanFloat) UnmarshalJSON(b []byte) error {
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
 	switch string(b) {
 	case "null":
-		*f = nanFloat(math.NaN())
+		*f = JSONFloat(math.NaN())
 		return nil
 	case `"+inf"`:
-		*f = nanFloat(math.Inf(1))
+		*f = JSONFloat(math.Inf(1))
 		return nil
 	case `"-inf"`:
-		*f = nanFloat(math.Inf(-1))
+		*f = JSONFloat(math.Inf(-1))
 		return nil
 	}
 	v, err := strconv.ParseFloat(string(b), 64)
 	if err != nil {
 		return err
 	}
-	*f = nanFloat(v)
+	*f = JSONFloat(v)
 	return nil
 }
 
-// ckptRecord mirrors IterationRecord with NaN-safe floats (RMSE and
+// JSONRecord mirrors IterationRecord with NaN-safe floats (RMSE and
 // Coverage are NaN when the partition has no Test set).
-type ckptRecord struct {
-	Iter     int      `json:"iter"`
-	Row      int      `json:"row"`
-	SDChosen nanFloat `json:"sd_chosen"`
-	AMSD     nanFloat `json:"amsd"`
-	RMSE     nanFloat `json:"rmse"`
-	Coverage nanFloat `json:"coverage"`
-	CumCost  nanFloat `json:"cum_cost"`
-	LML      nanFloat `json:"lml"`
-	Noise    nanFloat `json:"noise"`
-	Train    int      `json:"train"`
+type JSONRecord struct {
+	Iter     int       `json:"iter"`
+	Row      int       `json:"row"`
+	SDChosen JSONFloat `json:"sd_chosen"`
+	AMSD     JSONFloat `json:"amsd"`
+	RMSE     JSONFloat `json:"rmse"`
+	Coverage JSONFloat `json:"coverage"`
+	CumCost  JSONFloat `json:"cum_cost"`
+	LML      JSONFloat `json:"lml"`
+	Noise    JSONFloat `json:"noise"`
+	Train    int       `json:"train"`
 }
 
-func toCkptRecord(r IterationRecord) ckptRecord {
-	return ckptRecord{
-		Iter: r.Iter, Row: r.Row, SDChosen: nanFloat(r.SDChosen),
-		AMSD: nanFloat(r.AMSD), RMSE: nanFloat(r.RMSE), Coverage: nanFloat(r.Coverage),
-		CumCost: nanFloat(r.CumCost), LML: nanFloat(r.LML), Noise: nanFloat(r.Noise),
+func ToJSONRecord(r IterationRecord) JSONRecord {
+	return JSONRecord{
+		Iter: r.Iter, Row: r.Row, SDChosen: JSONFloat(r.SDChosen),
+		AMSD: JSONFloat(r.AMSD), RMSE: JSONFloat(r.RMSE), Coverage: JSONFloat(r.Coverage),
+		CumCost: JSONFloat(r.CumCost), LML: JSONFloat(r.LML), Noise: JSONFloat(r.Noise),
 		Train: r.Train,
 	}
 }
 
-func fromCkptRecord(r ckptRecord) IterationRecord {
+func FromJSONRecord(r JSONRecord) IterationRecord {
 	return IterationRecord{
 		Iter: r.Iter, Row: r.Row, SDChosen: float64(r.SDChosen),
 		AMSD: float64(r.AMSD), RMSE: float64(r.RMSE), Coverage: float64(r.Coverage),
@@ -137,11 +137,13 @@ func fromCkptRecord(r ckptRecord) IterationRecord {
 	}
 }
 
-// Save writes the checkpoint atomically: a temp file in the target
-// directory, fsynced, then renamed over the destination — a crash
-// mid-write leaves the previous checkpoint intact.
-func (ck *Checkpoint) Save(path string) error {
-	data, err := json.Marshal(ck)
+// AtomicWriteJSON marshals v and writes it to path atomically: a temp
+// file in the target directory, fsynced, then renamed over the
+// destination — a crash mid-write leaves the previous file intact. It
+// is the durability primitive behind both the loop checkpoints here and
+// the serving layer's per-campaign journals.
+func AtomicWriteJSON(path string, v any) error {
+	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("al: marshal checkpoint: %w", err)
 	}
@@ -164,6 +166,14 @@ func (ck *Checkpoint) Save(path string) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("al: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically via AtomicWriteJSON.
+func (ck *Checkpoint) Save(path string) error {
+	if err := AtomicWriteJSON(path, ck); err != nil {
+		return err
 	}
 	checkpointsSaved.Inc()
 	obs.Emit("al.checkpoint.saved", map[string]any{
@@ -249,7 +259,7 @@ func ResumeFrom(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, ck 
 		st.pendingX = append([]float64(nil), ck.PendingX...)
 	}
 	for _, r := range ck.Records {
-		st.records = append(st.records, fromCkptRecord(r))
+		st.records = append(st.records, FromJSONRecord(r))
 	}
 
 	// Rebuild the model exactly: an exact-hyperparameter fit over the

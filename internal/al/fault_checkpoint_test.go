@@ -58,6 +58,9 @@ func TestNilRngMatchesHistoricalDefault(t *testing.T) {
 // fault injection, retries, the observation guard, and an rng-consuming
 // strategy all active.
 func TestCheckpointResumeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint cut-point sweep skipped in -short mode")
+	}
 	ds := synthDS(t, 40, 0.05, 3)
 	part := synthPartition(t, ds, 4)
 	dir := t.TempDir()
@@ -117,6 +120,9 @@ func TestCheckpointResumeDeterministic(t *testing.T) {
 // produce finite records, and surface its recovery work in the
 // counters.
 func TestRunSurvivesInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection sweep skipped in -short mode")
+	}
 	retriesBefore := obs.C("al.retries").Value()
 	rejectedBefore := obs.C("al.rejected").Value()
 
@@ -256,9 +262,9 @@ func TestCheckpointNaNRoundTrip(t *testing.T) {
 		RefitHyper: []float64{0.123456789012345678, -3.25}, RefitLogSN: math.Log(0.07), RefitN: 2,
 		HasPending: true, PendingX: []float64{1.5}, PendingY: 42,
 		Attempts: map[int]int{3: 2},
-		Records: []ckptRecord{{
-			Iter: 1, Row: 3, RMSE: nanFloat(math.NaN()), Coverage: nanFloat(math.Inf(1)),
-			LML: nanFloat(-12.75), Train: 3,
+		Records: []JSONRecord{{
+			Iter: 1, Row: 3, RMSE: JSONFloat(math.NaN()), Coverage: JSONFloat(math.Inf(1)),
+			LML: JSONFloat(-12.75), Train: 3,
 		}},
 	}
 	if err := ck.Save(path); err != nil {

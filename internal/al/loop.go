@@ -146,6 +146,21 @@ type LoopConfig struct {
 	// Seed seeds the loop-owned RNG used when Run's rng argument is nil
 	// (default 1, matching the historical default stream).
 	Seed int64
+
+	// OnRecord, when non-nil, is invoked from the loop goroutine right
+	// after each IterationRecord is appended — the streaming interface
+	// the serving layer uses to publish per-iteration progress while the
+	// loop is still running. The callback must not block for long: the
+	// loop waits for it.
+	OnRecord func(IterationRecord)
+
+	// OnModel, when non-nil, is invoked from the loop goroutine after
+	// every successful model update (initial fit, refit, or O(n²)
+	// conditioning) with the current model. The *gp.GP is immutable once
+	// fitted and safe for concurrent Predict/PredictBatch calls, so the
+	// callback may hand it to other goroutines (e.g. a prediction cache)
+	// without copying.
+	OnModel func(*gp.GP)
 }
 
 func (c *LoopConfig) withDefaults() (LoopConfig, error) {
@@ -391,7 +406,7 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 			Attempts: st.attempts,
 		}
 		for _, r := range st.records {
-			ck.Records = append(ck.Records, toCkptRecord(r))
+			ck.Records = append(ck.Records, ToJSONRecord(r))
 		}
 		return ck.Save(c.CheckpointPath)
 	}
@@ -421,11 +436,15 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 		}
 		// No pending point (previous iteration was skipped): the model
 		// already covers the training set; nothing to update.
+		updated := reopt || st.hasPending
 		st.hasPending = false
 		st.pendingX = nil
 		updateSpan.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("al: iteration %d: %w", iter, err)
+		}
+		if updated && c.OnModel != nil {
+			c.OnModel(model)
 		}
 
 		// Score the pool.
@@ -531,6 +550,9 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 			Noise:    model.Noise(),
 			Train:    len(st.train),
 		})
+		if c.OnRecord != nil {
+			c.OnRecord(st.records[len(st.records)-1])
+		}
 		iterSpan.End()
 
 		if iter%c.CheckpointEvery == 0 {

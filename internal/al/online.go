@@ -27,6 +27,16 @@ type OracleFunc func(x []float64) (y, cost float64, err error)
 // RunExperiment implements Oracle.
 func (f OracleFunc) RunExperiment(x []float64) (y, cost float64, err error) { return f(x) }
 
+// ErrStopped is the clean-abort sentinel for RunOnline: when the Oracle
+// returns an error wrapping ErrStopped, the loop stops immediately —
+// no retries, no skip accounting — and RunOnline returns the partial
+// Result accumulated so far together with an error wrapping ErrStopped.
+// The serving layer's campaign engines use this to unwind a loop whose
+// oracle is blocked on a client that will never answer (server
+// shutdown): the partial records remain valid and the campaign can be
+// resumed later from its observation journal.
+var ErrStopped = errors.New("al: stopped")
+
 // RunOnline executes Active Learning against a live Oracle over a finite
 // candidate grid. seeds indexes the rows of candidates measured before
 // learning starts (≥ 1 required). Candidates stay available for repeated
@@ -81,6 +91,11 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 			attempts[row] = attempt + 1
 			y, cost, err := oracle.RunExperiment(x)
 			if err != nil {
+				if errors.Is(err, ErrStopped) {
+					// Clean abort: the oracle will never answer again
+					// (server shutdown). Unwind without retry/skip noise.
+					return false, fmt.Errorf("al: oracle at row %d: %w", row, err)
+				}
 				lastMeasureErr = fmt.Errorf("al: oracle at row %d: %w", row, err)
 				obs.Emit("al.experiment.failed", map[string]any{
 					"row": row, "attempt": attempt, "err": err.Error(),
@@ -175,10 +190,14 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 				err = uerr
 			}
 		}
+		updated := reopt || hasPending
 		hasPending = false
 		updateSpan.End()
 		if err != nil {
 			return Result{}, fmt.Errorf("al: online iteration %d: %w", iter, err)
+		}
+		if updated && c.OnModel != nil {
+			c.OnModel(model)
 		}
 
 		_, scoreSpan := obs.Start(iterCtx, "al.score")
@@ -208,6 +227,13 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 		}
 		ok, err := runAt(iterCtx, cands[sel].Row, guard)
 		if err != nil {
+			iterSpan.End()
+			if errors.Is(err, ErrStopped) {
+				// Partial result: everything up to the interrupted
+				// iteration stands; the caller resumes from its journal.
+				res.Final = model
+				return res, err
+			}
 			return Result{}, err
 		}
 		if !ok {
@@ -230,7 +256,16 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 			Train:    len(trainY),
 		})
 		res.TrainRows = append(res.TrainRows, cands[sel].Row)
+		if c.OnRecord != nil {
+			c.OnRecord(res.Records[len(res.Records)-1])
+		}
 		iterSpan.End()
+
+		// Budget exhaustion (§I's fixed-allocation constraint), mirroring
+		// the offline loop: the crossing experiment is still recorded.
+		if c.CostBudget > 0 && cumCost >= c.CostBudget {
+			break
+		}
 
 		amsdHist = append(amsdHist, amsd)
 		if c.ConvergeWindow > 0 && len(amsdHist) > c.ConvergeWindow {

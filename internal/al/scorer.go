@@ -86,6 +86,17 @@ func scorePool(model *gp.GP, poolX *mat.Dense, workers int) []gp.Prediction {
 	return out
 }
 
+// ScoreBatch evaluates the model's predictive distribution at every row
+// of xs using the same chunked worker fan-out as the loop's candidate
+// scorer (workers ≤ 0 resolves like LoopConfig.ScoreWorkers: the
+// process default, falling back to GOMAXPROCS). It exists for callers
+// outside the loop — the serving layer's batched /predict endpoint —
+// so that request-driven inference and in-loop scoring share one
+// deterministic code path.
+func ScoreBatch(model *gp.GP, xs *mat.Dense, workers int) []gp.Prediction {
+	return scorePool(model, xs, resolveScoreWorkers(workers))
+}
+
 // parChunks splits [0, n) into contiguous chunks across workers and runs
 // fn on each concurrently; fn must only write state owned by its own
 // index range. Serial when workers < 2 or n is small.

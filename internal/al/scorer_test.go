@@ -104,6 +104,9 @@ func TestResolveScoreWorkers(t *testing.T) {
 // is the determinism contract that lets the parallel scorer be the
 // default.
 func TestSerialParallelTracesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serial/parallel trace equivalence skipped in -short mode")
+	}
 	ds := synthDS(t, 60, 0.05, 9)
 	part := synthPartition(t, ds, 9)
 	strategies := []Strategy{

@@ -9,6 +9,9 @@ import (
 // same seed — the reproducibility contract DESIGN.md §6 promises. (A5 is
 // excluded: its values are wall-clock timings.)
 func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration skipped in -short mode")
+	}
 	gens := map[string]func(Options) (*Report, error){
 		"T1": TableI, "F1": Fig1, "F2": Fig2, "F3": Fig3, "F4": Fig4,
 		"F5": Fig5, "F6": Fig6, "F7": Fig7, "F8": Fig8,

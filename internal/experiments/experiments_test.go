@@ -177,6 +177,9 @@ func TestFig8StrategyComparison(t *testing.T) {
 }
 
 func TestAllAndReportIO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
 	reports, err := All(quick)
 	if err != nil {
 		t.Fatal(err)

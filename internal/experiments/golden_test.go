@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/al"
+	"repro/internal/dataset"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files in testdata/golden")
+
+// goldenTrace is the on-disk format of one pinned AL trajectory: the
+// full per-iteration record stream of a single deterministic
+// realization on the §V-B study subset.
+type goldenTrace struct {
+	Name     string          `json:"name"`
+	Strategy string          `json:"strategy"`
+	Seed     int64           `json:"seed"`
+	Iters    int             `json:"iters"`
+	Records  []al.JSONRecord `json:"records"`
+}
+
+// goldenRun regenerates the trace a golden file pins: the Fig. 6/8 loop
+// configuration (σn ≥ 1e-1, revisiting allowed, quick reoptimization
+// cadence) on the poisson1/NP=32 subset with a fixed partition and RNG.
+func goldenRun(t *testing.T, strategy al.Strategy, seed int64, iters int) []al.JSONRecord {
+	t.Helper()
+	d, err := subset2D(1)
+	if err != nil {
+		t.Fatalf("study subset: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	part, err := dataset.RandomPartition(d, dataset.PartitionConfig{NInitial: 1, TestFrac: 0.2}, rng)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	res, err := al.Run(d, part, fig6Loop(strategy, iters, true), rng)
+	if err != nil {
+		t.Fatalf("al.Run: %v", err)
+	}
+	out := make([]al.JSONRecord, len(res.Records))
+	for i, r := range res.Records {
+		out[i] = al.ToJSONRecord(r)
+	}
+	return out
+}
+
+// checkGolden regenerates a pinned trace and compares it to its golden
+// file. Integer fields (selected row, training size) must match
+// exactly — a changed selection IS a changed algorithm; float fields
+// (RMSE, AMSD, cost, ...) compare to a 1e-9 relative tolerance so a
+// reordered-but-equivalent floating-point expression does not trip the
+// alarm while a real numerical regression does. Run with -update to
+// re-pin after an intentional behavior change.
+func checkGolden(t *testing.T, name string, strategy al.Strategy, stratName string, seed int64, iters int) {
+	t.Helper()
+	got := goldenRun(t, strategy, seed, iters)
+	path := filepath.Join("testdata", "golden", name+".json")
+
+	if *updateGolden {
+		tr := goldenTrace{Name: name, Strategy: stratName, Seed: seed, Iters: iters, Records: got}
+		data, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		t.Logf("updated %s (%d records)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run `go test ./internal/experiments -run TestGolden -update` to create it): %v", path, err)
+	}
+	var want goldenTrace
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if want.Seed != seed || want.Iters != iters || want.Strategy != stratName {
+		t.Fatalf("%s pins (strategy %s, seed %d, iters %d), test now runs (%s, %d, %d) — update the golden file",
+			path, want.Strategy, want.Seed, want.Iters, stratName, seed, iters)
+	}
+	if len(got) != len(want.Records) {
+		t.Fatalf("trace length %d, golden has %d", len(got), len(want.Records))
+	}
+	for i := range got {
+		if err := diffRecord(got[i], want.Records[i]); err != nil {
+			t.Errorf("record %d drifted from %s: %v", i, path, err)
+		}
+	}
+}
+
+// diffRecord compares one record against its pinned value.
+func diffRecord(got, want al.JSONRecord) error {
+	if got.Iter != want.Iter || got.Row != want.Row || got.Train != want.Train {
+		return fmt.Errorf("selection changed: got (iter %d, row %d, train %d), want (iter %d, row %d, train %d)",
+			got.Iter, got.Row, got.Train, want.Iter, want.Row, want.Train)
+	}
+	fields := []struct {
+		name     string
+		got, val float64
+	}{
+		{"sd_chosen", float64(got.SDChosen), float64(want.SDChosen)},
+		{"amsd", float64(got.AMSD), float64(want.AMSD)},
+		{"rmse", float64(got.RMSE), float64(want.RMSE)},
+		{"coverage", float64(got.Coverage), float64(want.Coverage)},
+		{"cum_cost", float64(got.CumCost), float64(want.CumCost)},
+		{"lml", float64(got.LML), float64(want.LML)},
+		{"noise", float64(got.Noise), float64(want.Noise)},
+	}
+	const relTol = 1e-9
+	for _, f := range fields {
+		if math.IsNaN(f.got) && math.IsNaN(f.val) {
+			continue
+		}
+		scale := math.Max(math.Abs(f.val), 1)
+		if math.Abs(f.got-f.val) > relTol*scale {
+			return fmt.Errorf("%s = %.17g, golden pins %.17g (rel tol %g)", f.name, f.got, f.val, relTol)
+		}
+	}
+	return nil
+}
+
+// TestGoldenFig6VarianceReduction pins the Fig. 6 trajectory: a single
+// Variance Reduction realization's full record stream (selected rows
+// and RMSE/AMSD/cost trajectories) on the study subset.
+func TestGoldenFig6VarianceReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace regeneration skipped in -short mode")
+	}
+	checkGolden(t, "fig6_variance_reduction", al.VarianceReduction{}, "variance-reduction", 424242, 15)
+}
+
+// TestGoldenFig8CostEfficiency pins the Fig. 8 Cost Efficiency
+// trajectory the same way — together the two files fence the paper's
+// headline strategy comparison against silent numerical drift.
+func TestGoldenFig8CostEfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden trace regeneration skipped in -short mode")
+	}
+	checkGolden(t, "fig8_cost_efficiency", al.CostEfficiency{}, "cost-efficiency", 424242, 15)
+}

@@ -1,0 +1,44 @@
+package gp
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a deterministic 64-bit digest of the fitted model
+// state: kernel log-hyperparameters, log σn, the normalization
+// constants, and the exact bit patterns of the training inputs and
+// (model-space) targets. Two GPs with equal fingerprints were built
+// from bit-identical data at bit-identical hyperparameters and
+// therefore produce bit-identical predictions.
+//
+// The serving layer uses this as a cheap integrity check: a resumed
+// campaign replays its observation journal and compares the rebuilt
+// model's fingerprint against the one recorded at checkpoint time, so
+// any nondeterminism in the replay surfaces as a fingerprint mismatch
+// instead of a silently diverging suggestion stream.
+func (g *GP) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, v := range g.kern.Hyper() {
+		put(v)
+	}
+	put(g.logSN)
+	put(g.yMean)
+	put(g.yStd)
+	put(float64(g.x.Rows()))
+	for _, v := range g.x.Raw() {
+		put(v)
+	}
+	for _, v := range g.y {
+		put(v)
+	}
+	return h.Sum64()
+}

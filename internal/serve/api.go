@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/al"
+)
+
+// Campaign lifecycle states (see DESIGN.md §9). Transitions:
+//
+//	created ──▶ replaying ──▶ running ⇄ waiting ──▶ done
+//	                             │                  ├─▶ failed
+//	                             └──────────────────┴─▶ stopped
+//
+// "waiting" only occurs for client-sourced campaigns (a suggestion is
+// outstanding); dataset-backed campaigns go straight from running to a
+// terminal state. "stopped" is the graceful-shutdown terminal: the
+// journal is flushed and the campaign resumes on the next boot.
+const (
+	StateReplaying = "replaying"
+	StateRunning   = "running"
+	StateWaiting   = "waiting"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateStopped   = "stopped"
+)
+
+// CampaignSpec is the client-supplied definition of a campaign, POSTed
+// to /campaigns and persisted verbatim in the checkpoint so a resumed
+// campaign is rebuilt from exactly the spec that created it.
+type CampaignSpec struct {
+	// Name is an optional human-readable label.
+	Name string `json:"name,omitempty"`
+
+	// Source selects who performs experiments: "dataset" (the server
+	// measures a registered dataset itself) or "client" (the campaign
+	// suggests, the client measures and POSTs the observation back).
+	Source string `json:"source"`
+
+	// Dataset configures the server-side dataset for Source "dataset".
+	Dataset *DatasetSpec `json:"dataset,omitempty"`
+
+	// Candidates is the finite candidate grid for Source "client", one
+	// input point per row. Ignored for dataset campaigns (the dataset
+	// rows are the grid).
+	Candidates [][]float64 `json:"candidates,omitempty"`
+
+	// Seeds indexes the candidate rows measured before learning starts
+	// (≥ 1 required).
+	Seeds []int `json:"seeds"`
+
+	// Strategy is the selection rule: "variance-reduction",
+	// "cost-efficiency", "cost-exponent" (with Gamma), "thompson" or
+	// "random". Epsilon > 0 wraps it in ε-greedy exploration.
+	Strategy string  `json:"strategy"`
+	Gamma    float64 `json:"gamma,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+
+	// Iterations bounds the number of AL steps (0 = until pool size).
+	Iterations int `json:"iterations,omitempty"`
+
+	// Budget stops the campaign once cumulative experiment cost reaches
+	// it (0 = unlimited).
+	Budget float64 `json:"budget,omitempty"`
+
+	// Loop knobs, mirroring al.LoopConfig (zero values take the loop's
+	// defaults).
+	NoiseFloor      float64 `json:"noise_floor,omitempty"`
+	Restarts        int     `json:"restarts,omitempty"`
+	ReoptimizeEvery int     `json:"reoptimize_every,omitempty"`
+	GuardSigma      float64 `json:"guard_sigma,omitempty"`
+	RetryBudget     int     `json:"retry_budget,omitempty"`
+	ConvergeWindow  int     `json:"converge_window,omitempty"`
+	ConvergeTol     float64 `json:"converge_tol,omitempty"`
+
+	// Seed seeds the campaign's deterministic RNG (default 1). Two
+	// campaigns with equal specs produce identical suggestion streams.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DatasetSpec selects and parameterizes a registered dataset generator
+// for dataset-backed campaigns.
+type DatasetSpec struct {
+	// Name is the registered generator ("synthetic" is built in;
+	// cmd/alserve registers "performance").
+	Name string `json:"name"`
+
+	// Seed drives the generator (default 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	// N and Noise parameterize the synthetic generator (points and
+	// response noise SD).
+	N     int     `json:"n,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+}
+
+// errSpec marks client-caused spec validation failures (HTTP 400).
+var errSpec = errors.New("invalid campaign spec")
+
+// Validate checks the spec and normalizes defaults in place.
+func (s *CampaignSpec) Validate() error {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch s.Source {
+	case "client":
+		if len(s.Candidates) == 0 {
+			return fmt.Errorf("%w: client campaigns need a candidate grid", errSpec)
+		}
+		dims := len(s.Candidates[0])
+		if dims == 0 {
+			return fmt.Errorf("%w: empty candidate point", errSpec)
+		}
+		for i, row := range s.Candidates {
+			if len(row) != dims {
+				return fmt.Errorf("%w: candidate %d has %d dims, want %d", errSpec, i, len(row), dims)
+			}
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("%w: candidate %d has a non-finite coordinate", errSpec, i)
+				}
+			}
+		}
+		for _, sd := range s.Seeds {
+			if sd < 0 || sd >= len(s.Candidates) {
+				return fmt.Errorf("%w: seed index %d outside candidate grid of %d", errSpec, sd, len(s.Candidates))
+			}
+		}
+	case "dataset":
+		if s.Dataset == nil || s.Dataset.Name == "" {
+			return fmt.Errorf("%w: dataset campaigns need a dataset name", errSpec)
+		}
+		if s.Dataset.Seed == 0 {
+			s.Dataset.Seed = 1
+		}
+	default:
+		return fmt.Errorf("%w: source must be \"client\" or \"dataset\", got %q", errSpec, s.Source)
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("%w: at least one seed experiment index is required", errSpec)
+	}
+	if _, err := s.strategy(); err != nil {
+		return err
+	}
+	if s.Iterations < 0 {
+		return fmt.Errorf("%w: negative iterations", errSpec)
+	}
+	return nil
+}
+
+// strategy resolves the named selection rule, with optional ε-greedy
+// wrapping.
+func (s *CampaignSpec) strategy() (al.Strategy, error) {
+	var base al.Strategy
+	switch s.Strategy {
+	case "variance-reduction", "":
+		base = al.VarianceReduction{}
+	case "cost-efficiency":
+		base = al.CostEfficiency{}
+	case "cost-exponent":
+		base = al.CostExponent{Gamma: s.Gamma}
+	case "thompson":
+		base = al.ThompsonVariance{}
+	case "random":
+		base = al.Random{}
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %q", errSpec, s.Strategy)
+	}
+	if s.Epsilon > 0 {
+		return al.EpsilonGreedy{Base: base, Eps: s.Epsilon}, nil
+	}
+	return base, nil
+}
+
+// loopConfig maps the spec onto the AL loop configuration the engine
+// runs. response is the dataset response column ("y" for client
+// campaigns, which never read a dataset).
+func (s *CampaignSpec) loopConfig(response string) (al.LoopConfig, error) {
+	strat, err := s.strategy()
+	if err != nil {
+		return al.LoopConfig{}, err
+	}
+	return al.LoopConfig{
+		Response:        response,
+		Strategy:        strat,
+		Iterations:      s.Iterations,
+		NoiseFloor:      s.NoiseFloor,
+		Restarts:        s.Restarts,
+		ReoptimizeEvery: s.ReoptimizeEvery,
+		GuardSigma:      s.GuardSigma,
+		RetryBudget:     s.RetryBudget,
+		ConvergeWindow:  s.ConvergeWindow,
+		ConvergeTol:     s.ConvergeTol,
+		CostBudget:      s.Budget,
+		AllowRevisit:    true,
+		Seed:            s.Seed,
+	}, nil
+}
+
+// Observation is one accepted oracle return — the unit of the
+// event-sourced journal. Y may be non-finite (a client reporting a
+// failed measurement), so both fields use the NaN-safe JSON float.
+type Observation struct {
+	Y    al.JSONFloat `json:"y"`
+	Cost al.JSONFloat `json:"cost"`
+}
+
+// Suggestion is the campaign's pending next experiment: the input point
+// the engine is blocked on, fenced by a sequence number so an
+// observation can never be applied to the wrong suggestion.
+type Suggestion struct {
+	Seq int       `json:"seq"`
+	X   []float64 `json:"x"`
+}
+
+// ObserveRequest is the body of POST /campaigns/{id}/observe.
+type ObserveRequest struct {
+	Seq  int          `json:"seq"`
+	Y    al.JSONFloat `json:"y"`
+	Cost al.JSONFloat `json:"cost"`
+}
+
+// PredictRequest is the body of POST /campaigns/{id}/predict: a batch
+// of input points to evaluate under the campaign's current model.
+type PredictRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// PredictResponse carries the batched predictive distribution. Means
+// and SDs align with the request points; ModelVersion identifies the
+// model snapshot that produced them (bumps invalidate cached entries by
+// key construction), and CacheHits counts points served from the LRU.
+type PredictResponse struct {
+	ModelVersion int            `json:"model_version"`
+	Means        []al.JSONFloat `json:"means"`
+	SDs          []al.JSONFloat `json:"sds"`
+	CacheHits    int            `json:"cache_hits"`
+}
+
+// CampaignStatus is the public snapshot of one campaign.
+type CampaignStatus struct {
+	ID           string          `json:"id"`
+	Name         string          `json:"name,omitempty"`
+	Source       string          `json:"source"`
+	Strategy     string          `json:"strategy"`
+	State        string          `json:"state"`
+	Records      []al.JSONRecord `json:"records,omitempty"`
+	Observations int             `json:"observations"`
+	ModelVersion int             `json:"model_version"`
+	Fingerprint  uint64          `json:"fingerprint,omitempty"`
+	Pending      *Suggestion     `json:"pending,omitempty"`
+	Converged    bool            `json:"converged,omitempty"`
+	Error        string          `json:"error,omitempty"`
+}

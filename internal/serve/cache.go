@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/gp"
+	"repro/internal/obs"
+)
+
+// Cache metrics (see OBSERVABILITY.md): hits and misses per looked-up
+// point, evictions per LRU displacement, and the current entry count.
+var (
+	cacheHits      = obs.C("serve.cache.hit")
+	cacheMisses    = obs.C("serve.cache.miss")
+	cacheEvictions = obs.C("serve.cache.evictions")
+	cacheSize      = obs.G("serve.cache.size")
+)
+
+// predCache is a bounded LRU of GP predictions shared by every campaign
+// on the server, keyed on (campaign id, model version, input point bit
+// pattern). The model version in the key IS the invalidation rule: a
+// model update bumps the version, new requests form new keys, and the
+// stale generation simply ages out — no entry for an old version is
+// ever looked up again, so no invalidation sweep exists.
+//
+// The cache is guarded by a plain mutex: entries are tiny (two floats)
+// and the critical section is a map lookup plus a list splice, orders
+// of magnitude cheaper than the O(n²) GP inference behind a miss.
+type predCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	pred gp.Prediction
+}
+
+func newPredCache(max int) *predCache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &predCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached prediction for key and records hit/miss.
+func (p *predCache) get(key string) (gp.Prediction, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.items[key]
+	if !ok {
+		cacheMisses.Inc()
+		return gp.Prediction{}, false
+	}
+	p.ll.MoveToFront(el)
+	cacheHits.Inc()
+	return el.Value.(*cacheEntry).pred, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when full.
+func (p *predCache) put(key string, pred gp.Prediction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.items[key]; ok {
+		el.Value.(*cacheEntry).pred = pred
+		p.ll.MoveToFront(el)
+		return
+	}
+	p.items[key] = p.ll.PushFront(&cacheEntry{key: key, pred: pred})
+	if p.ll.Len() > p.max {
+		oldest := p.ll.Back()
+		p.ll.Remove(oldest)
+		delete(p.items, oldest.Value.(*cacheEntry).key)
+		cacheEvictions.Inc()
+	}
+	cacheSize.Set(float64(p.ll.Len()))
+}
+
+// len reports the current entry count.
+func (p *predCache) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ll.Len()
+}

@@ -1,0 +1,507 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/al"
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// Campaign-level metrics (see OBSERVABILITY.md).
+var (
+	campaignsActive   = obs.G("serve.campaign.active")
+	campaignsDone     = obs.C("serve.campaign.done")
+	campaignsFailed   = obs.C("serve.campaign.failed")
+	campaignsStopped  = obs.C("serve.campaign.stopped")
+	observationsCount = obs.C("serve.observe.count")
+	checkpointSaves   = obs.C("serve.checkpoint.saved")
+	checkpointErrors  = obs.C("serve.checkpoint.errors")
+)
+
+// Errors surfaced to HTTP clients with specific status codes.
+var (
+	// ErrNoPending means no suggestion is outstanding (the engine is
+	// computing, replaying, or the campaign is terminal).
+	ErrNoPending = errors.New("serve: no suggestion pending")
+	// ErrSeqMismatch means the observation's sequence number does not
+	// fence the pending suggestion.
+	ErrSeqMismatch = errors.New("serve: suggestion sequence mismatch")
+	// ErrClosed means the campaign actor has shut down.
+	ErrClosed = errors.New("serve: campaign closed")
+	// ErrNoModel means no model has been fitted yet (observe the seed
+	// experiments first).
+	ErrNoModel = errors.New("serve: campaign has no fitted model yet")
+)
+
+// pending is the engine's outstanding suggestion: the reply channel is
+// buffered so the actor can hand the observation to the blocked engine
+// without ever blocking itself.
+type pending struct {
+	seq   int
+	x     []float64
+	reply chan Observation
+}
+
+// campaignState is every mutable field of a campaign. Only the actor
+// goroutine touches it; handlers and the engine reach it through
+// closures sent over the mailbox.
+type campaignState struct {
+	state        string
+	records      []al.IterationRecord
+	model        *gp.GP
+	modelVersion int
+	journal      []Observation
+	pending      *pending
+	seq          int
+	converged    bool
+	err          error
+}
+
+// Campaign is one live AL campaign: an al.RunOnline engine plus the
+// actor goroutine that owns its state. All exported methods are safe
+// for concurrent use from any goroutine.
+type Campaign struct {
+	ID   string
+	Spec CampaignSpec
+
+	ckptPath string // "" disables persistence
+
+	cands    *mat.Dense
+	response string
+	ds       *dataset.Dataset // nil for client-sourced campaigns
+	rows     map[string]int   // x-key → dataset row, dataset source only
+
+	// Fingerprint expectation carried from a checkpoint into the
+	// replaying engine (0 = no expectation).
+	resumeVersion int
+	resumeFP      uint64
+	resumeLen     int // journal entries to replay
+
+	mailbox    chan func(*campaignState)
+	stopOnce   chan struct{} // closed by Stop
+	engineDone chan struct{} // closed when the engine goroutine exits
+	closed     chan struct{} // closed by close(): actor exits
+
+	// lifecycle guards ONLY the closed flag, never campaign state: a
+	// send may not race the actor's exit, so do() holds the read lock
+	// across the mailbox send and close() takes the write lock before
+	// closing. State itself stays mailbox-owned and mutex-free.
+	lifecycle sync.RWMutex
+	isClosed  bool
+}
+
+// newCampaign builds a campaign (fresh or resumed) and starts its actor
+// and engine goroutines. journal is the replay prefix (nil for fresh
+// campaigns); expectVersion/expectFP carry the checkpoint's integrity
+// pin.
+func newCampaign(id string, spec CampaignSpec, ckptPath string, journal []Observation, expectVersion int, expectFP uint64) (*Campaign, error) {
+	c := &Campaign{
+		ID:            id,
+		Spec:          spec,
+		ckptPath:      ckptPath,
+		resumeVersion: expectVersion,
+		resumeFP:      expectFP,
+		resumeLen:     len(journal),
+		mailbox:       make(chan func(*campaignState), 16),
+		stopOnce:      make(chan struct{}),
+		engineDone:    make(chan struct{}),
+		closed:        make(chan struct{}),
+	}
+	switch spec.Source {
+	case "client":
+		c.cands = mat.NewFromRows(spec.Candidates)
+		c.response = "y"
+	case "dataset":
+		ds, response, err := lookupDataset(*spec.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		all := make([]int, ds.Len())
+		for i := range all {
+			all[i] = i
+		}
+		c.ds = ds
+		c.response = response
+		c.cands = ds.Matrix(all)
+		c.rows = make(map[string]int, ds.Len())
+		for i := ds.Len() - 1; i >= 0; i-- {
+			// First matching row wins on duplicate inputs, so lookup is
+			// deterministic.
+			c.rows[xKey(c.cands.RawRow(i))] = i
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown source %q", errSpec, spec.Source)
+	}
+
+	st := &campaignState{state: StateRunning, journal: journal}
+	if len(journal) > 0 {
+		st.state = StateReplaying
+	}
+	go c.actor(st)
+	go c.engine(journal)
+	return c, nil
+}
+
+// actor executes mailbox closures one at a time until close().
+func (c *Campaign) actor(st *campaignState) {
+	for {
+		select {
+		case fn := <-c.mailbox:
+			fn(st)
+		case <-c.closed:
+			// close() holds the write lock while closing, so no sender
+			// is mid-send now and none will start: drain what is queued
+			// and exit.
+			for {
+				select {
+				case fn := <-c.mailbox:
+					fn(st)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// do runs fn on the actor goroutine and waits for it. Returns false
+// when the campaign is closed and fn did not run.
+func (c *Campaign) do(fn func(*campaignState)) bool {
+	c.lifecycle.RLock()
+	if c.isClosed {
+		c.lifecycle.RUnlock()
+		return false
+	}
+	done := make(chan struct{})
+	c.mailbox <- func(st *campaignState) { defer close(done); fn(st) }
+	c.lifecycle.RUnlock()
+	<-done
+	return true
+}
+
+// engine runs al.RunOnline to completion, feeding the replay journal
+// through the oracle first. It is the ONLY goroutine that calls into
+// the AL loop, so engine-local state (replay cursor, model version,
+// integrity flag) needs no synchronization.
+func (c *Campaign) engine(replay []Observation) {
+	defer close(c.engineDone)
+
+	cfg, err := c.Spec.loopConfig(c.response)
+	if err != nil {
+		c.finalize(al.Result{}, err, false)
+		return
+	}
+
+	version := 0
+	corrupt := false
+	cfg.OnModel = func(m *gp.GP) {
+		version++
+		if c.resumeFP != 0 && version == c.resumeVersion && m.Fingerprint() != c.resumeFP {
+			corrupt = true
+			obs.Emit("serve.resume.integrity", map[string]any{
+				"campaign": c.ID, "version": version,
+				"want": strconv.FormatUint(c.resumeFP, 16),
+				"got":  strconv.FormatUint(m.Fingerprint(), 16),
+			})
+		}
+		v := version
+		c.do(func(st *campaignState) {
+			st.model = m
+			st.modelVersion = v
+		})
+	}
+	cfg.OnRecord = func(r al.IterationRecord) {
+		c.do(func(st *campaignState) { st.records = append(st.records, r) })
+	}
+
+	replayIdx := 0
+	oracle := al.OracleFunc(func(x []float64) (float64, float64, error) {
+		if corrupt {
+			return 0, 0, fmt.Errorf("serve: resume integrity check failed at model version %d: %w", c.resumeVersion, al.ErrStopped)
+		}
+		if replayIdx < len(replay) {
+			e := replay[replayIdx]
+			replayIdx++
+			if replayIdx == len(replay) {
+				c.do(func(st *campaignState) {
+					if st.state == StateReplaying {
+						st.state = StateRunning
+					}
+				})
+			}
+			return float64(e.Y), float64(e.Cost), nil
+		}
+		return c.measure(x)
+	})
+
+	res, runErr := al.RunOnline(c.cands, c.Spec.Seeds, oracle, cfg, rand.New(rand.NewSource(c.Spec.Seed)))
+	c.finalize(res, runErr, corrupt)
+}
+
+// measure performs one live experiment: dataset campaigns read the
+// dataset and journal synchronously; client campaigns publish a
+// suggestion and block until the observation arrives (journaled by the
+// observe handler before the engine wakes) or the campaign stops.
+func (c *Campaign) measure(x []float64) (float64, float64, error) {
+	select {
+	case <-c.stopOnce:
+		// Stop() interrupts dataset campaigns here, at the next oracle
+		// call — client campaigns would also unwind in the select below,
+		// but dataset campaigns never reach it.
+		return 0, 0, al.ErrStopped
+	default:
+	}
+	if c.ds != nil {
+		row, ok := c.rows[xKey(x)]
+		if !ok {
+			return 0, 0, fmt.Errorf("serve: suggested point not in dataset grid: %v", x)
+		}
+		y := c.ds.RespAt(c.response, row)
+		cost := c.ds.CostAt(row)
+		if !c.do(func(st *campaignState) {
+			st.journal = append(st.journal, Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)})
+			c.saveCheckpoint(st, false)
+		}) {
+			return 0, 0, al.ErrStopped
+		}
+		observationsCount.Inc()
+		return y, cost, nil
+	}
+
+	reply := make(chan Observation, 1)
+	registered := c.do(func(st *campaignState) {
+		st.seq++
+		st.pending = &pending{
+			seq:   st.seq,
+			x:     append([]float64(nil), x...),
+			reply: reply,
+		}
+		st.state = StateWaiting
+	})
+	if !registered {
+		return 0, 0, al.ErrStopped
+	}
+	select {
+	case o := <-reply:
+		return float64(o.Y), float64(o.Cost), nil
+	case <-c.stopOnce:
+		return 0, 0, al.ErrStopped
+	}
+}
+
+// finalize records the engine's outcome and flushes the final
+// checkpoint.
+func (c *Campaign) finalize(res al.Result, runErr error, corrupt bool) {
+	c.do(func(st *campaignState) {
+		st.pending = nil
+		st.converged = res.Converged
+		switch {
+		case corrupt:
+			st.state = StateFailed
+			st.err = fmt.Errorf("serve: resume replay diverged from checkpoint fingerprint (version %d)", c.resumeVersion)
+			campaignsFailed.Inc()
+		case runErr == nil:
+			st.state = StateDone
+			st.err = nil
+			campaignsDone.Inc()
+		case errors.Is(runErr, al.ErrStopped):
+			st.state = StateStopped
+			st.err = nil
+			campaignsStopped.Inc()
+		default:
+			st.state = StateFailed
+			st.err = runErr
+			campaignsFailed.Inc()
+		}
+		c.saveCheckpoint(st, st.state == StateDone)
+		obs.Emit("serve.campaign.finished", map[string]any{
+			"campaign": c.ID, "state": st.state, "records": len(st.records),
+		})
+	})
+}
+
+// Stop asks the engine to unwind at the next oracle interaction. Safe
+// to call more than once; idempotent after the first call.
+func (c *Campaign) Stop() {
+	select {
+	case <-c.stopOnce:
+	default:
+		close(c.stopOnce)
+	}
+}
+
+// close shuts the actor down. Callers must Stop and drain the engine
+// first (Manager.remove does); afterwards every Campaign method returns
+// ErrClosed.
+func (c *Campaign) close() {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	if !c.isClosed {
+		c.isClosed = true
+		close(c.closed)
+	}
+}
+
+// Wait blocks until the engine goroutine has exited.
+func (c *Campaign) Wait() { <-c.engineDone }
+
+// Suggest returns the pending suggestion, ErrNoPending when the engine
+// is not waiting on a measurement, or ErrClosed.
+func (c *Campaign) Suggest() (Suggestion, error) {
+	var out Suggestion
+	var err error
+	if !c.do(func(st *campaignState) {
+		if st.pending == nil {
+			err = fmt.Errorf("%w (state %s)", ErrNoPending, st.state)
+			return
+		}
+		out = Suggestion{Seq: st.pending.seq, X: append([]float64(nil), st.pending.x...)}
+	}) {
+		return Suggestion{}, ErrClosed
+	}
+	return out, err
+}
+
+// Observe applies a measurement to the pending suggestion identified by
+// seq: the observation is journaled and checkpointed BEFORE the engine
+// wakes and before the call returns, so an acknowledged observation is
+// durable — a crash after Observe returns never loses it.
+func (c *Campaign) Observe(seq int, y, cost float64) error {
+	var err error
+	if !c.do(func(st *campaignState) {
+		if st.pending == nil {
+			err = fmt.Errorf("%w (state %s)", ErrNoPending, st.state)
+			return
+		}
+		if st.pending.seq != seq {
+			err = fmt.Errorf("%w: got seq %d, pending is %d", ErrSeqMismatch, seq, st.pending.seq)
+			return
+		}
+		o := Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+		st.journal = append(st.journal, o)
+		c.saveCheckpoint(st, false)
+		st.pending.reply <- o
+		st.pending = nil
+		st.state = StateRunning
+	}) {
+		return ErrClosed
+	}
+	if err == nil {
+		observationsCount.Inc()
+	}
+	return err
+}
+
+// Model returns the current model snapshot and its version for
+// prediction. The returned *gp.GP is immutable; callers may use it
+// concurrently.
+func (c *Campaign) Model() (*gp.GP, int, error) {
+	var m *gp.GP
+	var v int
+	if !c.do(func(st *campaignState) { m, v = st.model, st.modelVersion }) {
+		return nil, 0, ErrClosed
+	}
+	if m == nil {
+		return nil, 0, ErrNoModel
+	}
+	return m, v, nil
+}
+
+// Records returns a copy of the iteration records so far.
+func (c *Campaign) Records() ([]al.IterationRecord, error) {
+	var out []al.IterationRecord
+	if !c.do(func(st *campaignState) {
+		out = append(out, st.records...)
+	}) {
+		return nil, ErrClosed
+	}
+	return out, nil
+}
+
+// Status snapshots the campaign for the HTTP API. withRecords controls
+// whether the full per-iteration history is included (list views leave
+// it out).
+func (c *Campaign) Status(withRecords bool) (CampaignStatus, error) {
+	strat, _ := c.Spec.strategy()
+	out := CampaignStatus{
+		ID:       c.ID,
+		Name:     c.Spec.Name,
+		Source:   c.Spec.Source,
+		Strategy: strat.Name(),
+	}
+	if !c.do(func(st *campaignState) {
+		out.State = st.state
+		out.Observations = len(st.journal)
+		out.ModelVersion = st.modelVersion
+		out.Converged = st.converged
+		if st.model != nil {
+			out.Fingerprint = st.model.Fingerprint()
+		}
+		if st.pending != nil {
+			out.Pending = &Suggestion{Seq: st.pending.seq, X: append([]float64(nil), st.pending.x...)}
+		}
+		if st.err != nil {
+			out.Error = st.err.Error()
+		}
+		if withRecords {
+			out.Records = make([]al.JSONRecord, len(st.records))
+			for i, r := range st.records {
+				out.Records[i] = al.ToJSONRecord(r)
+			}
+		}
+	}) {
+		return CampaignStatus{}, ErrClosed
+	}
+	return out, nil
+}
+
+// saveCheckpoint persists the journal; it runs on the actor goroutine.
+// Failures are surfaced as metrics and events, not fatal errors: the
+// campaign keeps running and the next observation retries the write.
+func (c *Campaign) saveCheckpoint(st *campaignState, done bool) {
+	if c.ckptPath == "" {
+		return
+	}
+	jf := journalFile{
+		Version:      journalVersion,
+		ID:           c.ID,
+		Spec:         c.Spec,
+		Observations: st.journal,
+		ModelVersion: st.modelVersion,
+		Done:         done,
+	}
+	if st.model != nil {
+		jf.Fingerprint = st.model.Fingerprint()
+	}
+	if st.err != nil {
+		jf.Error = st.err.Error()
+	}
+	if err := al.AtomicWriteJSON(c.ckptPath, &jf); err != nil {
+		checkpointErrors.Inc()
+		obs.Emit("serve.checkpoint.error", map[string]any{"campaign": c.ID, "err": err.Error()})
+		return
+	}
+	checkpointSaves.Inc()
+}
+
+// xKey encodes an input point as the exact bit pattern of its
+// coordinates — the dataset row lookup and prediction cache key must
+// distinguish points that differ in the last ulp.
+func xKey(x []float64) string {
+	var b strings.Builder
+	b.Grow(17 * len(x))
+	for _, v := range x {
+		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// DatasetFunc builds a dataset for a dataset-backed campaign and names
+// the response column the campaign models. Generators must be
+// deterministic in the spec: resume rebuilds the candidate grid by
+// calling the generator again with the spec stored in the checkpoint.
+type DatasetFunc func(spec DatasetSpec) (*dataset.Dataset, string, error)
+
+var (
+	datasetsMu sync.RWMutex
+	datasets   = map[string]DatasetFunc{}
+)
+
+// RegisterDataset makes a generator available to dataset-backed
+// campaigns under the given name. The "synthetic" generator is built
+// in; cmd/alserve registers "performance" (the paper's §V-B study
+// subset) at startup. Safe for concurrent use.
+func RegisterDataset(name string, fn DatasetFunc) {
+	datasetsMu.Lock()
+	defer datasetsMu.Unlock()
+	datasets[name] = fn
+}
+
+// DatasetNames lists the registered generators, sorted.
+func DatasetNames() []string {
+	datasetsMu.RLock()
+	defer datasetsMu.RUnlock()
+	out := make([]string, 0, len(datasets))
+	for name := range datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookupDataset(spec DatasetSpec) (*dataset.Dataset, string, error) {
+	datasetsMu.RLock()
+	fn := datasets[spec.Name]
+	datasetsMu.RUnlock()
+	if fn == nil {
+		return nil, "", fmt.Errorf("%w: unknown dataset %q (registered: %v)", errSpec, spec.Name, DatasetNames())
+	}
+	return fn(spec)
+}
+
+// syntheticDataset is the built-in 1-D benchmark: y = sin(2x) + x/2
+// plus Gaussian noise on [0, 4], with cost 10^y — the same shape the
+// AL unit tests model, cheap enough for stress tests and demos.
+func syntheticDataset(spec DatasetSpec) (*dataset.Dataset, string, error) {
+	n := spec.N
+	if n <= 0 {
+		n = 40
+	}
+	if n < 2 {
+		n = 2
+	}
+	noise := spec.Noise
+	if noise < 0 || math.IsNaN(noise) {
+		noise = 0
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := dataset.New([]string{"x"}, []string{"y"})
+	for i := 0; i < n; i++ {
+		x := 4 * float64(i) / float64(n-1)
+		y := math.Sin(2*x) + 0.5*x + noise*rng.NormFloat64()
+		if err := d.AddRow([]float64{x}, []float64{y}, nil, math.Pow(10, y)); err != nil {
+			return nil, "", err
+		}
+	}
+	return d, "y", nil
+}
+
+func init() {
+	RegisterDataset("synthetic", syntheticDataset)
+}

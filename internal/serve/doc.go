@@ -1,0 +1,54 @@
+// Package serve turns the Active Learning core into a long-running,
+// concurrent campaign service: clients create campaigns over HTTP,
+// submit observed measurements, and read back next-experiment
+// suggestions, batched GP predictions, and per-iteration progress —
+// the paper's §VI online setting operated as a network service instead
+// of a batch CLI.
+//
+// # Architecture
+//
+// A Manager owns a set of Campaigns. Each campaign runs TWO goroutines:
+//
+//   - The engine goroutine executes al.RunOnline unmodified. Its Oracle
+//     either reads a server-side dataset (source "dataset") or blocks on
+//     the campaign mailbox until a client POSTs the measurement (source
+//     "client"). Because the engine IS al.RunOnline, a campaign driven
+//     over HTTP produces an iteration trace identical to the equivalent
+//     direct call — that identity is the service's core invariant and is
+//     enforced by TestServeTraceIdentity and the stress suite.
+//
+//   - The actor goroutine owns all mutable campaign state (records,
+//     current model, pending suggestion, observation journal). There is
+//     no per-campaign mutex: handlers and the engine send closures over
+//     the campaign mailbox channel and the actor executes them one at a
+//     time. Model pointers cross goroutines freely — a fitted *gp.GP is
+//     immutable and safe for concurrent reads.
+//
+// # Durability
+//
+// Campaign persistence is event-sourced: the checkpoint (one JSON file
+// per campaign, written atomically via al.AtomicWriteJSON on every
+// accepted observation) stores the campaign spec plus the ordered
+// journal of oracle returns, not a model snapshot. Resume re-runs the
+// engine and feeds the journal back through the oracle; the engine
+// deterministically replays every fit, rejection, retry and RNG draw,
+// so the rebuilt state — records, model, and the subsequent suggestion
+// stream — is byte-identical to the uninterrupted run. gp.Fingerprint
+// guards the invariant: the checkpoint records the model fingerprint at
+// its model version, and a replay that reaches that version with a
+// different fingerprint fails the campaign instead of serving silently
+// diverged suggestions.
+//
+// # Scoring and caching
+//
+// Batched /predict inference reuses the loop's chunked scorer
+// (al.ScoreBatch) under a Manager-wide semaphore that bounds the number
+// of concurrent scoring operations, and fills a server-wide LRU
+// prediction cache keyed on (campaign, model version, input point).
+// A model-version bump simply changes the key — stale entries are never
+// served and age out of the LRU; no explicit invalidation pass exists
+// or is needed.
+//
+// See DESIGN.md §9 for the campaign lifecycle state machine and
+// OBSERVABILITY.md for the serve.* metric and span catalog.
+package serve

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+var requestErrors = obs.C("serve.request.errors")
+
+// Server is the HTTP front of a Manager. Routes (Go 1.22 method
+// patterns):
+//
+//	POST   /campaigns                create a campaign from a CampaignSpec
+//	GET    /campaigns                list campaign statuses (no records)
+//	GET    /campaigns/{id}           full status including the trace
+//	DELETE /campaigns/{id}           stop, drain, and forget a campaign
+//	GET    /campaigns/{id}/suggest   current pending suggestion (client mode)
+//	POST   /campaigns/{id}/observe   submit the measurement for a suggestion
+//	POST   /campaigns/{id}/predict   model predictions at arbitrary points
+//	GET    /healthz                  liveness + campaign counts
+//	GET    /metrics                  obs registry snapshot as JSONL
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes for a Manager.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.route("POST /campaigns", "create", s.handleCreate)
+	s.route("GET /campaigns", "list", s.handleList)
+	s.route("GET /campaigns/{id}", "status", s.handleStatus)
+	s.route("DELETE /campaigns/{id}", "delete", s.handleDelete)
+	s.route("GET /campaigns/{id}/suggest", "suggest", s.handleSuggest)
+	s.route("POST /campaigns/{id}/observe", "observe", s.handleObserve)
+	s.route("POST /campaigns/{id}/predict", "predict", s.handlePredict)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route registers a handler wrapped in a serve.request span (which
+// records serve.request.count and serve.request.duration on End) plus a
+// per-route counter and an error counter for 4xx/5xx responses.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	counter := obs.C("serve.request." + name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := obs.Start(r.Context(), "serve.request")
+		span.SetAttr("route", name)
+		counter.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		if sw.code >= 400 {
+			requestErrors.Inc()
+			span.SetAttr("status", sw.code)
+		}
+		span.End()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr maps the package's sentinel errors onto HTTP status codes
+// and emits the {"error": ...} envelope.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, errSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNoPending), errors.Is(err, ErrSeqMismatch), errors.Is(err, ErrNoModel):
+		code = http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errors.Join(errSpec, err)
+	}
+	return nil
+}
+
+func (s *Server) campaign(r *http.Request) (*Campaign, error) {
+	return s.mgr.Get(r.PathValue("id"))
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	c, err := s.mgr.Create(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := c.Status(false)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	campaigns := s.mgr.List()
+	out := make([]CampaignStatus, 0, len(campaigns))
+	for _, c := range campaigns {
+		if st, err := c.Status(false); err == nil {
+			out = append(out, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := c.Status(true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sug, err := c.Suggest()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sug)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req ObserveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := c.Observe(req.Seq, float64(req.Y), float64(req.Cost)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": req.Seq})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req PredictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.mgr.Predict(c, req.Points)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	total, terminal := s.mgr.CampaignCount()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"campaigns": total,
+		"terminal":  terminal,
+	})
+}
+
+// handleMetrics streams the Default obs registry as JSONL (the same
+// format DumpMetrics writes to a sink). WriteJSONL sanitizes the
+// non-finite histogram extrema that a raw Snapshot would feed
+// encoding/json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := obs.Default.WriteJSONL(w); err != nil {
+		requestErrors.Inc()
+	}
+}

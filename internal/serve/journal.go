@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// journalVersion is the on-disk checkpoint format version; loading
+// rejects files written by an incompatible server.
+const journalVersion = 1
+
+// journalFile is the per-campaign checkpoint: the spec plus the ordered
+// journal of oracle returns. It deliberately stores NO model state —
+// resume replays the journal through the unchanged AL engine, which
+// deterministically reconstructs every fit and RNG draw. ModelVersion
+// and Fingerprint pin the model identity at save time purely as an
+// integrity check on that replay.
+type journalFile struct {
+	Version      int           `json:"version"`
+	ID           string        `json:"id"`
+	Spec         CampaignSpec  `json:"spec"`
+	Observations []Observation `json:"observations"`
+	ModelVersion int           `json:"model_version"`
+	Fingerprint  uint64        `json:"fingerprint,omitempty"`
+	Done         bool          `json:"done"`
+	Error        string        `json:"error,omitempty"`
+}
+
+// loadJournal reads and validates a campaign checkpoint.
+func loadJournal(path string) (*journalFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read checkpoint: %w", err)
+	}
+	var jf journalFile
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return nil, fmt.Errorf("serve: parse checkpoint %s: %w", path, err)
+	}
+	if jf.Version != journalVersion {
+		return nil, fmt.Errorf("serve: checkpoint %s has version %d, want %d", path, jf.Version, journalVersion)
+	}
+	if jf.ID == "" {
+		return nil, fmt.Errorf("serve: checkpoint %s has no campaign id", path)
+	}
+	if err := jf.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return &jf, nil
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/al"
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+var (
+	campaignsCreated = obs.C("serve.campaign.created")
+	campaignsResumed = obs.C("serve.campaign.resumed")
+	predictPoints    = obs.C("serve.predict.points")
+	scoreQueueDepth  = obs.G("serve.score.queue")
+)
+
+// ErrNotFound reports an unknown campaign id.
+var ErrNotFound = errors.New("serve: campaign not found")
+
+// Config sizes the Manager.
+type Config struct {
+	// CheckpointDir persists one JSON journal per campaign; "" disables
+	// persistence (campaigns die with the process).
+	CheckpointDir string
+
+	// CacheSize bounds the shared prediction LRU (default 4096 points).
+	CacheSize int
+
+	// ScoreWorkers is the per-scoring-call worker fan-out passed to
+	// al.ScoreBatch (0 = the al package default, GOMAXPROCS).
+	ScoreWorkers int
+
+	// MaxConcurrentScores bounds how many scoring operations (predict
+	// batches) run at once across ALL campaigns — the global worker-pool
+	// throttle that keeps a burst of predict requests from oversubscribing
+	// the cores the campaign engines are fitting on (default GOMAXPROCS).
+	MaxConcurrentScores int
+}
+
+// Manager owns the campaign set, the shared prediction cache, and the
+// global scoring throttle. All methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	cache *predCache
+	sem   chan struct{}
+
+	mu        sync.RWMutex
+	campaigns map[string]*Campaign
+	nextID    int
+	closed    bool
+}
+
+// NewManager builds a Manager. Call ResumeAll afterwards to relaunch
+// checkpointed campaigns.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxConcurrentScores <= 0 {
+		cfg.MaxConcurrentScores = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{
+		cfg:       cfg,
+		cache:     newPredCache(cfg.CacheSize),
+		sem:       make(chan struct{}, cfg.MaxConcurrentScores),
+		campaigns: make(map[string]*Campaign),
+	}
+}
+
+// ckptPath returns the journal path for a campaign id ("" when
+// persistence is disabled).
+func (m *Manager) ckptPath(id string) string {
+	if m.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(m.cfg.CheckpointDir, id+".json")
+}
+
+// Create validates the spec, assigns an id, and launches the campaign.
+func (m *Manager) Create(spec CampaignSpec) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	var id string
+	for {
+		m.nextID++
+		id = fmt.Sprintf("c%04d", m.nextID)
+		if _, taken := m.campaigns[id]; !taken {
+			break
+		}
+	}
+	c, err := newCampaign(id, spec, m.ckptPath(id), nil, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.campaigns[id] = c
+	campaignsCreated.Inc()
+	campaignsActive.Set(float64(len(m.campaigns)))
+	obs.Emit("serve.campaign.created", map[string]any{"campaign": id, "source": spec.Source})
+	return c, nil
+}
+
+// ResumeAll scans the checkpoint directory and relaunches every
+// campaign journal found there; each engine replays its journal and
+// continues (or finishes) from the exact interrupted state. Returns
+// the number of campaigns resumed; corrupt journals are skipped with an
+// event rather than failing the boot.
+func (m *Manager) ResumeAll() (int, error) {
+	if m.cfg.CheckpointDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(m.cfg.CheckpointDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("serve: scan checkpoint dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	resumed := 0
+	for _, name := range names {
+		path := filepath.Join(m.cfg.CheckpointDir, name)
+		jf, err := loadJournal(path)
+		if err != nil {
+			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
+			continue
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return resumed, ErrClosed
+		}
+		if _, taken := m.campaigns[jf.ID]; taken {
+			m.mu.Unlock()
+			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": "duplicate campaign id"})
+			continue
+		}
+		c, err := newCampaign(jf.ID, jf.Spec, path, jf.Observations, jf.ModelVersion, jf.Fingerprint)
+		if err != nil {
+			m.mu.Unlock()
+			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
+			continue
+		}
+		m.campaigns[jf.ID] = c
+		// Keep fresh ids clear of resumed ones ("c0007" → nextID ≥ 7).
+		if n, err := strconv.Atoi(strings.TrimPrefix(jf.ID, "c")); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+		campaignsActive.Set(float64(len(m.campaigns)))
+		m.mu.Unlock()
+		campaignsResumed.Inc()
+		resumed++
+		obs.Emit("serve.campaign.resumed", map[string]any{
+			"campaign": jf.ID, "observations": len(jf.Observations),
+		})
+	}
+	return resumed, nil
+}
+
+// Get returns the campaign with the given id.
+func (m *Manager) Get(id string) (*Campaign, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.campaigns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// List returns all campaigns sorted by id.
+func (m *Manager) List() []*Campaign {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Campaign, 0, len(m.campaigns))
+	for _, c := range m.campaigns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Delete stops the campaign, waits for its engine, removes it from the
+// manager, and deletes its checkpoint — a deleted campaign does not
+// come back on restart.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	c, ok := m.campaigns[id]
+	if ok {
+		delete(m.campaigns, id)
+		campaignsActive.Set(float64(len(m.campaigns)))
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	c.Stop()
+	c.Wait()
+	c.close()
+	if path := m.ckptPath(id); path != "" {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("serve: remove checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the campaign's current model at the request points,
+// serving what it can from the LRU and batching the misses through the
+// shared scoring pool. Points must match the campaign's input
+// dimensionality.
+func (m *Manager) Predict(c *Campaign, points [][]float64) (PredictResponse, error) {
+	if len(points) == 0 {
+		return PredictResponse{}, fmt.Errorf("%w: empty predict batch", errSpec)
+	}
+	model, version, err := c.Model()
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	dims := c.cands.Cols()
+	for i, pt := range points {
+		if len(pt) != dims {
+			return PredictResponse{}, fmt.Errorf("%w: point %d has %d dims, campaign has %d", errSpec, i, len(pt), dims)
+		}
+		for _, v := range pt {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return PredictResponse{}, fmt.Errorf("%w: point %d has a non-finite coordinate", errSpec, i)
+			}
+		}
+	}
+	predictPoints.Add(int64(len(points)))
+
+	prefix := c.ID + ":" + strconv.Itoa(version) + ":"
+	resp := PredictResponse{
+		ModelVersion: version,
+		Means:        make([]al.JSONFloat, len(points)),
+		SDs:          make([]al.JSONFloat, len(points)),
+	}
+	var missIdx []int
+	for i, pt := range points {
+		if pred, ok := m.cache.get(prefix + xKey(pt)); ok {
+			resp.Means[i] = al.JSONFloat(pred.Mean)
+			resp.SDs[i] = al.JSONFloat(pred.SD)
+			resp.CacheHits++
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) > 0 {
+		miss := make([][]float64, len(missIdx))
+		for j, i := range missIdx {
+			miss[j] = points[i]
+		}
+		scoreQueueDepth.Set(float64(len(m.sem)))
+		m.sem <- struct{}{}
+		preds := al.ScoreBatch(model, mat.NewFromRows(miss), m.cfg.ScoreWorkers)
+		<-m.sem
+		for j, i := range missIdx {
+			resp.Means[i] = al.JSONFloat(preds[j].Mean)
+			resp.SDs[i] = al.JSONFloat(preds[j].SD)
+			m.cache.put(prefix+xKey(points[i]), preds[j])
+		}
+	}
+	return resp, nil
+}
+
+// CampaignCount reports (total, terminal) campaign counts for /healthz.
+func (m *Manager) CampaignCount() (total, terminal int) {
+	for _, c := range m.List() {
+		total++
+		if st, err := c.Status(false); err == nil {
+			switch st.State {
+			case StateDone, StateFailed, StateStopped:
+				terminal++
+			}
+		}
+	}
+	return total, terminal
+}
+
+// Shutdown gracefully stops every campaign: engines unwind at their
+// next oracle interaction (client-blocked engines immediately), final
+// checkpoints flush, and actors exit. Respects ctx for the engine
+// drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	all := make([]*Campaign, 0, len(m.campaigns))
+	for _, c := range m.campaigns {
+		all = append(all, c)
+	}
+	m.mu.Unlock()
+
+	for _, c := range all {
+		c.Stop()
+	}
+	var err error
+	for _, c := range all {
+		select {
+		case <-c.engineDone:
+			c.close()
+		case <-ctx.Done():
+			err = fmt.Errorf("serve: shutdown interrupted with campaign %s still draining: %w", c.ID, ctx.Err())
+		}
+	}
+	obs.Emit("serve.shutdown", map[string]any{"campaigns": len(all)})
+	return err
+}

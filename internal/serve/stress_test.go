@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+)
+
+// TestServeStressConcurrentClients is the service race test: M client
+// campaigns run concurrently, each hammered by N racing observer
+// goroutines plus predict/status/list readers, all over HTTP. Only one
+// observer can win each suggestion (the sequence number fences the
+// rest), and the measurement is a deterministic function of x, so every
+// campaign's trace must still equal a serial al.RunOnline of the same
+// spec — under -race this doubles as the data-race hunt for the whole
+// actor/mailbox/cache machinery. CI runs it in the chaos-smoke lane.
+func TestServeStressConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+
+	specs := []CampaignSpec{
+		clientSpec(31),
+		func() CampaignSpec {
+			s := clientSpec(32)
+			s.Strategy = "cost-efficiency"
+			return s
+		}(),
+		func() CampaignSpec {
+			s := clientSpec(33)
+			s.Strategy = "random"
+			return s
+		}(),
+		func() CampaignSpec {
+			s := clientSpec(34)
+			s.Epsilon = 0.3
+			return s
+		}(),
+	}
+	refs := make([]al.Result, len(specs))
+	for i, spec := range specs {
+		refs[i] = directRun(t, spec)
+	}
+
+	mgr := NewManager(Config{CacheSize: 256, MaxConcurrentScores: 2})
+	srv := httptest.NewServer(NewServer(mgr))
+	defer func() {
+		srv.Close()
+		mgr.Shutdown(context.Background())
+	}()
+	client := srv.Client()
+
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		var created CampaignStatus
+		if code := doJSON(t, client, "POST", srv.URL+"/campaigns", spec, &created); code != http.StatusCreated {
+			t.Fatalf("create campaign %d: HTTP %d", i, code)
+		}
+		ids[i] = created.ID
+	}
+
+	const observersPerCampaign = 3
+	type obsRec struct {
+		seq int
+		x   []float64
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		wins = make(map[string][]obsRec)
+	)
+	deadline := time.Now().Add(120 * time.Second)
+
+	// Racing observers: everyone polls the same suggestion; the seq
+	// fence lets exactly one observation through per suggestion.
+	for _, id := range ids {
+		for w := 0; w < observersPerCampaign; w++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					var sug Suggestion
+					code, err := tryJSON(client, "GET", srv.URL+"/campaigns/"+id+"/suggest", nil, &sug)
+					if err != nil {
+						t.Errorf("campaign %s suggest: %v", id, err)
+						return
+					}
+					if code == http.StatusConflict {
+						var st CampaignStatus
+						if _, err := tryJSON(client, "GET", srv.URL+"/campaigns/"+id, nil, &st); err != nil {
+							t.Errorf("campaign %s status: %v", id, err)
+							return
+						}
+						if isTerminal(st.State) {
+							return
+						}
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if code != http.StatusOK {
+						t.Errorf("campaign %s suggest: HTTP %d", id, code)
+						return
+					}
+					y, cost := testOracle(sug.X)
+					req := ObserveRequest{Seq: sug.Seq, Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+					code, err = tryJSON(client, "POST", srv.URL+"/campaigns/"+id+"/observe", req, nil)
+					switch {
+					case err != nil:
+						t.Errorf("campaign %s observe: %v", id, err)
+						return
+					case code == http.StatusOK:
+						mu.Lock()
+						wins[id] = append(wins[id], obsRec{seq: sug.Seq, x: sug.X})
+						mu.Unlock()
+					case code == http.StatusConflict:
+						// Another observer won this suggestion.
+					default:
+						t.Errorf("campaign %s observe: HTTP %d", id, code)
+						return
+					}
+				}
+			}(id)
+		}
+	}
+
+	// Readers: predictions (cache churn), statuses, listings, metrics.
+	stopReaders := make(chan struct{})
+	points := [][]float64{{0.1}, {0.6}, {1.1}, {1.6}, {2.1}, {2.6}}
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				code, err := tryJSON(client, "POST", srv.URL+"/campaigns/"+id+"/predict", PredictRequest{Points: points}, nil)
+				if err != nil || (code != http.StatusOK && code != http.StatusConflict) {
+					t.Errorf("campaign %s predict: HTTP %d err %v", id, code, err)
+					return
+				}
+				tryJSON(client, "GET", srv.URL+"/campaigns", nil, nil)
+				tryJSON(client, "GET", srv.URL+"/healthz", nil, nil)
+			}
+		}(id)
+	}
+
+	// Wait for every campaign to finish, then release the readers.
+	for i, id := range ids {
+		c, err := mgr.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		st := waitTerminal(t, c)
+		if st.State != StateDone {
+			t.Fatalf("campaign %d (%s) ended %s (err %q)", i, id, st.State, st.Error)
+		}
+	}
+	close(stopReaders)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every campaign's trace equals its serial reference run.
+	grid := testGrid()
+	for i, id := range ids {
+		c, err := mgr.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		recs, err := c.Records()
+		if err != nil {
+			t.Fatalf("records %s: %v", id, err)
+		}
+		if err := sameRecords(recs, refs[i].Records); err != nil {
+			t.Errorf("campaign %d (%s) trace diverges under concurrency: %v", i, id, err)
+		}
+		// The winning observations, ordered by seq, retrace seeds then
+		// selections.
+		mu.Lock()
+		won := append([]obsRec(nil), wins[id]...)
+		mu.Unlock()
+		sort.Slice(won, func(a, b int) bool { return won[a].seq < won[b].seq })
+		wantRows := append(append([]int(nil), specs[i].Seeds...), refs[i].TrainRows...)
+		if len(won) != len(wantRows) {
+			t.Fatalf("campaign %d: %d winning observations, want %d", i, len(won), len(wantRows))
+		}
+		for j, o := range won {
+			if o.seq != j+1 {
+				t.Fatalf("campaign %d: observation %d has seq %d — a suggestion was double-observed", i, j, o.seq)
+			}
+			want := grid[wantRows[j]]
+			if math.Float64bits(o.x[0]) != math.Float64bits(want[0]) {
+				t.Fatalf("campaign %d suggestion %d: got x=%v, want row %d x=%v", i, j, o.x, wantRows[j], want)
+			}
+		}
+	}
+}
