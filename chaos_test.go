@@ -1,12 +1,24 @@
 package repro
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"repro/internal/al"
+	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/serve"
 )
 
 // chaosSetup regenerates the paper's study subset and a fixed partition
@@ -140,5 +152,165 @@ func TestChaosCheckpointResume(t *testing.T) {
 	}
 	if a, b := finalRMSE(t, res), finalRMSE(t, full); math.Float64bits(a) != math.Float64bits(b) {
 		t.Fatalf("final RMSE differs after resume: %g vs %g", a, b)
+	}
+}
+
+// TestChaosServeListenerFaults runs the campaign service behind the
+// chaos listener — connections suffer deterministic latency spikes,
+// resets, and partial writes — and drives a client campaign through a
+// retrying resilience.Client with idempotency keys on every
+// observation. The campaign must finish with the exact observation
+// count (nothing lost to a killed connection, nothing double-applied by
+// a blind retry) and a fitted model, with the fault counters proving
+// the listener actually injected.
+func TestChaosServeListenerFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+
+	grid := make([][]float64, 12)
+	for i := range grid {
+		grid[i] = []float64{3 * float64(i) / 11}
+	}
+	oracle := func(x []float64) (y, cost float64) {
+		return math.Sin(2*x[0]) + 0.5*x[0], 1 + x[0]
+	}
+	spec := serve.CampaignSpec{
+		Name:       "listener-chaos",
+		Source:     "client",
+		Candidates: grid,
+		Seeds:      []int{0, 11},
+		Strategy:   "variance-reduction",
+		Iterations: 5,
+		Restarts:   1,
+		Seed:       29,
+	}
+
+	mgr := serve.NewManager(serve.Config{})
+	defer mgr.Shutdown(context.Background())
+	srv := httptest.NewUnstartedServer(serve.NewServer(mgr))
+	injectedBefore := int64(0)
+	injected := []string{
+		"faults.injected.netlatency", "faults.injected.netreset", "faults.injected.partialwrite",
+	}
+	for _, name := range injected {
+		injectedBefore += obs.C(name).Value()
+	}
+	srv.Listener = faults.WrapListener(srv.Listener, faults.NewNet(faults.NetworkConfig{
+		Seed:             5,
+		LatencyRate:      0.1,
+		Latency:          time.Millisecond,
+		ResetRate:        0.03,
+		PartialWriteRate: 0.02,
+	}))
+	srv.Start()
+	defer srv.Close()
+
+	// Create through the in-process API (creates carry no idempotency
+	// protocol, so they do not belong on the lossy path); drive entirely
+	// over the chaos wire.
+	c, err := mgr.Create(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	client := resilience.NewClient(nil, resilience.TransportConfig{
+		MaxAttempts: 12,
+		Seed:        11,
+		Backoff:     resilience.Backoff{Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond},
+	})
+
+	observe := func(seq int, x []float64) (int, error) {
+		y, cost := oracle(x)
+		body, err := json.Marshal(serve.ObserveRequest{Seq: seq, Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)})
+		if err != nil {
+			return 0, err
+		}
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/campaigns/"+c.ID+"/observe", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(resilience.IdempotencyHeader, fmt.Sprintf("%s-seq%d", c.ID, seq))
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, err
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	maxSeq := 0
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos drive timeout after %d suggestions", maxSeq)
+		}
+		var sug serve.Suggestion
+		resp, err := client.Get(srv.URL + "/campaigns/" + c.ID + "/suggest")
+		if err != nil {
+			// Reset storm outlived the retry budget; transient by
+			// construction.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			// Torn response body (partial write): re-fetch.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusConflict {
+			st, serr := c.Status(false)
+			if serr != nil {
+				t.Fatalf("status: %v", serr)
+			}
+			if st.State == serve.StateDone || st.State == serve.StateFailed || st.State == serve.StateStopped {
+				if st.State != serve.StateDone {
+					t.Fatalf("campaign ended %s (err %q), want done", st.State, st.Error)
+				}
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("suggest: HTTP %d (%s)", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &sug); err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if sug.Seq > maxSeq {
+			maxSeq = sug.Seq
+		}
+		if code, err := observe(sug.Seq, sug.X); err == nil && code != http.StatusOK && code != http.StatusConflict {
+			t.Fatalf("observe seq %d: HTTP %d", sug.Seq, code)
+		}
+		// A transport error or torn body leaves the apply in doubt; the
+		// next suggest pass resolves it via the idempotency key.
+	}
+
+	final, err := c.Status(false)
+	if err != nil {
+		t.Fatalf("final status: %v", err)
+	}
+	if final.Fingerprint == 0 || final.ModelVersion == 0 {
+		t.Fatalf("finished campaign has no model identity: %+v", final)
+	}
+	// The journal must hold exactly one observation per suggestion seq:
+	// a killed connection never lost one, a retried request never
+	// doubled one.
+	if final.Observations != maxSeq {
+		t.Fatalf("journal holds %d observations for %d suggestions", final.Observations, maxSeq)
+	}
+
+	injectedAfter := int64(0)
+	for _, name := range injected {
+		injectedAfter += obs.C(name).Value()
+	}
+	if injectedAfter == injectedBefore {
+		t.Fatal("the chaos listener never injected a fault — the test was vacuous")
 	}
 }

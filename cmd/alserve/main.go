@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -46,7 +47,9 @@ import (
 	"repro"
 	"repro/internal/al"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -60,7 +63,53 @@ func main() {
 	metrics := flag.String("metrics", "", "write obs spans/events/metrics to this JSONL file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+
+	// Resilience knobs (DESIGN.md §10).
+	routeTimeout := flag.Duration("route-timeout", 30*time.Second, "per-request context deadline")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "request body cap (HTTP 413 beyond it)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission bound on concurrently handled requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission wait-queue length before shedding with 429 (0 = 2x max-inflight)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (Slowloris guard)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "circuit breaker open-state cooldown before probing")
+
+	// Drive (client) mode: act as the measurement client of a running
+	// server, through the retrying resilience transport.
+	driveURL := flag.String("drive", "", "client mode: drive a campaign against this server URL instead of serving")
+	driveSpec := flag.String("drive-spec", "", "client mode: JSON CampaignSpec file (default: built-in demo campaign)")
+	driveAttempts := flag.Int("drive-attempts", 6, "client mode: retry budget per request")
+	driveBackoffBase := flag.Duration("drive-backoff-base", 100*time.Millisecond, "client mode: first retry backoff ceiling")
+	driveBackoffCap := flag.Duration("drive-backoff-cap", 5*time.Second, "client mode: retry backoff cap")
+	driveSeed := flag.Int64("drive-seed", 1, "client mode: campaign + jitter seed")
+
+	// Chaos knobs — deterministic fault injection for drills and the
+	// chaos suite; all default off.
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for all chaos fault decisions")
+	chaosTornRate := flag.Float64("chaos-torn-write-rate", 0, "probability a journal append is torn mid-write")
+	chaosLatencyRate := flag.Float64("chaos-latency-rate", 0, "probability of an injected latency spike per connection op")
+	chaosLatency := flag.Duration("chaos-latency", 10*time.Millisecond, "maximum injected latency spike")
+	chaosResetRate := flag.Float64("chaos-reset-rate", 0, "probability a connection op is reset")
+	chaosPartialRate := flag.Float64("chaos-partial-write-rate", 0, "probability a connection write is delivered partially then reset")
 	flag.Parse()
+
+	if *driveURL != "" {
+		err := runClient(clientConfig{
+			baseURL:  *driveURL,
+			specPath: *driveSpec,
+			attempts: *driveAttempts,
+			base:     *driveBackoffBase,
+			cap:      *driveBackoffCap,
+			seed:     *driveSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if !*parallel {
 		al.SetDefaultScoreWorkers(1)
@@ -97,6 +146,9 @@ func main() {
 		CacheSize:           *cacheSize,
 		ScoreWorkers:        *scoreWorkers,
 		MaxConcurrentScores: *maxScores,
+		ScoreBreaker:        resilience.BreakerConfig{Cooldown: *breakerCooldown},
+		JournalBreaker:      resilience.BreakerConfig{Cooldown: *breakerCooldown},
+		TornWrites:          faults.TornWriteConfig{Seed: *chaosSeed, Rate: *chaosTornRate},
 	})
 	if n, err := mgr.ResumeAll(); err != nil {
 		fmt.Fprintln(os.Stderr, "alserve: resume:", err)
@@ -105,9 +157,42 @@ func main() {
 		fmt.Printf("alserve: resumed %d campaign(s) from %s\n", n, *ckptDir)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(mgr)}
+	handler := serve.NewServerWith(mgr, serve.ServerConfig{
+		RouteTimeout: *routeTimeout,
+		MaxBodyBytes: *maxBody,
+		Admission: resilience.AdmissionConfig{
+			MaxInFlight: *maxInFlight,
+			MaxQueue:    *maxQueue,
+		},
+	})
+	// Full server-side timeout set: a stalled or malicious peer cannot
+	// hold a connection (and its goroutine) open indefinitely.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alserve:", err)
+		os.Exit(1)
+	}
+	if *chaosLatencyRate > 0 || *chaosResetRate > 0 || *chaosPartialRate > 0 {
+		ln = faults.WrapListener(ln, faults.NewNet(faults.NetworkConfig{
+			Seed:             *chaosSeed,
+			LatencyRate:      *chaosLatencyRate,
+			Latency:          *chaosLatency,
+			ResetRate:        *chaosResetRate,
+			PartialWriteRate: *chaosPartialRate,
+		}))
+		fmt.Fprintln(os.Stderr, "alserve: CHAOS listener active (latency/reset/partial-write injection)")
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("alserve: listening on http://%s (datasets: %v)\n", *addr, serve.DatasetNames())
 
 	sigc := make(chan os.Signal, 1)

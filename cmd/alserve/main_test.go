@@ -290,6 +290,50 @@ func TestAlserveCrashResume(t *testing.T) {
 	}
 }
 
+// TestAlserveDriveMode runs the binary's client mode end-to-end: one
+// process serves (with admission control and server timeouts on), a
+// second process drives the built-in demo campaign to completion
+// through the retrying resilience transport with idempotency keys.
+func TestAlserveDriveMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drive-mode integration test skipped in -short mode")
+	}
+	bin := buildAlserve(t)
+	addr := freeAddr(t)
+
+	cmd := exec.Command(bin, "-addr", addr, "-checkpoint-dir", t.TempDir(),
+		"-max-inflight", "8", "-route-timeout", "20s")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start alserve: %v", err)
+	}
+	srv := &testServer{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(srv.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			srv.kill(t)
+			t.Fatalf("alserve never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer srv.kill(t)
+
+	drive := exec.Command(bin, "-drive", srv.base, "-drive-seed", "5")
+	out, err := drive.CombinedOutput()
+	if err != nil {
+		t.Fatalf("drive mode: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("finished done")) {
+		t.Fatalf("drive mode did not finish the campaign:\n%s", out)
+	}
+}
+
 // sameJSONRecord compares records bit-exactly, treating NaN == NaN
 // (RunOnline records carry NaN RMSE — there is no held-out test set).
 func sameJSONRecord(a, b al.JSONRecord) bool {

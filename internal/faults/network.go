@@ -1,0 +1,347 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Network-fault injection counters (see OBSERVABILITY.md).
+var (
+	injNetLatency   = obs.C("faults.injected.netlatency")
+	injNetReset     = obs.C("faults.injected.netreset")
+	injPartialWrite = obs.C("faults.injected.partialwrite")
+	injDupRequest   = obs.C("faults.injected.dupreq")
+	injRespDropped  = obs.C("faults.injected.respdrop")
+	injTornJournal  = obs.C("faults.injected.tornwrite")
+)
+
+// Network fault kinds, extending the compute-path taxonomy of Kind for
+// the serving stack's chaos layer (DESIGN.md §10).
+const (
+	// NetLatency injects a delay spike into one connection operation or
+	// one client request.
+	NetLatency Kind = iota + 100
+	// NetReset kills a connection mid-operation (ECONNRESET seen by the
+	// peer) or fails a client request before it is sent.
+	NetReset
+	// PartialWrite delivers only a prefix of one Write, then resets.
+	PartialWrite
+	// DuplicateRequest sends one client request twice — the at-least-once
+	// hazard idempotency keys must absorb.
+	DuplicateRequest
+	// DropResponse performs the request but loses the response — the
+	// server applied it, the client thinks it failed and retries.
+	DropResponse
+	// TornWrite truncates one journal append partway through, simulating
+	// a crash mid-write.
+	TornWrite
+)
+
+// NetworkConfig sets the rates (probabilities in [0, 1]) and magnitudes
+// for the chaos network layer. The zero value injects nothing.
+type NetworkConfig struct {
+	// Seed makes every decision a pure function of (seed, kind, keys):
+	// identical configs replay identical fault schedules.
+	Seed int64
+
+	// LatencyRate is the per-operation probability of a latency spike of
+	// up to Latency (the actual spike is a deterministic draw in
+	// (0, Latency]).
+	LatencyRate float64
+	// Latency is the maximum injected delay (default 10ms).
+	Latency time.Duration
+
+	// ResetRate is the per-operation probability that the connection is
+	// reset (server side) or the request errors before sending (client
+	// side).
+	ResetRate float64
+
+	// PartialWriteRate is the per-write probability that only a prefix
+	// of the buffer is delivered before the connection dies.
+	PartialWriteRate float64
+
+	// DuplicateRate is the per-request probability that the client
+	// transport sends the request twice.
+	DuplicateRate float64
+
+	// DropResponseRate is the per-request probability that the client
+	// transport completes the request but discards the response and
+	// reports a failure — the classic at-least-once double-send trigger.
+	DropResponseRate float64
+}
+
+// Net makes deterministic network-fault decisions. A nil *Net injects
+// nothing.
+type Net struct {
+	cfg NetworkConfig
+	// conns numbers accepted connections; requests numbers transport
+	// round trips. Both only order decisions — determinism comes from
+	// hashing (seed, kind, id, op).
+	conns    atomic.Int64
+	requests atomic.Int64
+}
+
+// NewNet builds a network-fault injector.
+func NewNet(cfg NetworkConfig) *Net {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 10 * time.Millisecond
+	}
+	return &Net{cfg: cfg}
+}
+
+// u01 hashes (seed, kind, keys...) to a uniform draw in [0, 1),
+// mirroring Injector.u01 with the same mixer.
+func (n *Net) u01(kind Kind, salt uint64, keys ...int64) float64 {
+	h := mix64(uint64(n.cfg.Seed) ^ (uint64(kind+1) * 0xd6e8feb86659fd93) ^ salt)
+	for _, k := range keys {
+		h = mix64(h ^ uint64(k))
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// delay returns the injected latency for (kind, id, op): 0 normally, a
+// deterministic draw in (0, Latency] on a latency spike.
+func (n *Net) delay(id, op int64) time.Duration {
+	if n == nil || n.cfg.LatencyRate <= 0 {
+		return 0
+	}
+	if n.u01(NetLatency, 0, id, op) >= n.cfg.LatencyRate {
+		return 0
+	}
+	injNetLatency.Inc()
+	frac := n.u01(NetLatency, 0xa5a5a5a5, id, op)
+	d := time.Duration(frac * float64(n.cfg.Latency))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (n *Net) resets(id, op int64) bool {
+	if n == nil || n.cfg.ResetRate <= 0 {
+		return false
+	}
+	if n.u01(NetReset, 0, id, op) < n.cfg.ResetRate {
+		injNetReset.Inc()
+		return true
+	}
+	return false
+}
+
+// partial returns (cut, true) when write op on conn id delivers only
+// cut bytes of size; cut is a deterministic draw in [1, size-1].
+func (n *Net) partial(id, op int64, size int) (int, bool) {
+	if n == nil || n.cfg.PartialWriteRate <= 0 || size < 2 {
+		return 0, false
+	}
+	if n.u01(PartialWrite, 0, id, op) >= n.cfg.PartialWriteRate {
+		return 0, false
+	}
+	injPartialWrite.Inc()
+	frac := n.u01(PartialWrite, 0x517cc1b7, id, op)
+	cut := 1 + int(frac*float64(size-1))
+	if cut >= size {
+		cut = size - 1
+	}
+	return cut, true
+}
+
+// errReset is the injected connection failure.
+var errReset = errors.New("faults: injected connection reset")
+
+// IsInjectedReset reports whether err is (or wraps) an injected
+// connection reset or dropped response.
+func IsInjectedReset(err error) bool { return errors.Is(err, errReset) }
+
+// --- server side: chaos listener ---
+
+// Listener wraps an accepted-connection stream with the chaos layer:
+// connections served through it suffer latency spikes, resets and
+// partial writes at the configured deterministic rates. A nil net (or
+// all-zero rates) passes everything through untouched.
+type Listener struct {
+	net.Listener
+	chaos *Net
+}
+
+// WrapListener wraps ln with the chaos layer driven by n.
+func WrapListener(ln net.Listener, n *Net) *Listener {
+	return &Listener{Listener: ln, chaos: n}
+}
+
+// Accept wraps the next connection in the fault layer.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil || l.chaos == nil {
+		return c, err
+	}
+	id := l.chaos.conns.Add(1)
+	return &chaosConn{Conn: c, chaos: l.chaos, id: id}, nil
+}
+
+// chaosConn injects faults on individual reads and writes. Operations
+// are numbered per connection so decisions are deterministic per
+// (seed, conn, op) even under goroutine interleaving.
+type chaosConn struct {
+	net.Conn
+	chaos *Net
+	id    int64
+	ops   atomic.Int64
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func (c *chaosConn) kill() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dead {
+		c.dead = true
+		c.Conn.Close()
+	}
+	return fmt.Errorf("%w (conn %d)", errReset, c.id)
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	op := c.ops.Add(1)
+	if d := c.chaos.delay(c.id, op); d > 0 {
+		time.Sleep(d)
+	}
+	if c.chaos.resets(c.id, op) {
+		return 0, c.kill()
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	op := c.ops.Add(1)
+	if d := c.chaos.delay(c.id, op); d > 0 {
+		time.Sleep(d)
+	}
+	if c.chaos.resets(c.id, op) {
+		return 0, c.kill()
+	}
+	if cut, ok := c.chaos.partial(c.id, op, len(p)); ok {
+		n, err := c.Conn.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		return n, c.kill()
+	}
+	return c.Conn.Write(p)
+}
+
+// --- client side: chaos round tripper ---
+
+// RoundTripper injects client-visible network faults in front of a real
+// http.RoundTripper: latency spikes, failed sends, duplicated requests
+// and dropped responses. Place a retrying transport (for example
+// resilience.Transport) OUTSIDE this one so the retries themselves
+// travel through the chaos layer.
+type RoundTripper struct {
+	Base  http.RoundTripper
+	chaos *Net
+}
+
+// WrapRoundTripper wraps base (http.DefaultTransport when nil) with the
+// chaos layer driven by n.
+func WrapRoundTripper(base http.RoundTripper, n *Net) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{Base: base, chaos: n}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if rt.chaos == nil {
+		return rt.Base.RoundTrip(req)
+	}
+	id := rt.chaos.requests.Add(1)
+	if d := rt.chaos.delay(id, 0); d > 0 {
+		time.Sleep(d)
+	}
+	if rt.chaos.resets(id, 0) {
+		return nil, fmt.Errorf("%w (request %d unsent)", errReset, id)
+	}
+
+	// Duplicate: send the request an extra time first and discard that
+	// response — the server sees the same request twice.
+	if rt.dup(id) && req.GetBody != nil {
+		injDupRequest.Inc()
+		if body, err := req.GetBody(); err == nil {
+			shadow := req.Clone(req.Context())
+			shadow.Body = body
+			if resp, err := rt.Base.RoundTrip(shadow); err == nil {
+				resp.Body.Close()
+			}
+		}
+		// The "real" send needs a fresh body too.
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		req = req.Clone(req.Context())
+		req.Body = body
+	}
+
+	resp, err := rt.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Dropped response: the server processed the request, but the client
+	// never learns — it must retry, and only idempotency keys keep the
+	// retry from double-applying.
+	if rt.dropResp(id) {
+		injRespDropped.Inc()
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w (request %d response lost)", errReset, id)
+	}
+	return resp, nil
+}
+
+func (rt *RoundTripper) dup(id int64) bool {
+	n := rt.chaos
+	return n.cfg.DuplicateRate > 0 && n.u01(DuplicateRequest, 0, id) < n.cfg.DuplicateRate
+}
+
+func (rt *RoundTripper) dropResp(id int64) bool {
+	n := rt.chaos
+	return n.cfg.DropResponseRate > 0 && n.u01(DropResponse, 0, id) < n.cfg.DropResponseRate
+}
+
+// --- storage side: torn journal appends ---
+
+// TornWriteConfig drives TearWriter: Rate is the per-append probability
+// of a torn write.
+type TornWriteConfig struct {
+	Seed int64
+	Rate float64
+}
+
+// TearDecision reports whether append number seq tears, and the byte
+// fraction delivered before the simulated crash (a deterministic draw
+// in (0, 1)). Seq must be a stable identifier (the journal's append
+// counter), never wall time.
+func TearDecision(cfg TornWriteConfig, seq int) (frac float64, torn bool) {
+	if cfg.Rate <= 0 {
+		return 0, false
+	}
+	inj := &Net{cfg: NetworkConfig{Seed: cfg.Seed}}
+	if inj.u01(TornWrite, 0, int64(seq)) >= cfg.Rate {
+		return 0, false
+	}
+	injTornJournal.Inc()
+	frac = inj.u01(TornWrite, 0x2545f491, int64(seq))
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	return frac, true
+}

@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNetDecisionsDeterministic asserts every decision is a pure
+// function of (seed, kind, keys): two injectors with the same seed
+// agree everywhere, a different seed diverges somewhere.
+func TestNetDecisionsDeterministic(t *testing.T) {
+	cfg := NetworkConfig{Seed: 11, LatencyRate: 0.3, ResetRate: 0.3, PartialWriteRate: 0.3}
+	a, b := NewNet(cfg), NewNet(cfg)
+	cfg.Seed = 12
+	c := NewNet(cfg)
+	diverged := false
+	for id := int64(0); id < 20; id++ {
+		for op := int64(0); op < 20; op++ {
+			if a.delay(id, op) != b.delay(id, op) {
+				t.Fatalf("delay(%d,%d) differs under the same seed", id, op)
+			}
+			if a.resets(id, op) != b.resets(id, op) {
+				t.Fatalf("resets(%d,%d) differs under the same seed", id, op)
+			}
+			ca, oka := a.partial(id, op, 100)
+			cb, okb := b.partial(id, op, 100)
+			if oka != okb || ca != cb {
+				t.Fatalf("partial(%d,%d) differs under the same seed", id, op)
+			}
+			if a.resets(id, op) != c.resets(id, op) || a.delay(id, op) != c.delay(id, op) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 11 and 12 produced identical schedules")
+	}
+}
+
+// TestNetRates checks empirical injection rates track the configured
+// probabilities, and that a zero config injects nothing.
+func TestNetRates(t *testing.T) {
+	n := NewNet(NetworkConfig{Seed: 5, ResetRate: 0.25})
+	hits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if n.resets(int64(i), 1) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("reset rate %.3f, want ≈0.25", got)
+	}
+
+	var zero *Net
+	if zero.resets(1, 1) || zero.delay(1, 1) != 0 {
+		t.Fatal("nil injector injected a fault")
+	}
+	if _, torn := zero.partial(1, 1, 100); torn {
+		t.Fatal("nil injector tore a write")
+	}
+	quiet := NewNet(NetworkConfig{Seed: 9})
+	for i := int64(0); i < 100; i++ {
+		if quiet.resets(i, 0) || quiet.delay(i, 0) != 0 {
+			t.Fatal("zero-rate injector injected a fault")
+		}
+	}
+}
+
+func TestPartialWriteBounds(t *testing.T) {
+	n := NewNet(NetworkConfig{Seed: 3, PartialWriteRate: 1})
+	for op := int64(0); op < 200; op++ {
+		cut, ok := n.partial(1, op, 64)
+		if !ok {
+			t.Fatalf("op %d: rate 1 did not tear", op)
+		}
+		if cut < 1 || cut > 63 {
+			t.Fatalf("op %d: cut %d outside [1, 63]", op, cut)
+		}
+	}
+	// Writes too small to split pass through whole.
+	if _, ok := n.partial(1, 1, 1); ok {
+		t.Fatal("1-byte write torn")
+	}
+}
+
+// TestChaosListenerResets serves HTTP through a reset-heavy listener and
+// checks that requests fail with connection errors, not hangs, and that
+// a fault-free listener passes everything through.
+func TestChaosListenerResets(t *testing.T) {
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1024))
+	}))
+	srv.Listener = WrapListener(srv.Listener, NewNet(NetworkConfig{Seed: 21, ResetRate: 0.5}))
+	srv.Start()
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	okCount, failCount := 0, 0
+	for i := 0; i < 30; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			failCount++
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || len(body) != 1024 {
+			failCount++
+			continue
+		}
+		okCount++
+	}
+	if failCount == 0 {
+		t.Fatal("reset rate 0.5 produced no failures")
+	}
+	if okCount == 0 {
+		t.Fatal("no request survived — resets should be probabilistic, not total")
+	}
+}
+
+func TestChaosListenerNilPassthrough(t *testing.T) {
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "clean")
+	}))
+	srv.Listener = WrapListener(srv.Listener, nil)
+	srv.Start()
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d through nil chaos: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "clean" {
+			t.Fatalf("request %d body %q", i, body)
+		}
+	}
+}
+
+// TestRoundTripperDuplicates asserts the duplicate fault really sends
+// the request twice with an intact body each time.
+func TestRoundTripperDuplicates(t *testing.T) {
+	var calls atomic.Int32
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(data))
+		calls.Add(1)
+	}))
+	defer srv.Close()
+
+	rt := WrapRoundTripper(nil, NewNet(NetworkConfig{Seed: 2, DuplicateRate: 1}))
+	client := &http.Client{Transport: rt}
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("obs"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want the duplicate pair", got)
+	}
+	for i, b := range bodies {
+		if b != "obs" {
+			t.Fatalf("send %d body %q, want %q", i, b, "obs")
+		}
+	}
+}
+
+// TestRoundTripperDropsResponse: the server processes the request but
+// the client sees an error — the retry hazard idempotency must absorb.
+func TestRoundTripperDropsResponse(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+	}))
+	defer srv.Close()
+
+	rt := WrapRoundTripper(nil, NewNet(NetworkConfig{Seed: 4, DropResponseRate: 1}))
+	client := &http.Client{Transport: rt}
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("dropped response surfaced as success")
+	}
+	if !IsInjectedReset(errors.Unwrap(unwrapURLError(err))) && !IsInjectedReset(err) {
+		// http.Client wraps transport errors in *url.Error.
+		t.Fatalf("error %v does not carry the injected reset", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (request applied, response lost)", calls.Load())
+	}
+}
+
+func unwrapURLError(err error) error {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err
+		}
+		err = u
+	}
+}
+
+func TestRoundTripperNilPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: WrapRoundTripper(nil, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestTearDecision(t *testing.T) {
+	// Zero rate never tears.
+	for seq := 0; seq < 100; seq++ {
+		if _, torn := TearDecision(TornWriteConfig{Seed: 1}, seq); torn {
+			t.Fatalf("seq %d torn at rate 0", seq)
+		}
+	}
+	// Rate 1 always tears, with a usable fraction, deterministically.
+	cfg := TornWriteConfig{Seed: 7, Rate: 1}
+	for seq := 0; seq < 100; seq++ {
+		f1, torn := TearDecision(cfg, seq)
+		if !torn {
+			t.Fatalf("seq %d not torn at rate 1", seq)
+		}
+		if f1 <= 0 || f1 >= 1 {
+			t.Fatalf("seq %d fraction %v outside (0, 1)", seq, f1)
+		}
+		f2, _ := TearDecision(cfg, seq)
+		if f1 != f2 {
+			t.Fatalf("seq %d fraction not deterministic: %v vs %v", seq, f1, f2)
+		}
+	}
+	// Intermediate rates land near the configured probability.
+	hits := 0
+	for seq := 0; seq < 4000; seq++ {
+		if _, torn := TearDecision(TornWriteConfig{Seed: 13, Rate: 0.2}, seq); torn {
+			hits++
+		}
+	}
+	if rate := float64(hits) / 4000; rate < 0.15 || rate > 0.25 {
+		t.Fatalf("tear rate %.3f, want ≈0.2", rate)
+	}
+}

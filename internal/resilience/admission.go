@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+var (
+	admissionShed  = obs.C("serve.admission.shed")
+	admissionDepth = obs.G("serve.admission.depth")
+)
+
+// ErrSaturated is returned by Admission.Acquire when both the in-flight
+// slots and the wait queue are full — the caller should shed the
+// request (HTTP 429 + Retry-After) rather than block.
+var ErrSaturated = errors.New("resilience: admission queue saturated")
+
+// AdmissionConfig sizes an Admission controller. The zero value gets
+// defaults from NewAdmission.
+type AdmissionConfig struct {
+	// MaxInFlight bounds concurrently admitted requests (default 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot
+	// (default 2×MaxInFlight). Arrivals beyond it are shed immediately.
+	MaxQueue int
+	// HighWatermark and LowWatermark hysteresis the degraded flag on
+	// total depth (in-flight + queued): depth ≥ high → degraded, depth ≤
+	// low → healthy. Defaults: high = MaxInFlight + MaxQueue/2, low =
+	// MaxInFlight/2.
+	HighWatermark, LowWatermark int
+}
+
+// Admission is the bounded admission queue in front of the serving
+// stack: at most MaxInFlight requests run, at most MaxQueue wait, and
+// everything else is shed with ErrSaturated so the caller can return
+// 429 instead of stacking goroutines. Safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	degraded bool
+	waiters  chan struct{} // one token per free in-flight slot
+}
+
+// NewAdmission builds an admission controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	} else if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInFlight
+	}
+	if cfg.HighWatermark <= 0 {
+		cfg.HighWatermark = cfg.MaxInFlight + cfg.MaxQueue/2
+	}
+	if cfg.LowWatermark <= 0 {
+		cfg.LowWatermark = cfg.MaxInFlight / 2
+	}
+	if cfg.LowWatermark >= cfg.HighWatermark {
+		cfg.LowWatermark = cfg.HighWatermark - 1
+	}
+	a := &Admission{cfg: cfg, waiters: make(chan struct{}, cfg.MaxInFlight)}
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		a.waiters <- struct{}{}
+	}
+	return a
+}
+
+// Acquire admits one request, blocking in the bounded queue until a
+// slot frees, the context ends, or the queue is already full
+// (ErrSaturated, immediately). On success the caller MUST call the
+// returned release function exactly once.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.queued >= a.cfg.MaxQueue {
+		// Shed: even a fast handler behind this depth would blow its
+		// deadline; tell the client to come back later.
+		a.mu.Unlock()
+		admissionShed.Inc()
+		return nil, ErrSaturated
+	}
+	a.queued++
+	a.note()
+	a.mu.Unlock()
+
+	select {
+	case <-a.waiters:
+		a.mu.Lock()
+		a.queued--
+		a.inflight++
+		a.note()
+		a.mu.Unlock()
+		return func() {
+			a.mu.Lock()
+			a.inflight--
+			a.note()
+			a.mu.Unlock()
+			a.waiters <- struct{}{}
+		}, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.note()
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire is Acquire without queueing: an immediate slot or
+// ErrSaturated.
+func (a *Admission) TryAcquire() (release func(), err error) {
+	select {
+	case <-a.waiters:
+		a.mu.Lock()
+		a.inflight++
+		a.note()
+		a.mu.Unlock()
+		return func() {
+			a.mu.Lock()
+			a.inflight--
+			a.note()
+			a.mu.Unlock()
+			a.waiters <- struct{}{}
+		}, nil
+	default:
+		admissionShed.Inc()
+		return nil, ErrSaturated
+	}
+}
+
+// Depth reports in-flight + queued requests.
+func (a *Admission) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight + a.queued
+}
+
+// Degraded reports the watermark hysteresis state: true once depth has
+// reached HighWatermark and until it falls back to LowWatermark.
+func (a *Admission) Degraded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.degraded
+}
+
+// note updates the depth gauge and watermark state; callers hold a.mu.
+func (a *Admission) note() {
+	depth := a.inflight + a.queued
+	admissionDepth.Set(float64(depth))
+	switch {
+	case !a.degraded && depth >= a.cfg.HighWatermark:
+		a.degraded = true
+		obs.Emit("serve.admission.degraded", map[string]any{"depth": depth})
+	case a.degraded && depth <= a.cfg.LowWatermark:
+		a.degraded = false
+		obs.Emit("serve.admission.recovered", map[string]any{"depth": depth})
+	}
+}

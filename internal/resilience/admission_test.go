@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 2, MaxQueue: 1})
+
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+
+	// Third request queues; it must park, not fail.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	waitDepth(t, a, 3)
+
+	// Fourth request finds the queue full → immediate shed.
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated acquire: %v, want ErrSaturated", err)
+	}
+
+	// Freeing a slot admits the queued request.
+	r1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	r2()
+	waitDepth(t, a, 0)
+}
+
+func TestAdmissionAcquireHonorsContext(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired acquire: %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("acquire blocked %v past its deadline", elapsed)
+	}
+	waitDepth(t, a, 1) // only the held slot remains
+}
+
+func TestAdmissionWatermarkHysteresis(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 4, MaxQueue: 4, HighWatermark: 3, LowWatermark: 1})
+	if a.Degraded() {
+		t.Fatal("fresh admission already degraded")
+	}
+	var rel []func()
+	for i := 0; i < 3; i++ {
+		r, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rel = append(rel, r)
+	}
+	if !a.Degraded() {
+		t.Fatal("depth 3 ≥ high watermark 3, not degraded")
+	}
+	rel[0]()
+	if !a.Degraded() {
+		t.Fatal("depth 2 > low watermark 1 must stay degraded (hysteresis)")
+	}
+	rel[1]()
+	if a.Degraded() {
+		t.Fatal("depth 1 ≤ low watermark 1 should have recovered")
+	}
+	rel[2]()
+}
+
+func TestAdmissionTryAcquire(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1})
+	r, err := a.TryAcquire()
+	if err != nil {
+		t.Fatalf("try 1: %v", err)
+	}
+	if _, err := a.TryAcquire(); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("try 2: %v, want ErrSaturated", err)
+	}
+	r()
+	if r2, err := a.TryAcquire(); err != nil {
+		t.Fatalf("try after release: %v", err)
+	} else {
+		r2()
+	}
+}
+
+// TestAdmissionConcurrent hammers Acquire/release from many goroutines;
+// the invariant under -race is token conservation: depth returns to 0.
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 4, MaxQueue: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r, err := a.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrSaturated) {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					continue
+				}
+				r()
+			}
+		}()
+	}
+	wg.Wait()
+	if d := a.Depth(); d != 0 {
+		t.Fatalf("depth %d after all releases, want 0", d)
+	}
+}
+
+func waitDepth(t *testing.T, a *Admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Depth() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth stuck at %d, want %d", a.Depth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,66 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential backoff schedule with full jitter:
+// the delay before retry attempt k (0-based) is drawn uniformly from
+// [0, min(Cap, Base·2^k)]. Full jitter decorrelates retry storms — a
+// thundering herd that failed together does not retry together.
+type Backoff struct {
+	// Base is the exponential ramp's first ceiling (default 100ms).
+	Base time.Duration
+	// Cap bounds every delay (default 5s). No drawn delay ever exceeds
+	// it, regardless of attempt number.
+	Cap time.Duration
+}
+
+// withDefaults fills zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 5 * time.Second
+	}
+	if b.Cap < b.Base {
+		b.Cap = b.Base
+	}
+	return b
+}
+
+// Ceiling returns the un-jittered ceiling for attempt k:
+// min(Cap, Base·2^k), overflow-safe.
+func (b Backoff) Ceiling(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= b.Cap || d <= 0 { // d <= 0 catches duration overflow
+			return b.Cap
+		}
+	}
+	if d > b.Cap {
+		return b.Cap
+	}
+	return d
+}
+
+// Delay draws the full-jitter delay for attempt k from rng: uniform in
+// [0, Ceiling(k)]. Deterministic under a seeded rng; rng must not be
+// shared across goroutines without external locking (Transport locks).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	ceil := b.Ceiling(attempt)
+	if ceil <= 0 {
+		return 0
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return time.Duration(rng.Int63n(int64(ceil) + 1))
+}

@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffCeiling checks the exponential ramp and its cap, including
+// attempt numbers large enough to overflow a naive shift.
+func TestBackoffCeiling(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{3, 800 * time.Millisecond},
+		{4, 1600 * time.Millisecond},
+		{5, 2 * time.Second}, // 3200ms capped
+		{6, 2 * time.Second},
+		{30, 2 * time.Second},
+		{63, 2 * time.Second},  // would overflow int64 nanoseconds
+		{500, 2 * time.Second}, // far past any overflow
+		{-3, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := b.Ceiling(tc.attempt); got != tc.want {
+			t.Errorf("Ceiling(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffJitterBounds draws many delays per attempt and asserts
+// full-jitter bounds: every delay in [0, ceiling], never past the cap,
+// and the draws actually spread (not stuck at the ceiling).
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: time.Second}
+	rng := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt <= 12; attempt++ {
+		ceil := b.Ceiling(attempt)
+		var min, max time.Duration = ceil, 0
+		for i := 0; i < 500; i++ {
+			d := b.Delay(attempt, rng)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceil)
+			}
+			if d > b.Cap {
+				t.Fatalf("attempt %d: delay %v beyond cap %v", attempt, d, b.Cap)
+			}
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		// Full jitter: the spread should cover most of [0, ceil].
+		if min > ceil/4 || max < 3*ceil/4 {
+			t.Errorf("attempt %d: draws [%v, %v] do not spread over [0, %v]", attempt, min, max, ceil)
+		}
+	}
+}
+
+// TestBackoffDeterministic asserts identical seeds replay identical
+// schedules — the property the chaos suite's reproducibility rests on.
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 32; attempt++ {
+		d1 := b.Delay(attempt, r1)
+		d2 := b.Delay(attempt, r2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: %v vs %v under the same seed", attempt, d1, d2)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Ceiling(0); got != 100*time.Millisecond {
+		t.Errorf("default base ceiling %v, want 100ms", got)
+	}
+	if got := b.Ceiling(100); got != 5*time.Second {
+		t.Errorf("default cap %v, want 5s", got)
+	}
+	// Cap below base is raised to base.
+	b = Backoff{Base: time.Second, Cap: time.Millisecond}
+	if got := b.Ceiling(5); got != time.Second {
+		t.Errorf("cap<base ceiling %v, want 1s", got)
+	}
+	if d := b.Delay(3, nil); d < 0 || d > time.Second {
+		t.Errorf("nil-rng delay %v out of range", d)
+	}
+}

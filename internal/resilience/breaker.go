@@ -1,0 +1,255 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	breakerOpened   = obs.C("resilience.breaker.opened")
+	breakerRejected = obs.C("resilience.breaker.rejected")
+)
+
+// ErrOpen is returned (wrapped) by Breaker.Do when the breaker is
+// rejecting calls without attempting them.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// State is a circuit breaker state.
+type State int
+
+// Breaker states. Closed passes traffic and watches the failure rate;
+// Open rejects everything until the cooldown elapses; HalfOpen lets a
+// bounded number of probes through to test recovery.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value gets sane defaults from
+// NewBreaker.
+type BreakerConfig struct {
+	// Window is the rolling outcome window size (default 20 outcomes).
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before
+	// the failure rate can trip the breaker (default 5).
+	MinSamples int
+	// FailureRate in (0, 1] trips the breaker when the windowed failure
+	// fraction reaches it (default 0.5).
+	FailureRate float64
+	// Cooldown is how long an open breaker rejects before moving to
+	// half-open (default 1s).
+	Cooldown time.Duration
+	// Probes is both the number of consecutive half-open successes
+	// required to close and the bound on concurrent half-open probes
+	// (default 1). A single probe failure reopens immediately.
+	Probes int
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// Breaker is a failure-rate-windowed circuit breaker, safe for
+// concurrent use. Callers pair Allow with Record:
+//
+//	if !b.Allow() { return ErrOverloaded }
+//	err := op()
+//	b.Record(err == nil)
+type Breaker struct {
+	name string
+	cfg  BreakerConfig
+
+	stateGauge *obs.Gauge
+
+	mu       sync.Mutex
+	state    State
+	ring     []bool // outcome window, true = failure
+	idx      int    // next ring slot
+	count    int    // outcomes currently in the ring
+	fails    int    // failures currently in the ring
+	openedAt time.Time
+	probes   int // half-open probes in flight
+	probeOK  int // consecutive half-open successes
+}
+
+// NewBreaker builds a breaker named for metrics/events
+// (resilience.breaker.<name>.state).
+func NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	if cfg.Window <= 0 {
+		cfg.Window = 20
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 5
+	}
+	if cfg.MinSamples > cfg.Window {
+		cfg.MinSamples = cfg.Window
+	}
+	if cfg.FailureRate <= 0 || cfg.FailureRate > 1 {
+		cfg.FailureRate = 0.5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	b := &Breaker{
+		name:       name,
+		cfg:        cfg,
+		ring:       make([]bool, cfg.Window),
+		stateGauge: obs.G("resilience.breaker." + name + ".state"),
+	}
+	b.stateGauge.Set(float64(Closed))
+	return b
+}
+
+// Allow reports whether a call may proceed. Every Allow()==true must be
+// matched by exactly one Record. Open breakers transition to half-open
+// here once the cooldown has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			breakerRejected.Inc()
+			return false
+		}
+		b.transition(HalfOpen)
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.cfg.Probes {
+			breakerRejected.Inc()
+			return false
+		}
+		b.probes++
+		return true
+	}
+	return false
+}
+
+// Record feeds one allowed call's outcome back into the breaker.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.observe(!ok)
+		if b.count >= b.cfg.MinSamples &&
+			float64(b.fails) >= b.cfg.FailureRate*float64(b.count) {
+			b.trip()
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !ok {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			b.resetWindow()
+			b.transition(Closed)
+		}
+	case Open:
+		// A straggler from before the trip; the window is already void.
+	}
+}
+
+// State returns the current state (open breakers past their cooldown
+// still report Open until the next Allow).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Do runs op under the breaker: ErrOpen (wrapped with the breaker name)
+// when rejecting, otherwise op's error with the outcome recorded.
+func (b *Breaker) Do(op func() error) error {
+	if !b.Allow() {
+		return &OpenError{Name: b.name, RetryAfter: b.cfg.Cooldown}
+	}
+	err := op()
+	b.Record(err == nil)
+	return err
+}
+
+// OpenError is the fail-fast rejection from Breaker.Do; it wraps ErrOpen
+// and carries a retry hint.
+type OpenError struct {
+	Name       string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OpenError) Error() string { return "resilience: circuit " + e.Name + " open" }
+
+// Unwrap lets errors.Is(err, ErrOpen) match.
+func (e *OpenError) Unwrap() error { return ErrOpen }
+
+// observe pushes one outcome into the rolling window.
+func (b *Breaker) observe(failed bool) {
+	if b.count == len(b.ring) {
+		if b.ring[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.count++
+	}
+	b.ring[b.idx] = failed
+	if failed {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.ring)
+}
+
+// trip opens the breaker and restarts the cooldown.
+func (b *Breaker) trip() {
+	b.openedAt = b.cfg.Now()
+	b.probes = 0
+	b.probeOK = 0
+	b.resetWindow()
+	breakerOpened.Inc()
+	b.transition(Open)
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.idx, b.count, b.fails = 0, 0, 0
+}
+
+// transition records a state change on the gauge and event stream.
+// Callers hold b.mu.
+func (b *Breaker) transition(to State) {
+	from := b.state
+	b.state = to
+	b.stateGauge.Set(float64(to))
+	obs.Emit("resilience.breaker.state", map[string]any{
+		"breaker": b.name, "from": from.String(), "to": to.String(),
+	})
+}

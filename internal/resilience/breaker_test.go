@@ -1,0 +1,184 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker
+// cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(0, 0)} }
+func testBreaker(clk *fakeClock, cfg BreakerConfig) *Breaker {
+	cfg.Now = clk.now
+	return NewBreaker("test", cfg)
+}
+
+// step is one scripted breaker interaction.
+type step struct {
+	advance   time.Duration // clock movement before the step
+	allow     bool          // call Allow, expect this result
+	record    *bool         // call Record with this outcome (nil = skip)
+	wantState State         // state after the step
+}
+
+func yes() *bool { b := true; return &b }
+func no() *bool  { b := false; return &b }
+
+// TestBreakerStateMachine is the table-driven walk through the
+// closed→open→half-open→closed cycle, including probe accounting.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{
+		Window:      4,
+		MinSamples:  2,
+		FailureRate: 0.5,
+		Cooldown:    time.Second,
+		Probes:      2,
+	}
+	cases := []struct {
+		name  string
+		cfg   *BreakerConfig // nil = the shared cfg above
+		steps []step
+	}{
+		{
+			name: "closed stays closed under successes",
+			steps: []step{
+				{allow: true, record: yes(), wantState: Closed},
+				{allow: true, record: yes(), wantState: Closed},
+				{allow: true, record: yes(), wantState: Closed},
+				{allow: true, record: no(), wantState: Closed}, // 1/4 failures < 50%
+			},
+		},
+		{
+			name: "failure rate trips closed to open",
+			steps: []step{
+				{allow: true, record: no(), wantState: Closed}, // 1 sample < MinSamples
+				{allow: true, record: no(), wantState: Open},   // 2/2 ≥ 50%
+				{allow: false, wantState: Open},                // fail fast inside cooldown
+			},
+		},
+		{
+			name: "cooldown opens the probe gate, success x Probes closes",
+			steps: []step{
+				{allow: true, record: no(), wantState: Closed},
+				{allow: true, record: no(), wantState: Open},
+				{advance: 999 * time.Millisecond, allow: false, wantState: Open},
+				{advance: time.Millisecond, allow: true, wantState: HalfOpen}, // cooldown elapsed
+				{allow: true, wantState: HalfOpen},                            // second probe slot
+				{allow: false, wantState: HalfOpen},                           // probe bound reached
+				{record: yes(), wantState: HalfOpen},                          // 1 of 2 probe successes
+				{record: yes(), wantState: Closed},                            // probes satisfied
+				{allow: true, record: no(), wantState: Closed},                // window was reset
+			},
+		},
+		{
+			name: "half-open probe failure reopens and restarts cooldown",
+			steps: []step{
+				{allow: true, record: no(), wantState: Closed},
+				{allow: true, record: no(), wantState: Open},
+				{advance: time.Second, allow: true, wantState: HalfOpen},
+				{record: no(), wantState: Open},
+				{advance: 500 * time.Millisecond, allow: false, wantState: Open}, // cooldown restarted
+				{advance: 500 * time.Millisecond, allow: true, wantState: HalfOpen},
+				{record: yes(), wantState: HalfOpen},
+				{allow: true, record: yes(), wantState: Closed},
+			},
+		},
+		{
+			name: "rolling window evicts old failures",
+			// MinSamples = Window so the early mixed prefix cannot trip
+			// before the window has wrapped.
+			cfg: &BreakerConfig{Window: 4, MinSamples: 4, FailureRate: 0.5, Cooldown: time.Second, Probes: 2},
+			steps: []step{
+				{allow: true, record: no(), wantState: Closed},
+				{allow: true, record: yes(), wantState: Closed},
+				{allow: true, record: yes(), wantState: Closed},
+				{allow: true, record: yes(), wantState: Closed}, // window [fail ok ok ok]: 1/4 < 50%
+				// Next success evicts the old failure, so one following
+				// failure is again only 1/4 — eviction keeps it closed.
+				{allow: true, record: yes(), wantState: Closed},
+				{allow: true, record: no(), wantState: Closed},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newClock()
+			use := cfg
+			if tc.cfg != nil {
+				use = *tc.cfg
+			}
+			b := testBreaker(clk, use)
+			for i, s := range tc.steps {
+				clk.advance(s.advance)
+				if s.record == nil {
+					if got := b.Allow(); got != s.allow {
+						t.Fatalf("step %d: Allow() = %v, want %v", i, got, s.allow)
+					}
+				} else {
+					if s.allow {
+						if !b.Allow() {
+							t.Fatalf("step %d: Allow() = false, want true", i)
+						}
+					}
+					b.Record(*s.record)
+				}
+				if got := b.State(); got != s.wantState {
+					t.Fatalf("step %d: state %v, want %v", i, got, s.wantState)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk, BreakerConfig{Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Second})
+	boom := errors.New("boom")
+	fail := func() error { return boom }
+	ok := func() error { return nil }
+
+	if err := b.Do(ok); err != nil {
+		t.Fatalf("Do(ok): %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Do(fail); !errors.Is(err, boom) && !errors.Is(err, ErrOpen) {
+			t.Fatalf("Do(fail) #%d: %v", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state %v after failures, want open", b.State())
+	}
+	err := b.Do(ok)
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker ran the op: %v", err)
+	}
+	var oe *OpenError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("open error carries no retry hint: %#v", err)
+	}
+	clk.advance(time.Second)
+	if err := b.Do(ok); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker("defaults", BreakerConfig{})
+	if b.cfg.Window != 20 || b.cfg.MinSamples != 5 || b.cfg.FailureRate != 0.5 ||
+		b.cfg.Cooldown != time.Second || b.cfg.Probes != 1 {
+		t.Fatalf("defaults not applied: %+v", b.cfg)
+	}
+	// MinSamples is clamped to the window.
+	b2 := NewBreaker("clamp", BreakerConfig{Window: 3, MinSamples: 10})
+	if b2.cfg.MinSamples != 3 {
+		t.Fatalf("MinSamples %d, want clamped to 3", b2.cfg.MinSamples)
+	}
+}

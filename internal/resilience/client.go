@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	clientRetries   = obs.C("client.retry.count")
+	clientExhausted = obs.C("client.retry.exhausted")
+)
+
+// IdempotencyHeader carries the client-chosen idempotency key that lets
+// the campaign service deduplicate an at-least-once observe (DESIGN.md
+// §10). Requests bearing it are safe to retry even though they are
+// POSTs.
+const IdempotencyHeader = "Idempotency-Key"
+
+// TransportConfig tunes a retrying Transport. The zero value gets sane
+// defaults from NewTransport.
+type TransportConfig struct {
+	// Backoff is the retry schedule (defaults per Backoff).
+	Backoff Backoff
+	// MaxAttempts bounds total tries including the first (default 6).
+	MaxAttempts int
+	// Seed drives the jitter RNG (default 1), so a test's retry
+	// schedule is reproducible.
+	Seed int64
+}
+
+// Transport is an http.RoundTripper that retries transient failures —
+// connection errors and 429/502/503/504 responses — under capped
+// exponential backoff with full jitter, honoring Retry-After hints.
+// It never retries a request it cannot safely replay: the method must
+// be idempotent (GET/HEAD/OPTIONS/PUT/DELETE), or the request must
+// carry IdempotencyHeader, and a consumed body must be rewindable via
+// GetBody. Safe for concurrent use.
+type Transport struct {
+	base http.RoundTripper
+	cfg  TransportConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// sleep is swapped by tests to capture the schedule without waiting.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewTransport wraps base (http.DefaultTransport when nil).
+func NewTransport(base http.RoundTripper, cfg TransportConfig) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.Backoff = cfg.Backoff.withDefaults()
+	return &Transport{
+		base:  base,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sleep: sleepCtx,
+	}
+}
+
+// NewClient returns an *http.Client backed by a retrying Transport.
+func NewClient(base http.RoundTripper, cfg TransportConfig) *http.Client {
+	return &http.Client{Transport: NewTransport(base, cfg)}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		r := req
+		if attempt > 0 && req.Body != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("resilience: rewind request body: %w", err)
+			}
+			r = req.Clone(req.Context())
+			r.Body = body
+		}
+		resp, err := t.base.RoundTrip(r)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+
+		// Transient failure: retry only when safe and funded.
+		canRetry := retryableRequest(req) && attempt+1 < t.cfg.MaxAttempts
+		var retryAfter time.Duration
+		if err != nil {
+			lastErr = err
+			if !canRetry {
+				clientExhausted.Inc()
+				return nil, lastErr
+			}
+		} else {
+			if !canRetry {
+				// Out of budget (or unsafe to replay): surface the final
+				// 429/502/503/504 response to the caller untouched.
+				clientExhausted.Inc()
+				return resp, nil
+			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			lastErr = fmt.Errorf("resilience: HTTP %d from %s %s", resp.StatusCode, req.Method, req.URL)
+			// The response is being abandoned for a retry; drain it so
+			// the transport can reuse the connection.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+		}
+		delay := t.delay(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		clientRetries.Inc()
+		if err := t.sleep(req.Context(), delay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// delay draws the jittered backoff for attempt under the transport's
+// lock (the RNG is not goroutine-safe).
+func (t *Transport) delay(attempt int) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg.Backoff.Delay(attempt, t.rng)
+}
+
+// retryableStatus reports response codes worth retrying: explicit
+// backpressure (429) and transient upstream failures (502/503/504).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryableRequest reports whether req is safe to send again: an
+// idempotent method, an explicit idempotency key, or no body at all —
+// and, when a body exists, it must be rewindable via GetBody.
+func retryableRequest(req *http.Request) bool {
+	if req.Body != nil && req.GetBody == nil {
+		return false
+	}
+	switch req.Method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions,
+		http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return req.Header.Get(IdempotencyHeader) != "" || req.Body == nil
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After ("" or
+// unparseable → 0; the HTTP-date form is deliberately unsupported, the
+// campaign service always sends seconds).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx waits d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,221 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordSleeps swaps the transport's sleeper for one that records the
+// schedule instead of waiting.
+func recordSleeps(t *Transport) *[]time.Duration {
+	var sleeps []time.Duration
+	t.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps = append(sleeps, d)
+		return nil
+	}
+	return &sleeps
+}
+
+func TestClientRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, TransportConfig{MaxAttempts: 5, Seed: 3,
+		Backoff: Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond}})
+	sleeps := recordSleeps(tr)
+	client := &http.Client{Transport: tr}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2", len(*sleeps))
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, TransportConfig{MaxAttempts: 3,
+		Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}})
+	sleeps := recordSleeps(tr)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if len(*sleeps) != 1 || (*sleeps)[0] < 2*time.Second {
+		t.Fatalf("Retry-After ignored: sleeps %v, want one ≥ 2s", *sleeps)
+	}
+}
+
+func TestClientDoesNotRetryUnsafePost(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, TransportConfig{MaxAttempts: 5,
+		Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}})
+	recordSleeps(tr)
+	client := &http.Client{Transport: tr}
+
+	// Plain POST with a body and no idempotency key: one attempt only,
+	// and the 503 response is surfaced, not swallowed.
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 surfaced", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("unsafe POST attempted %d times, want 1", got)
+	}
+}
+
+func TestClientRetriesPostWithIdempotencyKey(t *testing.T) {
+	var calls atomic.Int32
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(data))
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, TransportConfig{MaxAttempts: 5,
+		Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}})
+	recordSleeps(tr)
+	client := &http.Client{Transport: tr}
+
+	req, err := http.NewRequest("POST", srv.URL, bytes.NewReader([]byte("observation")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(IdempotencyHeader, "obs-42")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("keyed POST attempted %d times, want 3", got)
+	}
+	for i, b := range bodies {
+		if b != "observation" {
+			t.Fatalf("attempt %d body %q — rewind lost the payload", i, b)
+		}
+	}
+}
+
+func TestClientRetriesConnectionError(t *testing.T) {
+	// A listener that is closed immediately: every dial fails.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	tr := NewTransport(nil, TransportConfig{MaxAttempts: 3,
+		Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}})
+	sleeps := recordSleeps(tr)
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(url); err == nil {
+		t.Fatal("dial to closed server succeeded")
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("%d retries against dead server, want 2 (MaxAttempts-1)", len(*sleeps))
+	}
+}
+
+func TestClientExhaustedBudgetSurfacesLastResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, TransportConfig{MaxAttempts: 2,
+		Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}})
+	recordSleeps(tr)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the final 429", resp.StatusCode)
+	}
+}
+
+func TestClientSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleep under canceled ctx: %v", err)
+	}
+	if err := sleepCtx(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"":    0,
+		"0":   0,
+		"3":   3 * time.Second,
+		"-1":  0,
+		"x":   0,
+		"1.5": 0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package resilience is the stdlib-only toolbox behind the campaign
+// service's production hardening (DESIGN.md §10): the pieces that keep
+// one bad client, one slow disk, or one burst of traffic from wedging
+// the AL engines behind it.
+//
+// The package provides four independent primitives, composed by
+// internal/serve and cmd/alserve:
+//
+//   - Breaker: a closed/open/half-open circuit breaker over a rolling
+//     outcome window. Guards the scoring pool and the journal writer —
+//     when a dependency is failing, callers fail fast instead of piling
+//     goroutines onto it, and a bounded probe stream detects recovery.
+//
+//   - Backoff: capped exponential backoff with full jitter
+//     (delay ~ U[0, min(cap, base·2^attempt)]), the retry schedule
+//     recommended by the SRE-style retry-budget literature surveyed in
+//     PAPERS.md. Deterministic under a seeded *rand.Rand.
+//
+//   - Admission: a bounded admission queue (in-flight limit plus a
+//     bounded wait queue) that sheds load once saturated, with
+//     watermark-based degraded-state reporting for health checks.
+//
+//   - Client / Transport: an http.RoundTripper wrapper that retries
+//     transient failures (connection errors, 429/502/503/504) under a
+//     Backoff schedule, honors Retry-After, and only ever retries
+//     requests that are safe to replay (idempotent methods, rewindable
+//     bodies, or requests carrying an Idempotency-Key header).
+//
+// Every state transition and shed decision is observable: the package
+// emits resilience.breaker.* gauges/events and client.retry.count via
+// internal/obs (see OBSERVABILITY.md for the catalog).
+//
+// Determinism contract: nothing in this package calls the global RNG.
+// Jitter draws come from caller-supplied *rand.Rand values and breakers
+// accept an injectable clock, so tests (and the chaos suite) replay
+// identical schedules from identical seeds.
+package resilience

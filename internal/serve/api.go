@@ -202,9 +202,13 @@ func (s *CampaignSpec) loopConfig(response string) (al.LoopConfig, error) {
 // Observation is one accepted oracle return — the unit of the
 // event-sourced journal. Y may be non-finite (a client reporting a
 // failed measurement), so both fields use the NaN-safe JSON float.
+// Key is the client's idempotency key, persisted so resume rebuilds the
+// dedup index and an at-least-once client can never double-feed the
+// engine across a crash.
 type Observation struct {
 	Y    al.JSONFloat `json:"y"`
 	Cost al.JSONFloat `json:"cost"`
+	Key  string       `json:"key,omitempty"`
 }
 
 // Suggestion is the campaign's pending next experiment: the input point
@@ -215,11 +219,16 @@ type Suggestion struct {
 	X   []float64 `json:"x"`
 }
 
-// ObserveRequest is the body of POST /campaigns/{id}/observe.
+// ObserveRequest is the body of POST /campaigns/{id}/observe. Key is an
+// optional idempotency key (the Idempotency-Key header also works):
+// resubmitting an observation with a key the campaign has already
+// applied returns the original acceptance instead of a seq-mismatch
+// error, making retries after lost responses safe.
 type ObserveRequest struct {
 	Seq  int          `json:"seq"`
 	Y    al.JSONFloat `json:"y"`
 	Cost al.JSONFloat `json:"cost"`
+	Key  string       `json:"key,omitempty"`
 }
 
 // PredictRequest is the body of POST /campaigns/{id}/predict: a batch

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,12 +9,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/al"
 	"repro/internal/dataset"
 	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Campaign-level metrics (see OBSERVABILITY.md).
@@ -23,8 +26,7 @@ var (
 	campaignsFailed   = obs.C("serve.campaign.failed")
 	campaignsStopped  = obs.C("serve.campaign.stopped")
 	observationsCount = obs.C("serve.observe.count")
-	checkpointSaves   = obs.C("serve.checkpoint.saved")
-	checkpointErrors  = obs.C("serve.checkpoint.errors")
+	observeDuplicates = obs.C("serve.observe.duplicates")
 )
 
 // Errors surfaced to HTTP clients with specific status codes.
@@ -64,6 +66,11 @@ type campaignState struct {
 	seq          int
 	converged    bool
 	err          error
+
+	// idem maps idempotency keys to the seq their observation was
+	// applied at; rebuilt from the journal on resume so retries across
+	// a crash still dedup.
+	idem map[string]int
 }
 
 // Campaign is one live AL campaign: an al.RunOnline engine plus the
@@ -73,7 +80,12 @@ type Campaign struct {
 	ID   string
 	Spec CampaignSpec
 
-	ckptPath string // "" disables persistence
+	// jw is the append-only journal (nil disables persistence). It is
+	// touched only from actor closures, so it needs no lock; the actor
+	// closes it on exit. jbreaker (shared across the manager's
+	// campaigns) fails journal appends fast when the disk is sick.
+	jw       *journalWriter
+	jbreaker *resilience.Breaker
 
 	cands    *mat.Dense
 	response string
@@ -100,14 +112,16 @@ type Campaign struct {
 }
 
 // newCampaign builds a campaign (fresh or resumed) and starts its actor
-// and engine goroutines. journal is the replay prefix (nil for fresh
-// campaigns); expectVersion/expectFP carry the checkpoint's integrity
-// pin.
-func newCampaign(id string, spec CampaignSpec, ckptPath string, journal []Observation, expectVersion int, expectFP uint64) (*Campaign, error) {
+// and engine goroutines. jw is the open journal writer (nil disables
+// persistence; the campaign takes ownership and closes it); journal is
+// the replay prefix (nil for fresh campaigns); expectVersion/expectFP
+// carry the checkpoint's integrity pin.
+func newCampaign(id string, spec CampaignSpec, jw *journalWriter, jbreaker *resilience.Breaker, journal []Observation, expectVersion int, expectFP uint64) (*Campaign, error) {
 	c := &Campaign{
 		ID:            id,
 		Spec:          spec,
-		ckptPath:      ckptPath,
+		jw:            jw,
+		jbreaker:      jbreaker,
 		resumeVersion: expectVersion,
 		resumeFP:      expectFP,
 		resumeLen:     len(journal),
@@ -142,9 +156,21 @@ func newCampaign(id string, spec CampaignSpec, ckptPath string, journal []Observ
 		return nil, fmt.Errorf("%w: unknown source %q", errSpec, spec.Source)
 	}
 
-	st := &campaignState{state: StateRunning, journal: journal}
+	// seq continues across resume: journal entry i consumed seq i+1 in
+	// the life that wrote it, so the first post-resume suggestion gets
+	// seq len(journal)+1 — suggestion numbering (and the idempotency
+	// keys clients derive from it) is as crash-transparent as the
+	// suggestion stream itself.
+	st := &campaignState{state: StateRunning, journal: journal, idem: make(map[string]int), seq: len(journal)}
 	if len(journal) > 0 {
 		st.state = StateReplaying
+	}
+	// Rebuild the idempotency index: a key retried across the crash
+	// answers with the seq its observation originally consumed.
+	for i, o := range journal {
+		if o.Key != "" {
+			st.idem[o.Key] = i + 1
+		}
 	}
 	go c.actor(st)
 	go c.engine(journal)
@@ -153,6 +179,7 @@ func newCampaign(id string, spec CampaignSpec, ckptPath string, journal []Observ
 
 // actor executes mailbox closures one at a time until close().
 func (c *Campaign) actor(st *campaignState) {
+	defer c.jw.close()
 	for {
 		select {
 		case fn := <-c.mailbox:
@@ -176,16 +203,44 @@ func (c *Campaign) actor(st *campaignState) {
 // do runs fn on the actor goroutine and waits for it. Returns false
 // when the campaign is closed and fn did not run.
 func (c *Campaign) do(fn func(*campaignState)) bool {
+	return c.doCtx(context.Background(), fn) == nil
+}
+
+// doCtx is do with deadline propagation: it gives up while queueing for
+// the mailbox or while waiting for fn to finish when ctx expires.
+// If the closure has not STARTED by then it is abandoned (the actor
+// skips it); if it is already running, it completes — so a ctx error
+// may mean "applied but unconfirmed", the ambiguity idempotency keys
+// exist to resolve.
+func (c *Campaign) doCtx(ctx context.Context, fn func(*campaignState)) error {
 	c.lifecycle.RLock()
 	if c.isClosed {
 		c.lifecycle.RUnlock()
-		return false
+		return ErrClosed
 	}
 	done := make(chan struct{})
-	c.mailbox <- func(st *campaignState) { defer close(done); fn(st) }
-	c.lifecycle.RUnlock()
-	<-done
-	return true
+	var abandoned atomic.Bool
+	wrapped := func(st *campaignState) {
+		defer close(done)
+		if abandoned.Load() {
+			return
+		}
+		fn(st)
+	}
+	select {
+	case c.mailbox <- wrapped:
+		c.lifecycle.RUnlock()
+	case <-ctx.Done():
+		c.lifecycle.RUnlock()
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		abandoned.Store(true)
+		return ctx.Err()
+	}
 }
 
 // engine runs al.RunOnline to completion, feeding the replay journal
@@ -268,8 +323,17 @@ func (c *Campaign) measure(x []float64) (float64, float64, error) {
 		y := c.ds.RespAt(c.response, row)
 		cost := c.ds.CostAt(row)
 		if !c.do(func(st *campaignState) {
-			st.journal = append(st.journal, Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)})
-			c.saveCheckpoint(st, false)
+			o := Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+			if err := c.appendJournal(st, o); err != nil {
+				// Skipping one entry would corrupt replay order, so stop
+				// journaling entirely: the valid prefix still replays and
+				// resume re-measures the rest from the dataset.
+				if c.jw != nil {
+					c.jw.disable()
+				}
+				obs.Emit("serve.journal.disabled", map[string]any{"campaign": c.ID, "err": err.Error()})
+			}
+			st.journal = append(st.journal, o)
 		}) {
 			return 0, 0, al.ErrStopped
 		}
@@ -322,11 +386,31 @@ func (c *Campaign) finalize(res al.Result, runErr error, corrupt bool) {
 			st.err = runErr
 			campaignsFailed.Inc()
 		}
-		c.saveCheckpoint(st, st.state == StateDone)
+		c.appendFinal(st)
 		obs.Emit("serve.campaign.finished", map[string]any{
 			"campaign": c.ID, "state": st.state, "records": len(st.records),
 		})
 	})
+}
+
+// appendFinal writes the terminal journal line (best effort: a failure
+// only costs the informational trailer, never the observations).
+func (c *Campaign) appendFinal(st *campaignState) {
+	if c.jw == nil {
+		return
+	}
+	var fp uint64
+	if st.model != nil {
+		fp = st.model.Fingerprint()
+	}
+	errMsg := ""
+	if st.err != nil {
+		errMsg = st.err.Error()
+	}
+	if err := c.jw.appendFinal(st.state, errMsg, st.converged, st.modelVersion, fp); err != nil {
+		journalAppendErrs.Inc()
+		obs.Emit("serve.journal.error", map[string]any{"campaign": c.ID, "err": err.Error()})
+	}
 }
 
 // Stop asks the engine to unwind at the next oracle interaction. Safe
@@ -357,27 +441,53 @@ func (c *Campaign) Wait() { <-c.engineDone }
 // Suggest returns the pending suggestion, ErrNoPending when the engine
 // is not waiting on a measurement, or ErrClosed.
 func (c *Campaign) Suggest() (Suggestion, error) {
+	return c.SuggestCtx(context.Background())
+}
+
+// SuggestCtx is Suggest with deadline propagation.
+func (c *Campaign) SuggestCtx(ctx context.Context) (Suggestion, error) {
 	var out Suggestion
 	var err error
-	if !c.do(func(st *campaignState) {
+	if derr := c.doCtx(ctx, func(st *campaignState) {
 		if st.pending == nil {
 			err = fmt.Errorf("%w (state %s)", ErrNoPending, st.state)
 			return
 		}
 		out = Suggestion{Seq: st.pending.seq, X: append([]float64(nil), st.pending.x...)}
-	}) {
-		return Suggestion{}, ErrClosed
+	}); derr != nil {
+		return Suggestion{}, derr
 	}
 	return out, err
 }
 
 // Observe applies a measurement to the pending suggestion identified by
-// seq: the observation is journaled and checkpointed BEFORE the engine
-// wakes and before the call returns, so an acknowledged observation is
-// durable — a crash after Observe returns never loses it.
+// seq. See ObserveKeyed.
 func (c *Campaign) Observe(seq int, y, cost float64) error {
+	_, err := c.ObserveKeyed(context.Background(), seq, y, cost, "")
+	return err
+}
+
+// ObserveKeyed applies a measurement to the pending suggestion
+// identified by seq, with deadline propagation and idempotent retries.
+// The observation is journaled (write+fsync) BEFORE the engine wakes
+// and before the call returns, so an acknowledged observation is
+// durable — and a journal append failure REJECTS the observation
+// (ErrJournal → HTTP 503) without waking the engine, so an observation
+// is never acknowledged unjournaled. key, when non-empty, dedups
+// retries: resubmitting an already-applied key returns the seq it was
+// applied at instead of a seq-mismatch error, which makes at-least-once
+// delivery (retries after lost responses, duplicated requests) safe.
+func (c *Campaign) ObserveKeyed(ctx context.Context, seq int, y, cost float64, key string) (int, error) {
+	applied := seq
 	var err error
-	if !c.do(func(st *campaignState) {
+	if derr := c.doCtx(ctx, func(st *campaignState) {
+		if key != "" {
+			if prev, ok := st.idem[key]; ok {
+				applied = prev
+				observeDuplicates.Inc()
+				return
+			}
+		}
 		if st.pending == nil {
 			err = fmt.Errorf("%w (state %s)", ErrNoPending, st.state)
 			return
@@ -386,19 +496,56 @@ func (c *Campaign) Observe(seq int, y, cost float64) error {
 			err = fmt.Errorf("%w: got seq %d, pending is %d", ErrSeqMismatch, seq, st.pending.seq)
 			return
 		}
-		o := Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+		o := Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost), Key: key}
+		if err = c.appendJournal(st, o); err != nil {
+			return
+		}
 		st.journal = append(st.journal, o)
-		c.saveCheckpoint(st, false)
+		if key != "" {
+			st.idem[key] = seq
+		}
 		st.pending.reply <- o
 		st.pending = nil
 		st.state = StateRunning
-	}) {
-		return ErrClosed
+	}); derr != nil {
+		if errors.Is(derr, ErrClosed) {
+			return 0, ErrClosed
+		}
+		return 0, derr
 	}
 	if err == nil {
 		observationsCount.Inc()
 	}
-	return err
+	return applied, err
+}
+
+// appendJournal durably appends one observation (through the journal
+// breaker when one is wired). Runs on the actor goroutine.
+func (c *Campaign) appendJournal(st *campaignState, o Observation) error {
+	if c.jw == nil {
+		return nil
+	}
+	var fp uint64
+	if st.model != nil {
+		fp = st.model.Fingerprint()
+	}
+	op := func() error { return c.jw.appendObs(o, st.modelVersion, fp) }
+	var err error
+	if c.jbreaker != nil {
+		err = c.jbreaker.Do(op)
+	} else {
+		err = op()
+	}
+	if err != nil {
+		journalAppendErrs.Inc()
+		obs.Emit("serve.journal.error", map[string]any{"campaign": c.ID, "err": err.Error()})
+		if errors.Is(err, resilience.ErrOpen) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	journalAppends.Inc()
+	return nil
 }
 
 // Model returns the current model snapshot and its version for
@@ -431,6 +578,11 @@ func (c *Campaign) Records() ([]al.IterationRecord, error) {
 // whether the full per-iteration history is included (list views leave
 // it out).
 func (c *Campaign) Status(withRecords bool) (CampaignStatus, error) {
+	return c.StatusCtx(context.Background(), withRecords)
+}
+
+// StatusCtx is Status with deadline propagation.
+func (c *Campaign) StatusCtx(ctx context.Context, withRecords bool) (CampaignStatus, error) {
 	strat, _ := c.Spec.strategy()
 	out := CampaignStatus{
 		ID:       c.ID,
@@ -438,7 +590,7 @@ func (c *Campaign) Status(withRecords bool) (CampaignStatus, error) {
 		Source:   c.Spec.Source,
 		Strategy: strat.Name(),
 	}
-	if !c.do(func(st *campaignState) {
+	if derr := c.doCtx(ctx, func(st *campaignState) {
 		out.State = st.state
 		out.Observations = len(st.journal)
 		out.ModelVersion = st.modelVersion
@@ -458,39 +610,10 @@ func (c *Campaign) Status(withRecords bool) (CampaignStatus, error) {
 				out.Records[i] = al.ToJSONRecord(r)
 			}
 		}
-	}) {
-		return CampaignStatus{}, ErrClosed
+	}); derr != nil {
+		return CampaignStatus{}, derr
 	}
 	return out, nil
-}
-
-// saveCheckpoint persists the journal; it runs on the actor goroutine.
-// Failures are surfaced as metrics and events, not fatal errors: the
-// campaign keeps running and the next observation retries the write.
-func (c *Campaign) saveCheckpoint(st *campaignState, done bool) {
-	if c.ckptPath == "" {
-		return
-	}
-	jf := journalFile{
-		Version:      journalVersion,
-		ID:           c.ID,
-		Spec:         c.Spec,
-		Observations: st.journal,
-		ModelVersion: st.modelVersion,
-		Done:         done,
-	}
-	if st.model != nil {
-		jf.Fingerprint = st.model.Fingerprint()
-	}
-	if st.err != nil {
-		jf.Error = st.err.Error()
-	}
-	if err := al.AtomicWriteJSON(c.ckptPath, &jf); err != nil {
-		checkpointErrors.Inc()
-		obs.Emit("serve.checkpoint.error", map[string]any{"campaign": c.ID, "err": err.Error()})
-		return
-	}
-	checkpointSaves.Inc()
 }
 
 // xKey encodes an input point as the exact bit pattern of its

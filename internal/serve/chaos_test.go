@@ -1,0 +1,482 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// chaosPost POSTs body with an idempotency key. Unlike doJSON it
+// returns transport and body-read errors instead of failing the test:
+// under fault injection those are expected and the caller retries.
+func chaosPost(client *http.Client, url, key string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(resilience.IdempotencyHeader, key)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.Unmarshal(rb, out)
+	}
+	return resp.StatusCode, nil
+}
+
+// chaosDrive drives a FRESH client campaign to a terminal state over an
+// unreliable HTTP path. Every observation carries the idempotency key
+// "<id>-seq<N>", so a retry after a lost response (the server applied
+// it, the ack died) dedups instead of colliding with the next
+// suggestion. Any transport- or body-level error is treated as
+// transient and the loop re-fetches the current suggestion. Returns the
+// suggestion stream ordered by seq, after asserting the seqs are the
+// contiguous 1..N — no suggestion lost, none double-consumed.
+func chaosDrive(t *testing.T, client *http.Client, base, id string) [][]float64 {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	seen := make(map[int][]float64)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s: chaos drive timeout after %d suggestions", id, len(seen))
+		}
+		var sug Suggestion
+		code, err := tryJSON(client, "GET", base+"/campaigns/"+id+"/suggest", nil, &sug)
+		switch {
+		case err != nil:
+			// Retry budget exhausted or a torn response body.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		case code == http.StatusConflict:
+			var st CampaignStatus
+			if _, serr := tryJSON(client, "GET", base+"/campaigns/"+id, nil, &st); serr == nil && isTerminal(st.State) {
+				seqs := make([]int, 0, len(seen))
+				for s := range seen {
+					seqs = append(seqs, s)
+				}
+				sort.Ints(seqs)
+				xs := make([][]float64, len(seqs))
+				for i, s := range seqs {
+					if s != i+1 {
+						t.Fatalf("campaign %s: suggestion seqs %v are not contiguous from 1", id, seqs)
+					}
+					xs[i] = seen[s]
+				}
+				return xs
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		case code != http.StatusOK:
+			t.Fatalf("campaign %s suggest: HTTP %d", id, code)
+		}
+		seen[sug.Seq] = sug.X
+		y, cost := testOracle(sug.X)
+		req := ObserveRequest{Seq: sug.Seq, Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+		key := fmt.Sprintf("%s-seq%d", id, sug.Seq)
+		code, err = chaosPost(client, base+"/campaigns/"+id+"/observe", key, req, nil)
+		switch {
+		case err != nil:
+			// The observe may or may not have been applied; the retry key
+			// resolves the ambiguity on the next loop pass.
+			time.Sleep(5 * time.Millisecond)
+		case code == http.StatusOK, code == http.StatusConflict,
+			code == http.StatusServiceUnavailable, code == http.StatusTooManyRequests:
+			// 409/503/429: another pass resolves it (or the key dedups).
+		default:
+			t.Fatalf("campaign %s observe seq %d: HTTP %d", id, sug.Seq, code)
+		}
+	}
+}
+
+// TestChaosNetworkCampaign drives a campaign through a deterministic
+// client-side fault layer — latency spikes, unsent resets, duplicated
+// requests, and dropped responses — behind the retrying resilience
+// transport. The at-least-once hazards (a duplicate lands twice, a
+// dropped response forces a blind retry) must be fully absorbed by the
+// idempotency keys: no observation lost, none double-applied, and the
+// final trace byte-identical to a fault-free al.RunOnline.
+func TestChaosNetworkCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	spec := clientSpec(41)
+	ref := directRun(t, spec)
+	srv, mgr := newTestServer(t, Config{})
+	c, err := mgr.Create(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	injected := []string{
+		"faults.injected.dupreq", "faults.injected.respdrop", "faults.injected.netreset",
+	}
+	before := int64(0)
+	for _, name := range injected {
+		before += obs.C(name).Value()
+	}
+
+	chaos := faults.NewNet(faults.NetworkConfig{
+		Seed:             99,
+		LatencyRate:      0.2,
+		Latency:          2 * time.Millisecond,
+		ResetRate:        0.08,
+		DuplicateRate:    0.25,
+		DropResponseRate: 0.12,
+	})
+	client := resilience.NewClient(
+		faults.WrapRoundTripper(srv.Client().Transport, chaos),
+		resilience.TransportConfig{
+			MaxAttempts: 10,
+			Seed:        7,
+			Backoff:     resilience.Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond},
+		})
+
+	xs := chaosDrive(t, client, srv.URL, c.ID)
+	st := waitTerminal(t, c)
+	if st.State != StateDone {
+		t.Fatalf("campaign ended %s (err %q), want done", st.State, st.Error)
+	}
+	expectTrace(t, c, xs, ref)
+	if want := len(spec.Seeds) + len(ref.TrainRows); st.Observations != want {
+		t.Fatalf("journal has %d observations, want %d — an observation was lost or double-applied", st.Observations, want)
+	}
+
+	after := int64(0)
+	for _, name := range injected {
+		after += obs.C(name).Value()
+	}
+	if after == before {
+		t.Fatal("no network fault fired over the chaos run — the test was vacuous")
+	}
+
+	// Deterministic at-least-once replay: resubmit the LAST observation
+	// with its original key through a fault-free client. The server must
+	// answer from the idempotency index (it already applied seq N), not
+	// error or re-feed the engine.
+	dupBefore := observeDuplicates.Value()
+	last := len(xs)
+	y, cost := testOracle(xs[last-1])
+	req := ObserveRequest{Seq: last, Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	code, err := chaosPost(srv.Client(), srv.URL+"/campaigns/"+c.ID+"/observe",
+		fmt.Sprintf("%s-seq%d", c.ID, last), req, &ack)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("idempotent resubmit: HTTP %d err %v", code, err)
+	}
+	if ack.Accepted != last {
+		t.Fatalf("resubmit of seq %d answered with seq %d", last, ack.Accepted)
+	}
+	if observeDuplicates.Value() != dupBefore+1 {
+		t.Fatalf("resubmit did not count as a duplicate (counter %d → %d)", dupBefore, observeDuplicates.Value())
+	}
+}
+
+// chaosWaitSuggest polls until the campaign publishes a suggestion.
+func chaosWaitSuggest(t *testing.T, c *Campaign) Suggestion {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sug, err := c.Suggest()
+		if err == nil {
+			return sug
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no suggestion appeared: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosTornWriteResume tears a journal append mid-write (the
+// simulated power loss) and proves the durability contract: the
+// torn observation was never acknowledged, the writer fails closed for
+// the rest of the process's life, and a restart recovers to the last
+// complete record, re-suggests the lost point under its original seq,
+// accepts the client's retried key, and finishes with a trace
+// byte-identical to a fault-free run.
+func TestChaosTornWriteResume(t *testing.T) {
+	defer checkLeaked(t)
+	spec := clientSpec(23)
+	ref := directRun(t, spec)
+	dir := t.TempDir()
+
+	// Pick a seed whose first torn append is write #4: header (1) and
+	// the first two observations (2, 3) land, the third observation
+	// tears. Decisions are pure functions of (seed, seq), so the scan is
+	// exact, not probabilistic.
+	tear := faults.TornWriteConfig{Rate: 0.3}
+	for seed := int64(1); ; seed++ {
+		if seed > 100000 {
+			t.Fatal("no seed tears first at append 4")
+		}
+		tear.Seed = seed
+		first := 0
+		for s := 1; s <= 8 && first == 0; s++ {
+			if _, torn := faults.TearDecision(tear, s); torn {
+				first = s
+			}
+		}
+		if first == 4 {
+			break
+		}
+	}
+
+	// Life 1: two observations land, the third append tears.
+	mgr1 := NewManager(Config{CheckpointDir: dir, TornWrites: tear})
+	c1, err := mgr1.Create(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	id := c1.ID
+	var xs [][]float64
+	for i := 0; i < 2; i++ {
+		sug := chaosWaitSuggest(t, c1)
+		y, cost := testOracle(sug.X)
+		key := fmt.Sprintf("%s-seq%d", id, sug.Seq)
+		if _, err := c1.ObserveKeyed(context.Background(), sug.Seq, y, cost, key); err != nil {
+			t.Fatalf("observe seq %d: %v", sug.Seq, err)
+		}
+		xs = append(xs, sug.X)
+	}
+	torn := chaosWaitSuggest(t, c1)
+	if torn.Seq != 3 {
+		t.Fatalf("third suggestion has seq %d, want 3", torn.Seq)
+	}
+	y3, cost3 := testOracle(torn.X)
+	key3 := fmt.Sprintf("%s-seq%d", id, torn.Seq)
+	if _, err := c1.ObserveKeyed(context.Background(), torn.Seq, y3, cost3, key3); !errors.Is(err, ErrJournal) {
+		t.Fatalf("torn append rejected with %v, want ErrJournal", err)
+	}
+	// The writer is dirty: it must fail closed, never append after an
+	// unknown tail.
+	if _, err := c1.ObserveKeyed(context.Background(), torn.Seq, y3, cost3, key3); !errors.Is(err, ErrJournal) {
+		t.Fatalf("dirty journal accepted a retry: %v", err)
+	}
+	st, err := c1.Status(false)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Observations != 2 {
+		t.Fatalf("campaign holds %d observations after the tear, want 2 (none unjournaled)", st.Observations)
+	}
+	if err := mgr1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The file carries the torn partial line; the loader drops it and
+	// recovers the two complete observations.
+	jf, err := loadJournal(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatalf("load torn journal: %v", err)
+	}
+	if !jf.truncated {
+		t.Fatal("loader did not flag the torn tail")
+	}
+	if len(jf.Observations) != 2 {
+		t.Fatalf("loader recovered %d observations, want 2", len(jf.Observations))
+	}
+
+	// Life 2: resume (no chaos), finish, and compare against the
+	// fault-free reference.
+	mgr2 := NewManager(Config{CheckpointDir: dir})
+	defer mgr2.Shutdown(context.Background())
+	n, err := mgr2.ResumeAll()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("resumed %d campaigns, want 1", n)
+	}
+	c2, err := mgr2.Get(id)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resug := chaosWaitSuggest(t, c2)
+	if resug.Seq != 3 {
+		t.Fatalf("post-resume suggestion has seq %d, want 3 (seq must survive the crash)", resug.Seq)
+	}
+	if math.Float64bits(resug.X[0]) != math.Float64bits(torn.X[0]) {
+		t.Fatalf("post-resume suggestion x=%v, the torn observation was for x=%v", resug.X, torn.X)
+	}
+	// The client's retry of the SAME key must now apply fresh: the torn
+	// append never made the journal, so the key is unknown.
+	applied, err := c2.ObserveKeyed(context.Background(), resug.Seq, y3, cost3, key3)
+	if err != nil {
+		t.Fatalf("retried observe after resume: %v", err)
+	}
+	if applied != 3 {
+		t.Fatalf("retried key applied at seq %d, want 3", applied)
+	}
+	xs = append(xs, resug.X)
+	xs = append(xs, driveCampaign(t, c2, 0)...)
+	final := waitTerminal(t, c2)
+	if final.State != StateDone {
+		t.Fatalf("resumed campaign ended %s (err %q), want done", final.State, final.Error)
+	}
+	expectTrace(t, c2, xs, ref)
+}
+
+// TestChaosLoadShed saturates the admission layer and verifies the
+// backpressure contract end to end: excess requests are shed
+// immediately with 429 + Retry-After (not queued into the deadline),
+// /healthz stays reachable and reports degradation, and a
+// resilience.Client caught in the shed completes its request via
+// backoff once capacity frees.
+func TestChaosLoadShed(t *testing.T) {
+	defer checkLeaked(t)
+	mgr := NewManager(Config{})
+	defer mgr.Shutdown(context.Background())
+	s := NewServerWith(mgr, ServerConfig{
+		RouteTimeout: 5 * time.Second,
+		Admission:    resilience.AdmissionConfig{MaxInFlight: 2, MaxQueue: 2},
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Occupy both in-flight slots and both queue positions directly (the
+	// test lives in this package), leaving zero admission headroom.
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, err := s.adm.TryAcquire()
+		if err != nil {
+			t.Fatalf("prefill slot %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	queued := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := s.adm.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued acquire: %v", err)
+				queued <- nil
+				return
+			}
+			queued <- rel
+		}()
+	}
+	waitUntil := time.Now().Add(5 * time.Second)
+	for s.adm.Depth() < 4 {
+		if time.Now().After(waitUntil) {
+			t.Fatalf("admission depth stuck at %d, want 4", s.adm.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Saturated: a plain request is shed NOW, not at its deadline.
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/campaigns")
+	if err != nil {
+		t.Fatalf("shed request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated GET: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("shed took %v — the request queued instead of shedding", took)
+	}
+
+	// /healthz bypasses admission and reports the degradation.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := doJSON(t, srv.Client(), "GET", srv.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz under saturation: HTTP %d", code)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("healthz status %q under saturation, want degraded", health.Status)
+	}
+
+	// A resilience client sent into the shed keeps backing off; once the
+	// held capacity releases, its retry completes the workload.
+	client := resilience.NewClient(nil, resilience.TransportConfig{
+		MaxAttempts: 20,
+		Seed:        3,
+		Backoff:     resilience.Backoff{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond},
+	})
+	retriesBefore := obs.C("client.retry.count").Value()
+	result := make(chan error, 1)
+	go func() {
+		resp, err := client.Get(srv.URL + "/campaigns")
+		if err != nil {
+			result <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			result <- fmt.Errorf("HTTP %d", resp.StatusCode)
+			return
+		}
+		result <- nil
+	}()
+	// Let it collect at least one 429 before capacity frees.
+	time.Sleep(20 * time.Millisecond)
+	for _, rel := range releases {
+		rel()
+	}
+	for i := 0; i < 2; i++ {
+		if rel := <-queued; rel != nil {
+			rel()
+		}
+	}
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("resilience client did not complete through the shed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("resilience client stuck")
+	}
+	if obs.C("client.retry.count").Value() == retriesBefore {
+		t.Fatal("resilience client never retried — the shed was not exercised")
+	}
+
+	// Capacity restored: healthz recovers to ok.
+	waitUntil = time.Now().Add(5 * time.Second)
+	for {
+		if code := doJSON(t, srv.Client(), "GET", srv.URL+"/healthz", nil, &health); code != http.StatusOK {
+			t.Fatalf("healthz after recovery: HTTP %d", code)
+		}
+		if health.Status == "ok" {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatalf("healthz stuck at %q after capacity freed", health.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -15,7 +15,8 @@
 //     "client"). Because the engine IS al.RunOnline, a campaign driven
 //     over HTTP produces an iteration trace identical to the equivalent
 //     direct call — that identity is the service's core invariant and is
-//     enforced by TestServeTraceIdentity and the stress suite.
+//     enforced by TestClientCampaignTraceMatchesRunOnline, the stress
+//     suite, and the chaos suite.
 //
 //   - The actor goroutine owns all mutable campaign state (records,
 //     current model, pending suggestion, observation journal). There is
@@ -26,18 +27,37 @@
 //
 // # Durability
 //
-// Campaign persistence is event-sourced: the checkpoint (one JSON file
-// per campaign, written atomically via al.AtomicWriteJSON on every
-// accepted observation) stores the campaign spec plus the ordered
-// journal of oracle returns, not a model snapshot. Resume re-runs the
-// engine and feeds the journal back through the oracle; the engine
+// Campaign persistence is event-sourced: an append-only JSONL journal
+// (one file per campaign — a header line, one line per accepted
+// observation, and a terminal line when the campaign ends) stores the
+// campaign spec plus the ordered oracle returns, not a model snapshot.
+// Each record costs one write plus one fsync, and every observation is
+// journaled BEFORE it is acknowledged — for client campaigns a journal
+// failure rejects the observation with ErrJournal (fail closed) rather
+// than ack data that would not survive a crash. A crash can tear at
+// most the final, unacknowledged line; the loader drops a torn tail
+// and resumes from the last complete record. Resume re-runs the engine
+// and feeds the journal back through the oracle; the engine
 // deterministically replays every fit, rejection, retry and RNG draw,
 // so the rebuilt state — records, model, and the subsequent suggestion
 // stream — is byte-identical to the uninterrupted run. gp.Fingerprint
-// guards the invariant: the checkpoint records the model fingerprint at
+// guards the invariant: the journal records the model fingerprint at
 // its model version, and a replay that reaches that version with a
 // different fingerprint fails the campaign instead of serving silently
 // diverged suggestions.
+//
+// # Resilience
+//
+// The HTTP layer wraps the campaign core in production defenses
+// (internal/resilience, DESIGN.md §10): per-route context deadlines
+// that the actor and engine honor, a bounded admission gate that sheds
+// excess load with 429 + Retry-After and flips /healthz to "degraded"
+// past its high watermark, circuit breakers around the scoring pool
+// and journal writes, and idempotent observes — a client that sends an
+// Idempotency-Key header may blindly retry an ambiguous ack, because a
+// duplicate key re-acks the original seq instead of re-feeding the
+// model. Suggestion seq numbering continues across crash/resume, so
+// seq-derived keys stay collision-free for the campaign's whole life.
 //
 // # Scoring and caching
 //

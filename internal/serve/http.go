@@ -1,14 +1,39 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 var requestErrors = obs.C("serve.request.errors")
+
+// ServerConfig tunes the HTTP front's resilience layer. Zero values
+// take the defaults below; a zero Admission.MaxInFlight disables
+// admission control entirely (unit-test servers stay unconstrained).
+type ServerConfig struct {
+	// RouteTimeout is the per-request context deadline (default 30s).
+	// Handlers propagate it into actor calls and the scoring pool, so a
+	// request abandoned at the deadline stops consuming the service.
+	RouteTimeout time.Duration
+
+	// MaxBodyBytes caps request bodies via http.MaxBytesReader
+	// (default 1 MiB). Oversized bodies get HTTP 413.
+	MaxBodyBytes int64
+
+	// Admission bounds concurrent request work: MaxInFlight requests
+	// run, MaxQueue wait, the rest shed with 429 + Retry-After.
+	// /healthz and /metrics bypass admission so the service stays
+	// observable while saturated.
+	Admission resilience.AdmissionConfig
+}
 
 // Server is the HTTP front of a Manager. Routes (Go 1.22 method
 // patterns):
@@ -20,16 +45,31 @@ var requestErrors = obs.C("serve.request.errors")
 //	GET    /campaigns/{id}/suggest   current pending suggestion (client mode)
 //	POST   /campaigns/{id}/observe   submit the measurement for a suggestion
 //	POST   /campaigns/{id}/predict   model predictions at arbitrary points
-//	GET    /healthz                  liveness + campaign counts
+//	GET    /healthz                  liveness, campaign counts, degradation
 //	GET    /metrics                  obs registry snapshot as JSONL
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
+	cfg ServerConfig
+	adm *resilience.Admission // nil when admission control is off
 }
 
-// NewServer wires the routes for a Manager.
-func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+// NewServer wires the routes for a Manager with default resilience
+// settings (30s route deadline, 1 MiB bodies, no admission bound).
+func NewServer(mgr *Manager) *Server { return NewServerWith(mgr, ServerConfig{}) }
+
+// NewServerWith wires the routes with explicit resilience settings.
+func NewServerWith(mgr *Manager, cfg ServerConfig) *Server {
+	if cfg.RouteTimeout <= 0 {
+		cfg.RouteTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.Admission.MaxInFlight > 0 {
+		s.adm = resilience.NewAdmission(cfg.Admission)
+	}
 	s.route("POST /campaigns", "create", s.handleCreate)
 	s.route("GET /campaigns", "list", s.handleList)
 	s.route("GET /campaigns/{id}", "status", s.handleStatus)
@@ -56,13 +96,29 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// route registers a handler wrapped in a serve.request span (which
-// records serve.request.count and serve.request.duration on End) plus a
-// per-route counter and an error counter for 4xx/5xx responses.
+// route registers a handler behind the resilience middleware stack:
+// route deadline → admission (shed with 429) → body cap → obs span.
+// The deadline is attached BEFORE admission so a request queued for a
+// slot gives up at its deadline instead of waiting forever.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 	counter := obs.C("serve.request." + name)
+	exempt := name == "healthz" || name == "metrics"
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		ctx, span := obs.Start(r.Context(), "serve.request")
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RouteTimeout)
+		defer cancel()
+		if s.adm != nil && !exempt {
+			release, err := s.adm.Acquire(ctx)
+			if err != nil {
+				requestErrors.Inc()
+				writeErr(w, err)
+				return
+			}
+			defer release()
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		ctx, span := obs.Start(ctx, "serve.request")
 		span.SetAttr("route", name)
 		counter.Inc()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -83,17 +139,45 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterSecs converts a backoff hint to whole header seconds
+// (minimum 1 — zero would tell clients to hammer immediately).
+func retryAfterSecs(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeErr maps the package's sentinel errors onto HTTP status codes
-// and emits the {"error": ...} envelope.
+// and emits the {"error": ...} envelope. Overload-shaped failures
+// (shed, open breaker, deadline, journal outage) carry a Retry-After
+// header so well-behaved clients back off instead of hammering.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	var tooBig *http.MaxBytesError
+	var open *resilience.OpenError
 	switch {
+	case errors.As(err, &tooBig):
+		code = http.StatusRequestEntityTooLarge
 	case errors.Is(err, errSpec):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNoPending), errors.Is(err, ErrSeqMismatch), errors.Is(err, ErrNoModel):
 		code = http.StatusConflict
+	case errors.Is(err, resilience.ErrSaturated):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &open):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSecs(open.RetryAfter))
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrJournal):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
 	}
@@ -104,6 +188,10 @@ func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err
+		}
 		return errors.Join(errSpec, err)
 	}
 	return nil
@@ -124,7 +212,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	st, err := c.Status(false)
+	st, err := c.StatusCtx(r.Context(), false)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -136,7 +224,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	campaigns := s.mgr.List()
 	out := make([]CampaignStatus, 0, len(campaigns))
 	for _, c := range campaigns {
-		if st, err := c.Status(false); err == nil {
+		if st, err := c.StatusCtx(r.Context(), false); err == nil {
 			out = append(out, st)
 		}
 	}
@@ -149,7 +237,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	st, err := c.Status(true)
+	st, err := c.StatusCtx(r.Context(), true)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -171,7 +259,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	sug, err := c.Suggest()
+	sug, err := c.SuggestCtx(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -190,11 +278,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := c.Observe(req.Seq, float64(req.Y), float64(req.Cost)); err != nil {
+	key := req.Key
+	if key == "" {
+		key = r.Header.Get(resilience.IdempotencyHeader)
+	}
+	applied, err := c.ObserveKeyed(r.Context(), req.Seq, float64(req.Y), float64(req.Cost), key)
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"accepted": req.Seq})
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": applied})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -208,7 +301,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	resp, err := s.mgr.Predict(c, req.Points)
+	resp, err := s.mgr.PredictCtx(r.Context(), c, req.Points)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -216,12 +309,32 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports liveness plus the resilience picture: admission
+// watermark degradation, queue depth, and breaker states. Status is
+// "degraded" (not an error code — the process IS alive) when the
+// admission queue is above its high watermark or a breaker is open.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	total, terminal := s.mgr.CampaignCount()
+	breakers := s.mgr.BreakerStates()
+	status := "ok"
+	depth := 0
+	if s.adm != nil {
+		depth = s.adm.Depth()
+		if s.adm.Degraded() {
+			status = "degraded"
+		}
+	}
+	for _, st := range breakers {
+		if st != "closed" {
+			status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"campaigns": total,
-		"terminal":  terminal,
+		"status":          status,
+		"campaigns":       total,
+		"terminal":        terminal,
+		"admission_depth": depth,
+		"breakers":        breakers,
 	})
 }
 

@@ -14,8 +14,11 @@ import (
 	"sync"
 
 	"repro/internal/al"
+	"repro/internal/faults"
+	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 var (
@@ -46,6 +49,16 @@ type Config struct {
 	// throttle that keeps a burst of predict requests from oversubscribing
 	// the cores the campaign engines are fitting on (default GOMAXPROCS).
 	MaxConcurrentScores int
+
+	// ScoreBreaker and JournalBreaker tune the circuit breakers guarding
+	// the scoring pool and journal appends (zero values take the
+	// resilience defaults).
+	ScoreBreaker   resilience.BreakerConfig
+	JournalBreaker resilience.BreakerConfig
+
+	// TornWrites injects deterministic torn journal appends — the chaos
+	// knob behind the crash-mid-write suite. The zero value never tears.
+	TornWrites faults.TornWriteConfig
 }
 
 // Manager owns the campaign set, the shared prediction cache, and the
@@ -54,6 +67,13 @@ type Manager struct {
 	cfg   Config
 	cache *predCache
 	sem   chan struct{}
+
+	// scoreBreaker trips when the scoring pool is so backed up that
+	// requests die waiting for a slot; journalBreaker trips when the
+	// checkpoint disk is sick. Both fail fast (HTTP 503 + Retry-After)
+	// instead of queueing doomed work.
+	scoreBreaker   *resilience.Breaker
+	journalBreaker *resilience.Breaker
 
 	mu        sync.RWMutex
 	campaigns map[string]*Campaign
@@ -68,10 +88,21 @@ func NewManager(cfg Config) *Manager {
 		cfg.MaxConcurrentScores = runtime.GOMAXPROCS(0)
 	}
 	return &Manager{
-		cfg:       cfg,
-		cache:     newPredCache(cfg.CacheSize),
-		sem:       make(chan struct{}, cfg.MaxConcurrentScores),
-		campaigns: make(map[string]*Campaign),
+		cfg:            cfg,
+		cache:          newPredCache(cfg.CacheSize),
+		sem:            make(chan struct{}, cfg.MaxConcurrentScores),
+		scoreBreaker:   resilience.NewBreaker("score", cfg.ScoreBreaker),
+		journalBreaker: resilience.NewBreaker("journal", cfg.JournalBreaker),
+		campaigns:      make(map[string]*Campaign),
+	}
+}
+
+// BreakerStates reports the manager's circuit breaker states for
+// /healthz.
+func (m *Manager) BreakerStates() map[string]string {
+	return map[string]string{
+		"score":   m.scoreBreaker.State().String(),
+		"journal": m.journalBreaker.State().String(),
 	}
 }
 
@@ -102,8 +133,18 @@ func (m *Manager) Create(spec CampaignSpec) (*Campaign, error) {
 			break
 		}
 	}
-	c, err := newCampaign(id, spec, m.ckptPath(id), nil, 0, 0)
+	var jw *journalWriter
+	if path := m.ckptPath(id); path != "" {
+		var err error
+		if jw, err = createJournal(path, id, spec, m.cfg.TornWrites); err != nil {
+			// A server configured for durability that cannot persist must
+			// say so at create time, not lose campaigns at crash time.
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	c, err := newCampaign(id, spec, jw, m.journalBreaker, nil, 0, 0)
 	if err != nil {
+		jw.close()
 		return nil, err
 	}
 	m.campaigns[id] = c
@@ -154,9 +195,19 @@ func (m *Manager) ResumeAll() (int, error) {
 			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": "duplicate campaign id"})
 			continue
 		}
-		c, err := newCampaign(jf.ID, jf.Spec, path, jf.Observations, jf.ModelVersion, jf.Fingerprint)
+		// Reopen for appending at the end of the last complete
+		// observation: torn tails and stale terminal lines are trimmed
+		// before the campaign writes anything new.
+		jw, err := openJournalAt(path, jf.appendOffset, len(jf.Observations), m.cfg.TornWrites)
 		if err != nil {
 			m.mu.Unlock()
+			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
+			continue
+		}
+		c, err := newCampaign(jf.ID, jf.Spec, jw, m.journalBreaker, jf.Observations, jf.ModelVersion, jf.Fingerprint)
+		if err != nil {
+			m.mu.Unlock()
+			jw.close()
 			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
 			continue
 		}
@@ -224,11 +275,19 @@ func (m *Manager) Delete(id string) error {
 	return nil
 }
 
-// Predict evaluates the campaign's current model at the request points,
-// serving what it can from the LRU and batching the misses through the
-// shared scoring pool. Points must match the campaign's input
-// dimensionality.
+// Predict evaluates the campaign's current model at the request points.
+// See PredictCtx.
 func (m *Manager) Predict(c *Campaign, points [][]float64) (PredictResponse, error) {
+	return m.PredictCtx(context.Background(), c, points)
+}
+
+// PredictCtx evaluates the campaign's current model at the request
+// points, serving what it can from the LRU and batching the misses
+// through the shared scoring pool. Points must match the campaign's
+// input dimensionality. Waiting for a scoring slot honors ctx, and the
+// score breaker fails fast once slot waits start dying of deadline
+// exhaustion (overload) instead of queueing more doomed work.
+func (m *Manager) PredictCtx(ctx context.Context, c *Campaign, points [][]float64) (PredictResponse, error) {
 	if len(points) == 0 {
 		return PredictResponse{}, fmt.Errorf("%w: empty predict batch", errSpec)
 	}
@@ -271,9 +330,19 @@ func (m *Manager) Predict(c *Campaign, points [][]float64) (PredictResponse, err
 			miss[j] = points[i]
 		}
 		scoreQueueDepth.Set(float64(len(m.sem)))
-		m.sem <- struct{}{}
-		preds := al.ScoreBatch(model, mat.NewFromRows(miss), m.cfg.ScoreWorkers)
-		<-m.sem
+		var preds []gp.Prediction
+		if err := m.scoreBreaker.Do(func() error {
+			select {
+			case m.sem <- struct{}{}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			defer func() { <-m.sem }()
+			preds = al.ScoreBatch(model, mat.NewFromRows(miss), m.cfg.ScoreWorkers)
+			return nil
+		}); err != nil {
+			return PredictResponse{}, err
+		}
 		for j, i := range missIdx {
 			resp.Means[i] = al.JSONFloat(preds[j].Mean)
 			resp.SDs[i] = al.JSONFloat(preds[j].SD)

@@ -182,6 +182,7 @@ func TestClientCampaignTraceMatchesRunOnline(t *testing.T) {
 	spec := clientSpec(7)
 	ref := directRun(t, spec)
 
+	defer checkLeaked(t)
 	mgr := NewManager(Config{})
 	defer mgr.Shutdown(context.Background())
 	c, err := mgr.Create(spec)
@@ -372,8 +373,21 @@ func TestResumeDetectsTamperedJournal(t *testing.T) {
 	if jf.Fingerprint == 0 || jf.ModelVersion == 0 {
 		t.Fatalf("checkpoint carries no integrity pin: %+v", jf)
 	}
-	jf.Observations[1].Y += 0.25
-	if err := al.AtomicWriteJSON(path, jf); err != nil {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Line 0 is the header; tamper the second observation line.
+	var rec journalRecord
+	if err := json.Unmarshal(lines[2], &rec); err != nil || rec.Obs == nil {
+		t.Fatalf("line 2 is not an observation: %v", err)
+	}
+	rec.Obs.Y += 0.25
+	if lines[2], err = json.Marshal(&rec); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
 		t.Fatalf("rewrite: %v", err)
 	}
 
@@ -534,6 +548,9 @@ func TestSpecValidation(t *testing.T) {
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
 	t.Helper()
+	// Registered first so it runs LAST (cleanups are LIFO): after the
+	// shutdown below, no campaign goroutine may survive.
+	t.Cleanup(func() { checkLeaked(t) })
 	mgr := NewManager(cfg)
 	srv := httptest.NewServer(NewServer(mgr))
 	t.Cleanup(func() {

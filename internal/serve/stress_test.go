@@ -25,6 +25,9 @@ func TestServeStressConcurrentClients(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test skipped in -short mode")
 	}
+	// First deferred = last run: after the shutdown below, no campaign
+	// goroutine may survive the stress load.
+	defer checkLeaked(t)
 
 	specs := []CampaignSpec{
 		clientSpec(31),
