@@ -1,0 +1,234 @@
+// Command aleval runs the OpenAL-style comparative evaluation harness:
+// a strategy × dataset × noise grid of Active Learning campaigns,
+// executed end to end through a live alserve instance, ranked into a
+// deterministic comparative report (STRATEGIES.md documents every
+// strategy; DESIGN.md §11 describes the harness).
+//
+// Quickstart — no server needed, one is started in-process:
+//
+//	aleval -quick
+//
+// Against a running service, with an explicit grid:
+//
+//	alserve -addr localhost:8080 &
+//	aleval -server http://localhost:8080 \
+//	       -strategies random,variance-reduction,qbc:k=4,diversity \
+//	       -datasets synthetic-1d,performance-1d -noise none,gauss:0.05 \
+//	       -iterations 10 -seed 3 -out report.txt
+//
+// Strategy entries are registry names with optional colon-separated
+// parameters: qbc:k=4:perturb=0.3, cost-exponent:gamma=0.5,
+// eps-greedy:epsilon=0.1, diversity:lambda=2.
+//
+// Two invocations with identical flags emit byte-identical reports —
+// the CI eval-smoke step diffs them. -check-catalog verifies that every
+// registered strategy has a "### `name`" section in STRATEGIES.md and
+// fails CI when the catalog falls behind the registry.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aleval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server     = fs.String("server", "", "base URL of a running alserve (empty: start one in-process)")
+		strategies = fs.String("strategies", "", "comma-separated strategy specs, name[:key=val]... (empty: default grid)")
+		datasets   = fs.String("datasets", "", "comma-separated eval datasets (empty: all)")
+		noise      = fs.String("noise", "none", "comma-separated noise models: none, gauss, gauss:<sd>")
+		iterations = fs.Int("iterations", 0, "AL steps per campaign (0: default)")
+		seed       = fs.Int64("seed", 1, "grid seed; equal seeds give byte-identical reports")
+		target     = fs.Float64("target", 0, "target RMSE for cost-to-target (0: per-dataset default)")
+		quick      = fs.Bool("quick", false, "small pools and budgets (CI smoke mode)")
+		out        = fs.String("out", "", "write the report to this file instead of stdout")
+		list       = fs.Bool("list", false, "list registered strategies and eval datasets, then exit")
+		catalog    = fs.String("check-catalog", "", "verify every registered strategy is documented in this STRATEGIES.md, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "strategies:")
+		for _, name := range al.StrategyNames() {
+			fmt.Fprintf(stdout, "  %s\n", name)
+		}
+		fmt.Fprintln(stdout, "datasets:")
+		for _, name := range experiments.EvalDatasetNames() {
+			fmt.Fprintf(stdout, "  %s\n", name)
+		}
+		return 0
+	}
+
+	if *catalog != "" {
+		missing, err := checkCatalog(*catalog)
+		if err != nil {
+			fmt.Fprintf(stderr, "aleval: %v\n", err)
+			return 1
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(stderr, "aleval: %s is missing catalog sections for: %s\n",
+				*catalog, strings.Join(missing, ", "))
+			return 1
+		}
+		fmt.Fprintf(stdout, "catalog ok: %d strategies documented\n", len(al.StrategyNames()))
+		return 0
+	}
+
+	strats, err := parseStrategies(*strategies)
+	if err != nil {
+		fmt.Fprintf(stderr, "aleval: %v\n", err)
+		return 2
+	}
+	grid := experiments.EvalGrid{
+		Server:      *server,
+		Strategies:  strats,
+		Datasets:    splitList(*datasets),
+		NoiseModels: splitList(*noise),
+		Iterations:  *iterations,
+		Seed:        *seed,
+		TargetRMSE:  *target,
+		Quick:       *quick,
+	}
+
+	ctx := context.Background()
+	if grid.Server == "" {
+		url, shutdown, err := startLocalServer()
+		if err != nil {
+			fmt.Fprintf(stderr, "aleval: start in-process server: %v\n", err)
+			return 1
+		}
+		defer shutdown()
+		grid.Server = url
+	}
+
+	res, err := experiments.RunEval(ctx, grid)
+	if err != nil {
+		fmt.Fprintf(stderr, "aleval: %v\n", err)
+		return 1
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "aleval: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := res.WriteReport(w); err != nil {
+		fmt.Fprintf(stderr, "aleval: write report: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// startLocalServer boots an ephemeral in-process alserve on a loopback
+// port — the zero-setup path for `aleval -quick`.
+func startLocalServer() (url string, shutdown func(), err error) {
+	mgr := serve.NewManager(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = mgr.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// splitList parses a comma-separated flag into trimmed entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseStrategies parses the -strategies flag: comma-separated entries
+// of name[:key=val]..., where keys are gamma, epsilon, k, lambda and
+// perturb. Every entry is resolved against the registry immediately so
+// typos fail before any campaign starts.
+func parseStrategies(s string) ([]experiments.EvalStrategy, error) {
+	var out []experiments.EvalStrategy
+	for _, entry := range splitList(s) {
+		parts := strings.Split(entry, ":")
+		es := experiments.EvalStrategy{Name: parts[0]}
+		for _, kv := range parts[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("strategy %q: parameter %q is not key=val", entry, kv)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("strategy %q: parameter %s: %v", entry, key, err)
+			}
+			switch key {
+			case "gamma":
+				es.Gamma = f
+			case "epsilon", "eps":
+				es.Epsilon = f
+			case "k":
+				es.K = int(f)
+			case "lambda":
+				es.Lambda = f
+			case "perturb":
+				es.Perturb = f
+			default:
+				return nil, fmt.Errorf("strategy %q: unknown parameter %q (want gamma, epsilon, k, lambda, perturb)", entry, key)
+			}
+		}
+		if _, err := al.NewStrategy(es.Name, al.StrategyParams{
+			Gamma: es.Gamma, Epsilon: es.Epsilon, K: es.K, Lambda: es.Lambda, Perturb: es.Perturb,
+		}); err != nil {
+			return nil, err
+		}
+		out = append(out, es)
+	}
+	return out, nil
+}
+
+// checkCatalog reports registered strategies that have no
+// "### `name`" section in the catalog file.
+func checkCatalog(path string) ([]string, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := string(buf)
+	var missing []string
+	for _, name := range al.StrategyNames() {
+		if !strings.Contains(text, "### `"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	return missing, nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/al"
+)
+
+func TestParseStrategies(t *testing.T) {
+	strats, err := parseStrategies("random, qbc:k=3:gamma=1, diversity:lambda=2, eps-greedy:eps=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strats) != 4 {
+		t.Fatalf("got %d strategies, want 4", len(strats))
+	}
+	if strats[1].Name != "qbc" || strats[1].K != 3 || strats[1].Gamma != 1 {
+		t.Errorf("qbc entry misparsed: %+v", strats[1])
+	}
+	if strats[2].Lambda != 2 {
+		t.Errorf("diversity lambda misparsed: %+v", strats[2])
+	}
+	if strats[3].Epsilon != 0.1 {
+		t.Errorf("eps-greedy epsilon misparsed: %+v", strats[3])
+	}
+
+	for _, bad := range []string{
+		"no-such-strategy",
+		"qbc:k",
+		"qbc:k=x",
+		"qbc:knobs=3",
+	} {
+		if _, err := parseStrategies(bad); err == nil {
+			t.Errorf("parseStrategies(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+func TestCheckCatalog(t *testing.T) {
+	dir := t.TempDir()
+
+	full := filepath.Join(dir, "full.md")
+	var sb strings.Builder
+	for _, name := range al.StrategyNames() {
+		sb.WriteString("### `" + name + "`\n\ndocs\n\n")
+	}
+	if err := os.WriteFile(full, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := checkCatalog(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("complete catalog reported missing: %v", missing)
+	}
+
+	partial := filepath.Join(dir, "partial.md")
+	if err := os.WriteFile(partial, []byte("### `random`\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err = checkCatalog(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != len(al.StrategyNames())-1 {
+		t.Errorf("partial catalog: got %d missing, want %d", len(missing), len(al.StrategyNames())-1)
+	}
+
+	if _, err := checkCatalog(filepath.Join(dir, "absent.md")); err == nil {
+		t.Error("missing catalog file must error")
+	}
+}
+
+// The repo's own STRATEGIES.md must document every registered strategy —
+// the same gate CI enforces via `aleval -check-catalog`.
+func TestRepoCatalogIsComplete(t *testing.T) {
+	missing, err := checkCatalog(filepath.Join("..", "..", "STRATEGIES.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("STRATEGIES.md is missing sections for: %v", missing)
+	}
+}
+
+func TestRunListAndCatalogModes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"strategies:", "variance-reduction", "datasets:", "synthetic-1d"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-check-catalog", filepath.Join("..", "..", "STRATEGIES.md")}, &out, &errb); code != 0 {
+		t.Fatalf("-check-catalog exited %d: %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-strategies", "no-such"}, &out, &errb); code == 0 {
+		t.Error("unknown strategy must exit nonzero")
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-badflag"}, &out, &errb); code == 0 {
+		t.Error("unknown flag must exit nonzero")
+	}
+}
+
+// End-to-end: a tiny grid through the in-process server, twice, with
+// byte-identical reports — the CLI-level determinism acceptance check.
+func TestRunEndToEndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end eval skipped in -short mode")
+	}
+	args := []string{
+		"-quick",
+		"-strategies", "random,variance-reduction",
+		"-datasets", "synthetic-1d",
+		"-seed", "7",
+	}
+	var reports [2]string
+	for i := range reports {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("run exited %d: %s", code, errb.String())
+		}
+		reports[i] = out.String()
+	}
+	if reports[0] != reports[1] {
+		t.Errorf("two identical invocations differ:\n-- first --\n%s\n-- second --\n%s",
+			reports[0], reports[1])
+	}
+	if !strings.Contains(reports[0], "== aleval:") {
+		t.Errorf("report missing header:\n%s", reports[0])
+	}
+	if !strings.Contains(reports[0], "variance-reduction") {
+		t.Errorf("report missing strategy row:\n%s", reports[0])
+	}
+}

@@ -1,38 +1,80 @@
 // Package al implements the paper's Active Learning framework for
-// performance analysis: pool-based experiment selection driven by the
-// predictive distribution of a Gaussian process regressor. It reproduces
-// the core loop of §IV–§V and the trajectories of Figs. 6–8.
+// performance analysis — pool-based experiment selection driven by the
+// predictive distribution of a Gaussian process regressor (§IV–§V,
+// Figs. 6–8) — grown into a strategy zoo with a named registry and an
+// OpenAL-style comparative evaluation harness.
 //
-// Two selection strategies are the paper's focus (§V-B):
+// # Strategy taxonomy
 //
-//   - VarianceReduction picks the pool point with the highest predictive
-//     standard deviation — pure uncertainty reduction (Fig. 6);
-//   - CostEfficiency maximizes σ − μ on log-transformed responses
-//     (Eq. 14), i.e. the variance/cost ratio, preferring cheap
-//     experiments that still carry information (Fig. 8's 38% headline).
+// Every selection rule implements Strategy; rules that need the fitted
+// GP itself (not just per-candidate marginals) also implement
+// ModelAwareStrategy. NewStrategy resolves registry names to
+// configured strategies, StrategyNames lists them, and STRATEGIES.md
+// documents each one (formula, paper anchor, cost model, RNG contract,
+// when to use). The families:
 //
-// Random selection and the EMCM method of Cai et al. (the baseline the
-// paper argues against, §III) are provided for comparison, plus
-// Thompson-style sampling, continuous candidate optimization, and the
-// kriging-believer batch selection of the §VI future work.
+// Paper strategies (§V-B):
+//
+//   - VarianceReduction ("variance-reduction"): argmax σ — pure
+//     uncertainty reduction (Fig. 6).
+//   - CostEfficiency ("cost-efficiency"): argmax σ − μ on log responses
+//     (Eq. 14) — the variance/cost ratio behind Fig. 8's 38% headline.
+//   - CostExponent ("cost-exponent"): σ − γ·μ, the ablation axis
+//     between the two.
+//
+// Baselines and randomized rules:
+//
+//   - Random ("random"): uniform selection — the fixed-design baseline.
+//   - EpsilonGreedy ("eps-greedy"): ε-uniform exploration around any
+//     base rule.
+//   - ThompsonVariance ("thompson"): joint posterior draw, argmax
+//     |f̃ − μ| — stochastic variance reduction.
+//   - RunEMCM: Cai et al.'s OLS-ensemble Expected Model Change
+//     Maximization, kept as the §III comparison baseline (its own
+//     loop, not a registry entry).
+//
+// Ensemble and diversity strategies (the zoo beyond the paper):
+//
+//   - QBC ("qbc", "qbc-cost"): query-by-committee — K GPs fit on
+//     bootstrap resamples (optionally hyper-perturbed) of the live
+//     training set; selection maximizes committee disagreement, minus
+//     γ·mean in the cost-aware form.
+//   - EMCMGradient ("emcm-grad"): closed-form GP analogue of EMCM,
+//     ln σ + ln(1+‖x‖) − γ·μ, inside the standard loop.
+//   - Diversity ("diversity"): σ + λ·distance-to-nearest-training-point
+//     — sequential k-center exploration.
+//
+// Batch modes: BatchSelect (kriging believer, fantasy updates) and
+// BatchSelectKCenter (greedy k-center over σ, no refits) pick k points
+// per round for RunParallel.
 //
 // # Key types
 //
 //   - Strategy / ModelAwareStrategy: acquisition rules over Candidate
-//     scores.
+//     scores; NewStrategy/StrategyNames: the registry.
 //   - LoopConfig / Run: one AL realization over a dataset Partition
 //     (Initial seeds, Active pool, Test RMSE); IterationRecord carries
 //     the §V-B3 monitoring quantities per step.
 //   - RunOnline: the same loop against a live Oracle (§VI) instead of a
 //     recorded dataset.
-//   - BatchSelect / RunParallel: batched selection with simulated
-//     scheduler accounting (ablation A4).
+//   - BatchSelect / BatchSelectKCenter / RunParallel: batched selection
+//     with simulated scheduler accounting (ablation A4).
+//
+// # Evaluation harness
+//
+// internal/experiments (EvalGrid / RunEval) ranks registry strategies
+// on a strategy × dataset × noise-model grid, executed end to end
+// through the internal/serve campaign service; cmd/aleval is the CLI.
+// Use it to decide which zoo member fits a new workload before
+// committing an experiment budget.
 //
 // # Observability
 //
 // Run and RunOnline open one "al.iteration" span per step with
 // "al.model.update", "al.score" and "al.select" children, and feed the
-// al.* counters; see OBSERVABILITY.md for the full catalog.
+// al.* counters; every selection increments al.strategy.select.<name>,
+// and QBC counts committee fits under al.strategy.qbc.*. See
+// OBSERVABILITY.md for the full catalog.
 //
 // # Concurrency contract
 //
@@ -58,7 +100,12 @@
 //   - Per-candidate scores never depend on other candidates, so chunking
 //     cannot change any floating-point result: serial (ScoreWorkers = 1)
 //     and parallel runs produce byte-identical selection traces for a
-//     fixed seed. The argmax over scores always runs serially.
+//     fixed seed. The argmax over scores always runs serially. Diversity
+//     reuses the same chunked pattern for its distance scan.
 //   - The *rand.Rand is only touched by the (serial) strategy selection
-//     and model fitting, never from scorer workers.
+//     and model fitting, never from scorer workers. QBC's committee
+//     construction draws from the loop RNG on that serial path, with a
+//     fixed draw count per selection (see the QBC doc comment), so
+//     checkpoint/resume and serial-vs-parallel identity both hold for
+//     every zoo member.
 package al

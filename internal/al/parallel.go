@@ -21,6 +21,13 @@ type ParallelConfig struct {
 	Loop      LoopConfig
 	BatchSize int // experiments per round (≥ 1)
 	Rounds    int // selection rounds; 0 derives from Loop.Iterations
+
+	// DiversityLambda > 0 switches batch construction from the kriging
+	// believer (BatchSelect, k fantasy model updates per round) to
+	// greedy k-center selection (BatchSelectKCenter) with this distance
+	// weight — cheaper per round and explicitly spread across the
+	// design space.
+	DiversityLambda float64
 }
 
 // RoundRecord captures one parallel round.
@@ -75,6 +82,9 @@ func RunParallel(ds *dataset.Dataset, part dataset.Partition, cfg ParallelConfig
 	dims := len(ds.VarNames())
 
 	res := ParallelResult{Strategy: c.Strategy.Name() + "/batch"}
+	if cfg.DiversityLambda > 0 {
+		res.Strategy = c.Strategy.Name() + "/batch-kcenter"
+	}
 	var cumCost, wall float64
 	var model *gp.GP
 
@@ -117,7 +127,12 @@ func RunParallel(ds *dataset.Dataset, part dataset.Partition, cfg ParallelConfig
 		}
 		amsd /= float64(len(pool))
 
-		picks, err := BatchSelect(model, cands, k, c.Strategy, rng)
+		var picks []int
+		if cfg.DiversityLambda > 0 {
+			picks, err = BatchSelectKCenter(cands, k, cfg.DiversityLambda)
+		} else {
+			picks, err = BatchSelect(model, cands, k, c.Strategy, rng)
+		}
 		if err != nil {
 			return ParallelResult{}, fmt.Errorf("al: parallel round %d: %w", round, err)
 		}

@@ -1,0 +1,89 @@
+package al
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StrategyParams carries the tunable knobs a registry name can consume.
+// Zero values mean "use the strategy's default"; parameters a strategy
+// does not understand are ignored, so one params struct can drive a
+// whole strategy × dataset evaluation grid.
+type StrategyParams struct {
+	// Gamma is the cost weight for cost-exponent, qbc-cost and
+	// emcm-grad (σ − γ·μ convention, Eq. 14).
+	Gamma float64
+	// Epsilon, when positive, wraps the resolved strategy in
+	// EpsilonGreedy with this exploration probability. For the
+	// "eps-greedy" name it is the wrapper's ε directly (default 0.1).
+	Epsilon float64
+	// K is the qbc committee size (default 4).
+	K int
+	// Lambda is the diversity distance weight (default 1).
+	Lambda float64
+	// Perturb is the qbc hyperparameter perturbation SD (default 0.3).
+	Perturb float64
+}
+
+// strategyBuilders maps canonical registry names to constructors. Every
+// entry here must have a matching "### `name`" section in STRATEGIES.md
+// — the aleval -check-catalog CI step enforces that.
+var strategyBuilders = map[string]func(p StrategyParams) Strategy{
+	"variance-reduction": func(StrategyParams) Strategy { return VarianceReduction{} },
+	"cost-efficiency":    func(StrategyParams) Strategy { return CostEfficiency{} },
+	"cost-exponent":      func(p StrategyParams) Strategy { return CostExponent{Gamma: p.Gamma} },
+	"random":             func(StrategyParams) Strategy { return Random{} },
+	"thompson":           func(StrategyParams) Strategy { return ThompsonVariance{} },
+	"eps-greedy": func(p StrategyParams) Strategy {
+		eps := p.Epsilon
+		if eps <= 0 {
+			eps = 0.1
+		}
+		return EpsilonGreedy{Base: VarianceReduction{}, Eps: eps}
+	},
+	"qbc":       func(p StrategyParams) Strategy { return QBC{K: p.K, Perturb: p.Perturb} },
+	"qbc-cost":  func(p StrategyParams) Strategy { return QBC{K: p.K, Gamma: defGamma(p.Gamma), Perturb: p.Perturb} },
+	"emcm-grad": func(p StrategyParams) Strategy { return EMCMGradient{Gamma: p.Gamma} },
+	"diversity": func(p StrategyParams) Strategy { return Diversity{Lambda: p.Lambda} },
+}
+
+// defGamma defaults the cost weight to the paper's Eq. 14 value (γ = 1)
+// for names that are cost-aware by definition.
+func defGamma(g float64) float64 {
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+// NewStrategy resolves a registry name plus parameters into a Strategy.
+// The empty name means the paper default, variance-reduction. When
+// p.Epsilon > 0 the resolved strategy is wrapped in EpsilonGreedy
+// (except for "eps-greedy" itself, where Epsilon configures the wrapper
+// directly). Unknown names list the registry in the error.
+func NewStrategy(name string, p StrategyParams) (Strategy, error) {
+	if name == "" {
+		name = "variance-reduction"
+	}
+	build, ok := strategyBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q (registered: %v)", name, StrategyNames())
+	}
+	s := build(p)
+	if p.Epsilon > 0 && name != "eps-greedy" {
+		s = EpsilonGreedy{Base: s, Eps: p.Epsilon}
+	}
+	return s, nil
+}
+
+// StrategyNames lists the canonical registry names, sorted — the
+// contract surface STRATEGIES.md must document and cmd/aleval -list
+// prints.
+func StrategyNames() []string {
+	out := make([]string, 0, len(strategyBuilders))
+	for name := range strategyBuilders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gp"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // ModelAwareStrategy is an optional extension of Strategy for selection
@@ -71,8 +72,12 @@ func (ThompsonVariance) SelectWithModel(model *gp.GP, cands []Candidate, rng *ra
 // Name implements Strategy.
 func (ThompsonVariance) Name() string { return "thompson-variance" }
 
-// selectCandidate dispatches to the model-aware path when available.
+// selectCandidate dispatches to the model-aware path when available and
+// counts the selection under al.strategy.select.<name> (see
+// OBSERVABILITY.md) so mixed-strategy deployments can attribute
+// experiment spend per selection rule.
 func selectCandidate(s Strategy, model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+	obs.C("al.strategy.select." + s.Name()).Inc()
 	if ms, ok := s.(ModelAwareStrategy); ok && model != nil {
 		return ms.SelectWithModel(model, cands, rng)
 	}

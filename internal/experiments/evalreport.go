@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/asciiplot"
+)
+
+// curveMarks assigns each ranked strategy a plot rune, in rank order.
+var curveMarks = []rune{'1', '2', '3', '4', '5', '6', '7', '8', '9'}
+
+// fmtMetric renders a metric for the report: fixed short precision so
+// two identical runs produce byte-identical text, with "-" for an
+// unreached target.
+func fmtMetric(v float64) string {
+	if math.IsInf(v, 1) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// WriteReport renders the ranked comparative report: one table plus a
+// learning-curve overlay per (dataset, noise) group, then an overall
+// win-count summary. The output is a pure function of the grid spec and
+// the cells — no timestamps, hostnames or map-order dependence — so two
+// identical invocations emit byte-identical reports (the aleval CI step
+// diffs them).
+func (r *EvalResult) WriteReport(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	g := r.Grid
+	fmt.Fprintf(&sb, "== aleval: strategy x dataset x noise grid ==\n")
+	fmt.Fprintf(&sb, "grid: %d strategies x %d datasets x %d noise models, iterations=%d, seed=%d\n",
+		len(g.Strategies), len(g.Datasets), len(g.NoiseModels), g.Iterations, g.Seed)
+
+	wins := map[string]int{}
+	var labels []string
+	seen := map[string]bool{}
+
+	for _, ds := range g.Datasets {
+		for _, noise := range g.NoiseModels {
+			cells := r.group(ds, noise)
+			if len(cells) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "\n-- %s / %s (target-rmse %s) --\n", ds, noise, fmtMetric(cells[0].Target))
+			fmt.Fprintf(&sb, "%-4s %-22s %12s %14s %10s %6s\n",
+				"rank", "strategy", "final-rmse", "cost-to-tgt", "avg-rmse", "obs")
+			for i, c := range cells {
+				fmt.Fprintf(&sb, "%-4d %-22s %12s %14s %10s %6d\n",
+					i+1, c.Strategy, fmtMetric(c.FinalRMSE), fmtMetric(c.CostToTarget),
+					fmtMetric(c.AvgRMSE), c.Observations)
+				if !seen[c.Strategy] {
+					seen[c.Strategy] = true
+					labels = append(labels, c.Strategy)
+				}
+			}
+			wins[cells[0].Strategy]++
+			sb.WriteString(renderCurves(cells))
+		}
+	}
+
+	sb.WriteString("\n-- overall --\n")
+	sort.Slice(labels, func(i, j int) bool {
+		if wins[labels[i]] != wins[labels[j]] {
+			return wins[labels[i]] > wins[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "%-22s group wins: %d\n", l, wins[l])
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// renderCurves overlays the group's learning curves on one canvas:
+// RMSE (y) against cumulative experiment cost (x), one digit-mark per
+// ranked strategy.
+func renderCurves(cells []EvalCell) string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, c := range cells {
+		for _, pt := range c.Curve {
+			if math.IsNaN(pt.RMSE) {
+				continue
+			}
+			xmin = math.Min(xmin, pt.CumCost)
+			xmax = math.Max(xmax, pt.CumCost)
+			ymin = math.Min(ymin, pt.RMSE)
+			ymax = math.Max(ymax, pt.RMSE)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return ""
+	}
+	cv := asciiplot.NewCanvas(64, 14, xmin, xmax, ymin, ymax)
+	cv.SetLabels("learning curves (rank digit = strategy)", "cumulative cost", "rmse")
+	// Draw in reverse rank order so the winner's mark lands on top of
+	// any shared cells.
+	for i := len(cells) - 1; i >= 0; i-- {
+		mark := '#'
+		if i < len(curveMarks) {
+			mark = curveMarks[i]
+		}
+		var xs, ys []float64
+		for _, pt := range cells[i].Curve {
+			if !math.IsNaN(pt.RMSE) {
+				xs = append(xs, pt.CumCost)
+				ys = append(ys, pt.RMSE)
+			}
+		}
+		cv.Line(xs, ys, mark)
+	}
+	return cv.String()
+}

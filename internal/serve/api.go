@@ -51,12 +51,18 @@ type CampaignSpec struct {
 	// (≥ 1 required).
 	Seeds []int `json:"seeds"`
 
-	// Strategy is the selection rule: "variance-reduction",
-	// "cost-efficiency", "cost-exponent" (with Gamma), "thompson" or
-	// "random". Epsilon > 0 wraps it in ε-greedy exploration.
+	// Strategy is any name in the al strategy registry
+	// (al.StrategyNames; see STRATEGIES.md): "variance-reduction",
+	// "cost-efficiency", "cost-exponent", "thompson", "random",
+	// "eps-greedy", "qbc", "qbc-cost", "emcm-grad" or "diversity".
+	// Gamma/Epsilon/K/Lambda/Perturb parameterize the rules that use
+	// them; Epsilon > 0 wraps any rule in ε-greedy exploration.
 	Strategy string  `json:"strategy"`
 	Gamma    float64 `json:"gamma,omitempty"`
 	Epsilon  float64 `json:"epsilon,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Lambda   float64 `json:"lambda,omitempty"`
+	Perturb  float64 `json:"perturb,omitempty"`
 
 	// Iterations bounds the number of AL steps (0 = until pool size).
 	Iterations int `json:"iterations,omitempty"`
@@ -150,28 +156,21 @@ func (s *CampaignSpec) Validate() error {
 	return nil
 }
 
-// strategy resolves the named selection rule, with optional ε-greedy
-// wrapping.
+// strategy resolves the named selection rule through the al registry,
+// mapping spec knobs onto al.StrategyParams (ε-greedy wrapping
+// included).
 func (s *CampaignSpec) strategy() (al.Strategy, error) {
-	var base al.Strategy
-	switch s.Strategy {
-	case "variance-reduction", "":
-		base = al.VarianceReduction{}
-	case "cost-efficiency":
-		base = al.CostEfficiency{}
-	case "cost-exponent":
-		base = al.CostExponent{Gamma: s.Gamma}
-	case "thompson":
-		base = al.ThompsonVariance{}
-	case "random":
-		base = al.Random{}
-	default:
-		return nil, fmt.Errorf("%w: unknown strategy %q", errSpec, s.Strategy)
+	strat, err := al.NewStrategy(s.Strategy, al.StrategyParams{
+		Gamma:   s.Gamma,
+		Epsilon: s.Epsilon,
+		K:       s.K,
+		Lambda:  s.Lambda,
+		Perturb: s.Perturb,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errSpec, err)
 	}
-	if s.Epsilon > 0 {
-		return al.EpsilonGreedy{Base: base, Eps: s.Epsilon}, nil
-	}
-	return base, nil
+	return strat, nil
 }
 
 // loopConfig maps the spec onto the AL loop configuration the engine

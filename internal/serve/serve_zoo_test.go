@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Every registry strategy must be reachable through a campaign spec and
+// run a client campaign to done — and the server-driven trace must match
+// the direct al.RunOnline reference bit for bit, QBC's committee RNG
+// included.
+func TestZooStrategiesThroughService(t *testing.T) {
+	specs := []CampaignSpec{
+		{Strategy: "qbc", K: 3, Seed: 7},
+		{Strategy: "qbc-cost", K: 3, Gamma: 1, Seed: 7},
+		{Strategy: "diversity", Lambda: 0.5, Seed: 7},
+		{Strategy: "emcm-grad", Seed: 7},
+		{Strategy: "eps-greedy", Epsilon: 0.2, Seed: 7},
+	}
+	for _, s := range specs {
+		spec := clientSpec(s.Seed)
+		spec.Name = s.Strategy
+		spec.Strategy = s.Strategy
+		spec.K = s.K
+		spec.Gamma = s.Gamma
+		spec.Lambda = s.Lambda
+		spec.Epsilon = s.Epsilon
+		spec.Iterations = 4
+		t.Run(s.Strategy, func(t *testing.T) {
+			ref := directRun(t, spec)
+
+			defer checkLeaked(t)
+			mgr := NewManager(Config{})
+			defer mgr.Shutdown(context.Background())
+			c, err := mgr.Create(spec)
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			xs := driveCampaign(t, c, 0)
+			st := waitTerminal(t, c)
+			if st.State != StateDone {
+				t.Fatalf("campaign ended %s (err %q), want done", st.State, st.Error)
+			}
+			expectTrace(t, c, xs, ref)
+		})
+	}
+}
+
+// A zoo strategy riding a dataset-backed campaign over plain HTTP: the
+// spec round-trips through JSON, the registry resolves it server-side,
+// and the campaign reaches done.
+func TestZooStrategyOverHTTP(t *testing.T) {
+	defer checkLeaked(t)
+	mgr := NewManager(Config{})
+	defer mgr.Shutdown(context.Background())
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+
+	body, _ := json.Marshal(CampaignSpec{
+		Source:     "dataset",
+		Dataset:    &DatasetSpec{Name: "synthetic", Seed: 3, N: 14, Noise: 0.05},
+		Seeds:      []int{0, 13},
+		Strategy:   "diversity",
+		Lambda:     1,
+		Iterations: 4,
+		Restarts:   1,
+		Seed:       5,
+	})
+	resp, err := http.Post(srv.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create returned %d: %+v", resp.StatusCode, st)
+	}
+	if st.Strategy != "diversity(1.00)" {
+		t.Fatalf("status strategy %q, want diversity(1.00)", st.Strategy)
+	}
+	c, err := mgr.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, c)
+	if final.State != StateDone {
+		t.Fatalf("campaign ended %s (err %q), want done", final.State, final.Error)
+	}
+
+	// An unknown strategy must map to HTTP 400 via the registry error.
+	body, _ = json.Marshal(CampaignSpec{
+		Source:     "dataset",
+		Dataset:    &DatasetSpec{Name: "synthetic"},
+		Seeds:      []int{0},
+		Strategy:   "no-such-strategy",
+		Iterations: 2,
+	})
+	resp, err = http.Post(srv.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy returned %d, want 400", resp.StatusCode)
+	}
+}
