@@ -1,0 +1,552 @@
+// Command alload replays production-shaped load against an alserve
+// instance with zero backend evaluations: a surrogate model trained on
+// recorded campaign journals (internal/surrogate) stands in for the
+// expensive oracle, so tens of thousands of suggest/observe/predict
+// requests cost microseconds of CPU instead of cluster time.
+//
+// The replay is a deterministic plan derived from -seed: a set of
+// client-sourced campaigns whose candidate grid is the recorded input
+// set (driven to completion by goroutines that answer suggestions from
+// the surrogate), plus an open-loop background stream of predict
+// batches, suggest polls, and status reads, with optional request
+// cloning and client-side chaos. The plan fingerprint is printed and
+// embedded in the SLO report, so two runs with equal seeds over equal
+// recordings are provably replaying identical traffic.
+//
+// Latency, shed, conflict, and error outcomes are captured per route
+// (exact quantiles in the report, load.* obs metrics for dashboards)
+// and written as an SLO report JSON for scripts/slodiff to gate in CI:
+//
+//	alload -requests 10000 -seed 7 -slo-out slo_report.json
+//	go run ./scripts/slodiff -baseline SLO_baseline.json slo_report.json
+//
+// With no -server, an in-process alserve (with admission control per
+// -max-inflight/-max-queue) is started; with no -journals, a seeded
+// recording campaign is run first to produce training journals.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/al"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/surrogate"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+type config struct {
+	server     string
+	journals   string
+	recordDS   string
+	recordIter int
+	surKind    string
+	knnK       int
+
+	requests     int
+	concurrency  int
+	rate         float64
+	campaigns    int
+	iterations   int
+	cloneRate    float64
+	clones       int
+	predictBatch int
+	seed         int64
+	timeout      time.Duration
+
+	maxInFlight int
+	maxQueue    int
+
+	chaosSeed     int64
+	chaosLatRate  float64
+	chaosLat      time.Duration
+	chaosDupRate  float64
+	chaosDropRate float64
+
+	sloOut          string
+	fingerprintOnly bool
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.server, "server", "", "target alserve base URL (empty = start an in-process server)")
+	fs.StringVar(&cfg.journals, "journals", "", "directory of recorded campaign journals to train the surrogate on (empty = record one in-process)")
+	fs.StringVar(&cfg.recordDS, "record-dataset", "synthetic", "dataset for the bootstrap recording campaign: synthetic or performance")
+	fs.IntVar(&cfg.recordIter, "record-iterations", 20, "AL iterations in the bootstrap recording campaign")
+	fs.StringVar(&cfg.surKind, "surrogate", "knn", "surrogate model kind: knn or ols")
+	fs.IntVar(&cfg.knnK, "knn-k", 0, "neighbor count for the knn surrogate (0 = default)")
+	fs.IntVar(&cfg.requests, "requests", 10000, "background requests to plan (driver traffic comes on top)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 16, "background worker pool size")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in requests/sec, exponential interarrivals (0 = as fast as the pool allows)")
+	fs.IntVar(&cfg.campaigns, "campaigns", 4, "concurrent replay campaigns driven to completion")
+	fs.IntVar(&cfg.iterations, "iterations", 25, "AL iterations per replay campaign")
+	fs.Float64Var(&cfg.cloneRate, "clone-rate", 0.02, "probability a background request is cloned")
+	fs.IntVar(&cfg.clones, "clones", 1, "duplicate sends per cloned request")
+	fs.IntVar(&cfg.predictBatch, "predict-batch", 8, "points per predict request")
+	fs.Int64Var(&cfg.seed, "seed", 7, "plan / surrogate / pacing seed")
+	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Minute, "overall replay deadline")
+	fs.IntVar(&cfg.maxInFlight, "max-inflight", 64, "in-process server admission bound (0 = unlimited)")
+	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "in-process server admission queue (0 = 2x max-inflight)")
+	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "seed for client-side chaos decisions")
+	fs.Float64Var(&cfg.chaosLatRate, "chaos-latency-rate", 0, "probability of injected latency per background request")
+	fs.DurationVar(&cfg.chaosLat, "chaos-latency", 10*time.Millisecond, "maximum injected client latency")
+	fs.Float64Var(&cfg.chaosDupRate, "chaos-dup-rate", 0, "probability a background request is duplicated by the chaos transport")
+	fs.Float64Var(&cfg.chaosDropRate, "chaos-drop-rate", 0, "probability a background response is dropped after the server handled it")
+	fs.StringVar(&cfg.sloOut, "slo-out", "", "write the SLO report JSON here")
+	fs.BoolVar(&cfg.fingerprintOnly, "fingerprint-only", false, "print the plan fingerprint and exit without replaying")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := replay(cfg, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "alload:", err)
+		return 1
+	}
+	return 0
+}
+
+// performanceDataset mirrors alserve's registration: the paper's §V-B
+// study subset as a recording target.
+func performanceDataset(spec serve.DatasetSpec) (*dataset.Dataset, string, error) {
+	d, err := repro.GeneratePerformanceDataset(spec.Seed)
+	if err != nil {
+		return nil, "", err
+	}
+	sub, err := repro.StudySubset2D(d)
+	if err != nil {
+		return nil, "", err
+	}
+	return sub, dataset.RespRuntime, nil
+}
+
+// recordJournals runs one seeded dataset-backed campaign against an
+// in-process manager with persistence on, producing the journal the
+// surrogate trains from. This is the only stage that touches a "real"
+// (simulated) backend; everything after is surrogate-only.
+func recordJournals(cfg config, dir string) error {
+	serve.RegisterDataset("performance", performanceDataset)
+	mgr := serve.NewManager(serve.Config{CheckpointDir: dir})
+	spec := serve.CampaignSpec{
+		Name:       "surrogate-recording",
+		Source:     "dataset",
+		Dataset:    &serve.DatasetSpec{Name: cfg.recordDS, Seed: cfg.seed, N: 40, Noise: 0.05},
+		Seeds:      []int{0, 39},
+		Strategy:   "variance-reduction",
+		Iterations: cfg.recordIter,
+		Restarts:   1,
+		Seed:       cfg.seed,
+	}
+	if cfg.recordDS == "performance" {
+		// The study grid has its own size; seed the corners the way
+		// alserve demos do.
+		spec.Seeds = []int{0, 1}
+	}
+	c, err := mgr.Create(spec)
+	if err != nil {
+		return fmt.Errorf("recording campaign: %w", err)
+	}
+	c.Wait()
+	st, err := c.Status(false)
+	if err != nil {
+		return err
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("recording campaign ended %s: %s", st.State, st.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return mgr.Shutdown(ctx)
+}
+
+// localServer is the in-process alserve stood up when -server is empty.
+type localServer struct {
+	url string
+	srv *http.Server
+	mgr *serve.Manager
+	err chan error
+}
+
+func startLocalServer(cfg config) (*localServer, error) {
+	mgr := serve.NewManager(serve.Config{})
+	handler := serve.NewServerWith(mgr, serve.ServerConfig{
+		Admission: resilience.AdmissionConfig{
+			MaxInFlight: cfg.maxInFlight,
+			MaxQueue:    cfg.maxQueue,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ls := &localServer{
+		url: "http://" + ln.Addr().String(),
+		srv: &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
+		mgr: mgr,
+		err: make(chan error, 1),
+	}
+	go func() { ls.err <- ls.srv.Serve(ln) }()
+	return ls, nil
+}
+
+func (ls *localServer) shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ls.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return ls.mgr.Shutdown(ctx)
+}
+
+// loader holds the shared replay state: the target, the two client
+// stacks (retrying for correctness-critical driver traffic, raw for
+// background traffic so shed 429s stay visible), and per-route stats.
+type loader struct {
+	base    string
+	driver  *http.Client // retrying, idempotency-keyed
+	bg      *http.Client // no retries: a 429 here IS the measurement
+	ids     []string     // campaign index → id, read-only after create
+	stats   map[string]*routeStats
+	cloned  int64
+	cloneMu sync.Mutex
+}
+
+func (l *loader) addClones(n int) {
+	l.cloneMu.Lock()
+	l.cloned += int64(n)
+	l.cloneMu.Unlock()
+	loadCloned.Add(int64(n))
+}
+
+// outcome buckets a completed exchange. Transport-level failures arrive
+// with resp == nil.
+func outcome(resp *http.Response, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return "shed"
+	case resp.StatusCode == http.StatusConflict:
+		return "conflict"
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return "ok"
+	default:
+		return "error"
+	}
+}
+
+// exchange performs one timed HTTP request on client and files it under
+// route. The response body is drained so connections get reused; the
+// parsed body is returned only for 200s when out != nil.
+func (l *loader) exchange(ctx context.Context, client *http.Client, route, method, url string, body []byte, key string, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set(resilience.IdempotencyHeader, key)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	latMs := float64(time.Since(start)) / float64(time.Millisecond)
+	l.stats[route].record(latMs, outcome(resp, err))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// doOp fires one planned background request plus its clones, all
+// concurrently, through the non-retrying client. Every send is its own
+// measurement.
+func (l *loader) doOp(ctx context.Context, o op) {
+	send := func() {
+		id := l.ids[o.Campaign]
+		switch o.Kind {
+		case opPredict:
+			body, _ := json.Marshal(serve.PredictRequest{Points: o.Points})
+			l.exchange(ctx, l.bg, "predict", http.MethodPost, l.base+"/campaigns/"+id+"/predict", body, "", nil)
+		case opSuggest:
+			l.exchange(ctx, l.bg, "suggest", http.MethodGet, l.base+"/campaigns/"+id+"/suggest", nil, "", nil)
+		default:
+			l.exchange(ctx, l.bg, "status", http.MethodGet, l.base+"/campaigns/"+id, nil, "", nil)
+		}
+	}
+	if o.Clones > 0 {
+		l.addClones(o.Clones)
+		var wg sync.WaitGroup
+		for i := 0; i < o.Clones; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); send() }()
+		}
+		send()
+		wg.Wait()
+		return
+	}
+	send()
+}
+
+func replay(cfg config, stdout, stderr io.Writer) error {
+	journalDir := cfg.journals
+	if journalDir == "" {
+		dir, err := os.MkdirTemp("", "alload-journals-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if err := recordJournals(cfg, dir); err != nil {
+			return err
+		}
+		journalDir = dir
+	}
+	sur, samples, err := surrogate.FromJournalDir(journalDir, surrogate.Config{Kind: cfg.surKind, K: cfg.knnK})
+	if err != nil {
+		return err
+	}
+	loo := sur.LOOEval()
+	fmt.Fprintf(stdout, "alload: surrogate %s over %d samples (dims %d, LOO rel RMSE %.4f)\n",
+		sur.Kind(), len(samples), sur.Dims(), loo.RelRMSE)
+
+	p, err := buildPlan(planConfig{
+		Seed:         cfg.seed,
+		Requests:     cfg.requests,
+		Campaigns:    cfg.campaigns,
+		Iterations:   cfg.iterations,
+		PredictBatch: cfg.predictBatch,
+		CloneRate:    cfg.cloneRate,
+		Clones:       cfg.clones,
+	}, sur)
+	if err != nil {
+		return err
+	}
+	fp := p.fingerprint()
+	fmt.Fprintf(stdout, "alload: plan fingerprint %016x (%d background ops, %d campaigns)\n", fp, len(p.Ops), len(p.Specs))
+	if cfg.fingerprintOnly {
+		return nil
+	}
+
+	base := cfg.server
+	if base == "" {
+		ls, err := startLocalServer(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := ls.shutdown(); err != nil {
+				fmt.Fprintln(stderr, "alload: server shutdown:", err)
+			}
+		}()
+		base = ls.url
+		fmt.Fprintf(stdout, "alload: in-process alserve on %s (max-inflight %d)\n", base, cfg.maxInFlight)
+	}
+
+	var bgTransport http.RoundTripper = http.DefaultTransport
+	if cfg.chaosLatRate > 0 || cfg.chaosDupRate > 0 || cfg.chaosDropRate > 0 {
+		bgTransport = faults.WrapRoundTripper(bgTransport, faults.NewNet(faults.NetworkConfig{
+			Seed:             cfg.chaosSeed,
+			LatencyRate:      cfg.chaosLatRate,
+			Latency:          cfg.chaosLat,
+			DuplicateRate:    cfg.chaosDupRate,
+			DropResponseRate: cfg.chaosDropRate,
+		}))
+		fmt.Fprintln(stderr, "alload: CHAOS transport active on background traffic")
+	}
+	l := &loader{
+		base: base,
+		driver: resilience.NewClient(nil, resilience.TransportConfig{
+			Seed:    cfg.seed,
+			Backoff: resilience.Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second},
+		}),
+		bg:  &http.Client{Transport: bgTransport},
+		ids: make([]string, len(p.Specs)),
+		stats: map[string]*routeStats{
+			"create":  newRouteStats("create"),
+			"suggest": newRouteStats("suggest"),
+			"observe": newRouteStats("observe"),
+			"predict": newRouteStats("predict"),
+			"status":  newRouteStats("status"),
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	start := time.Now()
+
+	// Campaigns are created up front (background ops need resolvable
+	// ids), then drivers and the background stream run concurrently.
+	for i, spec := range p.Specs {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		var created serve.CampaignStatus
+		key := fmt.Sprintf("create-%016x-%d", fp, i)
+		if code, err := l.exchange(ctx, l.driver, "create", http.MethodPost, l.base+"/campaigns", body, key, &created); err != nil {
+			return fmt.Errorf("create campaign %d: %w", i, err)
+		} else if code != http.StatusCreated {
+			return fmt.Errorf("create campaign %d: HTTP %d", i, code)
+		}
+		l.ids[i] = created.ID
+	}
+
+	var wg sync.WaitGroup
+	errMu := sync.Mutex{}
+	var driverErrs []error
+	for i := range p.Specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.driveExisting(ctx, i, sur); err != nil && ctx.Err() == nil {
+				errMu.Lock()
+				driverErrs = append(driverErrs, err)
+				errMu.Unlock()
+			}
+		}(i)
+	}
+
+	ops := make(chan op)
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range ops {
+				l.doOp(ctx, o)
+			}
+		}()
+	}
+	pace := rand.New(rand.NewSource(cfg.seed ^ 0x5f5f5f5f))
+dispatch:
+	for _, o := range p.Ops {
+		if cfg.rate > 0 {
+			d := time.Duration(pace.ExpFloat64() / cfg.rate * float64(time.Second))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		select {
+		case ops <- o:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ops)
+	wg.Wait()
+	if ctx.Err() != nil {
+		return fmt.Errorf("replay aborted at %s: %w", cfg.timeout, ctx.Err())
+	}
+	if len(driverErrs) > 0 {
+		return fmt.Errorf("%d driver(s) failed, first: %w", len(driverErrs), driverErrs[0])
+	}
+
+	rep := l.report(cfg, p, fp, loo, sur, time.Since(start))
+	return writeReport(rep, cfg.sloOut, stdout)
+}
+
+// driveExisting is runDriver for a campaign already created (the
+// up-front create loop owns creation).
+func (l *loader) driveExisting(ctx context.Context, idx int, sur *surrogate.Model) error {
+	id := l.ids[idx]
+	for ctx.Err() == nil {
+		var sug serve.Suggestion
+		code, err := l.exchange(ctx, l.driver, "suggest", http.MethodGet, l.base+"/campaigns/"+id+"/suggest", nil, "", &sug)
+		switch {
+		case err != nil:
+			return fmt.Errorf("driver %d: suggest: %w", idx, err)
+		case code == http.StatusConflict:
+			var st serve.CampaignStatus
+			if _, err := l.exchange(ctx, l.driver, "status", http.MethodGet, l.base+"/campaigns/"+id, nil, "", &st); err != nil {
+				return fmt.Errorf("driver %d: status: %w", idx, err)
+			}
+			switch st.State {
+			case serve.StateDone, serve.StateStopped:
+				return nil
+			case serve.StateFailed:
+				return fmt.Errorf("driver %d: campaign %s failed: %s", idx, id, st.Error)
+			}
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			continue
+		case code != http.StatusOK:
+			return fmt.Errorf("driver %d: suggest returned HTTP %d", idx, code)
+		}
+		y, cost := sur.Predict(sug.X)
+		body, err := json.Marshal(serve.ObserveRequest{Seq: sug.Seq, Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)})
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("%s-seq%d", id, sug.Seq)
+		if code, err := l.exchange(ctx, l.driver, "observe", http.MethodPost, l.base+"/campaigns/"+id+"/observe", body, key, nil); err != nil {
+			return fmt.Errorf("driver %d: observe seq %d: %w", idx, sug.Seq, err)
+		} else if code != http.StatusOK && code != http.StatusConflict {
+			return fmt.Errorf("driver %d: observe seq %d returned HTTP %d", idx, sug.Seq, code)
+		}
+	}
+	return ctx.Err()
+}
+
+// report assembles the SLO report from the accumulated route stats.
+func (l *loader) report(cfg config, p *plan, fp uint64, loo surrogate.Report, sur *surrogate.Model, dur time.Duration) *SLOReport {
+	rep := &SLOReport{
+		Seed:            cfg.seed,
+		Fingerprint:     fmt.Sprintf("%016x", fp),
+		PlannedRequests: len(p.Ops),
+		DurationMs:      float64(dur) / float64(time.Millisecond),
+		Surrogate: SurrogateReport{
+			Kind:       sur.Kind(),
+			Samples:    sur.Len(),
+			LOORelRMSE: loo.RelRMSE,
+		},
+		Routes: make(map[string]RouteReport, len(l.stats)),
+	}
+	l.cloneMu.Lock()
+	rep.Clones = int(l.cloned)
+	l.cloneMu.Unlock()
+	var total, shed, errs int
+	for route, st := range l.stats {
+		rr := st.snapshot()
+		rep.Routes[route] = rr
+		total += rr.Requests
+		shed += rr.Shed
+		errs += rr.Errors
+	}
+	rep.TotalRequests = total
+	if total > 0 {
+		rep.ErrorRate = float64(errs) / float64(total)
+		rep.ShedRate = float64(shed) / float64(total)
+	}
+	return rep
+}

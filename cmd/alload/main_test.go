@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/surrogate"
+)
+
+func testModel(t *testing.T, n int) *surrogate.Model {
+	t.Helper()
+	samples := make([]surrogate.Sample, n)
+	for i := range samples {
+		x := 3 * float64(i) / float64(n-1)
+		samples[i] = surrogate.Sample{X: []float64{x}, Y: math.Sin(2*x) + 0.5*x, Cost: 1 + x}
+	}
+	m, err := surrogate.Fit(samples, surrogate.Config{})
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return m
+}
+
+func TestPlanFingerprintDeterministic(t *testing.T) {
+	m := testModel(t, 20)
+	cfg := planConfig{Seed: 7, Requests: 500, Campaigns: 3, Iterations: 10, PredictBatch: 4, CloneRate: 0.1, Clones: 2}
+	p1, err := buildPlan(cfg, m)
+	if err != nil {
+		t.Fatalf("plan 1: %v", err)
+	}
+	p2, err := buildPlan(cfg, m)
+	if err != nil {
+		t.Fatalf("plan 2: %v", err)
+	}
+	if p1.fingerprint() != p2.fingerprint() {
+		t.Fatalf("equal configs fingerprint differently: %016x vs %016x", p1.fingerprint(), p2.fingerprint())
+	}
+	if len(p1.Ops) != 500 || len(p1.Specs) != 3 {
+		t.Fatalf("plan shape: %d ops, %d specs", len(p1.Ops), len(p1.Specs))
+	}
+	cfg.Seed = 8
+	p3, err := buildPlan(cfg, m)
+	if err != nil {
+		t.Fatalf("plan 3: %v", err)
+	}
+	if p3.fingerprint() == p1.fingerprint() {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+}
+
+func TestPlanOpMix(t *testing.T) {
+	m := testModel(t, 20)
+	p, err := buildPlan(planConfig{Seed: 1, Requests: 2000, Campaigns: 2, Iterations: 5, PredictBatch: 3, CloneRate: 0.5, Clones: 1}, m)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	counts := map[string]int{}
+	clones := 0
+	lo, hi := m.Bounds()
+	for _, o := range p.Ops {
+		counts[o.Kind]++
+		clones += o.Clones
+		if o.Campaign < 0 || o.Campaign >= 2 {
+			t.Fatalf("op targets campaign %d", o.Campaign)
+		}
+		for _, pt := range o.Points {
+			if pt[0] < lo[0] || pt[0] > hi[0] {
+				t.Fatalf("planned point %v outside recorded bounds [%v, %v]", pt, lo[0], hi[0])
+			}
+		}
+	}
+	// The mix is seeded-random; just require every kind present and
+	// predict dominant, as documented.
+	if counts[opPredict] < counts[opSuggest] || counts[opSuggest] == 0 || counts[opStatus] == 0 {
+		t.Fatalf("degenerate op mix: %v", counts)
+	}
+	if clones < 500 {
+		t.Fatalf("clone rate 0.5 over 2000 ops produced only %d clones", clones)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 6}, {1, 10},
+	} {
+		if got := quantile(sorted, tc.q); got != tc.want {
+			t.Errorf("quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+var fpLine = regexp.MustCompile(`plan fingerprint ([0-9a-f]{16})`)
+
+// TestFingerprintStableAcrossRuns runs the full surrogate bootstrap +
+// planning twice in separate invocations and requires the identical
+// fingerprint — the reproducibility claim the SLO gate leans on.
+func TestFingerprintStableAcrossRuns(t *testing.T) {
+	fp := func() string {
+		var out, errb bytes.Buffer
+		code := run([]string{"-fingerprint-only", "-seed", "13", "-requests", "200", "-record-iterations", "6"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("run exited %d: %s%s", code, out.String(), errb.String())
+		}
+		m := fpLine.FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("no fingerprint in output:\n%s", out.String())
+		}
+		return m[1]
+	}
+	if a, b := fp(), fp(); a != b {
+		t.Fatalf("fingerprints differ across runs: %s vs %s", a, b)
+	}
+}
+
+// TestReplayEndToEnd runs a small but complete replay — bootstrap
+// recording, surrogate fit, in-process server, campaign drivers, and
+// the background stream — and checks the SLO report it writes.
+func TestReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full replay in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "slo.json")
+	var stdout, stderrB bytes.Buffer
+	code := run([]string{
+		"-requests", "400",
+		"-campaigns", "2",
+		"-iterations", "6",
+		"-record-iterations", "12",
+		"-concurrency", "8",
+		"-clone-rate", "0.1",
+		"-seed", "5",
+		"-slo-out", out,
+	}, &stdout, &stderrB)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderrB.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report parse: %v", err)
+	}
+	if rep.PlannedRequests != 400 {
+		t.Errorf("planned %d, want 400", rep.PlannedRequests)
+	}
+	if rep.TotalRequests < 400 {
+		t.Errorf("total %d < planned 400 (driver traffic missing?)", rep.TotalRequests)
+	}
+	if rep.ErrorRate != 0 {
+		t.Errorf("error rate %v on a chaos-free local replay", rep.ErrorRate)
+	}
+	if len(rep.Fingerprint) != 16 {
+		t.Errorf("fingerprint %q", rep.Fingerprint)
+	}
+	if rep.Surrogate.Kind != "knn" || rep.Surrogate.Samples == 0 {
+		t.Errorf("surrogate block %+v", rep.Surrogate)
+	}
+	// The 0.15 contract applies to the 20-iteration reference recording
+	// (internal/surrogate tests); this shorter one just has to be sane.
+	if rep.Surrogate.LOORelRMSE > 0.5 {
+		t.Errorf("surrogate LOO rel RMSE %.4f is unusably large", rep.Surrogate.LOORelRMSE)
+	}
+	for _, route := range []string{"predict", "suggest", "observe", "status", "create"} {
+		rr, ok := rep.Routes[route]
+		if !ok {
+			t.Fatalf("route %s missing from report", route)
+		}
+		if route != "status" && rr.Requests == 0 {
+			t.Errorf("route %s saw no traffic", route)
+		}
+		if rr.Requests > 0 && rr.P99Ms < rr.P50Ms {
+			t.Errorf("route %s: p99 %.2fms < p50 %.2fms", route, rr.P99Ms, rr.P50Ms)
+		}
+	}
+	if rep.Routes["observe"].OK < 2*6 {
+		t.Errorf("observe ok %d, want at least campaigns*iterations=12", rep.Routes["observe"].OK)
+	}
+	if !strings.Contains(stdout.String(), "plan fingerprint") {
+		t.Errorf("summary missing fingerprint line:\n%s", stdout.String())
+	}
+}

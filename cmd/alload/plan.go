@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/serve"
+	"repro/internal/surrogate"
+)
+
+// Op kinds for background replay traffic. The mix models what a fleet
+// of analysis dashboards and lab clients does to a campaign service:
+// mostly prediction batches, a steady trickle of suggest polls and
+// status reads.
+const (
+	opPredict = "predict"
+	opSuggest = "suggest"
+	opStatus  = "status"
+)
+
+// op is one planned background request (plus optional clones — exact
+// duplicates fired concurrently, modeling impatient or misconfigured
+// clients and exercising the server's idempotent read paths).
+type op struct {
+	Kind     string
+	Campaign int         // index into plan.Specs
+	Points   [][]float64 // predict batches only
+	Clones   int
+}
+
+// planConfig parameterizes buildPlan. Everything here is part of the
+// fingerprint: two equal configs over equal surrogates yield
+// byte-identical plans.
+type planConfig struct {
+	Seed         int64
+	Requests     int
+	Campaigns    int
+	Iterations   int
+	PredictBatch int
+	CloneRate    float64
+	Clones       int
+}
+
+// driverStrategies is the fixed strategy rotation replay campaigns
+// cycle through — a spread of cheap and scoring-heavy rules so replayed
+// load hits both fast and slow server paths.
+var driverStrategies = []string{"variance-reduction", "cost-efficiency", "thompson", "random"}
+
+// plan is a fully materialized load profile: the campaign specs the
+// drivers run and the exact background request sequence. Built once
+// from (config, surrogate) and then immutable, so a replay is
+// reproducible from its seed alone.
+type plan struct {
+	Config planConfig
+	Specs  []serve.CampaignSpec
+	Ops    []op
+}
+
+// buildPlan derives the load profile from the surrogate: campaign
+// candidate grids are the deduplicated recorded inputs (every row has a
+// faithful surrogate response) and predict points are drawn from the
+// recorded bounds, so replayed traffic stays on the recorded response
+// surface.
+func buildPlan(cfg planConfig, sur *surrogate.Model) (*plan, error) {
+	grid := sur.Grid()
+	if len(grid) < 2 {
+		return nil, fmt.Errorf("surrogate grid has %d distinct points, need at least 2", len(grid))
+	}
+	lo, hi := sur.Bounds()
+	p := &plan{Config: cfg}
+
+	for i := 0; i < cfg.Campaigns; i++ {
+		p.Specs = append(p.Specs, serve.CampaignSpec{
+			Name:       fmt.Sprintf("replay-%d", i),
+			Source:     "client",
+			Candidates: grid,
+			Seeds:      []int{0, len(grid) - 1},
+			Strategy:   driverStrategies[i%len(driverStrategies)],
+			Iterations: cfg.Iterations,
+			Restarts:   1,
+			Seed:       cfg.Seed + int64(i),
+		})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	point := func() []float64 {
+		if rng.Float64() < 0.6 {
+			// Snap to a recorded input: exact-at-training-point territory,
+			// and a likely prediction-cache hit under cloning.
+			return grid[rng.Intn(len(grid))]
+		}
+		x := make([]float64, len(lo))
+		for d := range x {
+			x[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+		}
+		return x
+	}
+	p.Ops = make([]op, cfg.Requests)
+	for i := range p.Ops {
+		o := op{Campaign: rng.Intn(cfg.Campaigns)}
+		switch r := rng.Float64(); {
+		case r < 0.80:
+			o.Kind = opPredict
+			o.Points = make([][]float64, cfg.PredictBatch)
+			for j := range o.Points {
+				o.Points[j] = point()
+			}
+		case r < 0.92:
+			o.Kind = opSuggest
+		default:
+			o.Kind = opStatus
+		}
+		if cfg.Clones > 0 && rng.Float64() < cfg.CloneRate {
+			o.Clones = cfg.Clones
+		}
+		p.Ops[i] = o
+	}
+	return p, nil
+}
+
+// fingerprint hashes the full plan — config, specs, every op and every
+// planned point — to one uint64. Equal seeds over equal recordings must
+// produce equal fingerprints; the e2e test and the slo-smoke CI lane
+// assert exactly that.
+func (p *plan) fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	wi := func(v int) { w64(uint64(int64(v))) }
+	ws := func(s string) {
+		wi(len(s))
+		h.Write([]byte(s))
+	}
+
+	w64(uint64(p.Config.Seed))
+	wi(p.Config.Requests)
+	wi(p.Config.Campaigns)
+	wi(p.Config.Iterations)
+	wi(p.Config.PredictBatch)
+	wf(p.Config.CloneRate)
+	wi(p.Config.Clones)
+
+	for _, spec := range p.Specs {
+		ws(spec.Strategy)
+		w64(uint64(spec.Seed))
+		wi(spec.Iterations)
+		wi(len(spec.Candidates))
+		for _, row := range spec.Candidates {
+			for _, v := range row {
+				wf(v)
+			}
+		}
+		for _, s := range spec.Seeds {
+			wi(s)
+		}
+	}
+	for _, o := range p.Ops {
+		ws(o.Kind)
+		wi(o.Campaign)
+		wi(o.Clones)
+		wi(len(o.Points))
+		for _, pt := range o.Points {
+			for _, v := range pt {
+				wf(v)
+			}
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metrics registered by the load generator (documented in
+// OBSERVABILITY.md). Latency timers are per route; counters aggregate
+// across routes.
+var (
+	loadRequests  = obs.C("load.request.count")
+	loadCloned    = obs.C("load.request.cloned")
+	loadShed      = obs.C("load.request.shed")
+	loadErrors    = obs.C("load.request.errors")
+	loadConflicts = obs.C("load.request.conflicts")
+)
+
+// routeStats accumulates outcomes and exact latency samples for one
+// route. The obs histogram gives the coarse always-on view; the sample
+// slice gives the exact quantiles the SLO report is gated on.
+type routeStats struct {
+	timer *obs.Histogram
+
+	mu        sync.Mutex
+	ms        []float64
+	ok        int
+	shed      int
+	conflicts int
+	errors    int
+}
+
+// record files one request outcome. latMs is wall time for the whole
+// exchange; outcome is one of "ok", "shed", "conflict", "error".
+func (s *routeStats) record(latMs float64, outcome string) {
+	s.timer.Observe(latMs / 1000)
+	loadRequests.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ms = append(s.ms, latMs)
+	switch outcome {
+	case "ok":
+		s.ok++
+	case "shed":
+		s.shed++
+		loadShed.Inc()
+	case "conflict":
+		s.conflicts++
+		loadConflicts.Inc()
+	default:
+		s.errors++
+		loadErrors.Inc()
+	}
+}
+
+func newRouteStats(route string) *routeStats {
+	return &routeStats{timer: obs.T("load." + route + ".latency")}
+}
+
+// RouteReport is the per-route slice of the SLO report.
+type RouteReport struct {
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Conflicts int     `json:"conflicts"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// SurrogateReport records how faithful the oracle standing in for the
+// backend was, so an SLO report can never silently come from a drifted
+// model.
+type SurrogateReport struct {
+	Kind       string  `json:"kind"`
+	Samples    int     `json:"samples"`
+	LOORelRMSE float64 `json:"loo_rel_rmse"`
+}
+
+// SLOReport is the machine-readable outcome of one replay, consumed by
+// scripts/slodiff. Rates are over total requests (clones included).
+type SLOReport struct {
+	Seed            int64                  `json:"seed"`
+	Fingerprint     string                 `json:"fingerprint"`
+	PlannedRequests int                    `json:"planned_requests"`
+	TotalRequests   int                    `json:"total_requests"`
+	Clones          int                    `json:"clones"`
+	DurationMs      float64                `json:"duration_ms"`
+	ErrorRate       float64                `json:"error_rate"`
+	ShedRate        float64                `json:"shed_rate"`
+	Surrogate       SurrogateReport        `json:"surrogate"`
+	Routes          map[string]RouteReport `json:"routes"`
+}
+
+// quantile reads the q-quantile (0 ≤ q ≤ 1) from an ASCENDING-sorted
+// sample slice using nearest-rank; empty input yields 0.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// snapshot freezes one route's stats into its report row.
+func (s *routeStats) snapshot() RouteReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sorted := append([]float64(nil), s.ms...)
+	sort.Float64s(sorted)
+	rep := RouteReport{
+		Requests:  len(s.ms),
+		OK:        s.ok,
+		Conflicts: s.conflicts,
+		Shed:      s.shed,
+		Errors:    s.errors,
+		P50Ms:     quantile(sorted, 0.50),
+		P90Ms:     quantile(sorted, 0.90),
+		P99Ms:     quantile(sorted, 0.99),
+	}
+	if n := len(sorted); n > 0 {
+		rep.MaxMs = sorted[n-1]
+	}
+	return rep
+}
+
+// writeReport emits the report as indented JSON to path ("" = skip)
+// and a human summary to out.
+func writeReport(rep *SLOReport, path string, out io.Writer) error {
+	fmt.Fprintf(out, "alload: %d requests (%d planned, %d clones) in %.0fms — error rate %.4f, shed rate %.4f\n",
+		rep.TotalRequests, rep.PlannedRequests, rep.Clones, rep.DurationMs, rep.ErrorRate, rep.ShedRate)
+	routes := make([]string, 0, len(rep.Routes))
+	for r := range rep.Routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		rr := rep.Routes[r]
+		fmt.Fprintf(out, "  %-8s %6d req  ok %-6d conflict %-5d shed %-5d err %-5d p50 %7.2fms  p99 %7.2fms\n",
+			r, rr.Requests, rr.OK, rr.Conflicts, rr.Shed, rr.Errors, rr.P50Ms, rr.P99Ms)
+	}
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

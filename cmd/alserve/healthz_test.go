@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// healthzBody is the documented /healthz shape (DESIGN.md §10,
+// OBSERVABILITY.md): liveness plus the resilience picture.
+type healthzBody struct {
+	Status         string            `json:"status"`
+	Campaigns      int               `json:"campaigns"`
+	Terminal       int               `json:"terminal"`
+	AdmissionDepth int               `json:"admission_depth"`
+	Breakers       map[string]string `json:"breakers"`
+}
+
+func getHealthz(base string) (int, healthzBody, error) {
+	var body healthzBody
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0, body, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body, err
+}
+
+// TestHealthzDegradedUnderSaturation pins the documented degraded-state
+// contract: when the admission queue rides above its high watermark,
+// /healthz must stay HTTP 200 (the process IS alive — degradation is
+// not an error code), flip status to "degraded", report a positive
+// admission_depth, and keep listing both breakers. Once load stops the
+// status must recover to "ok". The endpoint itself bypasses admission,
+// so it stays readable while every other route queues or sheds.
+func TestHealthzDegradedUnderSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation integration test skipped in -short mode")
+	}
+	bin := buildAlserve(t)
+	addr := freeAddr(t)
+
+	// One in-flight slot and a short queue: high watermark is 1+8/2 = 5,
+	// low watermark 0, so a dozen concurrent predict calls pin the queue
+	// at its ceiling (depth 9) and the flag latches until full drain.
+	cmd := exec.Command(bin, "-addr", addr, "-checkpoint-dir", t.TempDir(),
+		"-max-inflight", "1", "-max-queue", "8")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start alserve: %v", err)
+	}
+	srv := &testServer{cmd: cmd, base: "http://" + addr}
+	defer srv.kill(t)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body, err := getHealthz(srv.base)
+		if err == nil && code == http.StatusOK && body.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alserve never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A finished dataset campaign gives the hammers a model to predict
+	// against — real GP work that holds the admission slot, unlike a
+	// fast list handler the queue never sees.
+	var created serve.CampaignStatus
+	spec := serve.CampaignSpec{
+		Name:    "saturation",
+		Source:  "dataset",
+		Dataset: &serve.DatasetSpec{Name: "synthetic", Seed: 11, N: 40, Noise: 0.05},
+		Seeds:   []int{0, 39}, Strategy: "variance-reduction",
+		Iterations: 10, Restarts: 1, Seed: 5,
+	}
+	if code, err := httpJSON("POST", srv.base+"/campaigns", spec, &created); err != nil || code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d err %v", code, err)
+	}
+	waitDone(t, srv.base, created.ID)
+
+	// Hammer predict with per-request unique batches (repeating points
+	// would be served from the LRU cache and never touch the model).
+	ctx, stopHammers := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			url := srv.base + "/campaigns/" + created.ID + "/predict"
+			for n := 0; ctx.Err() == nil; n++ {
+				points := make([][]float64, 64)
+				for j := range points {
+					points[j] = []float64{float64(worker) + float64(n*64+j)*1e-6}
+				}
+				body, _ := json.Marshal(serve.PredictRequest{Points: points})
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(i)
+	}
+	defer func() {
+		stopHammers()
+		wg.Wait()
+	}()
+
+	// Under sustained saturation /healthz must report degraded — with
+	// the full documented body — while still answering 200.
+	var degraded healthzBody
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		code, body, err := getHealthz(srv.base)
+		if err != nil {
+			t.Fatalf("healthz under load: %v", err)
+		}
+		if code != http.StatusOK {
+			t.Fatalf("healthz under load returned HTTP %d, want 200 (degradation is not an error code)", code)
+		}
+		if body.Status == "degraded" {
+			degraded = body
+			break
+		}
+		if body.Status != "ok" {
+			t.Fatalf("healthz status %q, want ok or degraded", body.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never reported degraded under saturation (last depth %d)", body.AdmissionDepth)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if degraded.AdmissionDepth <= 0 {
+		t.Errorf("degraded healthz reports admission_depth %d, want > 0", degraded.AdmissionDepth)
+	}
+	if degraded.Campaigns < 1 || degraded.Terminal < 1 {
+		t.Errorf("degraded healthz reports campaigns=%d terminal=%d, want ≥ 1 each",
+			degraded.Campaigns, degraded.Terminal)
+	}
+	for _, name := range []string{"score", "journal"} {
+		if _, ok := degraded.Breakers[name]; !ok {
+			t.Errorf("degraded healthz body is missing breaker %q: %v", name, degraded.Breakers)
+		}
+	}
+
+	// Stop the load; the hysteresis must recover to "ok" once the queue
+	// drains to the low watermark.
+	stopHammers()
+	wg.Wait()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		code, body, err := getHealthz(srv.base)
+		if err != nil {
+			t.Fatalf("healthz after load: %v", err)
+		}
+		if code == http.StatusOK && body.Status == "ok" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stuck %q (depth %d) after load stopped", body.Status, body.AdmissionDepth)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -62,5 +63,12 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return time.Duration(rng.Int63n(int64(ceil) + 1))
+	// The draw is inclusive of the ceiling, but int64(ceil)+1 overflows
+	// to MinInt64 when ceil is MaxInt64 (reachable via a huge Base) and
+	// Int63n panics on non-positive n — saturate instead.
+	n := int64(ceil)
+	if n < math.MaxInt64 {
+		n++
+	}
+	return time.Duration(rng.Int63n(n))
 }

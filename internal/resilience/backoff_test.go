@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -75,6 +76,57 @@ func TestBackoffDeterministic(t *testing.T) {
 		d2 := b.Delay(attempt, r2)
 		if d1 != d2 {
 			t.Fatalf("attempt %d: %v vs %v under the same seed", attempt, d1, d2)
+		}
+	}
+}
+
+// TestBackoffCapEdgeCases drives the schedule through degenerate and
+// extreme configurations: zero and negative Base/Cap (fall back to
+// defaults), and ceilings saturated at MaxInt64 nanoseconds, where a
+// naive inclusive draw (int64(ceil)+1) would overflow and panic inside
+// rand.Int63n.
+func TestBackoffCapEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	for _, b := range []Backoff{
+		{},
+		{Base: -time.Second},
+		{Cap: -time.Minute},
+		{Base: -1, Cap: -1},
+	} {
+		if got := b.Ceiling(0); got != 100*time.Millisecond {
+			t.Errorf("%+v: Ceiling(0) = %v, want the 100ms default", b, got)
+		}
+		if got := b.Ceiling(1000); got != 5*time.Second {
+			t.Errorf("%+v: Ceiling(1000) = %v, want the 5s default cap", b, got)
+		}
+		if d := b.Delay(4, rng); d < 0 || d > 5*time.Second {
+			t.Errorf("%+v: Delay(4) = %v outside [0, 5s]", b, d)
+		}
+	}
+
+	// Absurdly large schedules: ceiling pegged at MaxInt64 from attempt
+	// zero. Delay must stay in range and must not panic.
+	huge := Backoff{Base: time.Duration(math.MaxInt64), Cap: time.Duration(math.MaxInt64)}
+	for _, attempt := range []int{0, 1, 62, 63, 64, 1 << 20} {
+		if got := huge.Ceiling(attempt); got != time.Duration(math.MaxInt64) {
+			t.Fatalf("huge: Ceiling(%d) = %v, want MaxInt64", attempt, got)
+		}
+		if d := huge.Delay(attempt, rng); d < 0 {
+			t.Fatalf("huge: Delay(%d) = %v, negative", attempt, d)
+		}
+	}
+
+	// A base one doubling away from overflow: the ramp must saturate at
+	// Cap, never go negative.
+	nearOverflow := Backoff{Base: time.Duration(math.MaxInt64/2 + 1), Cap: time.Duration(math.MaxInt64)}
+	for attempt := 0; attempt < 8; attempt++ {
+		c := nearOverflow.Ceiling(attempt)
+		if c <= 0 {
+			t.Fatalf("nearOverflow: Ceiling(%d) = %v", attempt, c)
+		}
+		if d := nearOverflow.Delay(attempt, rng); d < 0 {
+			t.Fatalf("nearOverflow: Delay(%d) = %v, negative", attempt, d)
 		}
 	}
 }

@@ -165,9 +165,17 @@ func retryableRequest(req *http.Request) bool {
 	return req.Header.Get(IdempotencyHeader) != "" || req.Body == nil
 }
 
+// maxRetryAfter caps server-supplied Retry-After hints. A buggy or
+// hostile server advertising an absurd delay must not park the client
+// for hours — or overflow time.Duration, which multiplying first and
+// checking later would (e.g. "999999999999" seconds).
+const maxRetryAfter = 5 * time.Minute
+
 // parseRetryAfter reads the delay-seconds form of Retry-After ("" or
 // unparseable → 0; the HTTP-date form is deliberately unsupported, the
-// campaign service always sends seconds).
+// campaign service always sends seconds). Hints above maxRetryAfter
+// clamp to it, with the comparison done on raw seconds so oversized
+// values never reach the Duration multiplication.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
@@ -175,6 +183,9 @@ func parseRetryAfter(v string) time.Duration {
 	secs, err := strconv.Atoi(v)
 	if err != nil || secs < 0 {
 		return 0
+	}
+	if secs > int(maxRetryAfter/time.Second) {
+		return maxRetryAfter
 	}
 	return time.Duration(secs) * time.Second
 }

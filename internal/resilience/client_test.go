@@ -209,13 +209,25 @@ func TestParseRetryAfter(t *testing.T) {
 		"":    0,
 		"0":   0,
 		"3":   3 * time.Second,
+		"+3":  3 * time.Second, // Atoi accepts an explicit sign
 		"-1":  0,
 		"x":   0,
 		"1.5": 0,
+		"1e3": 0,
+		" 3":  0,             // no whitespace trimming: the header is machine-written
+		"300": maxRetryAfter, // exactly the clamp
+		"301": maxRetryAfter,
+		// Values that would overflow time.Duration if multiplied before
+		// clamping: ~9.2e9 seconds flips the sign bit.
+		"999999999999":        maxRetryAfter,
+		"9223372036854775807": maxRetryAfter, // MaxInt64 seconds
 	}
 	for in, want := range cases {
 		if got := parseRetryAfter(in); got != want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
 		}
+	}
+	if got := parseRetryAfter("10"); got <= 0 || got > maxRetryAfter {
+		t.Errorf("parseRetryAfter(10s) = %v, outside (0, %v]", got, maxRetryAfter)
 	}
 }

@@ -203,8 +203,13 @@ func (s *CampaignSpec) loopConfig(response string) (al.LoopConfig, error) {
 // failed measurement), so both fields use the NaN-safe JSON float.
 // Key is the client's idempotency key, persisted so resume rebuilds the
 // dedup index and an at-least-once client can never double-feed the
-// engine across a crash.
+// engine across a crash. X is the input point the observation answered
+// (the suggestion's coordinates); replay ignores it, but recording it
+// makes every journal a (x, y, cost) training set for surrogate oracles
+// (internal/surrogate). Journals written before X existed load with a
+// nil X.
 type Observation struct {
+	X    []float64    `json:"x,omitempty"`
 	Y    al.JSONFloat `json:"y"`
 	Cost al.JSONFloat `json:"cost"`
 	Key  string       `json:"key,omitempty"`

@@ -323,7 +323,7 @@ func (c *Campaign) measure(x []float64) (float64, float64, error) {
 		y := c.ds.RespAt(c.response, row)
 		cost := c.ds.CostAt(row)
 		if !c.do(func(st *campaignState) {
-			o := Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
+			o := Observation{X: append([]float64(nil), x...), Y: al.JSONFloat(y), Cost: al.JSONFloat(cost)}
 			if err := c.appendJournal(st, o); err != nil {
 				// Skipping one entry would corrupt replay order, so stop
 				// journaling entirely: the valid prefix still replays and
@@ -496,7 +496,12 @@ func (c *Campaign) ObserveKeyed(ctx context.Context, seq int, y, cost float64, k
 			err = fmt.Errorf("%w: got seq %d, pending is %d", ErrSeqMismatch, seq, st.pending.seq)
 			return
 		}
-		o := Observation{Y: al.JSONFloat(y), Cost: al.JSONFloat(cost), Key: key}
+		o := Observation{
+			X:    append([]float64(nil), st.pending.x...),
+			Y:    al.JSONFloat(y),
+			Cost: al.JSONFloat(cost),
+			Key:  key,
+		}
 		if err = c.appendJournal(st, o); err != nil {
 			return
 		}

@@ -61,8 +61,12 @@ type journalHeader struct {
 // journalObs is one accepted oracle return. MV/FP pin the model
 // identity at append time (hex fingerprint, "" before the first fit);
 // replay must reproduce the same fingerprint at the same version or the
-// campaign fails instead of serving silently diverged suggestions.
+// campaign fails instead of serving silently diverged suggestions. X is
+// the measured input point — informational for replay, load-bearing for
+// surrogate training (the field is additive, so version-2 journals
+// written without it still load).
 type journalObs struct {
+	X    []float64    `json:"x,omitempty"`
 	Y    al.JSONFloat `json:"y"`
 	Cost al.JSONFloat `json:"cost"`
 	Key  string       `json:"key,omitempty"`
@@ -159,7 +163,7 @@ func loadJournal(path string) (*journalFile, error) {
 			jf.appendOffset = int64(off + nl + 1)
 		case rec.Obs != nil:
 			jf.Observations = append(jf.Observations, Observation{
-				Y: rec.Obs.Y, Cost: rec.Obs.Cost, Key: rec.Obs.Key,
+				X: rec.Obs.X, Y: rec.Obs.Y, Cost: rec.Obs.Cost, Key: rec.Obs.Key,
 			})
 			if rec.Obs.MV > 0 {
 				jf.ModelVersion = rec.Obs.MV
@@ -300,7 +304,7 @@ func (w *journalWriter) write(rec *journalRecord) error {
 
 func (w *journalWriter) appendObs(o Observation, mv int, fp uint64) error {
 	return w.write(&journalRecord{Obs: &journalObs{
-		Y: o.Y, Cost: o.Cost, Key: o.Key, MV: mv, FP: fpHex(fp),
+		X: o.X, Y: o.Y, Cost: o.Cost, Key: o.Key, MV: mv, FP: fpHex(fp),
 	}})
 }
 

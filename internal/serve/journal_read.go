@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// JournalInfo is the read-only view of one campaign checkpoint, exposed
+// to tools outside the service: surrogate training (internal/surrogate)
+// and load replay (cmd/alload) consume recorded campaigns through it.
+// Observations appear in append order; entries recorded by servers that
+// predate X recording carry a nil X.
+type JournalInfo struct {
+	// ID is the campaign id the journal belongs to.
+	ID string
+	// Spec is the campaign spec the journal's header pinned.
+	Spec CampaignSpec
+	// Observations is the accepted (x, y, cost) stream.
+	Observations []Observation
+	// Done reports whether the journal carries a terminal "done" line.
+	Done bool
+	// Error is the terminal error message, if the campaign failed.
+	Error string
+	// Truncated reports that a torn tail was dropped during the load.
+	Truncated bool
+}
+
+// ReadJournal loads one campaign checkpoint for offline consumption.
+// It applies exactly the crash-recovery rules the server's resume path
+// uses: a torn or unparsable final line is dropped (Truncated reports
+// it), mid-file corruption is an error.
+func ReadJournal(path string) (*JournalInfo, error) {
+	jf, err := loadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JournalInfo{
+		ID:           jf.ID,
+		Spec:         jf.Spec,
+		Observations: jf.Observations,
+		Done:         jf.Done,
+		Error:        jf.Error,
+		Truncated:    jf.truncated,
+	}, nil
+}
+
+// ReadJournalDir loads every campaign journal in dir (the layout a
+// Manager's CheckpointDir produces: one <id>.json per campaign), sorted
+// by file name so callers see a deterministic order. Files that fail to
+// load are skipped and reported in skipped; an empty directory is not
+// an error.
+func ReadJournalDir(dir string) (infos []*JournalInfo, skipped []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: scan journal dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		info, err := ReadJournal(path)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		infos = append(infos, info)
+	}
+	return infos, skipped, nil
+}

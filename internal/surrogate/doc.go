@@ -1,0 +1,53 @@
+// Package surrogate trains cheap oracle models from recorded campaign
+// journals so load replay never touches a real measurement backend.
+//
+// The idea follows "Efficient Benchmarking of Algorithm Configuration
+// Procedures via Model-Based Surrogates" (Eggensperger et al., see
+// PAPERS.md): once a campaign has run against the expensive oracle
+// (HPGMG, a simulated cluster, a lab machine), its journal is a free
+// (x, y, cost) training set, and a model fitted to it can stand in for
+// the oracle at microsecond cost. cmd/alload uses these surrogates to
+// replay production-shaped traffic — tens of thousands of requests —
+// against a live alserve with zero backend evaluations.
+//
+// # Models
+//
+// Two fits are available behind the same Model type:
+//
+//   - "knn" (default): inverse-distance-weighted k-nearest-neighbor
+//     over inputs normalized to the per-dimension training range. Exact
+//     at training points (distance zero short-circuits to the recorded
+//     response), smooth between them, and immune to fitting failures.
+//   - "ols": a low-rank linear fit on quadratic features (1, xᵢ, xᵢxⱼ)
+//     via internal/stats.FitOLS — a global low-rank view of the
+//     response surface, cheaper to evaluate at high dimension and
+//     smoother under extrapolation, at the price of in-sample bias.
+//
+// Both are deterministic: equal training sets and configs produce
+// models whose predictions agree bit-for-bit, which is what makes a
+// seeded load replay reproducible.
+//
+// # Accuracy contract
+//
+// The surrogate exists to shape load, not to win benchmarks, but it
+// must stay faithful to the recorded campaign or replayed campaigns
+// drift into unrealistic regions. The documented thresholds, asserted
+// by this package's unit tests against journals recorded from a live
+// internal/serve campaign, are:
+//
+//   - "knn" in-sample RMSE ≤ 1e-9 (training points reproduce the
+//     recorded responses exactly), and
+//   - "knn" leave-one-out relative RMSE ≤ 0.15 (15% of the recorded
+//     response spread) on the reference synthetic campaign.
+//
+// Eval and LOOEval compute both figures for any sample set, so callers
+// can enforce their own bars on other recordings; cmd/alload prints
+// them into its SLO report.
+//
+// # Metrics
+//
+// surrogate.train.samples counts samples accepted into fits,
+// surrogate.predict.count counts oracle evaluations served, and the
+// surrogate.fit.loo_rel_rmse gauge records the leave-one-out relative
+// RMSE of the most recent fit (see OBSERVABILITY.md).
+package surrogate

@@ -1,0 +1,68 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// SamplesFromJournal extracts the (x, y, cost) training pairs from one
+// loaded campaign journal. Observations without a recorded X (journals
+// written before input recording existed, see serve.Observation) and
+// observations with non-finite responses (failed measurements) are
+// skipped — the returned count of skipped entries lets callers decide
+// whether the recording is usable.
+func SamplesFromJournal(info *serve.JournalInfo) (samples []Sample, skipped int) {
+	for _, o := range info.Observations {
+		y, cost := float64(o.Y), float64(o.Cost)
+		if len(o.X) == 0 ||
+			math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(cost) || math.IsInf(cost, 0) {
+			skipped++
+			continue
+		}
+		samples = append(samples, Sample{
+			X:    append([]float64(nil), o.X...),
+			Y:    y,
+			Cost: cost,
+		})
+	}
+	return samples, skipped
+}
+
+// FromJournalDir trains a surrogate from every campaign journal in dir
+// (a Manager's CheckpointDir layout). Journals that fail to load, and
+// observations without usable (x, y, cost) triples, are skipped with an
+// obs event; mixing journals of different input dimensionality is an
+// error. Returns the model plus the pooled training set so callers can
+// run their own Eval.
+func FromJournalDir(dir string, cfg Config) (*Model, []Sample, error) {
+	infos, skippedFiles, err := serve.ReadJournalDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range skippedFiles {
+		obs.Emit("surrogate.journal.skipped", map[string]any{"reason": s})
+	}
+	var samples []Sample
+	for _, info := range infos {
+		got, skipped := SamplesFromJournal(info)
+		if skipped > 0 {
+			obs.Emit("surrogate.samples.skipped", map[string]any{
+				"campaign": info.ID, "skipped": skipped,
+			})
+		}
+		samples = append(samples, got...)
+	}
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("%w: no usable (x, y, cost) observations under %s (did the recording server write X? %d journal(s) read, %d skipped)",
+			ErrNoSamples, dir, len(infos), len(skippedFiles))
+	}
+	m, err := Fit(samples, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, samples, nil
+}

@@ -1,0 +1,360 @@
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+var (
+	trainSamples  = obs.C("surrogate.train.samples")
+	predictCount  = obs.C("surrogate.predict.count")
+	fitLOORelRMSE = obs.G("surrogate.fit.loo_rel_rmse")
+)
+
+// Sample is one recorded oracle interaction: the measured input point
+// and the response/cost the real backend returned.
+type Sample struct {
+	X    []float64
+	Y    float64
+	Cost float64
+}
+
+// Config selects and parameterizes a surrogate fit. The zero value is a
+// valid KNN configuration.
+type Config struct {
+	// Kind picks the model: "knn" (default) or "ols".
+	Kind string
+	// K is the neighbor count for "knn" (default 3, capped at the
+	// training-set size).
+	K int
+}
+
+// ErrNoSamples reports a fit attempted on an empty training set.
+var ErrNoSamples = errors.New("surrogate: no training samples")
+
+// Model is a fitted surrogate oracle: Predict returns the modeled
+// (response, cost) for an input point at in-memory cost, never touching
+// the backend the training campaign measured. Models are immutable
+// after Fit and safe for concurrent use.
+type Model struct {
+	kind    string
+	k       int
+	dims    int
+	samples []Sample  // defensive copies, training order preserved
+	lo, hi  []float64 // per-dimension training bounds (normalization)
+
+	yFit, costFit *stats.OLS // quadratic-feature fits, kind "ols" only
+}
+
+// Fit trains a surrogate on the samples. Every sample must have the
+// same dimensionality and finite coordinates; samples with non-finite
+// responses or costs are rejected (they encode failed measurements —
+// callers decide separately whether to replay failures).
+func Fit(samples []Sample, cfg Config) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = "knn"
+	}
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	dims := len(samples[0].X)
+	if dims == 0 {
+		return nil, fmt.Errorf("surrogate: empty input point in sample 0")
+	}
+	m := &Model{
+		kind:    cfg.Kind,
+		k:       cfg.K,
+		dims:    dims,
+		samples: make([]Sample, 0, len(samples)),
+		lo:      make([]float64, dims),
+		hi:      make([]float64, dims),
+	}
+	for d := 0; d < dims; d++ {
+		m.lo[d] = math.Inf(1)
+		m.hi[d] = math.Inf(-1)
+	}
+	for i, s := range samples {
+		if len(s.X) != dims {
+			return nil, fmt.Errorf("surrogate: sample %d has %d dims, want %d", i, len(s.X), dims)
+		}
+		for _, v := range s.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("surrogate: sample %d has a non-finite coordinate", i)
+			}
+		}
+		if math.IsNaN(s.Y) || math.IsInf(s.Y, 0) || math.IsNaN(s.Cost) || math.IsInf(s.Cost, 0) {
+			return nil, fmt.Errorf("surrogate: sample %d has a non-finite response or cost", i)
+		}
+		cp := Sample{X: append([]float64(nil), s.X...), Y: s.Y, Cost: s.Cost}
+		m.samples = append(m.samples, cp)
+		for d, v := range s.X {
+			if v < m.lo[d] {
+				m.lo[d] = v
+			}
+			if v > m.hi[d] {
+				m.hi[d] = v
+			}
+		}
+	}
+	if m.k > len(m.samples) {
+		m.k = len(m.samples)
+	}
+	switch m.kind {
+	case "knn":
+		// Lazy model: prediction walks the training set.
+	case "ols":
+		feats := mat.NewFromRows(m.featureRows())
+		ys := make([]float64, len(m.samples))
+		costs := make([]float64, len(m.samples))
+		for i, s := range m.samples {
+			ys[i] = s.Y
+			costs[i] = s.Cost
+		}
+		var err error
+		if m.yFit, err = stats.FitOLS(feats, ys); err != nil {
+			return nil, fmt.Errorf("surrogate: ols response fit: %w", err)
+		}
+		if m.costFit, err = stats.FitOLS(feats, costs); err != nil {
+			return nil, fmt.Errorf("surrogate: ols cost fit: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("surrogate: unknown kind %q (want knn or ols)", cfg.Kind)
+	}
+	trainSamples.Add(int64(len(m.samples)))
+	rep := m.LOOEval()
+	fitLOORelRMSE.Set(rep.RelRMSE)
+	obs.Emit("surrogate.fit", map[string]any{
+		"kind": m.kind, "samples": len(m.samples), "dims": dims,
+		"loo_rel_rmse": rep.RelRMSE,
+	})
+	return m, nil
+}
+
+// Kind reports the fitted model kind.
+func (m *Model) Kind() string { return m.kind }
+
+// Dims reports the input dimensionality.
+func (m *Model) Dims() int { return m.dims }
+
+// Len reports the training-set size.
+func (m *Model) Len() int { return len(m.samples) }
+
+// Bounds returns copies of the per-dimension training range — the box
+// a load generator should sample prediction points from so replayed
+// traffic stays on the recorded response surface.
+func (m *Model) Bounds() (lo, hi []float64) {
+	return append([]float64(nil), m.lo...), append([]float64(nil), m.hi...)
+}
+
+// Grid returns the deduplicated training inputs in a deterministic
+// (lexicographic) order — the natural candidate grid for replay
+// campaigns, since every row has a surrogate response the model is
+// exact (knn) or least-squares-faithful (ols) at.
+func (m *Model) Grid() [][]float64 {
+	seen := make(map[string]bool, len(m.samples))
+	out := make([][]float64, 0, len(m.samples))
+	for _, s := range m.samples {
+		k := pointKey(s.X)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, append([]float64(nil), s.X...))
+	}
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	return out
+}
+
+// Predict evaluates the surrogate at x. Inputs outside the training
+// bounds are allowed (nearest neighbors, or the global fit, still
+// answer); dimensionality must match the training set.
+func (m *Model) Predict(x []float64) (y, cost float64) {
+	if len(x) != m.dims {
+		panic(fmt.Sprintf("surrogate: Predict dim %d, model has %d", len(x), m.dims))
+	}
+	predictCount.Inc()
+	return m.predictExcluding(x, -1)
+}
+
+// predictExcluding is Predict with one training index masked out — the
+// leave-one-out machinery. skip < 0 masks nothing.
+func (m *Model) predictExcluding(x []float64, skip int) (y, cost float64) {
+	if m.kind == "ols" {
+		f := m.features(x)
+		return m.yFit.Predict(f), m.costFit.Predict(f)
+	}
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	cands := make([]cand, 0, len(m.samples))
+	for i, s := range m.samples {
+		if i == skip {
+			continue
+		}
+		d2 := m.dist2(x, s.X)
+		if d2 == 0 {
+			// Exact training point: reproduce the recorded response.
+			return s.Y, s.Cost
+		}
+		cands = append(cands, cand{d2: d2, idx: i})
+	}
+	if len(cands) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	// Deterministic neighbor order: distance, then training index.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d2 != cands[j].d2 {
+			return cands[i].d2 < cands[j].d2
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	k := m.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var wsum, ysum, csum float64
+	for _, c := range cands[:k] {
+		w := 1 / c.d2 // inverse-squared-distance weights
+		wsum += w
+		ysum += w * m.samples[c.idx].Y
+		csum += w * m.samples[c.idx].Cost
+	}
+	return ysum / wsum, csum / wsum
+}
+
+// dist2 is the squared euclidean distance after normalizing each
+// dimension to its training range (degenerate dimensions contribute
+// raw differences, so distinct points never collapse to distance 0).
+func (m *Model) dist2(a, b []float64) float64 {
+	var s float64
+	for d := 0; d < m.dims; d++ {
+		diff := a[d] - b[d]
+		if span := m.hi[d] - m.lo[d]; span > 0 {
+			diff /= span
+		}
+		s += diff * diff
+	}
+	return s
+}
+
+// features expands x into the quadratic basis (xᵢ, xᵢxⱼ for i ≤ j) the
+// "ols" kind fits on (FitOLS adds the intercept itself).
+func (m *Model) features(x []float64) []float64 {
+	out := make([]float64, 0, m.dims+m.dims*(m.dims+1)/2)
+	out = append(out, x...)
+	for i := 0; i < m.dims; i++ {
+		for j := i; j < m.dims; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+func (m *Model) featureRows() [][]float64 {
+	rows := make([][]float64, len(m.samples))
+	for i, s := range m.samples {
+		rows[i] = m.features(s.X)
+	}
+	return rows
+}
+
+// Report summarizes surrogate prediction error against a sample set.
+// RelRMSE is RMSE divided by the response spread (max−min) of the
+// evaluated samples: the scale-free figure the accuracy contract in the
+// package docs is stated in. Cost errors are reported separately so a
+// cost-blind fit cannot hide behind an accurate response.
+type Report struct {
+	N        int
+	RMSE     float64
+	RelRMSE  float64
+	MaxAbs   float64
+	CostRMSE float64
+}
+
+// Eval measures prediction error against samples (typically the
+// training set itself, or a held-out recording).
+func (m *Model) Eval(samples []Sample) Report {
+	preds := make([][2]float64, len(samples))
+	for i, s := range samples {
+		y, c := m.predictExcluding(s.X, -1)
+		preds[i] = [2]float64{y, c}
+	}
+	return m.report(samples, preds)
+}
+
+// LOOEval measures leave-one-out error over the training set: each
+// training point is predicted with itself excluded. For "ols" (a global
+// fit) this equals Eval on the training set.
+func (m *Model) LOOEval() Report {
+	preds := make([][2]float64, len(m.samples))
+	for i, s := range m.samples {
+		y, c := m.predictExcluding(s.X, i)
+		preds[i] = [2]float64{y, c}
+	}
+	return m.report(m.samples, preds)
+}
+
+func (m *Model) report(samples []Sample, preds [][2]float64) Report {
+	rep := Report{N: len(samples)}
+	if len(samples) == 0 {
+		return rep
+	}
+	var sse, sseCost float64
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for i, s := range samples {
+		dy := preds[i][0] - s.Y
+		dc := preds[i][1] - s.Cost
+		sse += dy * dy
+		sseCost += dc * dc
+		if a := math.Abs(dy); a > rep.MaxAbs {
+			rep.MaxAbs = a
+		}
+		if s.Y < yMin {
+			yMin = s.Y
+		}
+		if s.Y > yMax {
+			yMax = s.Y
+		}
+	}
+	rep.RMSE = math.Sqrt(sse / float64(len(samples)))
+	rep.CostRMSE = math.Sqrt(sseCost / float64(len(samples)))
+	if spread := yMax - yMin; spread > 0 {
+		rep.RelRMSE = rep.RMSE / spread
+	} else {
+		rep.RelRMSE = rep.RMSE
+	}
+	return rep
+}
+
+func pointKey(x []float64) string {
+	b := make([]byte, 0, 8*len(x))
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(bits>>s))
+		}
+	}
+	return string(b)
+}
+
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

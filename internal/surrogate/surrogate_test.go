@@ -1,0 +1,242 @@
+package surrogate
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/al"
+	"repro/internal/serve"
+)
+
+// recordCampaign runs one dataset-backed campaign through the real
+// campaign service with persistence on, waits for it to finish, and
+// returns the checkpoint directory holding its journal — the exact
+// artifact surrogate training consumes in production.
+func recordCampaign(t *testing.T, iterations int) string {
+	t.Helper()
+	dir := t.TempDir()
+	mgr := serve.NewManager(serve.Config{CheckpointDir: dir})
+	c, err := mgr.Create(serve.CampaignSpec{
+		Name:   "recording",
+		Source: "dataset",
+		Dataset: &serve.DatasetSpec{
+			Name: "synthetic", Seed: 11, N: 40, Noise: 0.05,
+		},
+		Seeds:      []int{0, 39},
+		Strategy:   "variance-reduction",
+		Iterations: iterations,
+		Restarts:   1,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatalf("create recording campaign: %v", err)
+	}
+	c.Wait()
+	st, err := c.Status(false)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("recording campaign ended %s (err %q), want done", st.State, st.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	return dir
+}
+
+// TestJournalRecordsInputs asserts the serve-side half of the training
+// pipeline: every observation a campaign journals carries the measured
+// input point.
+func TestJournalRecordsInputs(t *testing.T) {
+	dir := recordCampaign(t, 8)
+	infos, skipped, err := serve.ReadJournalDir(dir)
+	if err != nil {
+		t.Fatalf("ReadJournalDir: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("journals skipped: %v", skipped)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("got %d journals, want 1", len(infos))
+	}
+	info := infos[0]
+	if !info.Done {
+		t.Fatalf("journal not marked done (error %q)", info.Error)
+	}
+	if len(info.Observations) == 0 {
+		t.Fatal("journal has no observations")
+	}
+	for i, o := range info.Observations {
+		if len(o.X) != 1 {
+			t.Fatalf("observation %d has X=%v, want a recorded 1-D input", i, o.X)
+		}
+	}
+}
+
+// TestAccuracyContract is the documented error-threshold assertion (see
+// doc.go): on a journal recorded from a live campaign, the default KNN
+// surrogate must reproduce recorded responses exactly in-sample
+// (RMSE ≤ 1e-9) and stay within 15% relative RMSE leave-one-out.
+func TestAccuracyContract(t *testing.T) {
+	dir := recordCampaign(t, 20)
+	m, samples, err := FromJournalDir(dir, Config{})
+	if err != nil {
+		t.Fatalf("FromJournalDir: %v", err)
+	}
+	if m.Len() != len(samples) || m.Len() < 10 {
+		t.Fatalf("trained on %d samples (returned %d), want a real training set", m.Len(), len(samples))
+	}
+
+	in := m.Eval(samples)
+	if in.RMSE > 1e-9 {
+		t.Errorf("in-sample RMSE %.3g exceeds the documented 1e-9 exactness bound", in.RMSE)
+	}
+	if in.CostRMSE > 1e-9 {
+		t.Errorf("in-sample cost RMSE %.3g exceeds the documented 1e-9 exactness bound", in.CostRMSE)
+	}
+
+	loo := m.LOOEval()
+	if loo.RelRMSE > 0.15 {
+		t.Errorf("LOO relative RMSE %.4f exceeds the documented 0.15 threshold (RMSE %.4f over %d samples)",
+			loo.RelRMSE, loo.RMSE, loo.N)
+	}
+	t.Logf("surrogate accuracy: in-sample RMSE %.3g, LOO rel RMSE %.4f (n=%d)", in.RMSE, loo.RelRMSE, loo.N)
+}
+
+func synthSamples(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		x := 4 * float64(i) / float64(n-1)
+		out[i] = Sample{X: []float64{x}, Y: math.Sin(2*x) + 0.5*x, Cost: 1 + x}
+	}
+	return out
+}
+
+// TestOLSKind exercises the low-rank alternative: the quadratic-feature
+// OLS fit cannot be exact on a sinusoid, but must track the surface
+// within a loose global bound and answer deterministically.
+func TestOLSKind(t *testing.T) {
+	samples := synthSamples(30)
+	m, err := Fit(samples, Config{Kind: "ols"})
+	if err != nil {
+		t.Fatalf("Fit(ols): %v", err)
+	}
+	rep := m.Eval(samples)
+	if rep.RelRMSE > 0.35 {
+		t.Errorf("ols relative RMSE %.4f is unusably large", rep.RelRMSE)
+	}
+	y1, c1 := m.Predict([]float64{1.7})
+	y2, c2 := m.Predict([]float64{1.7})
+	if y1 != y2 || c1 != c2 {
+		t.Errorf("ols prediction not deterministic: (%v,%v) vs (%v,%v)", y1, c1, y2, c2)
+	}
+}
+
+// TestPredictDeterministic asserts two independent fits of the same
+// training set agree bit-for-bit — the property seeded load replay
+// rests on.
+func TestPredictDeterministic(t *testing.T) {
+	samples := synthSamples(25)
+	m1, err := Fit(samples, Config{K: 4})
+	if err != nil {
+		t.Fatalf("fit 1: %v", err)
+	}
+	m2, err := Fit(samples, Config{K: 4})
+	if err != nil {
+		t.Fatalf("fit 2: %v", err)
+	}
+	for i := 0; i <= 100; i++ {
+		x := []float64{4.4*float64(i)/100 - 0.2} // includes points outside the training box
+		y1, c1 := m1.Predict(x)
+		y2, c2 := m2.Predict(x)
+		if math.Float64bits(y1) != math.Float64bits(y2) || math.Float64bits(c1) != math.Float64bits(c2) {
+			t.Fatalf("x=%v: fits disagree: (%v,%v) vs (%v,%v)", x, y1, c1, y2, c2)
+		}
+	}
+}
+
+func TestGridAndBounds(t *testing.T) {
+	samples := []Sample{
+		{X: []float64{2}, Y: 1, Cost: 1},
+		{X: []float64{0}, Y: 0, Cost: 1},
+		{X: []float64{2}, Y: 1, Cost: 1}, // duplicate input
+		{X: []float64{1}, Y: 0.5, Cost: 1},
+	}
+	m, err := Fit(samples, Config{})
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	grid := m.Grid()
+	if len(grid) != 3 {
+		t.Fatalf("grid has %d rows, want 3 (deduplicated)", len(grid))
+	}
+	for i := 1; i < len(grid); i++ {
+		if !lexLess(grid[i-1], grid[i]) {
+			t.Fatalf("grid not sorted: %v before %v", grid[i-1], grid[i])
+		}
+	}
+	lo, hi := m.Bounds()
+	if lo[0] != 0 || hi[0] != 2 {
+		t.Fatalf("bounds [%v, %v], want [0, 2]", lo[0], hi[0])
+	}
+}
+
+func TestFitRejectsBadSamples(t *testing.T) {
+	cases := map[string][]Sample{
+		"empty set":       nil,
+		"nan coordinate":  {{X: []float64{math.NaN()}, Y: 1, Cost: 1}},
+		"inf response":    {{X: []float64{1}, Y: math.Inf(1), Cost: 1}},
+		"nan cost":        {{X: []float64{1}, Y: 1, Cost: math.NaN()}},
+		"ragged dims":     {{X: []float64{1}, Y: 1, Cost: 1}, {X: []float64{1, 2}, Y: 1, Cost: 1}},
+		"zero-dim sample": {{X: nil, Y: 1, Cost: 1}},
+	}
+	for name, samples := range cases {
+		if _, err := Fit(samples, Config{}); err == nil {
+			t.Errorf("%s: Fit accepted invalid training set", name)
+		}
+	}
+	if _, err := Fit(synthSamples(5), Config{Kind: "spline"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestSamplesFromJournalSkips checks the filter: entries without X and
+// entries with non-finite responses are dropped, counted, and the rest
+// survive.
+func TestSamplesFromJournalSkips(t *testing.T) {
+	info := &serve.JournalInfo{
+		ID: "c0001",
+		Observations: []serve.Observation{
+			{X: []float64{1}, Y: 2, Cost: 3},
+			{Y: 1, Cost: 1}, // no X (pre-recording journal)
+			{X: []float64{2}, Y: al.JSONFloat(math.NaN()), Cost: 1},  // failed measurement
+			{X: []float64{3}, Y: 1, Cost: al.JSONFloat(math.Inf(1))}, // absurd cost
+			{X: []float64{4}, Y: 5, Cost: 6},
+		},
+	}
+	samples, skipped := SamplesFromJournal(info)
+	if len(samples) != 2 || skipped != 3 {
+		t.Fatalf("got %d samples, %d skipped; want 2 and 3", len(samples), skipped)
+	}
+	if samples[0].X[0] != 1 || samples[1].Y != 5 {
+		t.Fatalf("wrong samples survived: %+v", samples)
+	}
+}
+
+// TestFromJournalDirEmpty asserts the error path a misconfigured load
+// generator hits: a directory with no usable journals.
+func TestFromJournalDirEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := FromJournalDir(dir, Config{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, _, err := FromJournalDir(filepath.Join(dir, "missing"), Config{}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -1,0 +1,221 @@
+// Command slodiff is the CI latency/SLO regression gate for surrogate
+// load replay, the companion of scripts/benchdiff. It compares an SLO
+// report written by cmd/alload against a checked-in baseline
+// (SLO_baseline.json) and fails the build when the replay regressed.
+//
+// Raw latency on shared CI runners is noisy, so latency gates are
+// generous by construction: each route's p50/p99 ceiling is the
+// baseline figure times a headroom multiplier (default 4×) — wide
+// enough to absorb runner variance, tight enough that a lock added to
+// the predict path, a scoring-pool stall, or an accidental synchronous
+// fsync blows straight through it. Rates and counts ARE deterministic
+// under a seeded replay, so error rate, shed rate, replay size, and
+// surrogate faithfulness gate tightly with no headroom.
+//
+// Usage:
+//
+//	go run ./cmd/alload -requests 10000 -seed 7 -slo-out slo_report.json
+//	go run ./scripts/slodiff -baseline SLO_baseline.json slo_report.json          # compare
+//	go run ./scripts/slodiff -baseline SLO_baseline.json -update slo_report.json  # record
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// routeBaseline is the recorded per-route latency reference. Ceilings
+// are baseline × headroom at compare time, so the checked-in figures
+// stay honest measurements rather than pre-inflated limits.
+type routeBaseline struct {
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// baselineFile is the SLO_baseline.json schema.
+type baselineFile struct {
+	Note            string                   `json:"note"`
+	MinRequests     int                      `json:"min_requests"`
+	LatencyHeadroom float64                  `json:"latency_headroom"`
+	MaxErrorRate    float64                  `json:"max_error_rate"`
+	MaxShedRate     float64                  `json:"max_shed_rate"`
+	MaxLOORelRMSE   float64                  `json:"max_loo_rel_rmse"`
+	Routes          map[string]routeBaseline `json:"routes"`
+}
+
+// routeReport and sloReport mirror the cmd/alload output schema
+// (fields slodiff does not gate on are ignored by encoding/json).
+type routeReport struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+type sloReport struct {
+	Fingerprint   string  `json:"fingerprint"`
+	TotalRequests int     `json:"total_requests"`
+	ErrorRate     float64 `json:"error_rate"`
+	ShedRate      float64 `json:"shed_rate"`
+	Surrogate     struct {
+		LOORelRMSE float64 `json:"loo_rel_rmse"`
+	} `json:"surrogate"`
+	Routes map[string]routeReport `json:"routes"`
+}
+
+// compare returns every violated gate, empty when the replay is clean.
+func compare(base *baselineFile, rep *sloReport, out io.Writer) []string {
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	if rep.TotalRequests < base.MinRequests {
+		fail("replay too small: %d requests < required %d (partial run gates nothing)",
+			rep.TotalRequests, base.MinRequests)
+	} else {
+		fmt.Fprintf(out, "ok\treplay size %d (floor %d)\n", rep.TotalRequests, base.MinRequests)
+	}
+	if rep.ErrorRate > base.MaxErrorRate {
+		fail("error rate %.4f > ceiling %.4f", rep.ErrorRate, base.MaxErrorRate)
+	} else {
+		fmt.Fprintf(out, "ok\terror rate %.4f (ceiling %.4f)\n", rep.ErrorRate, base.MaxErrorRate)
+	}
+	if rep.ShedRate > base.MaxShedRate {
+		fail("shed rate %.4f > ceiling %.4f", rep.ShedRate, base.MaxShedRate)
+	} else {
+		fmt.Fprintf(out, "ok\tshed rate %.4f (ceiling %.4f)\n", rep.ShedRate, base.MaxShedRate)
+	}
+	if base.MaxLOORelRMSE > 0 {
+		if rep.Surrogate.LOORelRMSE > base.MaxLOORelRMSE {
+			fail("surrogate LOO rel RMSE %.4f > ceiling %.4f (replay drifted off the recorded surface)",
+				rep.Surrogate.LOORelRMSE, base.MaxLOORelRMSE)
+		} else {
+			fmt.Fprintf(out, "ok\tsurrogate LOO rel RMSE %.4f (ceiling %.4f)\n",
+				rep.Surrogate.LOORelRMSE, base.MaxLOORelRMSE)
+		}
+	}
+
+	routes := make([]string, 0, len(base.Routes))
+	for r := range base.Routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		rb := base.Routes[route]
+		rr, ok := rep.Routes[route]
+		if !ok || rr.Requests == 0 {
+			fail("route %s: in baseline but saw no traffic in the report", route)
+			continue
+		}
+		for _, q := range []struct {
+			name       string
+			got, limit float64
+		}{
+			{"p50", rr.P50Ms, rb.P50Ms * base.LatencyHeadroom},
+			{"p99", rr.P99Ms, rb.P99Ms * base.LatencyHeadroom},
+		} {
+			if q.got > q.limit {
+				fail("route %s: %s %.2fms > %.2fms (baseline ×%.1f headroom)",
+					route, q.name, q.got, q.limit, base.LatencyHeadroom)
+			} else {
+				fmt.Fprintf(out, "ok\troute %s %s %.2fms (limit %.2fms)\n", route, q.name, q.got, q.limit)
+			}
+		}
+	}
+	return failures
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeBaseline(path string, rep *sloReport, cfg baselineFile) error {
+	cfg.Note = "SLO reference for surrogate-driven load replay, recorded by scripts/slodiff -update " +
+		"from a cmd/alload report. Latency figures are honest local measurements; compare-time " +
+		"ceilings are these times latency_headroom. Error/shed/size/surrogate gates apply as-is."
+	cfg.Routes = make(map[string]routeBaseline, len(rep.Routes))
+	for route, rr := range rep.Routes {
+		if rr.Requests == 0 {
+			continue
+		}
+		cfg.Routes[route] = routeBaseline{P50Ms: rr.P50Ms, P99Ms: rr.P99Ms}
+	}
+	data, err := json.MarshalIndent(&cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slodiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "SLO_baseline.json", "baseline JSON to compare against (or write with -update)")
+	update := fs.Bool("update", false, "record the report as the new baseline instead of comparing")
+	minRequests := fs.Int("min-requests", 10000, "-update: required replay size")
+	headroom := fs.Float64("headroom", 4, "-update: latency ceiling multiplier over recorded p50/p99")
+	maxErrorRate := fs.Float64("max-error-rate", 0.01, "-update: error-rate ceiling")
+	maxShedRate := fs.Float64("max-shed-rate", 0.05, "-update: shed-rate ceiling")
+	maxLOO := fs.Float64("max-loo-rel-rmse", 0.15, "-update: surrogate leave-one-out relative RMSE ceiling (0 = don't gate)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: slodiff [-baseline file] [-update] slo_report.json")
+		return 2
+	}
+
+	var rep sloReport
+	if err := readJSON(fs.Arg(0), &rep); err != nil {
+		fmt.Fprintln(stderr, "slodiff:", err)
+		return 1
+	}
+
+	if *update {
+		cfg := baselineFile{
+			MinRequests:     *minRequests,
+			LatencyHeadroom: *headroom,
+			MaxErrorRate:    *maxErrorRate,
+			MaxShedRate:     *maxShedRate,
+			MaxLOORelRMSE:   *maxLOO,
+		}
+		if err := writeBaseline(*baselinePath, &rep, cfg); err != nil {
+			fmt.Fprintln(stderr, "slodiff:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d routes, fingerprint %s)\n", *baselinePath, len(rep.Routes), rep.Fingerprint)
+		return 0
+	}
+
+	var base baselineFile
+	if err := readJSON(*baselinePath, &base); err != nil {
+		fmt.Fprintln(stderr, "slodiff:", err)
+		return 1
+	}
+	if base.LatencyHeadroom <= 0 {
+		base.LatencyHeadroom = 1
+	}
+	failures := compare(&base, &rep, stdout)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stderr, "FAIL\t"+f)
+		}
+		return 1
+	}
+	fmt.Fprintln(stdout, "slodiff: all SLO gates within limits")
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

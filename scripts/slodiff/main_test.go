@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cleanReport is a healthy replay outcome shaped like cmd/alload
+// output; tests perturb copies of it to inject regressions.
+const cleanReport = `{
+  "seed": 7,
+  "fingerprint": "7e665d878eced6f2",
+  "total_requests": 10404,
+  "error_rate": 0,
+  "shed_rate": 0,
+  "surrogate": {"kind": "knn", "samples": 22, "loo_rel_rmse": 0.048},
+  "routes": {
+    "create":  {"requests": 4,    "p50_ms": 0.2, "p99_ms": 2.0},
+    "suggest": {"requests": 1304, "p50_ms": 2.8, "p99_ms": 19.2},
+    "observe": {"requests": 108,  "p50_ms": 9.5, "p99_ms": 38.9},
+    "predict": {"requests": 8209, "p50_ms": 2.8, "p99_ms": 18.1},
+    "status":  {"requests": 779,  "p50_ms": 3.0, "p99_ms": 17.7}
+  }
+}`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mutate applies fn to the parsed clean report and writes it back out.
+func mutate(t *testing.T, dir, name string, fn func(map[string]any)) string {
+	t.Helper()
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(cleanReport), &rep); err != nil {
+		t.Fatal(err)
+	}
+	fn(rep)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return write(t, dir, name, string(data))
+}
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// baseline returns a checked-in-shaped baseline matching the clean
+// report with the default 4x headroom.
+func baseline(t *testing.T, dir string) string {
+	return write(t, dir, "base.json", `{
+  "min_requests": 10000,
+  "latency_headroom": 4,
+  "max_error_rate": 0.01,
+  "max_shed_rate": 0.05,
+  "max_loo_rel_rmse": 0.15,
+  "routes": {
+    "suggest": {"p50_ms": 6, "p99_ms": 40},
+    "observe": {"p50_ms": 20, "p99_ms": 80},
+    "predict": {"p50_ms": 6, "p99_ms": 40},
+    "status":  {"p50_ms": 6, "p99_ms": 40}
+  }
+}`)
+}
+
+func TestCleanReportPasses(t *testing.T) {
+	dir := t.TempDir()
+	rep := write(t, dir, "rep.json", cleanReport)
+	code, stdout, stderr := runDiff(t, "-baseline", baseline(t, dir), rep)
+	if code != 0 {
+		t.Fatalf("clean report failed (exit %d):\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "all SLO gates within limits") {
+		t.Errorf("missing pass banner:\n%s", stdout)
+	}
+}
+
+func TestP99RegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	rep := mutate(t, dir, "rep.json", func(r map[string]any) {
+		pred := r["routes"].(map[string]any)["predict"].(map[string]any)
+		pred["p99_ms"] = 500.0 // blows through 40ms × 4 headroom
+	})
+	code, _, stderr := runDiff(t, "-baseline", baseline(t, dir), rep)
+	if code != 1 {
+		t.Fatalf("p99 regression passed (exit %d)", code)
+	}
+	if !strings.Contains(stderr, "route predict: p99") {
+		t.Errorf("failure does not name the regressed gate:\n%s", stderr)
+	}
+}
+
+func TestShedRateRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	rep := mutate(t, dir, "rep.json", func(r map[string]any) {
+		r["shed_rate"] = 0.3
+	})
+	code, _, stderr := runDiff(t, "-baseline", baseline(t, dir), rep)
+	if code != 1 {
+		t.Fatalf("shed-rate regression passed (exit %d)", code)
+	}
+	if !strings.Contains(stderr, "shed rate") {
+		t.Errorf("failure does not name the shed gate:\n%s", stderr)
+	}
+}
+
+func TestErrorRateAndSizeGates(t *testing.T) {
+	dir := t.TempDir()
+	base := baseline(t, dir)
+	for name, fn := range map[string]func(map[string]any){
+		"error rate":        func(r map[string]any) { r["error_rate"] = 0.2 },
+		"replay too small":  func(r map[string]any) { r["total_requests"] = 12.0 },
+		"surrogate LOO rel": func(r map[string]any) { r["surrogate"].(map[string]any)["loo_rel_rmse"] = 0.9 },
+	} {
+		rep := mutate(t, dir, "rep.json", fn)
+		code, _, stderr := runDiff(t, "-baseline", base, rep)
+		if code != 1 {
+			t.Errorf("%s: regression passed (exit %d)", name, code)
+		}
+		if !strings.Contains(stderr, name) {
+			t.Errorf("%s: failure text does not name the gate:\n%s", name, stderr)
+		}
+	}
+}
+
+func TestMissingRouteFails(t *testing.T) {
+	dir := t.TempDir()
+	rep := mutate(t, dir, "rep.json", func(r map[string]any) {
+		delete(r["routes"].(map[string]any), "observe")
+	})
+	code, _, stderr := runDiff(t, "-baseline", baseline(t, dir), rep)
+	if code != 1 || !strings.Contains(stderr, "route observe") {
+		t.Fatalf("missing route not caught (exit %d):\n%s", code, stderr)
+	}
+}
+
+// TestUpdateRoundTrip records a baseline from the clean report and
+// verifies the same report then passes against it.
+func TestUpdateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := write(t, dir, "rep.json", cleanReport)
+	base := filepath.Join(dir, "new_base.json")
+	if code, _, stderr := runDiff(t, "-baseline", base, "-update", rep); code != 0 {
+		t.Fatalf("-update failed (exit %d):\n%s", code, stderr)
+	}
+	var written baselineFile
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &written); err != nil {
+		t.Fatalf("written baseline unparseable: %v", err)
+	}
+	if written.LatencyHeadroom != 4 || written.MinRequests != 10000 || len(written.Routes) != 5 {
+		t.Fatalf("unexpected baseline: %+v", written)
+	}
+	if code, stdout, stderr := runDiff(t, "-baseline", base, rep); code != 0 {
+		t.Fatalf("report fails against its own recorded baseline (exit %d):\n%s%s", code, stdout, stderr)
+	}
+}
+
+func TestUsageAndBadInput(t *testing.T) {
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Errorf("no-args exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.json", "{not json")
+	if code, _, _ := runDiff(t, "-baseline", baseline(t, dir), bad); code != 1 {
+		t.Errorf("bad report exit %d, want 1", code)
+	}
+}
