@@ -50,12 +50,14 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/ring"
 	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
-	ckptDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoints (empty = no persistence)")
+	replicas := flag.Int("replicas", 1, "cluster mode: boot this many replica nodes behind a consistent-hash router on -addr (1 = classic single node)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoints (empty = no persistence; cluster mode uses one subdirectory per replica)")
 	cacheSize := flag.Int("cache", 4096, "prediction LRU capacity in points")
 	scoreWorkers := flag.Int("score-workers", 0, "workers per scoring call (0 = all cores)")
 	maxScores := flag.Int("max-scores", 0, "concurrent scoring operations across all campaigns (0 = GOMAXPROCS)")
@@ -141,6 +143,39 @@ func main() {
 
 	serve.RegisterDataset("performance", performanceDataset)
 
+	if *replicas > 1 {
+		exit := runCluster(clusterFlags{
+			addr:     *addr,
+			replicas: *replicas,
+			ckptDir:  *ckptDir,
+			serveCfg: serve.Config{
+				CacheSize:           *cacheSize,
+				ScoreWorkers:        *scoreWorkers,
+				MaxConcurrentScores: *maxScores,
+				ScoreBreaker:        resilience.BreakerConfig{Cooldown: *breakerCooldown},
+				JournalBreaker:      resilience.BreakerConfig{Cooldown: *breakerCooldown},
+				TornWrites:          faults.TornWriteConfig{Seed: *chaosSeed, Rate: *chaosTornRate},
+			},
+			serverCfg: serve.ServerConfig{
+				RouteTimeout: *routeTimeout,
+				MaxBodyBytes: *maxBody,
+				Admission: resilience.AdmissionConfig{
+					MaxInFlight: *maxInFlight,
+					MaxQueue:    *maxQueue,
+				},
+			},
+			breakerCooldown: *breakerCooldown,
+		})
+		if sinkFile != nil {
+			obs.DumpMetrics()
+			obs.SetSink(nil)
+			sinkFile.Sync()
+			sinkFile.Close()
+			fmt.Fprintf(os.Stderr, "alserve: metrics flushed to %s\n", *metrics)
+		}
+		os.Exit(exit)
+	}
+
 	mgr := serve.NewManager(serve.Config{
 		CheckpointDir:       *ckptDir,
 		CacheSize:           *cacheSize,
@@ -224,6 +259,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "alserve: metrics flushed to %s\n", *metrics)
 	}
 	os.Exit(exit)
+}
+
+// clusterFlags carries the parsed flags into cluster mode.
+type clusterFlags struct {
+	addr            string
+	replicas        int
+	ckptDir         string
+	serveCfg        serve.Config
+	serverCfg       serve.ServerConfig
+	breakerCooldown time.Duration
+}
+
+// runCluster boots an in-process replica fleet behind the
+// consistent-hash router (internal/ring) and serves it on -addr until
+// SIGINT/SIGTERM. Each replica journals under its own
+// -checkpoint-dir subdirectory and ships every record to its
+// follower, so killing any single node loses no acknowledged
+// observation.
+func runCluster(cf clusterFlags) int {
+	cl, err := ring.StartCluster(ring.ClusterConfig{
+		Replicas:   cf.replicas,
+		RouterAddr: cf.addr,
+		Dir:        cf.ckptDir,
+		Serve:      cf.serveCfg,
+		Server:     cf.serverCfg,
+		Router: ring.RouterConfig{
+			Breaker: resilience.BreakerConfig{Cooldown: cf.breakerCooldown},
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alserve: cluster:", err)
+		return 1
+	}
+	fmt.Printf("alserve: %d-replica cluster behind %s (datasets: %v)\n",
+		cf.replicas, cl.URL(), serve.DatasetNames())
+	for _, id := range cl.NodeIDs() {
+		fmt.Printf("alserve:   node %s at %s\n", id, cl.NodeURL(id))
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	s := <-sigc
+	fmt.Fprintf(os.Stderr, "alserve: caught %v, draining cluster\n", s)
+	if err := cl.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "alserve: cluster shutdown:", err)
+		return 1
+	}
+	return 0
 }
 
 // performanceDataset regenerates the paper's §V-B study subset

@@ -1,0 +1,203 @@
+package ring
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// seedCampaigns creates campaigns through the router until two of them
+// live on different nodes, returning ids, per-id seeds, and the two
+// distinguished campaigns: one whose owner the test will attack, one
+// that must keep serving. References are pinned by seed via refStatus.
+func seedCampaigns(t *testing.T, cl *Cluster, client *http.Client, baseSeed int64) (ids []string, seeds map[string]int64, victimID, survivorID string) {
+	t.Helper()
+	seeds = make(map[string]int64)
+	for i := 0; i < 8; i++ {
+		seed := baseSeed + int64(i)
+		id := createCampaign(t, client, cl.URL(), clientSpec(seed))
+		ids = append(ids, id)
+		seeds[id] = seed
+		if survivorID == "" && cl.Router().Owner(id) != cl.Router().Owner(ids[0]) {
+			survivorID = id
+		}
+		if survivorID != "" && i >= 2 {
+			break
+		}
+	}
+	if survivorID == "" {
+		t.Fatalf("all %d campaigns landed on one node — cannot stage the chaos scenario", len(ids))
+	}
+	return ids, seeds, ids[0], survivorID
+}
+
+// TestClusterChaosOwnerKillFailover is the acceptance scenario: kill
+// the owner of an active campaign mid-run. Until failover the dead
+// node's campaigns shed (5xx) while every other campaign keeps serving;
+// after failover the campaign resumes on the follower with all
+// acknowledged observations intact and finishes with the exact trace a
+// never-killed run produces. Deterministic under the fixed seeds.
+func TestClusterChaosOwnerKillFailover(t *testing.T) {
+	cl := startTestCluster(t, ClusterConfig{Replicas: 3, Router: testRouterCfg()})
+	client := &http.Client{}
+
+	ids, seeds, attacked, survivor := seedCampaigns(t, cl, client, 21)
+	refs := make(map[string]serve.CampaignStatus)
+	for _, id := range ids {
+		refs[id] = refStatus(t, clientSpec(seeds[id]))
+	}
+
+	// Drive every campaign partway so the kill lands mid-campaign with
+	// acknowledged (hence replicated) observations at stake.
+	const k = 3
+	for _, id := range ids {
+		if got := driveHTTP(t, client, cl.URL(), id, k); got != k {
+			t.Fatalf("campaign %s: %d acked observes before the kill, want %d", id, got, k)
+		}
+	}
+
+	victim := cl.Router().Owner(attacked)
+	failoversBefore := obs.C("router.failover.count").Value()
+	adoptsBefore := obs.C("ring.adopt.count").Value()
+
+	if err := cl.Kill(victim); err != nil {
+		t.Fatalf("kill %s: %v", victim, err)
+	}
+
+	// The dead node's campaign sheds — an error, never a hang and never
+	// a wrong answer.
+	if code, err := httpJSON(client, http.MethodGet, cl.URL()+"/campaigns/"+attacked+"/suggest", "", nil, nil); err == nil && code < 500 {
+		t.Fatalf("suggest on the dead node's campaign returned HTTP %d, want 5xx while unowned", code)
+	}
+	// Campaigns on the survivors keep serving through the outage.
+	var st serve.CampaignStatus
+	if code, err := httpJSON(client, http.MethodGet, cl.URL()+"/campaigns/"+survivor, "", nil, &st); err != nil || code != http.StatusOK {
+		t.Fatalf("surviving campaign %s unavailable during the outage: HTTP %d, err %v", survivor, code, err)
+	}
+
+	if err := cl.Router().Failover(victim); err != nil {
+		t.Fatalf("failover of %s: %v", victim, err)
+	}
+	if got := obs.C("router.failover.count").Value(); got != failoversBefore+1 {
+		t.Fatalf("router.failover.count went %v -> %v, want +1", failoversBefore, got)
+	}
+	if obs.C("ring.adopt.count").Value() <= adoptsBefore {
+		t.Fatal("no campaign was adopted during failover")
+	}
+	m := cl.Router().Membership()
+	if m.Epoch != 2 || len(m.Members) != 2 {
+		t.Fatalf("post-failover membership epoch %d with %d members, want epoch 2 with 2 members", m.Epoch, len(m.Members))
+	}
+	for _, id := range cl.NodeIDs() {
+		if id == victim {
+			continue
+		}
+		if got := cl.Node(id).Epoch(); got != 2 {
+			t.Fatalf("survivor %s is at epoch %d, want 2", id, got)
+		}
+	}
+
+	// Zero acknowledged-observe loss: the adopted campaign holds exactly
+	// the k observations the clients were acked for.
+	if code, err := httpJSON(client, http.MethodGet, cl.URL()+"/campaigns/"+attacked, "", nil, &st); err != nil || code != http.StatusOK {
+		t.Fatalf("status of failed-over campaign: HTTP %d, err %v", code, err)
+	}
+	if st.Observations != k {
+		t.Fatalf("failed-over campaign resumed with %d observations, want %d — an acknowledged observe was lost (or invented)", st.Observations, k)
+	}
+	if newOwner := cl.Router().Owner(attacked); newOwner == victim {
+		t.Fatalf("campaign %s still placed on the dead node %s", attacked, victim)
+	}
+
+	// Every campaign — adopted and untouched alike — finishes with the
+	// reference trace: no divergence anywhere in the fleet.
+	for _, id := range ids {
+		driveHTTP(t, client, cl.URL(), id, 0)
+		expectSameTrace(t, waitTerminalHTTP(t, client, cl.URL(), id), refs[id])
+	}
+}
+
+// TestClusterChaosRouterPartition cuts the link between the router and
+// one node: that node's campaigns fail fast (retries, then the breaker)
+// while the rest of the cluster serves, healthz degrades, and after the
+// partition heals the isolated campaign completes with the reference
+// trace — the partition caused unavailability, never divergence.
+func TestClusterChaosRouterPartition(t *testing.T) {
+	cl := startTestCluster(t, ClusterConfig{
+		Replicas: 3,
+		Router: RouterConfig{
+			Retry: resilience.TransportConfig{
+				MaxAttempts: 3,
+				Backoff:     resilience.Backoff{Base: 2 * time.Millisecond, Cap: 10 * time.Millisecond},
+			},
+			Breaker: resilience.BreakerConfig{Window: 8, MinSamples: 3, Cooldown: 75 * time.Millisecond},
+		},
+	})
+	client := &http.Client{}
+
+	ids, seeds, isolated, survivor := seedCampaigns(t, cl, client, 41)
+	refs := make(map[string]serve.CampaignStatus)
+	for _, id := range ids {
+		refs[id] = refStatus(t, clientSpec(seeds[id]))
+	}
+	for _, id := range ids {
+		driveHTTP(t, client, cl.URL(), id, 2)
+	}
+
+	cut := cl.Router().Owner(isolated)
+	if err := cl.Partition(cut, true); err != nil {
+		t.Fatalf("partition %s: %v", cut, err)
+	}
+
+	// The isolated node's campaign sheds with an error — bounded by the
+	// retry budget, never hanging, never answered from stale state.
+	start := time.Now()
+	code, err := httpJSON(client, http.MethodGet, cl.URL()+"/campaigns/"+isolated+"/suggest", "", nil, nil)
+	if err == nil && code < 500 {
+		t.Fatalf("suggest across the partition returned HTTP %d, want 5xx", code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("partitioned request took %v — retries are not bounded", elapsed)
+	}
+	// Repeated failures trip the node's breaker; subsequent requests are
+	// rejected fast without touching the dead link.
+	for i := 0; i < 4; i++ {
+		httpJSON(client, http.MethodGet, cl.URL()+"/campaigns/"+isolated+"/suggest", "", nil, nil)
+	}
+
+	// The rest of the cluster is fully live during the partition: the
+	// surviving campaign runs to completion (node-to-node shipping does
+	// not cross the cut link).
+	driveHTTP(t, client, cl.URL(), survivor, 0)
+	expectSameTrace(t, waitTerminalHTTP(t, client, cl.URL(), survivor), refs[survivor])
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code, err := httpJSON(client, http.MethodGet, cl.URL()+"/healthz", "", nil, &health); err != nil || code != http.StatusOK {
+		t.Fatalf("healthz during partition: HTTP %d, err %v", code, err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("healthz reports %q during a partition, want degraded", health.Status)
+	}
+
+	// No membership change happened — a partition is not a death, and
+	// the epoch must not move.
+	if got := cl.Router().Membership().Epoch; got != 1 {
+		t.Fatalf("partition moved the epoch to %d, want 1", got)
+	}
+
+	if err := cl.Partition(cut, false); err != nil {
+		t.Fatalf("heal partition: %v", err)
+	}
+	// After the heal (and the breaker's cooldown) every campaign —
+	// including the isolated one — completes with its reference trace.
+	for _, id := range ids {
+		driveHTTP(t, client, cl.URL(), id, 0)
+		expectSameTrace(t, waitTerminalHTTP(t, client, cl.URL(), id), refs[id])
+	}
+}

@@ -1,0 +1,46 @@
+// Package ring shards the campaign service across replicas: a
+// consistent-hash ring places each campaign on an owner node, every
+// accepted journal record is shipped to the campaign's follower before
+// the owner acknowledges it, and an epoch-numbered membership table
+// lets a thin router fail campaigns over to their follower when the
+// owner dies — with the shipped journal replaying to exactly the
+// fingerprinted trace the dead owner would have produced.
+//
+// # Placement
+//
+// Campaign ids hash onto a ring of virtual nodes (Ring). The owner is
+// the first node clockwise of the id's hash; the follower is the next
+// DISTINCT node on the same walk. Consistent hashing gives the failover
+// invariant the whole design leans on: removing a node remaps each of
+// its keys to exactly the next distinct node on that key's walk — the
+// follower — so the node promoted by the ring after a death is
+// precisely the node already holding the campaign's replica.
+//
+// # Replication
+//
+// The owner's serve.Store is wrapped so that every journal record
+// (header, observation, terminal line) is shipped to the follower
+// BEFORE the local append. Composed with the service's
+// journal-before-ack rule this yields replicate-before-ack: an
+// acknowledged observe exists on two nodes, so killing either loses
+// nothing that was acknowledged. Records carry a monotonic index; the
+// follower dedups replayed indices (duplicate delivery is free) and
+// rejects gaps, which the owner heals with a full journal sync — the
+// same mechanism bootstraps a brand-new follower after membership
+// changes.
+//
+// # Epochs and handoff
+//
+// Membership is an epoch-numbered node table owned by the Router (the
+// sole membership authority — there is no gossip). Forwarded requests
+// carry the router's epoch; a node that sees a different epoch rejects
+// with 503 + Retry-After (a split-epoch reject) rather than serve under
+// a stale view. During failover or migration the router marks the
+// campaign in handoff and sheds its traffic with 503 + Retry-After;
+// every other campaign keeps serving throughout.
+//
+// Failure detection is deliberately out of scope: tests and operators
+// trigger Router.Failover explicitly, which keeps the chaos suite
+// deterministic. DESIGN.md §13 has the full protocol and failure
+// matrix; OBSERVABILITY.md catalogs the ring.* and router.* metrics.
+package ring

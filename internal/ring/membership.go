@@ -1,0 +1,81 @@
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EpochHeader carries the sender's membership epoch on forwarded and
+// internal requests. A node that receives a request labeled with an
+// epoch other than its own rejects it (HTTP 503 + Retry-After, counted
+// as ring.epoch.rejects) instead of acting on a stale — or
+// future — view of the cluster.
+const EpochHeader = "X-Ring-Epoch"
+
+// Member is one node of the cluster.
+type Member struct {
+	// ID is the stable node identity campaigns hash against.
+	ID string `json:"id"`
+	// URL is the node's HTTP base (no trailing slash).
+	URL string `json:"url"`
+}
+
+// Membership is an epoch-numbered view of the cluster. Epochs only move
+// forward: every membership change (join, death, explicit rebalance)
+// bumps the epoch, and nodes reject installs that would move theirs
+// backwards. The router is the sole authority that mints epochs.
+type Membership struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []Member `json:"members"`
+}
+
+// normalize sorts members by id so a membership is a canonical value.
+func (m *Membership) normalize() {
+	sort.Slice(m.Members, func(i, j int) bool { return m.Members[i].ID < m.Members[j].ID })
+}
+
+// validate rejects malformed tables before they can poison a node.
+func (m *Membership) validate() error {
+	seen := make(map[string]bool, len(m.Members))
+	for _, mem := range m.Members {
+		if mem.ID == "" || mem.URL == "" {
+			return fmt.Errorf("ring: member with empty id or url")
+		}
+		if seen[mem.ID] {
+			return fmt.Errorf("ring: duplicate member id %q", mem.ID)
+		}
+		seen[mem.ID] = true
+	}
+	return nil
+}
+
+// ring builds the consistent-hash ring for this member set.
+func (m *Membership) ring(vnodes int) *Ring {
+	ids := make([]string, len(m.Members))
+	for i, mem := range m.Members {
+		ids[i] = mem.ID
+	}
+	return NewRing(ids, vnodes)
+}
+
+// url returns the base URL for a node id ("" when absent).
+func (m *Membership) url(id string) string {
+	for _, mem := range m.Members {
+		if mem.ID == id {
+			return mem.URL
+		}
+	}
+	return ""
+}
+
+// without returns a copy with node id removed (same epoch; the caller
+// bumps it).
+func (m *Membership) without(id string) Membership {
+	out := Membership{Epoch: m.Epoch}
+	for _, mem := range m.Members {
+		if mem.ID != id {
+			out.Members = append(out.Members, mem)
+		}
+	}
+	return out
+}

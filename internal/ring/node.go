@@ -1,0 +1,659 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Ring-side metrics (see OBSERVABILITY.md).
+var (
+	ringShips        = obs.C("ring.ship.count")
+	ringShipErrors   = obs.C("ring.ship.errors")
+	ringShipDedup    = obs.C("ring.ship.dedup")
+	ringSyncs        = obs.C("ring.sync.count")
+	ringAdopts       = obs.C("ring.adopt.count")
+	ringEpochRejects = obs.C("ring.epoch.rejects")
+	ringMembers      = obs.G("ring.members")
+	ringEpochGauge   = obs.G("ring.epoch")
+)
+
+// errShipGap is the follower's "your idx skips records I don't have"
+// rejection; the owner heals it with a full journal sync.
+var errShipGap = errors.New("ring: ship index gap")
+
+// NodeConfig configures one cluster node.
+type NodeConfig struct {
+	// ID is the node's stable identity on the ring.
+	ID string
+
+	// Serve configures the node's campaign manager. Its Store (or the
+	// DirStore built from its CheckpointDir) becomes the node's LOCAL
+	// journal store; the node wraps it with the replicating store that
+	// ships every record to the campaign's follower. When both are
+	// empty the node keeps journals in a MemStore (still replicated —
+	// durability then comes from the follower, not the local disk).
+	Serve serve.Config
+
+	// Server tunes the node's HTTP front (serve.ServerConfig defaults).
+	Server serve.ServerConfig
+
+	// ShipTimeout bounds one ship or sync call to the follower
+	// (default 5s). Shipping is synchronous — it sits on the
+	// observe path on purpose, that is what replicate-before-ack means —
+	// so the timeout is also the worst-case observe stall a sick
+	// follower can cause before the observe is rejected 503.
+	ShipTimeout time.Duration
+
+	// Client performs internal node-to-node calls (ship, sync). Default
+	// is a plain http.Client; tests inject chaos transports.
+	Client *http.Client
+}
+
+// Node is one replica of the campaign cluster: a serve.Manager whose
+// journal store ships every record to the campaign's follower, plus the
+// internal replication API (/internal/...) and an epoch guard on every
+// request that carries EpochHeader.
+type Node struct {
+	// ID is the node's ring identity.
+	ID string
+
+	mgr         *serve.Manager
+	srv         *serve.Server
+	inner       serve.Store
+	mux         *http.ServeMux
+	client      *http.Client
+	shipTimeout time.Duration
+
+	mu         sync.Mutex
+	membership Membership
+	ring       *Ring
+	replicas   map[string]*replica
+
+	// dead marks a killed node: shipping stops and the manager is about
+	// to be torn down. The chaos harness sets it before stopping the
+	// manager so an in-process "kill" leaks nothing to the followers
+	// that a real process death would not have sent.
+	dead atomic.Bool
+}
+
+// replica is the follower-side buffer for one campaign: the shipped
+// journal bytes plus the count of complete records received.
+type replica struct {
+	buf   []byte
+	count int
+}
+
+// NewNode builds a node. Call Manager().ResumeAll() after the cluster's
+// first membership install to relaunch persisted campaigns.
+func NewNode(cfg NodeConfig) *Node {
+	n := &Node{
+		ID:          cfg.ID,
+		shipTimeout: cfg.ShipTimeout,
+		client:      cfg.Client,
+		replicas:    make(map[string]*replica),
+		mux:         http.NewServeMux(),
+	}
+	if n.shipTimeout <= 0 {
+		n.shipTimeout = 5 * time.Second
+	}
+	if n.client == nil {
+		n.client = &http.Client{}
+	}
+	inner := cfg.Serve.Store
+	if inner == nil {
+		if cfg.Serve.CheckpointDir != "" {
+			inner = serve.NewDirStore(cfg.Serve.CheckpointDir, cfg.Serve.TornWrites)
+		} else {
+			inner = serve.NewMemStore()
+		}
+	}
+	n.inner = inner
+	mcfg := cfg.Serve
+	mcfg.Store = &shippingStore{node: n, inner: inner}
+	mcfg.CheckpointDir = "" // the store above already covers persistence
+	n.mgr = serve.NewManager(mcfg)
+	n.srv = serve.NewServerWith(n.mgr, cfg.Server)
+
+	n.mux.HandleFunc("PUT /internal/membership", n.handleMembership)
+	n.mux.HandleFunc("POST /internal/campaigns/{id}", n.handleCreate)
+	n.mux.HandleFunc("POST /internal/ship/{id}", n.handleShip)
+	n.mux.HandleFunc("PUT /internal/replica/{id}", n.handleReplicaPut)
+	n.mux.HandleFunc("GET /internal/replica/{id}", n.handleReplicaGet)
+	n.mux.HandleFunc("DELETE /internal/replica/{id}", n.handleReplicaDel)
+	n.mux.HandleFunc("GET /internal/export/{id}", n.handleExport)
+	n.mux.HandleFunc("POST /internal/adopt/{id}", n.handleAdopt)
+	n.mux.HandleFunc("POST /internal/release/{id}", n.handleRelease)
+	n.mux.HandleFunc("DELETE /internal/journal/{id}", n.handleJournalDel)
+	n.mux.Handle("/", n.srv)
+	return n
+}
+
+// Manager exposes the node's campaign manager (shutdown, resume).
+func (n *Node) Manager() *serve.Manager { return n.mgr }
+
+// Epoch returns the node's installed membership epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.membership.Epoch
+}
+
+// MarkDead stops the node from shipping to followers. The harness calls
+// it at kill time, before tearing the manager down, so an in-process
+// death sends followers exactly what a real crash would have: nothing.
+func (n *Node) MarkDead() { n.dead.Store(true) }
+
+// InstallMembership adopts a membership view. Epochs only move forward;
+// installing the current epoch again is a no-op refresh.
+func (n *Node) InstallMembership(m Membership) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	m.normalize()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Epoch < n.membership.Epoch {
+		return fmt.Errorf("ring: refusing membership epoch %d over %d", m.Epoch, n.membership.Epoch)
+	}
+	n.membership = m
+	n.ring = m.ring(0)
+	ringMembers.Set(float64(len(m.Members)))
+	ringEpochGauge.Set(float64(m.Epoch))
+	return nil
+}
+
+// ServeHTTP implements http.Handler: the epoch guard, then the node
+// routes. Requests labeled with a foreign epoch are rejected 503 so a
+// router (or peer) acting on a stale membership view gets backpressure
+// instead of a wrong answer; unlabeled requests (direct debugging,
+// membership pushes) pass.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := r.Header.Get(EpochHeader); h != "" {
+		want, err := strconv.ParseUint(h, 10, 64)
+		if err != nil || want != n.Epoch() {
+			ringEpochRejects.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"error": fmt.Sprintf("ring: node %s is at epoch %d, request labeled %s", n.ID, n.Epoch(), h),
+			})
+			return
+		}
+	}
+	n.mux.ServeHTTP(w, r)
+}
+
+// followerURL returns the base URL of the campaign's follower: the
+// first node on the id's ring walk that is not this node. "" when the
+// cluster has no second node (or this node is dead).
+func (n *Node) followerURL(id string) string {
+	if n.dead.Load() {
+		return ""
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ring == nil || len(n.membership.Members) < 2 {
+		return ""
+	}
+	for _, cand := range n.ring.OwnerN(id, len(n.membership.Members)) {
+		if cand != n.ID {
+			return n.membership.url(cand)
+		}
+	}
+	return ""
+}
+
+// --- follower side: replica buffer handlers ---
+
+type shipRequest struct {
+	Idx  int    `json:"idx"`
+	Line []byte `json:"line"`
+}
+
+// handleShip receives one journal record at index Idx. Dedup and gap
+// rules make delivery idempotent: an index already held is acknowledged
+// again without effect, an index that skips ahead is rejected 409 so
+// the owner falls back to a full sync.
+func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req shipRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if req.Idx < 0 || len(req.Line) == 0 || req.Line[len(req.Line)-1] != '\n' {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "ring: ship record must be one newline-terminated line with idx >= 0"})
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rep := n.replicas[id]
+	if rep == nil {
+		if req.Idx != 0 {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": "ring: no replica for campaign", "count": 0})
+			return
+		}
+		rep = &replica{}
+		n.replicas[id] = rep
+	}
+	switch {
+	case req.Idx < rep.count:
+		ringShipDedup.Inc()
+	case req.Idx == rep.count:
+		rep.buf = append(rep.buf, req.Line...)
+		rep.count++
+	default:
+		writeJSON(w, http.StatusConflict, map[string]any{"error": "ring: ship index gap", "count": rep.count})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"count": rep.count})
+}
+
+// handleReplicaPut installs a full journal image, replacing whatever
+// the replica held — the owner's gap-heal and adoption-time sync path.
+func (n *Node) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "ring: replica image must be newline-terminated journal lines"})
+		return
+	}
+	count := bytes.Count(data, []byte("\n"))
+	n.mu.Lock()
+	n.replicas[id] = &replica{buf: data, count: count}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"count": count})
+}
+
+func (n *Node) handleReplicaGet(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	rep := n.replicas[r.PathValue("id")]
+	var buf []byte
+	if rep != nil {
+		buf = bytes.Clone(rep.buf)
+	}
+	n.mu.Unlock()
+	if buf == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "ring: no replica"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(buf)
+}
+
+func (n *Node) handleReplicaDel(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	delete(n.replicas, r.PathValue("id"))
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("id")})
+}
+
+// --- owner side: create / adopt / release / export ---
+
+// handleCreate launches a campaign under the router-assigned id.
+func (n *Node) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec serve.CampaignSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	c, err := n.mgr.CreateWithID(r.PathValue("id"), spec)
+	if err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	st, err := c.StatusCtx(r.Context(), false)
+	if err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// handleAdopt promotes a campaign onto this node: from the request body
+// when it carries a journal image (migration), otherwise from the local
+// replica buffer (failover — by the ring's remap property the new owner
+// IS the old follower, so the bytes are already here). Idempotent: an
+// already-active campaign acknowledges without effect.
+func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := n.mgr.Get(id); err == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"adopted": id, "note": "already active"})
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(data) == 0 {
+		n.mu.Lock()
+		if rep := n.replicas[id]; rep != nil {
+			data = bytes.Clone(rep.buf)
+		}
+		n.mu.Unlock()
+	}
+	if len(data) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "ring: no journal image to adopt (no replica and empty body)"})
+		return
+	}
+	if err := n.inner.Import(id, data); err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	// The buffer has been promoted to primary; drop the replica entry so
+	// this node does not hold both roles for the campaign.
+	n.mu.Lock()
+	delete(n.replicas, id)
+	n.mu.Unlock()
+	if err := n.mgr.ResumeOne(id); err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	ringAdopts.Inc()
+	obs.Emit("ring.adopt", map[string]any{"node": n.ID, "campaign": id})
+	writeJSON(w, http.StatusOK, map[string]string{"adopted": id})
+}
+
+// handleRelease stops a campaign and forgets it WITHOUT deleting its
+// journal — the first half of a migration.
+func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if err := n.mgr.Release(r.PathValue("id")); err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"released": r.PathValue("id")})
+}
+
+// handleExport streams the campaign's raw journal bytes.
+func (n *Node) handleExport(w http.ResponseWriter, r *http.Request) {
+	data, err := n.inner.Export(r.PathValue("id"))
+	if err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(data)
+}
+
+// handleJournalDel removes a journal from the local store (the second
+// half of a migration: the source's copy is stale once the target owns
+// the campaign).
+func (n *Node) handleJournalDel(w http.ResponseWriter, r *http.Request) {
+	if err := n.inner.Remove(r.PathValue("id")); err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("id")})
+}
+
+func (n *Node) handleMembership(w http.ResponseWriter, r *http.Request) {
+	var m Membership
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := n.InstallMembership(m); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": m.Epoch})
+}
+
+// writeNodeErr maps manager errors from the internal API onto statuses
+// consistent with the public API's writeErr.
+func writeNodeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, serve.ErrSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, serve.ErrNotFound), errors.Is(err, serve.ErrStoreNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, serve.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrJournal):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- shipping store: the replication wrapper around the local store ---
+
+// shippingStore implements serve.Store by delegating to the node's
+// local store while issuing Appenders that ship every record to the
+// campaign's follower BEFORE appending locally. Combined with the
+// service's journal-before-ack rule this is replicate-before-ack: an
+// acknowledged observation exists on two nodes.
+type shippingStore struct {
+	node  *Node
+	inner serve.Store
+}
+
+func (s *shippingStore) IDs() ([]string, error) { return s.inner.IDs() }
+
+func (s *shippingStore) Create(id string, spec serve.CampaignSpec) (serve.Appender, error) {
+	app, err := s.inner.Create(id, spec)
+	if err != nil {
+		return nil, err
+	}
+	sa := &shippingAppender{node: s.node, id: id, local: app, idx: 1}
+	// Establish the replica with the header line (record 0). A failure
+	// here is not fatal — the first observation's ship will gap-heal
+	// with a full sync.
+	if line, err := serve.EncodeJournalHeader(id, spec); err == nil {
+		if err := sa.ship(line, 0); err != nil {
+			sa.needSync = true
+		}
+	}
+	return sa, nil
+}
+
+func (s *shippingStore) Load(id string) (*serve.JournalInfo, serve.Appender, error) {
+	info, app, err := s.inner.Load(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	sa := &shippingAppender{node: s.node, id: id, local: app}
+	// Sync the follower eagerly so a freshly resumed (or adopted)
+	// campaign is re-replicated before it accepts new observations; on
+	// failure the first append retries via needSync.
+	if err := sa.resync(); err != nil {
+		sa.needSync = true
+	}
+	return info, sa, nil
+}
+
+func (s *shippingStore) Remove(id string) error {
+	if err := s.inner.Remove(id); err != nil {
+		return err
+	}
+	// Best effort: a stale follower replica only wastes memory — it can
+	// never be adopted once the router forgets the campaign.
+	if fol := s.node.followerURL(id); fol != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), s.node.shipTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, fol+"/internal/replica/"+id, nil)
+		if err == nil {
+			if resp, err := s.node.client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	return nil
+}
+
+func (s *shippingStore) Export(id string) ([]byte, error)    { return s.inner.Export(id) }
+func (s *shippingStore) Import(id string, data []byte) error { return s.inner.Import(id, data) }
+
+// shippingAppender ships each record to the follower, then appends it
+// locally. Owned by one campaign actor goroutine, like every Appender.
+type shippingAppender struct {
+	node  *Node
+	id    string
+	local serve.Appender
+
+	// idx is the index of the next record to ship (0 = header).
+	idx int
+	// needSync forces a full replica sync before the next ship — set
+	// after a failed ship, sync, or header establishment so the follower
+	// is healed on the next append instead of drifting.
+	needSync bool
+}
+
+// replicate ships line as record a.idx and advances the index. A gap
+// rejection (follower missing records: new follower after a membership
+// change, or a restarted one) heals with a full sync and one retry.
+// Returns nil when the cluster has no follower to ship to.
+func (a *shippingAppender) replicate(line []byte) error {
+	if a.node.followerURL(a.id) == "" {
+		return nil
+	}
+	if a.needSync {
+		if err := a.resync(); err != nil {
+			ringShipErrors.Inc()
+			return err
+		}
+		a.needSync = false
+	}
+	err := a.ship(line, a.idx)
+	if errors.Is(err, errShipGap) {
+		if err = a.resync(); err == nil {
+			err = a.ship(line, a.idx)
+		}
+	}
+	if err != nil {
+		ringShipErrors.Inc()
+		a.needSync = true
+		return err
+	}
+	a.idx++
+	return nil
+}
+
+// ship POSTs one record line at index idx to the campaign's follower.
+func (a *shippingAppender) ship(line []byte, idx int) error {
+	fol := a.node.followerURL(a.id)
+	if fol == "" {
+		return nil
+	}
+	body, err := json.Marshal(shipRequest{Idx: idx, Line: line})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), a.node.shipTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, fol+"/internal/ship/"+a.id, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.node.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("ring: ship %s[%d]: %w", a.id, idx, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		ringShips.Inc()
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s[%d]", errShipGap, a.id, idx)
+	default:
+		return fmt.Errorf("ring: ship %s[%d]: HTTP %d", a.id, idx, resp.StatusCode)
+	}
+}
+
+// resync pushes the full local journal image to the follower and resets
+// the ship index to match it.
+func (a *shippingAppender) resync() error {
+	fol := a.node.followerURL(a.id)
+	if fol == "" {
+		return nil
+	}
+	data, err := a.node.inner.Export(a.id)
+	if err != nil {
+		return fmt.Errorf("ring: export for sync: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), a.node.shipTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, fol+"/internal/replica/"+a.id, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := a.node.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("ring: sync %s: %w", a.id, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ring: sync %s: HTTP %d", a.id, resp.StatusCode)
+	}
+	ringSyncs.Inc()
+	a.idx = bytes.Count(data, []byte("\n"))
+	obs.Emit("ring.sync", map[string]any{"node": a.node.ID, "campaign": a.id, "records": a.idx})
+	return nil
+}
+
+// AppendObs implements serve.Appender: follower first, then local.
+// A replication failure (after the gap-heal attempt) REJECTS the append
+// so the service never acknowledges an observation that exists on only
+// one node — the client sees 503 and retries, trading availability for
+// the zero-acked-loss guarantee.
+func (a *shippingAppender) AppendObs(o serve.Observation, mv int, fp uint64) error {
+	line, err := serve.EncodeJournalObs(o, mv, fp)
+	if err != nil {
+		return err
+	}
+	if err := a.replicate(line); err != nil {
+		return err
+	}
+	return a.local.AppendObs(o, mv, fp)
+}
+
+// AppendFinal implements serve.Appender. The terminal line is
+// best-effort upstream (it is informational; resume strips it), so a
+// replication failure here does not block the local append.
+func (a *shippingAppender) AppendFinal(state, errMsg string, converged bool, mv int, fp uint64) error {
+	if line, err := serve.EncodeJournalFinal(state, errMsg, converged, mv, fp); err == nil {
+		if err := a.replicate(line); err != nil {
+			obs.Emit("ring.ship.final.failed", map[string]any{"node": a.node.ID, "campaign": a.id, "err": err.Error()})
+		}
+	}
+	return a.local.AppendFinal(state, errMsg, converged, mv, fp)
+}
+
+// Disable implements serve.Appender.
+func (a *shippingAppender) Disable() { a.local.Disable() }
+
+// Close implements serve.Appender.
+func (a *shippingAppender) Close() error { return a.local.Close() }

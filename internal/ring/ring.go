@@ -1,0 +1,108 @@
+package ring
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per member used when a config
+// leaves it zero: enough for an even spread across a handful of
+// replicas while keeping the ring tiny.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over node ids. Build one
+// with NewRing; share it freely (all methods are read-only).
+type Ring struct {
+	points []point // sorted by hash
+	nodes  int
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing hashes vnodes virtual points per node (DefaultVnodes when
+// vnodes <= 0) onto the ring.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]point, 0, len(nodes)*vnodes), nodes: len(nodes)}
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashKey(n + "#" + strconv.Itoa(v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break on node id so the ring is a deterministic
+		// function of the member set alone.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first virtual point clockwise
+// of the key's hash. Empty rings own nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].node
+}
+
+// OwnerN returns up to n DISTINCT nodes in ring-walk order starting at
+// the key's owner. OwnerN(key, 2)[1] is the key's follower — and, by
+// the consistent-hashing remap property, the node that becomes the
+// key's owner if the current owner leaves the ring.
+func (r *Ring) OwnerN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > r.nodes {
+		n = r.nodes
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or clockwise of key's
+// hash.
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashKey is FNV-1a 64 followed by a 64-bit avalanche finalizer —
+// stable across platforms and Go releases, which placement must be (a
+// rehash on upgrade would orphan every replica). The finalizer matters:
+// raw FNV-1a hashes of near-sequential ids ("c000001", "c000002", ...)
+// differ by small multiples of the FNV prime, so they cluster in narrow
+// arcs of the ring and can starve a node of ownership entirely.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

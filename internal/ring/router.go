@@ -1,0 +1,614 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// Router-side metrics (see OBSERVABILITY.md).
+var (
+	routerForwards       = obs.C("router.forward.count")
+	routerForwardErrors  = obs.C("router.forward.errors")
+	routerHandoffRejects = obs.C("router.handoff.rejects")
+	routerFailovers      = obs.C("router.failover.count")
+)
+
+// RouterConfig tunes the cluster router.
+type RouterConfig struct {
+	// Vnodes is the virtual-node count per member (DefaultVnodes).
+	Vnodes int
+
+	// Transport is the base RoundTripper under the per-node retrying
+	// clients (http.DefaultTransport; tests inject chaos or partition
+	// gates here).
+	Transport http.RoundTripper
+
+	// Retry tunes the retrying idempotent clients used for forwards.
+	Retry resilience.TransportConfig
+
+	// Breaker tunes the per-node circuit breakers.
+	Breaker resilience.BreakerConfig
+
+	// ForwardTimeout bounds one forwarded call (default 30s).
+	ForwardTimeout time.Duration
+}
+
+// Router is the thin front of the campaign cluster: it owns the
+// membership table (and its epoch), places campaigns on nodes via the
+// consistent-hash ring, and forwards suggest/observe/predict/status to
+// the owner through per-node retrying clients and circuit breakers.
+// During a handoff (failover or migration) the affected campaign's
+// traffic is shed with 503 + Retry-After; everything else keeps
+// serving.
+type Router struct {
+	cfg RouterConfig
+	mux *http.ServeMux
+
+	mu         sync.RWMutex
+	membership Membership
+	ring       *Ring
+	overrides  map[string]string // campaign id → node id (migrated off natural placement)
+	handoff    map[string]bool   // campaign id → mid-handoff, shed its traffic
+	campaigns  map[string]bool   // ids created through this router
+	nextID     int
+	clients    map[string]*http.Client
+	breakers   map[string]*resilience.Breaker
+}
+
+// NewRouter builds a router over the given members at epoch 1. Call
+// PushMembership to install the table on the nodes before serving.
+func NewRouter(members []Member, cfg RouterConfig) (*Router, error) {
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * time.Second
+	}
+	m := Membership{Epoch: 1, Members: members}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	m.normalize()
+	r := &Router{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		membership: m,
+		ring:       m.ring(cfg.Vnodes),
+		overrides:  make(map[string]string),
+		handoff:    make(map[string]bool),
+		campaigns:  make(map[string]bool),
+		clients:    make(map[string]*http.Client),
+		breakers:   make(map[string]*resilience.Breaker),
+	}
+	for _, mem := range m.Members {
+		r.addNodeLocked(mem.ID)
+	}
+	ringMembers.Set(float64(len(m.Members)))
+	ringEpochGauge.Set(float64(m.Epoch))
+
+	r.mux.HandleFunc("POST /campaigns", r.handleCreate)
+	r.mux.HandleFunc("GET /campaigns", r.handleList)
+	r.mux.HandleFunc("GET /campaigns/{id}", r.forwardCampaign)
+	r.mux.HandleFunc("DELETE /campaigns/{id}", r.handleDelete)
+	r.mux.HandleFunc("GET /campaigns/{id}/suggest", r.forwardCampaign)
+	r.mux.HandleFunc("POST /campaigns/{id}/observe", r.forwardCampaign)
+	r.mux.HandleFunc("POST /campaigns/{id}/predict", r.forwardCampaign)
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return r, nil
+}
+
+// addNodeLocked provisions the retrying client and breaker for a node.
+// Callers hold r.mu (or are inside NewRouter).
+func (r *Router) addNodeLocked(id string) {
+	if _, ok := r.clients[id]; ok {
+		return
+	}
+	retry := r.cfg.Retry
+	if retry.Seed == 0 {
+		// Distinct per-node jitter streams, still deterministic.
+		retry.Seed = int64(hashKey("router:" + id))
+	}
+	r.clients[id] = resilience.NewClient(r.cfg.Transport, retry)
+	r.breakers[id] = resilience.NewBreaker("router."+id, r.cfg.Breaker)
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+// Membership returns the router's current view.
+func (r *Router) Membership() Membership {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := r.membership
+	out.Members = append([]Member(nil), r.membership.Members...)
+	return out
+}
+
+// Owner reports which node currently serves a campaign (override first,
+// ring otherwise).
+func (r *Router) Owner(id string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerLocked(id)
+}
+
+func (r *Router) ownerLocked(id string) string {
+	if n, ok := r.overrides[id]; ok {
+		return n
+	}
+	return r.ring.Owner(id)
+}
+
+// PushMembership installs the router's membership table on every node.
+// Nodes that cannot be reached are reported; they will reject forwards
+// (split-epoch) until they catch up, which is the safe failure mode.
+func (r *Router) PushMembership() error {
+	m := r.Membership()
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, mem := range m.Members {
+		if err := r.pushOne(mem, body); err != nil {
+			errs = append(errs, fmt.Errorf("push membership to %s: %w", mem.ID, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (r *Router) pushOne(mem Member, body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ForwardTimeout)
+	defer cancel()
+	// Membership pushes deliberately omit the epoch header: they ARE the
+	// epoch change.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, mem.URL+"/internal/membership", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
+	r.mu.RLock()
+	client := r.clients[mem.ID]
+	r.mu.RUnlock()
+	if client == nil {
+		return fmt.Errorf("ring: no client for node %s", mem.ID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// --- request forwarding ---
+
+// forward proxies req to the node's base URL at path, labeling it with
+// the router's epoch and running it through the node's breaker and
+// retrying client. The node's response (status, Retry-After, body)
+// passes through verbatim.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, nodeID, path string) {
+	r.mu.RLock()
+	base := r.membership.url(nodeID)
+	epoch := r.membership.Epoch
+	client := r.clients[nodeID]
+	breaker := r.breakers[nodeID]
+	r.mu.RUnlock()
+	if base == "" || client == nil {
+		routerForwardErrors.Inc()
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "ring: campaign owner " + nodeID + " is not a cluster member"})
+		return
+	}
+
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(req.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ForwardTimeout)
+	defer cancel()
+	out, err := http.NewRequestWithContext(ctx, req.Method, base+path, bytes.NewReader(body))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	out.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	if key := req.Header.Get(resilience.IdempotencyHeader); key != "" {
+		out.Header.Set(resilience.IdempotencyHeader, key)
+	}
+	out.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+
+	var resp *http.Response
+	doErr := breaker.Do(func() error {
+		var err error
+		resp, err = client.Do(out)
+		if err != nil {
+			return err
+		}
+		// 5xx responses count against the node's breaker even though
+		// they pass through to the client.
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("ring: HTTP %d from %s", resp.StatusCode, nodeID)
+		}
+		return nil
+	})
+	routerForwards.Inc()
+	if resp == nil {
+		routerForwardErrors.Inc()
+		var open *resilience.OpenError
+		if errors.As(doErr, &open) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(open.RetryAfter.Seconds())+1))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "ring: node " + nodeID + " circuit open"})
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("ring: forward to %s failed: %v", nodeID, doErr)})
+		return
+	}
+	defer resp.Body.Close()
+	if doErr != nil {
+		routerForwardErrors.Inc()
+	}
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// handleCreate assigns a cluster-unique campaign id, places it on the
+// ring, and forwards the spec to the owner.
+func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	r.nextID++
+	// Router ids use a wider format than node-local ones (c%04d) so the
+	// two can never collide even if a node also serves direct traffic.
+	id := fmt.Sprintf("c%06d", r.nextID)
+	r.campaigns[id] = true
+	owner := r.ownerLocked(id)
+	r.mu.Unlock()
+	r.forward(w, req, owner, "/internal/campaigns/"+id)
+}
+
+// forwardCampaign routes status/suggest/observe/predict to the
+// campaign's owner, shedding with 503 while the campaign is mid-handoff.
+func (r *Router) forwardCampaign(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.RLock()
+	inHandoff := r.handoff[id]
+	owner := r.ownerLocked(id)
+	r.mu.RUnlock()
+	if inHandoff {
+		routerHandoffRejects.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "ring: campaign " + id + " is migrating, retry"})
+		return
+	}
+	r.forward(w, req, owner, req.URL.Path)
+}
+
+// handleDelete forwards the delete and forgets the campaign on success.
+func (r *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.RLock()
+	owner := r.ownerLocked(id)
+	r.mu.RUnlock()
+	sw := &captureStatus{ResponseWriter: w}
+	r.forward(sw, req, owner, req.URL.Path)
+	if sw.code < 300 {
+		r.mu.Lock()
+		delete(r.campaigns, id)
+		delete(r.overrides, id)
+		delete(r.handoff, id)
+		r.mu.Unlock()
+	}
+}
+
+type captureStatus struct {
+	http.ResponseWriter
+	code int
+}
+
+func (c *captureStatus) WriteHeader(code int) {
+	c.code = code
+	c.ResponseWriter.WriteHeader(code)
+}
+
+// handleList fans GET /campaigns out to every node and merges the
+// results in natural id order. Unreachable nodes are skipped and
+// counted — the list degrades instead of erroring.
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	m := r.Membership()
+	var all []serve.CampaignStatus
+	unreachable := 0
+	for _, mem := range m.Members {
+		sts, err := r.listNode(req.Context(), mem, m.Epoch)
+		if err != nil {
+			unreachable++
+			continue
+		}
+		all = append(all, sts...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": all, "unreachable_nodes": unreachable})
+}
+
+func (r *Router) listNode(ctx context.Context, mem Member, epoch uint64) ([]serve.CampaignStatus, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, mem.URL+"/campaigns", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	r.mu.RLock()
+	client := r.clients[mem.ID]
+	r.mu.RUnlock()
+	if client == nil {
+		return nil, fmt.Errorf("ring: no client for %s", mem.ID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Campaigns []serve.CampaignStatus `json:"campaigns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Campaigns, nil
+}
+
+// handleHealthz aggregates node healthz: "ok" only when every member
+// answers and none is degraded.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	m := r.Membership()
+	status := "ok"
+	nodes := make(map[string]string, len(m.Members))
+	for _, mem := range m.Members {
+		st, err := r.nodeHealth(req.Context(), mem, m.Epoch)
+		if err != nil {
+			nodes[mem.ID] = "unreachable"
+			status = "degraded"
+			continue
+		}
+		nodes[mem.ID] = st
+		if st != "ok" {
+			status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status, "epoch": m.Epoch, "nodes": nodes,
+	})
+}
+
+func (r *Router) nodeHealth(ctx context.Context, mem Member, epoch uint64) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, mem.URL+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	r.mu.RLock()
+	client := r.clients[mem.ID]
+	r.mu.RUnlock()
+	if client == nil {
+		return "", fmt.Errorf("ring: no client for %s", mem.ID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = obs.Default.WriteJSONL(w)
+}
+
+// --- membership changes ---
+
+// Failover removes a dead node: bump the epoch, push the new table to
+// the survivors, then adopt every campaign the dead node owned on its
+// new owner — which, by the ring's remap property, is the follower
+// already holding its replica. Orphaned campaigns are in handoff (shed
+// with 503) from the epoch bump until their adoption completes; every
+// other campaign keeps serving throughout.
+func (r *Router) Failover(deadID string) error {
+	r.mu.Lock()
+	if r.membership.url(deadID) == "" {
+		r.mu.Unlock()
+		return fmt.Errorf("ring: failover of unknown node %q", deadID)
+	}
+	var orphans []string
+	for id := range r.campaigns {
+		if r.ownerLocked(id) == deadID {
+			orphans = append(orphans, id)
+			r.handoff[id] = true
+		}
+	}
+	for id, o := range r.overrides {
+		if o == deadID {
+			// The override target is gone; fall back to ring placement.
+			delete(r.overrides, id)
+		}
+	}
+	nm := r.membership.without(deadID)
+	nm.Epoch = r.membership.Epoch + 1
+	r.membership = nm
+	r.ring = nm.ring(r.cfg.Vnodes)
+	ringMembers.Set(float64(len(nm.Members)))
+	ringEpochGauge.Set(float64(nm.Epoch))
+	r.mu.Unlock()
+
+	serve.SortCampaignIDs(orphans)
+	routerFailovers.Inc()
+	obs.Emit("router.failover", map[string]any{
+		"dead": deadID, "epoch": nm.Epoch, "orphans": len(orphans),
+	})
+
+	// Survivors must install the new epoch before adoptions (the adopt
+	// request itself is epoch-labeled).
+	pushErr := r.PushMembership()
+
+	var errs []error
+	if pushErr != nil {
+		errs = append(errs, pushErr)
+	}
+	for _, id := range orphans {
+		newOwner := r.Owner(id)
+		if err := r.postInternal(newOwner, "/internal/adopt/"+id, nil); err != nil {
+			errs = append(errs, fmt.Errorf("adopt %s on %s: %w", id, newOwner, err))
+			continue // keep the campaign in handoff: shed, not wrong
+		}
+		r.mu.Lock()
+		delete(r.handoff, id)
+		r.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Migrate moves one campaign to an explicit node: release on the owner,
+// export its journal, adopt on the target, drop the stale source copy.
+// The campaign is in handoff (shed with 503) for the duration.
+func (r *Router) Migrate(id, to string) error {
+	r.mu.Lock()
+	if r.membership.url(to) == "" {
+		r.mu.Unlock()
+		return fmt.Errorf("ring: migrate to unknown node %q", to)
+	}
+	if !r.campaigns[id] {
+		r.mu.Unlock()
+		return fmt.Errorf("ring: unknown campaign %q", id)
+	}
+	from := r.ownerLocked(id)
+	if from == to {
+		r.mu.Unlock()
+		return nil
+	}
+	r.handoff[id] = true
+	r.mu.Unlock()
+
+	// A release 404 is fine on retry: a previous attempt already stopped
+	// the campaign on the source.
+	if err := r.postInternal(from, "/internal/release/"+id, nil); err != nil && !errors.Is(err, errNotFoundStatus) {
+		r.mu.Lock()
+		delete(r.handoff, id)
+		r.mu.Unlock()
+		return fmt.Errorf("ring: release %s on %s: %w", id, from, err)
+	}
+	data, err := r.getInternal(from, "/internal/export/"+id)
+	if err != nil {
+		return fmt.Errorf("ring: export %s from %s: %w (campaign held in handoff)", id, from, err)
+	}
+	if err := r.postInternal(to, "/internal/adopt/"+id, data); err != nil {
+		return fmt.Errorf("ring: adopt %s on %s: %w (campaign held in handoff)", id, to, err)
+	}
+	// Best effort: the source's journal is stale the moment the target
+	// owns the campaign.
+	if err := r.deleteInternal(from, "/internal/journal/"+id); err != nil {
+		obs.Emit("router.migrate.stale", map[string]any{"campaign": id, "node": from, "err": err.Error()})
+	}
+	r.mu.Lock()
+	r.overrides[id] = to
+	delete(r.handoff, id)
+	r.mu.Unlock()
+	obs.Emit("router.migrate", map[string]any{"campaign": id, "from": from, "to": to})
+	return nil
+}
+
+// errNotFoundStatus marks an internal call that returned HTTP 404.
+var errNotFoundStatus = errors.New("ring: HTTP 404")
+
+func (r *Router) internalDo(method, nodeID, path string, body []byte) ([]byte, error) {
+	r.mu.RLock()
+	base := r.membership.url(nodeID)
+	epoch := r.membership.Epoch
+	client := r.clients[nodeID]
+	r.mu.RUnlock()
+	if base == "" || client == nil {
+		return nil, fmt.Errorf("ring: node %q is not a member", nodeID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	// Adoption and release are idempotent by construction; say so, so
+	// the retrying transport may replay them.
+	req.Header.Set(resilience.IdempotencyHeader, method+":"+nodeID+path)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s %s on %s", errNotFoundStatus, method, path, nodeID)
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("ring: %s %s on %s: HTTP %d: %s", method, path, nodeID, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+func (r *Router) postInternal(nodeID, path string, body []byte) error {
+	_, err := r.internalDo(http.MethodPost, nodeID, path, body)
+	return err
+}
+
+func (r *Router) getInternal(nodeID, path string) ([]byte, error) {
+	return r.internalDo(http.MethodGet, nodeID, path, nil)
+}
+
+func (r *Router) deleteInternal(nodeID, path string) error {
+	_, err := r.internalDo(http.MethodDelete, nodeID, path, nil)
+	return err
+}

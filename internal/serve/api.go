@@ -102,8 +102,8 @@ type DatasetSpec struct {
 	Noise float64 `json:"noise,omitempty"`
 }
 
-// errSpec marks client-caused spec validation failures (HTTP 400).
-var errSpec = errors.New("invalid campaign spec")
+// ErrSpec marks client-caused spec validation failures (HTTP 400).
+var ErrSpec = errors.New("invalid campaign spec")
 
 // Validate checks the spec and normalizes defaults in place.
 func (s *CampaignSpec) Validate() error {
@@ -113,45 +113,45 @@ func (s *CampaignSpec) Validate() error {
 	switch s.Source {
 	case "client":
 		if len(s.Candidates) == 0 {
-			return fmt.Errorf("%w: client campaigns need a candidate grid", errSpec)
+			return fmt.Errorf("%w: client campaigns need a candidate grid", ErrSpec)
 		}
 		dims := len(s.Candidates[0])
 		if dims == 0 {
-			return fmt.Errorf("%w: empty candidate point", errSpec)
+			return fmt.Errorf("%w: empty candidate point", ErrSpec)
 		}
 		for i, row := range s.Candidates {
 			if len(row) != dims {
-				return fmt.Errorf("%w: candidate %d has %d dims, want %d", errSpec, i, len(row), dims)
+				return fmt.Errorf("%w: candidate %d has %d dims, want %d", ErrSpec, i, len(row), dims)
 			}
 			for _, v := range row {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
-					return fmt.Errorf("%w: candidate %d has a non-finite coordinate", errSpec, i)
+					return fmt.Errorf("%w: candidate %d has a non-finite coordinate", ErrSpec, i)
 				}
 			}
 		}
 		for _, sd := range s.Seeds {
 			if sd < 0 || sd >= len(s.Candidates) {
-				return fmt.Errorf("%w: seed index %d outside candidate grid of %d", errSpec, sd, len(s.Candidates))
+				return fmt.Errorf("%w: seed index %d outside candidate grid of %d", ErrSpec, sd, len(s.Candidates))
 			}
 		}
 	case "dataset":
 		if s.Dataset == nil || s.Dataset.Name == "" {
-			return fmt.Errorf("%w: dataset campaigns need a dataset name", errSpec)
+			return fmt.Errorf("%w: dataset campaigns need a dataset name", ErrSpec)
 		}
 		if s.Dataset.Seed == 0 {
 			s.Dataset.Seed = 1
 		}
 	default:
-		return fmt.Errorf("%w: source must be \"client\" or \"dataset\", got %q", errSpec, s.Source)
+		return fmt.Errorf("%w: source must be \"client\" or \"dataset\", got %q", ErrSpec, s.Source)
 	}
 	if len(s.Seeds) == 0 {
-		return fmt.Errorf("%w: at least one seed experiment index is required", errSpec)
+		return fmt.Errorf("%w: at least one seed experiment index is required", ErrSpec)
 	}
 	if _, err := s.strategy(); err != nil {
 		return err
 	}
 	if s.Iterations < 0 {
-		return fmt.Errorf("%w: negative iterations", errSpec)
+		return fmt.Errorf("%w: negative iterations", ErrSpec)
 	}
 	return nil
 }
@@ -168,7 +168,7 @@ func (s *CampaignSpec) strategy() (al.Strategy, error) {
 		Perturb: s.Perturb,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errSpec, err)
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
 	}
 	return strat, nil
 }

@@ -80,11 +80,12 @@ type Campaign struct {
 	ID   string
 	Spec CampaignSpec
 
-	// jw is the append-only journal (nil disables persistence). It is
-	// touched only from actor closures, so it needs no lock; the actor
-	// closes it on exit. jbreaker (shared across the manager's
-	// campaigns) fails journal appends fast when the disk is sick.
-	jw       *journalWriter
+	// jw is the append-only journal (nil disables persistence) — the
+	// Store-issued Appender this campaign owns. It is touched only from
+	// actor closures, so it needs no lock; the actor closes it on exit.
+	// jbreaker (shared across the manager's campaigns) fails journal
+	// appends fast when the backing store is sick.
+	jw       Appender
 	jbreaker *resilience.Breaker
 
 	cands    *mat.Dense
@@ -112,11 +113,11 @@ type Campaign struct {
 }
 
 // newCampaign builds a campaign (fresh or resumed) and starts its actor
-// and engine goroutines. jw is the open journal writer (nil disables
+// and engine goroutines. jw is the open journal appender (nil disables
 // persistence; the campaign takes ownership and closes it); journal is
 // the replay prefix (nil for fresh campaigns); expectVersion/expectFP
 // carry the checkpoint's integrity pin.
-func newCampaign(id string, spec CampaignSpec, jw *journalWriter, jbreaker *resilience.Breaker, journal []Observation, expectVersion int, expectFP uint64) (*Campaign, error) {
+func newCampaign(id string, spec CampaignSpec, jw Appender, jbreaker *resilience.Breaker, journal []Observation, expectVersion int, expectFP uint64) (*Campaign, error) {
 	c := &Campaign{
 		ID:            id,
 		Spec:          spec,
@@ -153,7 +154,7 @@ func newCampaign(id string, spec CampaignSpec, jw *journalWriter, jbreaker *resi
 			c.rows[xKey(c.cands.RawRow(i))] = i
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown source %q", errSpec, spec.Source)
+		return nil, fmt.Errorf("%w: unknown source %q", ErrSpec, spec.Source)
 	}
 
 	// seq continues across resume: journal entry i consumed seq i+1 in
@@ -179,7 +180,11 @@ func newCampaign(id string, spec CampaignSpec, jw *journalWriter, jbreaker *resi
 
 // actor executes mailbox closures one at a time until close().
 func (c *Campaign) actor(st *campaignState) {
-	defer c.jw.close()
+	defer func() {
+		if c.jw != nil {
+			c.jw.Close()
+		}
+	}()
 	for {
 		select {
 		case fn := <-c.mailbox:
@@ -329,7 +334,7 @@ func (c *Campaign) measure(x []float64) (float64, float64, error) {
 				// journaling entirely: the valid prefix still replays and
 				// resume re-measures the rest from the dataset.
 				if c.jw != nil {
-					c.jw.disable()
+					c.jw.Disable()
 				}
 				obs.Emit("serve.journal.disabled", map[string]any{"campaign": c.ID, "err": err.Error()})
 			}
@@ -407,7 +412,7 @@ func (c *Campaign) appendFinal(st *campaignState) {
 	if st.err != nil {
 		errMsg = st.err.Error()
 	}
-	if err := c.jw.appendFinal(st.state, errMsg, st.converged, st.modelVersion, fp); err != nil {
+	if err := c.jw.AppendFinal(st.state, errMsg, st.converged, st.modelVersion, fp); err != nil {
 		journalAppendErrs.Inc()
 		obs.Emit("serve.journal.error", map[string]any{"campaign": c.ID, "err": err.Error()})
 	}
@@ -534,7 +539,7 @@ func (c *Campaign) appendJournal(st *campaignState, o Observation) error {
 	if st.model != nil {
 		fp = st.model.Fingerprint()
 	}
-	op := func() error { return c.jw.appendObs(o, st.modelVersion, fp) }
+	op := func() error { return c.jw.AppendObs(o, st.modelVersion, fp) }
 	var err error
 	if c.jbreaker != nil {
 		err = c.jbreaker.Do(op)

@@ -48,7 +48,7 @@ func lookupDataset(spec DatasetSpec) (*dataset.Dataset, string, error) {
 	fn := datasets[spec.Name]
 	datasetsMu.RUnlock()
 	if fn == nil {
-		return nil, "", fmt.Errorf("%w: unknown dataset %q (registered: %v)", errSpec, spec.Name, DatasetNames())
+		return nil, "", fmt.Errorf("%w: unknown dataset %q (registered: %v)", ErrSpec, spec.Name, DatasetNames())
 	}
 	return fn(spec)
 }

@@ -46,6 +46,35 @@
 // different fingerprint fails the campaign instead of serving silently
 // diverged suggestions.
 //
+// # Storage
+//
+// Persistence sits behind the Store interface: DirStore (one fsynced
+// file per campaign under a checkpoint directory) for production,
+// MemStore for tests and for cluster nodes whose durability comes from
+// replication. Raw journal bytes are the unit of exchange — Export and
+// Import move a campaign between stores byte-for-byte, and the
+// canonical line encoders (EncodeJournalHeader/Obs/Final) guarantee
+// that the same campaign produces identical bytes in every store. That
+// byte identity is what lets internal/ring ship journals between
+// replicas and replay them anywhere with the same fingerprinted trace;
+// TestStoreReplayEquivalence pins it.
+//
+// # Shutdown contract
+//
+// Manager.Shutdown is idempotent and safe to call concurrently — with
+// itself, with Delete/Release, and with in-flight suggest, observe, and
+// predict traffic. Exactly one caller performs the drain: it marks the
+// manager closed (new work is rejected with ErrClosed), stops every
+// campaign, and waits for the engines to unwind under its context.
+// Every other call, concurrent or later, waits for that drain and
+// returns its outcome; a caller whose own context dies first gets that
+// context error, but once the drain has finished even an
+// already-expired context gets the real result. A suggest or observe
+// racing the shutdown either completes fully — journaled, replicated,
+// acknowledged — or is rejected with ErrClosed; it is never
+// half-applied. TestManagerShutdownConcurrentWithTraffic pins the
+// contract under the race detector.
+//
 // # Resilience
 //
 // The HTTP layer wraps the campaign core in production defenses

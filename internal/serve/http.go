@@ -160,7 +160,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &tooBig):
 		code = http.StatusRequestEntityTooLarge
-	case errors.Is(err, errSpec):
+	case errors.Is(err, ErrSpec):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
@@ -192,7 +192,7 @@ func decodeJSON(r *http.Request, v any) error {
 		if errors.As(err, &tooBig) {
 			return err
 		}
-		return errors.Join(errSpec, err)
+		return errors.Join(ErrSpec, err)
 	}
 	return nil
 }

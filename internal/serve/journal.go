@@ -36,6 +36,59 @@ var (
 // (HTTP 503 + Retry-After).
 var ErrJournal = errors.New("serve: journal append failed")
 
+// Appender is the append side of one campaign's journal. It is owned by
+// the campaign actor goroutine — implementations need not be safe for
+// concurrent use. A replication layer (internal/ring) may wrap a local
+// Appender to ship every record to a follower BEFORE the local append
+// returns, which composes with the service's journal-before-ack rule to
+// give replicate-before-ack.
+type Appender interface {
+	// AppendObs durably appends one accepted observation, pinned to the
+	// model version and fingerprint current at append time.
+	AppendObs(o Observation, modelVersion int, fp uint64) error
+	// AppendFinal appends the terminal outcome line.
+	AppendFinal(state, errMsg string, converged bool, modelVersion int, fp uint64) error
+	// Disable stops journaling without poisoning the stored prefix: the
+	// valid prefix stays replayable (dataset campaigns use this after an
+	// append failure instead of halting).
+	Disable()
+	// Close releases the journal. The campaign actor calls it on exit.
+	Close() error
+}
+
+// encodeRecord renders one journal record as its canonical line
+// (JSON + newline). Journals are byte-identical wherever this encoding
+// is used, which is what lets the cluster layer ship raw lines and
+// still satisfy the fingerprint-pinned replay-equivalence contract.
+func encodeRecord(rec *journalRecord) ([]byte, error) {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal journal record: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// EncodeJournalHeader renders the canonical header line for a campaign
+// journal. Exported for replication layers that rebuild journals from
+// shipped lines.
+func EncodeJournalHeader(id string, spec CampaignSpec) ([]byte, error) {
+	return encodeRecord(&journalRecord{Header: &journalHeader{Version: journalVersion, ID: id, Spec: spec}})
+}
+
+// EncodeJournalObs renders the canonical observation line.
+func EncodeJournalObs(o Observation, modelVersion int, fp uint64) ([]byte, error) {
+	return encodeRecord(&journalRecord{Obs: &journalObs{
+		X: o.X, Y: o.Y, Cost: o.Cost, Key: o.Key, MV: modelVersion, FP: fpHex(fp),
+	}})
+}
+
+// EncodeJournalFinal renders the canonical terminal line.
+func EncodeJournalFinal(state, errMsg string, converged bool, modelVersion int, fp uint64) ([]byte, error) {
+	return encodeRecord(&journalRecord{Final: &journalFinal{
+		State: state, Error: errMsg, Converged: converged, MV: modelVersion, FP: fpHex(fp),
+	}})
+}
+
 // errJournalDirty means a previous append left the file tail in an
 // unknown state (torn write, or a failed write that could not be rolled
 // back); the writer refuses everything until the next boot re-validates
@@ -119,6 +172,13 @@ func loadJournal(path string) (*journalFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: read checkpoint: %w", err)
 	}
+	return parseJournal(data, path)
+}
+
+// parseJournal applies the journal crash-recovery rules to raw bytes.
+// src names the source (a path or store key) in errors and events.
+func parseJournal(data []byte, src string) (*journalFile, error) {
+	path := src
 	jf := &journalFile{Version: journalVersion}
 	off := 0
 	n := 0
@@ -259,11 +319,10 @@ func (w *journalWriter) write(rec *journalRecord) error {
 	if w.broken {
 		return errJournalDirty
 	}
-	buf, err := json.Marshal(rec)
+	buf, err := encodeRecord(rec)
 	if err != nil {
-		return fmt.Errorf("serve: marshal journal record: %w", err)
+		return err
 	}
-	buf = append(buf, '\n')
 	w.seq++
 	if frac, torn := faults.TearDecision(w.tear, w.seq); torn {
 		// Chaos: deliver a prefix and "crash". The tail is now unknown,
@@ -302,25 +361,28 @@ func (w *journalWriter) write(rec *journalRecord) error {
 	return nil
 }
 
-func (w *journalWriter) appendObs(o Observation, mv int, fp uint64) error {
+// AppendObs implements Appender.
+func (w *journalWriter) AppendObs(o Observation, mv int, fp uint64) error {
 	return w.write(&journalRecord{Obs: &journalObs{
 		X: o.X, Y: o.Y, Cost: o.Cost, Key: o.Key, MV: mv, FP: fpHex(fp),
 	}})
 }
 
-func (w *journalWriter) appendFinal(state, errMsg string, converged bool, mv int, fp uint64) error {
+// AppendFinal implements Appender.
+func (w *journalWriter) AppendFinal(state, errMsg string, converged bool, mv int, fp uint64) error {
 	return w.write(&journalRecord{Final: &journalFinal{
 		State: state, Error: errMsg, Converged: converged, MV: mv, FP: fpHex(fp),
 	}})
 }
 
-// disable stops journaling without poisoning the file: the valid prefix
+// Disable stops journaling without poisoning the file: the valid prefix
 // stays replayable. Used by dataset campaigns after an append failure —
 // skipping an entry would corrupt replay order, so they stop journaling
 // entirely and re-measure on resume.
-func (w *journalWriter) disable() { w.broken = true }
+func (w *journalWriter) Disable() { w.broken = true }
 
-func (w *journalWriter) close() error {
+// Close implements Appender.
+func (w *journalWriter) Close() error {
 	if w == nil || w.f == nil {
 		return nil
 	}

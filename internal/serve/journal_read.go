@@ -4,15 +4,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
 // JournalInfo is the read-only view of one campaign checkpoint, exposed
 // to tools outside the service: surrogate training (internal/surrogate)
-// and load replay (cmd/alload) consume recorded campaigns through it.
-// Observations appear in append order; entries recorded by servers that
-// predate X recording carry a nil X.
+// and load replay (cmd/alload) consume recorded campaigns through it,
+// and Store implementations return it from Load. Observations appear in
+// append order; entries recorded by servers that predate X recording
+// carry a nil X.
 type JournalInfo struct {
 	// ID is the campaign id the journal belongs to.
 	ID string
@@ -20,6 +20,10 @@ type JournalInfo struct {
 	Spec CampaignSpec
 	// Observations is the accepted (x, y, cost) stream.
 	Observations []Observation
+	// ModelVersion and Fingerprint pin the model identity at the last
+	// complete observation — the integrity check replay must reproduce.
+	ModelVersion int
+	Fingerprint  uint64
 	// Done reports whether the journal carries a terminal "done" line.
 	Done bool
 	// Error is the terminal error message, if the campaign failed.
@@ -37,19 +41,14 @@ func ReadJournal(path string) (*JournalInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &JournalInfo{
-		ID:           jf.ID,
-		Spec:         jf.Spec,
-		Observations: jf.Observations,
-		Done:         jf.Done,
-		Error:        jf.Error,
-		Truncated:    jf.truncated,
-	}, nil
+	return jf.info(), nil
 }
 
 // ReadJournalDir loads every campaign journal in dir (the layout a
-// Manager's CheckpointDir produces: one <id>.json per campaign), sorted
-// by file name so callers see a deterministic order. Files that fail to
+// Manager's CheckpointDir produces: one <id>.json per campaign), in the
+// deterministic natural campaign-id order every journal scan uses (see
+// SortCampaignIDs) — directory entry order, file creation order, and
+// platform collation never influence the result. Files that fail to
 // load are skipped and reported in skipped; an empty directory is not
 // an error.
 func ReadJournalDir(dir string) (infos []*JournalInfo, skipped []string, err error) {
@@ -57,15 +56,15 @@ func ReadJournalDir(dir string) (infos []*JournalInfo, skipped []string, err err
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: scan journal dir: %w", err)
 	}
-	names := make([]string, 0, len(entries))
+	ids := make([]string, 0, len(entries))
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasPrefix(e.Name(), ".") {
-			names = append(names, e.Name())
+			ids = append(ids, strings.TrimSuffix(e.Name(), ".json"))
 		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		path := filepath.Join(dir, name)
+	SortCampaignIDs(ids)
+	for _, id := range ids {
+		path := filepath.Join(dir, id+".json")
 		info, err := ReadJournal(path)
 		if err != nil {
 			skipped = append(skipped, fmt.Sprintf("%s: %v", path, err))

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -33,9 +31,15 @@ var ErrNotFound = errors.New("serve: campaign not found")
 
 // Config sizes the Manager.
 type Config struct {
-	// CheckpointDir persists one JSON journal per campaign; "" disables
-	// persistence (campaigns die with the process).
+	// CheckpointDir persists one JSON journal per campaign via a
+	// DirStore; "" disables persistence (campaigns die with the
+	// process). Ignored when Store is set.
 	CheckpointDir string
+
+	// Store overrides the default persistence: campaign journals are
+	// created, resumed, and removed through it. The cluster layer
+	// injects a replicating store here; tests inject a MemStore.
+	Store Store
 
 	// CacheSize bounds the shared prediction LRU (default 4096 points).
 	CacheSize int
@@ -58,6 +62,8 @@ type Config struct {
 
 	// TornWrites injects deterministic torn journal appends — the chaos
 	// knob behind the crash-mid-write suite. The zero value never tears.
+	// Applies to the DirStore built from CheckpointDir; an explicit
+	// Store carries its own tear configuration.
 	TornWrites faults.TornWriteConfig
 }
 
@@ -65,6 +71,7 @@ type Config struct {
 // global scoring throttle. All methods are safe for concurrent use.
 type Manager struct {
 	cfg   Config
+	store Store // nil disables persistence
 	cache *predCache
 	sem   chan struct{}
 
@@ -79,6 +86,12 @@ type Manager struct {
 	campaigns map[string]*Campaign
 	nextID    int
 	closed    bool
+
+	// drainDone closes when the first Shutdown call finishes draining;
+	// drainErr (written before the close) carries its outcome to every
+	// concurrent or later caller. See Shutdown.
+	drainDone chan struct{}
+	drainErr  error
 }
 
 // NewManager builds a Manager. Call ResumeAll afterwards to relaunch
@@ -87,8 +100,13 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxConcurrentScores <= 0 {
 		cfg.MaxConcurrentScores = runtime.GOMAXPROCS(0)
 	}
+	store := cfg.Store
+	if store == nil && cfg.CheckpointDir != "" {
+		store = NewDirStore(cfg.CheckpointDir, cfg.TornWrites)
+	}
 	return &Manager{
 		cfg:            cfg,
+		store:          store,
 		cache:          newPredCache(cfg.CacheSize),
 		sem:            make(chan struct{}, cfg.MaxConcurrentScores),
 		scoreBreaker:   resilience.NewBreaker("score", cfg.ScoreBreaker),
@@ -97,6 +115,10 @@ func NewManager(cfg Config) *Manager {
 	}
 }
 
+// Store returns the manager's persistence backend (nil when campaigns
+// are not persisted). The cluster layer exports journals through it.
+func (m *Manager) Store() Store { return m.store }
+
 // BreakerStates reports the manager's circuit breaker states for
 // /healthz.
 func (m *Manager) BreakerStates() map[string]string {
@@ -104,15 +126,6 @@ func (m *Manager) BreakerStates() map[string]string {
 		"score":   m.scoreBreaker.State().String(),
 		"journal": m.journalBreaker.State().String(),
 	}
-}
-
-// ckptPath returns the journal path for a campaign id ("" when
-// persistence is disabled).
-func (m *Manager) ckptPath(id string) string {
-	if m.cfg.CheckpointDir == "" {
-		return ""
-	}
-	return filepath.Join(m.cfg.CheckpointDir, id+".json")
 }
 
 // Create validates the spec, assigns an id, and launches the campaign.
@@ -133,18 +146,48 @@ func (m *Manager) Create(spec CampaignSpec) (*Campaign, error) {
 			break
 		}
 	}
-	var jw *journalWriter
-	if path := m.ckptPath(id); path != "" {
+	return m.createLocked(id, spec)
+}
+
+// CreateWithID launches a campaign under a caller-chosen id. The
+// cluster router uses it to assign cluster-unique ids before picking an
+// owner replica; ids must stay unique per manager.
+func (m *Manager) CreateWithID(id string, spec CampaignSpec) (*Campaign, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty campaign id", ErrSpec)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, taken := m.campaigns[id]; taken {
+		return nil, fmt.Errorf("%w: campaign id %q already in use", ErrSpec, id)
+	}
+	m.bumpNextID(id)
+	return m.createLocked(id, spec)
+}
+
+// createLocked launches a fresh campaign under an id the caller has
+// verified to be free. Callers hold m.mu and have checked m.closed.
+func (m *Manager) createLocked(id string, spec CampaignSpec) (*Campaign, error) {
+	var app Appender
+	if m.store != nil {
 		var err error
-		if jw, err = createJournal(path, id, spec, m.cfg.TornWrites); err != nil {
+		if app, err = m.store.Create(id, spec); err != nil {
 			// A server configured for durability that cannot persist must
 			// say so at create time, not lose campaigns at crash time.
 			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
-	c, err := newCampaign(id, spec, jw, m.journalBreaker, nil, 0, 0)
+	c, err := newCampaign(id, spec, app, m.journalBreaker, nil, 0, 0)
 	if err != nil {
-		jw.close()
+		if app != nil {
+			app.Close()
+		}
 		return nil, err
 	}
 	m.campaigns[id] = c
@@ -154,77 +197,93 @@ func (m *Manager) Create(spec CampaignSpec) (*Campaign, error) {
 	return c, nil
 }
 
-// ResumeAll scans the checkpoint directory and relaunches every
-// campaign journal found there; each engine replays its journal and
-// continues (or finishes) from the exact interrupted state. Returns
-// the number of campaigns resumed; corrupt journals are skipped with an
-// event rather than failing the boot.
+// bumpNextID keeps fresh ids clear of externally assigned or resumed
+// ones ("c0007" → nextID ≥ 7). Callers hold m.mu.
+func (m *Manager) bumpNextID(id string) {
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "c")); err == nil && n > m.nextID {
+		m.nextID = n
+	}
+}
+
+// ResumeAll relaunches every campaign the store holds, in the store's
+// deterministic id order; each engine replays its journal and continues
+// (or finishes) from the exact interrupted state. Returns the number of
+// campaigns resumed; corrupt journals are skipped with an event rather
+// than failing the boot.
 func (m *Manager) ResumeAll() (int, error) {
-	if m.cfg.CheckpointDir == "" {
+	if m.store == nil {
 		return 0, nil
 	}
-	entries, err := os.ReadDir(m.cfg.CheckpointDir)
+	ids, err := m.store.IDs()
 	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, nil
-		}
-		return 0, fmt.Errorf("serve: scan checkpoint dir: %w", err)
+		return 0, err
 	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasPrefix(e.Name(), ".") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
 	resumed := 0
-	for _, name := range names {
-		path := filepath.Join(m.cfg.CheckpointDir, name)
-		jf, err := loadJournal(path)
-		if err != nil {
-			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
+	for _, id := range ids {
+		if err := m.ResumeOne(id); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return resumed, err
+			}
+			obs.Emit("serve.resume.skipped", map[string]any{"campaign": id, "err": err.Error()})
 			continue
 		}
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
-			return resumed, ErrClosed
-		}
-		if _, taken := m.campaigns[jf.ID]; taken {
-			m.mu.Unlock()
-			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": "duplicate campaign id"})
-			continue
-		}
-		// Reopen for appending at the end of the last complete
-		// observation: torn tails and stale terminal lines are trimmed
-		// before the campaign writes anything new.
-		jw, err := openJournalAt(path, jf.appendOffset, len(jf.Observations), m.cfg.TornWrites)
-		if err != nil {
-			m.mu.Unlock()
-			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
-			continue
-		}
-		c, err := newCampaign(jf.ID, jf.Spec, jw, m.journalBreaker, jf.Observations, jf.ModelVersion, jf.Fingerprint)
-		if err != nil {
-			m.mu.Unlock()
-			jw.close()
-			obs.Emit("serve.resume.skipped", map[string]any{"path": path, "err": err.Error()})
-			continue
-		}
-		m.campaigns[jf.ID] = c
-		// Keep fresh ids clear of resumed ones ("c0007" → nextID ≥ 7).
-		if n, err := strconv.Atoi(strings.TrimPrefix(jf.ID, "c")); err == nil && n > m.nextID {
-			m.nextID = n
-		}
-		campaignsActive.Set(float64(len(m.campaigns)))
-		m.mu.Unlock()
-		campaignsResumed.Inc()
 		resumed++
-		obs.Emit("serve.campaign.resumed", map[string]any{
-			"campaign": jf.ID, "observations": len(jf.Observations),
-		})
 	}
 	return resumed, nil
+}
+
+// ResumeOne loads one persisted campaign from the store and relaunches
+// it: the engine replays the journal and continues from the interrupted
+// state, with the checkpoint's fingerprint pinning replay integrity.
+// Used at boot via ResumeAll and by the cluster layer when a node
+// adopts a shipped campaign after failover or migration.
+func (m *Manager) ResumeOne(id string) error {
+	if m.store == nil {
+		return errors.New("serve: manager has no store to resume from")
+	}
+	// Fast-path duplicate check before the store read; rechecked under
+	// the lock after.
+	m.mu.RLock()
+	_, taken := m.campaigns[id]
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if taken {
+		return fmt.Errorf("serve: campaign %q already active", id)
+	}
+	info, app, err := m.store.Load(id)
+	if err != nil {
+		return err
+	}
+	if info.ID != id {
+		app.Close()
+		return fmt.Errorf("serve: journal %q carries campaign id %q", id, info.ID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		app.Close()
+		return ErrClosed
+	}
+	if _, taken := m.campaigns[id]; taken {
+		app.Close()
+		return fmt.Errorf("serve: campaign %q already active", id)
+	}
+	c, err := newCampaign(id, info.Spec, app, m.journalBreaker, info.Observations, info.ModelVersion, info.Fingerprint)
+	if err != nil {
+		app.Close()
+		return err
+	}
+	m.campaigns[id] = c
+	m.bumpNextID(id)
+	campaignsActive.Set(float64(len(m.campaigns)))
+	campaignsResumed.Inc()
+	obs.Emit("serve.campaign.resumed", map[string]any{
+		"campaign": id, "observations": len(info.Observations),
+	})
+	return nil
 }
 
 // Get returns the campaign with the given id.
@@ -238,7 +297,8 @@ func (m *Manager) Get(id string) (*Campaign, error) {
 	return c, nil
 }
 
-// List returns all campaigns sorted by id.
+// List returns all campaigns sorted by id (natural order, matching the
+// store scan order).
 func (m *Manager) List() []*Campaign {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -246,14 +306,30 @@ func (m *Manager) List() []*Campaign {
 	for _, c := range m.campaigns {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool { return naturalLess(out[i].ID, out[j].ID) })
 	return out
 }
 
 // Delete stops the campaign, waits for its engine, removes it from the
-// manager, and deletes its checkpoint — a deleted campaign does not
-// come back on restart.
+// manager, and deletes its journal — a deleted campaign does not come
+// back on restart.
 func (m *Manager) Delete(id string) error {
+	if err := m.Release(id); err != nil {
+		return err
+	}
+	if m.store != nil {
+		if err := m.store.Remove(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Release stops the campaign, waits for its engine, and removes it from
+// the manager WITHOUT touching its journal: the campaign can be resumed
+// here later (ResumeOne) or shipped to another node and adopted there —
+// the handoff primitive behind cluster migration.
+func (m *Manager) Release(id string) error {
 	m.mu.Lock()
 	c, ok := m.campaigns[id]
 	if ok {
@@ -267,11 +343,6 @@ func (m *Manager) Delete(id string) error {
 	c.Stop()
 	c.Wait()
 	c.close()
-	if path := m.ckptPath(id); path != "" {
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("serve: remove checkpoint: %w", err)
-		}
-	}
 	return nil
 }
 
@@ -289,7 +360,7 @@ func (m *Manager) Predict(c *Campaign, points [][]float64) (PredictResponse, err
 // exhaustion (overload) instead of queueing more doomed work.
 func (m *Manager) PredictCtx(ctx context.Context, c *Campaign, points [][]float64) (PredictResponse, error) {
 	if len(points) == 0 {
-		return PredictResponse{}, fmt.Errorf("%w: empty predict batch", errSpec)
+		return PredictResponse{}, fmt.Errorf("%w: empty predict batch", ErrSpec)
 	}
 	model, version, err := c.Model()
 	if err != nil {
@@ -298,11 +369,11 @@ func (m *Manager) PredictCtx(ctx context.Context, c *Campaign, points [][]float6
 	dims := c.cands.Cols()
 	for i, pt := range points {
 		if len(pt) != dims {
-			return PredictResponse{}, fmt.Errorf("%w: point %d has %d dims, campaign has %d", errSpec, i, len(pt), dims)
+			return PredictResponse{}, fmt.Errorf("%w: point %d has %d dims, campaign has %d", ErrSpec, i, len(pt), dims)
 		}
 		for _, v := range pt {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return PredictResponse{}, fmt.Errorf("%w: point %d has a non-finite coordinate", errSpec, i)
+				return PredictResponse{}, fmt.Errorf("%w: point %d has a non-finite coordinate", ErrSpec, i)
 			}
 		}
 	}
@@ -370,13 +441,34 @@ func (m *Manager) CampaignCount() (total, terminal int) {
 // next oracle interaction (client-blocked engines immediately), final
 // checkpoints flush, and actors exit. Respects ctx for the engine
 // drain.
+//
+// Shutdown is idempotent and safe to call concurrently with itself,
+// with Delete/Release, and with in-flight suggest/observe/predict
+// traffic (see the shutdown contract in doc.go): exactly one caller
+// performs the drain; every other call — concurrent or later — waits
+// for that drain to finish (or for its own ctx) and returns the drain's
+// outcome.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closed {
+		done := m.drainDone
 		m.mu.Unlock()
-		return nil
+		// Prefer a finished drain over a racing ctx cancellation, so a
+		// late caller with an expired context still gets the real result.
+		select {
+		case <-done:
+			return m.drainErr
+		default:
+		}
+		select {
+		case <-done:
+			return m.drainErr
+		case <-ctx.Done():
+			return fmt.Errorf("serve: waiting for concurrent shutdown: %w", ctx.Err())
+		}
 	}
 	m.closed = true
+	m.drainDone = make(chan struct{})
 	all := make([]*Campaign, 0, len(m.campaigns))
 	for _, c := range m.campaigns {
 		all = append(all, c)
@@ -396,5 +488,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		}
 	}
 	obs.Emit("serve.shutdown", map[string]any{"campaigns": len(all)})
+	m.drainErr = err
+	close(m.drainDone)
 	return err
 }

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestReadJournalDirNaturalOrder is the regression test for journal
+// scan ordering: replay order must be the natural (numeric) id order,
+// independent of file creation order and of the platform's directory
+// ordering. The mixed-width ids make the lexical order (c1, c10, c100,
+// c2, c9) differ from the natural one, so a regression to a plain
+// string sort fails loudly.
+func TestReadJournalDirNaturalOrder(t *testing.T) {
+	dir := t.TempDir()
+	spec := clientSpec(3)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	creation := []string{"c10", "c2", "c100", "c1", "c9"} // deliberately shuffled
+	for _, id := range creation {
+		line, err := EncodeJournalHeader(id, spec)
+		if err != nil {
+			t.Fatalf("encode header %s: %v", id, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id+".json"), line, 0o644); err != nil {
+			t.Fatalf("write %s: %v", id, err)
+		}
+	}
+
+	want := []string{"c1", "c2", "c9", "c10", "c100"}
+	infos, skipped, err := ReadJournalDir(dir)
+	if err != nil {
+		t.Fatalf("ReadJournalDir: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped journals: %v", skipped)
+	}
+	if len(infos) != len(want) {
+		t.Fatalf("got %d journals, want %d", len(infos), len(want))
+	}
+	for i, info := range infos {
+		if info.ID != want[i] {
+			t.Fatalf("journal %d is %s, want %s (natural order %v)", i, info.ID, want[i], want)
+		}
+	}
+
+	ids, err := NewDirStore(dir, faults.TornWriteConfig{}).IDs()
+	if err != nil {
+		t.Fatalf("DirStore.IDs: %v", err)
+	}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("store id %d is %s, want %s", i, id, want[i])
+		}
+	}
+}
+
+// TestStoreReplayEquivalence pins the Store abstraction's core
+// guarantee: a campaign journaled through a DirStore, one journaled
+// through a MemStore, and one whose raw journal bytes were shipped
+// (Export → Import) into a fresh store all carry byte-identical
+// journals and replay to identical fingerprinted traces.
+func TestStoreReplayEquivalence(t *testing.T) {
+	spec := clientSpec(17)
+	ref := directRun(t, spec)
+
+	runCampaign := func(cfg Config) (string, CampaignStatus) {
+		t.Helper()
+		mgr := NewManager(cfg)
+		c, err := mgr.Create(spec)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		xs := driveCampaign(t, c, 0)
+		st := waitTerminal(t, c)
+		expectTrace(t, c, xs, ref)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		return c.ID, st
+	}
+
+	dirA := t.TempDir()
+	idA, stA := runCampaign(Config{CheckpointDir: dirA})
+	bytesA, err := NewDirStore(dirA, faults.TornWriteConfig{}).Export(idA)
+	if err != nil {
+		t.Fatalf("export from DirStore: %v", err)
+	}
+
+	msB := NewMemStore()
+	idB, _ := runCampaign(Config{Store: msB})
+	bytesB, err := msB.Export(idB)
+	if err != nil {
+		t.Fatalf("export from MemStore: %v", err)
+	}
+	if idA != idB {
+		t.Fatalf("fresh managers assigned different ids: %s vs %s", idA, idB)
+	}
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatalf("DirStore and MemStore journals differ for identical campaigns:\nA: %s\nB: %s", bytesA, bytesB)
+	}
+
+	// Ship the journal into fresh stores of both kinds and replay there.
+	resumeAndCheck := func(cfg Config, store Store) {
+		t.Helper()
+		if err := store.Import(idA, bytesA); err != nil {
+			t.Fatalf("import: %v", err)
+		}
+		mgr := NewManager(cfg)
+		if n, err := mgr.ResumeAll(); err != nil || n != 1 {
+			t.Fatalf("resume: %d campaigns, err %v", n, err)
+		}
+		c, err := mgr.Get(idA)
+		if err != nil {
+			t.Fatalf("get resumed campaign: %v", err)
+		}
+		st := waitTerminal(t, c)
+		if st.State != StateDone {
+			t.Fatalf("shipped campaign replayed to %s (err %q), want done", st.State, st.Error)
+		}
+		if st.Fingerprint != stA.Fingerprint || st.ModelVersion != stA.ModelVersion || st.Observations != stA.Observations {
+			t.Fatalf("shipped replay diverged: fp %x/%x mv %d/%d obs %d/%d",
+				st.Fingerprint, stA.Fingerprint, st.ModelVersion, stA.ModelVersion, st.Observations, stA.Observations)
+		}
+		recs, err := c.Records()
+		if err != nil {
+			t.Fatalf("records: %v", err)
+		}
+		if err := sameRecords(recs, ref.Records); err != nil {
+			t.Fatalf("shipped replay records diverge: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		// The replayed journal re-exports byte-identically: replay
+		// re-pins the same model versions and fingerprints and rewrites
+		// the same terminal line.
+		out, err := store.Export(idA)
+		if err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		if !bytes.Equal(out, bytesA) {
+			t.Fatalf("journal mutated by shipped replay:\nbefore: %s\nafter:  %s", bytesA, out)
+		}
+	}
+
+	msC := NewMemStore()
+	resumeAndCheck(Config{Store: msC}, msC)
+
+	dirD := t.TempDir()
+	resumeAndCheck(Config{CheckpointDir: dirD}, NewDirStore(dirD, faults.TornWriteConfig{}))
+}
+
+// TestManagerShutdownConcurrentWithTraffic pins the shutdown contract
+// documented in doc.go: Shutdown is idempotent and safe under
+// concurrent Shutdown calls racing in-flight suggest/observe traffic.
+// Every caller gets the drain's outcome, traffic is either fully
+// applied or rejected with ErrClosed (never half-applied, which the
+// -race run and the journal invariants would catch), and a late caller
+// with an already-expired context still gets the result.
+func TestManagerShutdownConcurrentWithTraffic(t *testing.T) {
+	mgr := NewManager(Config{})
+	spec := clientSpec(5)
+	spec.Iterations = 500 // far more work than the test allows: shutdown lands mid-campaign
+	c, err := mgr.Create(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(20 * time.Second)
+			for time.Now().Before(deadline) {
+				sug, err := c.Suggest()
+				if err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					st, serr := c.Status(false)
+					if errors.Is(serr, ErrClosed) || (serr == nil && isTerminal(st.State)) {
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				y, cost := testOracle(sug.X)
+				c.Observe(sug.Seq, y, cost) // ErrClosed/ErrSeqMismatch tolerated; next Suggest decides
+			}
+			t.Error("traffic goroutine never observed the shutdown")
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let some observes land first
+
+	shutdownErrs := make([]error, 5)
+	for i := range shutdownErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			shutdownErrs[i] = mgr.Shutdown(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range shutdownErrs {
+		if err != nil {
+			t.Fatalf("concurrent Shutdown %d: %v", i, err)
+		}
+	}
+
+	// A later caller — even with a dead context — gets the drain result,
+	// not a spurious context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after completed drain with canceled ctx: %v", err)
+	}
+	if _, err := mgr.Create(clientSpec(6)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Create after shutdown: %v, want ErrClosed", err)
+	}
+	if _, err := c.Suggest(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Suggest after shutdown: %v, want ErrClosed", err)
+	}
+	checkLeaked(t)
+}
