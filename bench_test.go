@@ -251,6 +251,63 @@ func BenchmarkALLoop(b *testing.B) {
 		}
 		reportObs(b, before, sampleObs())
 	})
+
+	// Large-n model tiers: past ~10⁴ points the dense O(n³) refit stops
+	// being viable, and the sparse tier's O(m²) incremental step is the
+	// only way to keep a campaign interactive. dense_n8192 performs the
+	// from-scratch refit a dense campaign would pay per step at that
+	// size; sparse_n* performs the UpdateWithPoint step a sparse
+	// campaign pays. Their ns/op ratio is the min_sparse_speedup gate in
+	// BENCH_baseline.json (enforced by scripts/benchdiff). Run these
+	// with -benchtime=1x: one dense 8192-point factorization is already
+	// minutes of work.
+	largeData := func(n int) (*mat.Dense, []float64, []float64, float64) {
+		rng := rand.New(rand.NewSource(3))
+		x := mat.New(n, 2)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x.Set(i, 0, 4*rng.Float64())
+			x.Set(i, 1, 4*rng.Float64())
+			ys[i] = math.Sin(2*x.At(i, 0)) + 0.5*math.Cos(3*x.At(i, 1)) + 0.05*rng.NormFloat64()
+		}
+		xNew := []float64{4 * rng.Float64(), 4 * rng.Float64()}
+		yNew := math.Sin(2*xNew[0]) + 0.5*math.Cos(3*xNew[1])
+		return x, ys, xNew, yNew
+	}
+	for _, big := range []int{2048, 8192} {
+		b.Run(fmt.Sprintf("sparse_n%d", big), func(b *testing.B) {
+			x, ys, xNew, yNew := largeData(big)
+			s, err := gp.FitSparse(gp.SparseConfig{
+				Kernel: kernel.NewRBF(0.8, 1.2), Noise: 0.1, Inducing: 256,
+			}, x, ys, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			before := sampleObs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.UpdateWithPoint(xNew, yNew); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportObs(b, before, sampleObs())
+		})
+	}
+	b.Run("dense_n8192", func(b *testing.B) {
+		x, ys, _, _ := largeData(8192)
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := sampleObs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.Fit(gp.Config{
+				Kernel: kernel.NewRBF(0.8, 1.2), NoiseInit: 0.1, FixedNoise: true,
+			}, x, ys, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportObs(b, before, sampleObs())
+	})
 }
 
 // BenchmarkMultigridFMG measures the real HPGMG-FE stand-in across

@@ -65,6 +65,8 @@ func main() {
 		"write a resumable JSON checkpoint here after every iteration (uses a loop-owned RNG seeded by -seed)")
 	resume := flag.String("resume", "",
 		"resume an interrupted run from this checkpoint file (other flags must match the interrupted run)")
+	model := flag.String("model", "",
+		"model tier: dense (exact GP, default) | sparse (inducing-point, scales past 10⁴ points) | auto (size-based)")
 	flag.Parse()
 
 	if !*parallel {
@@ -113,7 +115,7 @@ func main() {
 	}()
 
 	err := run(*data, *response, *strategyName, *operator, *np, *iters, *floor,
-		*nInitial, *testFrac, *seed, *logTransform, *budget, *quick, *checkpoint, *resume)
+		*nInitial, *testFrac, *seed, *logTransform, *budget, *quick, *checkpoint, *resume, *model)
 
 	if sinkFile != nil {
 		obs.DumpMetrics()
@@ -177,7 +179,7 @@ func loadDataset(data, response, operator string, np float64, logT, quick bool, 
 
 func run(data, response, strategyName, operator string, np float64, iters int,
 	floor float64, nInitial int, testFrac float64, seed int64, logT bool, budget float64,
-	quick bool, checkpoint, resume string) error {
+	quick bool, checkpoint, resume, model string) error {
 	d, err := loadDataset(data, response, operator, np, logT, quick, seed)
 	if err != nil {
 		return err
@@ -220,6 +222,7 @@ func run(data, response, strategyName, operator string, np float64, iters int,
 			NoiseFloor:   floor,
 			AllowRevisit: true,
 			CostBudget:   budget,
+			Model:        model,
 		}
 		if checkpoint == "" && resume == "" {
 			// Historical path: partition rng continues into the loop.

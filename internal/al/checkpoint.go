@@ -33,6 +33,11 @@ type Checkpoint struct {
 	Strategy string `json:"strategy"`
 	Response string `json:"response"`
 
+	// Model is the regression tier the loop ran ("dense", "sparse",
+	// "auto"); empty means dense — checkpoints from before the tier
+	// system resume unchanged.
+	Model string `json:"model,omitempty"`
+
 	Seed  int64  `json:"seed"`
 	Draws uint64 `json:"draws"`
 
@@ -231,6 +236,9 @@ func ResumeFrom(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, ck 
 	if ck.Strategy != c.Strategy.Name() {
 		return Result{}, fmt.Errorf("al: checkpoint used strategy %q, config uses %q", ck.Strategy, c.Strategy.Name())
 	}
+	if normalizeModel(ck.Model) != normalizeModel(c.Model) {
+		return Result{}, fmt.Errorf("al: checkpoint used model tier %q, config uses %q", normalizeModel(ck.Model), normalizeModel(c.Model))
+	}
 	if err := part.Validate(ds); err != nil {
 		return Result{}, err
 	}
@@ -263,10 +271,10 @@ func ResumeFrom(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, ck 
 	}
 
 	// Rebuild the model exactly: an exact-hyperparameter fit over the
-	// refit prefix, then the same O(n²) update chain the live loop ran.
-	// The pending point (when present) is deliberately NOT conditioned
-	// in here — the first resumed iteration consumes it, as the live
-	// loop would have.
+	// refit prefix through the configured tier, then the same
+	// incremental update chain the live loop ran. The pending point
+	// (when present) is deliberately NOT conditioned in here — the
+	// first resumed iteration consumes it, as the live loop would have.
 	modelN := len(st.train)
 	if st.hasPending {
 		modelN--
@@ -278,7 +286,8 @@ func ResumeFrom(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, ck 
 	gcfg := gp.Config{Kernel: c.NewKernel(dims), Normalize: c.Normalize}
 	trainX := ds.Matrix(st.train)
 	prefixX := ds.Matrix(st.train[:st.refitN])
-	model, err := gp.FitAtHypers(gcfg, prefixX, st.trainY[:st.refitN], ck.RefitHyper, ck.RefitLogSN)
+	fitter := newModelFitter(c)
+	model, err := fitter.atHypers(gcfg, prefixX, st.trainY[:st.refitN], ck.RefitHyper, ck.RefitLogSN)
 	if err != nil {
 		return Result{}, fmt.Errorf("al: resume refit: %w", err)
 	}

@@ -60,6 +60,37 @@
 //   - BatchSelect / BatchSelectKCenter / RunParallel: batched selection
 //     with simulated scheduler accounting (ablation A4).
 //
+// # Regressor contract
+//
+// The loop is generic over its model: Run, RunOnline and every zoo
+// strategy consume the Regressor interface — Predict / PredictBatch /
+// UpdateWithPoint / Fingerprint / NumTrain — not *gp.GP. Three tiers
+// implement it, selected by LoopConfig.Model ("dense", the default;
+// "sparse"; "auto") and tuned by LoopConfig.ModelOptions (inducing
+// count, hyper-fit subsample, crossover, jitter, growth radius):
+//
+//   - dense wraps *gp.GP (exact, O(n³) refit / O(n²) update);
+//   - sparse wraps *gp.SparseGP (inducing-point, O(n·m²) refit / O(m²)
+//     update, exact at m = n) — the tier for campaigns past ~10⁴
+//     points;
+//   - auto wraps *gp.AutoModel, which resolves dense below the
+//     crossover and sparse above it.
+//
+// The interface carries the loop's three obligations. UpdateWithPoint
+// must return a NEW model (immutable snapshots — the scorer pool keeps
+// reading the old one; see the gp package concurrency contract) and
+// must fall back to a full refit instead of failing when the
+// incremental path degenerates. Fingerprint must commit to the full
+// predictive state, so two runs agree iff their models do (the
+// checkpoint-resume and serve-trace identity tests compare fingerprint
+// traces). NumTrain reports the training-set size used for the
+// dynamic noise floor and tier decisions. Optional capabilities
+// (NoiseModel, LikelihoodModel, TrainDataModel, PosteriorSampler) are
+// discovered by type assertion; strategies needing one — Thompson
+// sampling, QBC's bootstrap refits, checkpoint recipes — degrade or
+// error out explicitly when the model lacks it. WrapGP/UnwrapGP
+// convert at the boundary for callers holding a bare *gp.GP.
+//
 // # Evaluation harness
 //
 // internal/experiments (EvalGrid / RunEval) ranks registry strategies

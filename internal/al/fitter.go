@@ -1,0 +1,192 @@
+package al
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gp"
+	"repro/internal/mat"
+)
+
+// Model tier names accepted by LoopConfig.Model and CampaignSpec.Model.
+const (
+	ModelDense  = "dense"
+	ModelSparse = "sparse"
+	ModelAuto   = "auto"
+)
+
+// ModelOptions tunes the sparse and auto model tiers; the zero value
+// uses the gp-layer defaults everywhere. See gp.TierOptions for the
+// field semantics.
+type ModelOptions struct {
+	Inducing       int
+	HyperSubsample int
+	Crossover      int
+	ContestCap     int
+	Holdout        int
+	Jitter         float64
+	GrowRadius     float64
+}
+
+func (o ModelOptions) tierOptions() gp.TierOptions {
+	return gp.TierOptions{
+		Inducing:       o.Inducing,
+		HyperSubsample: o.HyperSubsample,
+		Crossover:      o.Crossover,
+		ContestCap:     o.ContestCap,
+		Holdout:        o.Holdout,
+		Jitter:         o.Jitter,
+		GrowRadius:     o.GrowRadius,
+	}
+}
+
+// normalizeModel maps the empty tier name to its meaning, dense, so
+// configs and checkpoints written before the tier system compare equal
+// to explicit "dense".
+func normalizeModel(name string) string {
+	if name == "" {
+		return ModelDense
+	}
+	return name
+}
+
+// validModel reports whether name is a recognized model tier ("" means
+// dense, the historical default).
+func validModel(name string) bool {
+	switch name {
+	case "", ModelDense, ModelSparse, ModelAuto:
+		return true
+	}
+	return false
+}
+
+// modelFitter dispatches full refits and checkpoint-resume rebuilds to
+// the configured model tier. It is the single place the loops touch
+// concrete gp types; everything downstream sees Regressor.
+type modelFitter struct {
+	kind string // "dense" (also ""), "sparse", or "auto"
+	opts gp.TierOptions
+}
+
+func newModelFitter(c LoopConfig) modelFitter {
+	kind := c.Model
+	if kind == "" {
+		kind = ModelDense
+	}
+	return modelFitter{kind: kind, opts: c.ModelOptions.tierOptions()}
+}
+
+func (f modelFitter) sparseConfig(gcfg gp.Config) gp.SparseConfig {
+	opts := f.opts
+	return gp.SparseConfig{
+		Kernel:     gcfg.Kernel,
+		Inducing:   opts.Inducing,
+		Normalize:  gcfg.Normalize,
+		Jitter:     opts.Jitter,
+		GrowRadius: opts.GrowRadius,
+	}
+}
+
+// refit fits the full training set with hyperparameter optimization,
+// warm-started by the caller through gcfg, degrading gracefully:
+//
+//   - The dense tier runs the full gp.FitRobust chain (fresh fit →
+//     previous hypers → reject trailing points).
+//   - The sparse and auto tiers fit hyperparameters on a subsample and
+//     assemble the tier model; if that fails and a previous model
+//     exists, they retry at the previous hyperparameters
+//     (DegradeReusedHypers). They never reject points — their
+//     assembly is linear in n and does not share the dense tier's
+//     trailing-point failure mode — so Degradation.Rejected is always
+//     zero outside the dense tier.
+//
+// RNG contract: one refit consumes exactly the draws of one
+// hyperparameter fit (gp.FitCtx) on the healthy path, for every tier —
+// the property the m = n sparse/dense trace-equivalence test pins.
+func (f modelFitter) refit(ctx context.Context, gcfg gp.Config, x *mat.Dense, y []float64, prev Regressor, rng *rand.Rand) (Regressor, gp.Degradation, error) {
+	switch f.kind {
+	case ModelSparse:
+		s, err := gp.FitSparseHyper(ctx, gcfg, f.opts, x, y, rng)
+		if err == nil {
+			return sparseRegressor{s}, gp.Degradation{}, nil
+		}
+		if prevTD, ok := prev.(TrainDataModel); ok {
+			if prevN, ok2 := prev.(NoiseModel); ok2 {
+				s2, err2 := gp.FitSparseAtHypers(f.sparseConfig(gcfg), x, y, prevTD.Kernel().Hyper(), prevN.LogNoise())
+				if err2 == nil {
+					return sparseRegressor{s2}, gp.Degradation{Level: gp.DegradeReusedHypers, Err: err}, nil
+				}
+			}
+		}
+		return nil, gp.Degradation{}, err
+	case ModelAuto:
+		a, err := gp.FitAuto(ctx, gcfg, f.opts, x, y, rng)
+		if err == nil {
+			return autoRegressor{a}, gp.Degradation{}, nil
+		}
+		if prevTD, ok := prev.(TrainDataModel); ok {
+			if prevN, ok2 := prev.(NoiseModel); ok2 {
+				a2, err2 := gp.AutoAtHypers(gcfg, f.opts, x, y, prevTD.Kernel().Hyper(), prevN.LogNoise())
+				if err2 == nil {
+					return autoRegressor{a2}, gp.Degradation{Level: gp.DegradeReusedHypers, Err: err}, nil
+				}
+			}
+		}
+		return nil, gp.Degradation{}, err
+	default:
+		var prevGP *gp.GP
+		if prev != nil {
+			prevGP, _ = UnwrapGP(prev)
+		}
+		m, deg, err := gp.FitRobust(ctx, gcfg, x, y, prevGP, rng)
+		if err != nil {
+			return nil, deg, err
+		}
+		return denseRegressor{m}, deg, nil
+	}
+}
+
+// atHypers rebuilds a model deterministically from a recorded
+// hyperparameter recipe — the checkpoint-resume path. Every tier
+// reproduces the live fit bit for bit: the dense tier via
+// gp.FitAtHypers, the sparse tier via a deterministic inducing
+// selection at the exact stored log-noise, the auto tier by re-running
+// its tier contest at the stored hyperparameters.
+func (f modelFitter) atHypers(gcfg gp.Config, x *mat.Dense, y []float64, hyper []float64, logSN float64) (Regressor, error) {
+	switch f.kind {
+	case ModelSparse:
+		s, err := gp.FitSparseAtHypers(f.sparseConfig(gcfg), x, y, hyper, logSN)
+		if err != nil {
+			return nil, err
+		}
+		return sparseRegressor{s}, nil
+	case ModelAuto:
+		a, err := gp.AutoAtHypers(gcfg, f.opts, x, y, hyper, logSN)
+		if err != nil {
+			return nil, err
+		}
+		return autoRegressor{a}, nil
+	default:
+		m, err := gp.FitAtHypers(gcfg, x, y, hyper, logSN)
+		if err != nil {
+			return nil, err
+		}
+		return denseRegressor{m}, nil
+	}
+}
+
+// recipe extracts the checkpointable hyperparameter state of a fitted
+// model: kernel log-hypers, exact log σn, and the training size it
+// covers.
+func modelRecipe(r Regressor) (hyper []float64, logSN float64, n int, err error) {
+	td, ok := r.(TrainDataModel)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("al: model %T exposes no kernel state to checkpoint", r)
+	}
+	nm, ok := r.(NoiseModel)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("al: model %T exposes no noise state to checkpoint", r)
+	}
+	return td.Kernel().Hyper(), nm.LogNoise(), r.NumTrain(), nil
+}

@@ -155,12 +155,22 @@ type LoopConfig struct {
 	OnRecord func(IterationRecord)
 
 	// OnModel, when non-nil, is invoked from the loop goroutine after
-	// every successful model update (initial fit, refit, or O(n²)
-	// conditioning) with the current model. The *gp.GP is immutable once
-	// fitted and safe for concurrent Predict/PredictBatch calls, so the
-	// callback may hand it to other goroutines (e.g. a prediction cache)
-	// without copying.
-	OnModel func(*gp.GP)
+	// every successful model update (initial fit, refit, or incremental
+	// conditioning) with the current model. A Regressor is immutable
+	// once fitted and safe for concurrent Predict/PredictBatch calls, so
+	// the callback may hand it to other goroutines (e.g. a prediction
+	// cache) without copying.
+	OnModel func(Regressor)
+
+	// Model selects the regression tier backing the loop: "dense" (or
+	// empty — the historical exact GP), "sparse" (inducing-point
+	// approximation, O(n·m²) refits and O(n·m) incremental updates for
+	// campaigns past ~10⁴ points), or "auto" (dense below
+	// ModelOptions.Crossover, sparse above, held-out contest between).
+	Model string
+
+	// ModelOptions tunes the sparse and auto tiers; ignored for dense.
+	ModelOptions ModelOptions
 }
 
 func (c *LoopConfig) withDefaults() (LoopConfig, error) {
@@ -194,6 +204,9 @@ func (c *LoopConfig) withDefaults() (LoopConfig, error) {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if !validModel(out.Model) {
+		return out, fmt.Errorf("al: unknown model tier %q (want dense, sparse, or auto)", out.Model)
+	}
 	return out, nil
 }
 
@@ -212,11 +225,13 @@ type IterationRecord struct {
 	Train    int     // training-set size after this step
 }
 
-// Result is one AL realization.
+// Result is one AL realization. Final is the model tier the loop ran
+// (dense unless LoopConfig.Model says otherwise); UnwrapGP recovers the
+// concrete *gp.GP when the tier is dense.
 type Result struct {
 	Strategy  string
 	Records   []IterationRecord
-	Final     *gp.GP
+	Final     Regressor
 	TrainRows []int // dataset rows in training order (Initial first)
 	Converged bool  // true when the AMSD rule stopped the loop early
 }
@@ -247,7 +262,7 @@ type loopState struct {
 	refitN     int
 
 	startIter int
-	model     *gp.GP
+	model     Regressor
 	converged bool
 }
 
@@ -337,13 +352,14 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 	dims := len(ds.VarNames())
 	res := Result{Strategy: c.Strategy.Name()}
 	model := st.model
+	fitter := newModelFitter(c)
 	ctx := context.Background()
 
-	// robustRefit fits the full training set through the GP degradation
-	// chain, warm-starting from the current model, and records the refit
-	// recipe for checkpointing. A degraded fit that rejected trailing
-	// points pops them from the training set (returning them to the pool
-	// for non-revisiting runs).
+	// robustRefit fits the full training set through the configured
+	// tier's degradation chain, warm-starting from the current model,
+	// and records the refit recipe for checkpointing. A degraded dense
+	// fit that rejected trailing points pops them from the training set
+	// (returning them to the pool for non-revisiting runs).
 	robustRefit := func(fitCtx context.Context, iter int) error {
 		refits.Inc()
 		floor := c.NoiseFloor
@@ -358,12 +374,12 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 			Restarts:   c.Restarts,
 			Normalize:  c.Normalize,
 		}
-		if model != nil {
+		if td, ok := model.(TrainDataModel); ok {
 			// Warm-start from the previous hyperparameters.
-			gcfg.Kernel.SetHyper(model.Kernel().Hyper())
-			gcfg.NoiseInit = math.Max(model.Noise(), floor)
+			gcfg.Kernel.SetHyper(td.Kernel().Hyper())
+			gcfg.NoiseInit = math.Max(regNoise(model), floor)
 		}
-		m, deg, err := gp.FitRobust(fitCtx, gcfg, ds.Matrix(st.train), st.trainY, model, rng)
+		m, deg, err := fitter.refit(fitCtx, gcfg, ds.Matrix(st.train), st.trainY, model, rng)
 		if err != nil {
 			return err
 		}
@@ -386,9 +402,13 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 			st.trainY = st.trainY[:n-deg.Rejected]
 		}
 		model = m
-		st.refitHyper = append(st.refitHyper[:0], m.Kernel().Hyper()...)
-		st.refitLogSN = m.LogNoise()
-		st.refitN = m.NumTrain()
+		hyper, logSN, n, rerr := modelRecipe(m)
+		if rerr != nil {
+			return rerr
+		}
+		st.refitHyper = append(st.refitHyper[:0], hyper...)
+		st.refitLogSN = logSN
+		st.refitN = n
 		return nil
 	}
 
@@ -398,7 +418,8 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 		}
 		ck := &Checkpoint{
 			Version: CheckpointVersion, Strategy: c.Strategy.Name(), Response: c.Response,
-			Seed: c.Seed, Draws: cs.draws, NextIter: nextIter,
+			Model: c.Model,
+			Seed:  c.Seed, Draws: cs.draws, NextIter: nextIter,
 			Train: st.train, TrainY: st.trainY, Pool: st.pool,
 			CumCost: st.cumCost, AMSDHist: st.amsdHist,
 			RefitHyper: st.refitHyper, RefitLogSN: st.refitLogSN, RefitN: st.refitN,
@@ -487,7 +508,7 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 				}
 				continue
 			}
-			if guardRejects(c.GuardSigma, chosen.Pred, model.ObservationNoise(), my) {
+			if guardRejects(c.GuardSigma, chosen.Pred, regObsNoise(model), my) {
 				alRejected.Inc()
 				obs.Emit("al.observation.rejected", map[string]any{
 					"iter": iter, "row": chosen.Row, "attempt": attempt, "y": my,
@@ -535,7 +556,7 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 		if len(part.Test) > 0 {
 			preds := model.PredictBatch(testX)
 			rmse = stats.RMSE(gp.Means(preds), testY)
-			coverage = coverage95(model, preds, testY)
+			coverage = coverage95(regObsNoise(model), preds, testY)
 		}
 
 		st.records = append(st.records, IterationRecord{
@@ -546,8 +567,8 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 			RMSE:     rmse,
 			Coverage: coverage,
 			CumCost:  st.cumCost,
-			LML:      model.LML(),
-			Noise:    model.Noise(),
+			LML:      regLML(model),
+			Noise:    regNoise(model),
 			Train:    len(st.train),
 		})
 		if c.OnRecord != nil {
@@ -588,12 +609,11 @@ func runLoop(ds *dataset.Dataset, part dataset.Partition, c LoopConfig, rng *ran
 // coverage95 returns the fraction of test targets inside the 95%
 // predictive interval μ ± 2·√(σ_f² + σn²) — the calibration check behind
 // the paper's "prediction confidence" goal. preds are latent-function
-// predictions; the observation noise is added here.
-func coverage95(model *gp.GP, preds []gp.Prediction, testY []float64) float64 {
+// predictions; the observation noise sn (response units) is added here.
+func coverage95(sn float64, preds []gp.Prediction, testY []float64) float64 {
 	if len(preds) == 0 {
 		return math.NaN()
 	}
-	sn := model.ObservationNoise()
 	inside := 0
 	for i, p := range preds {
 		sd := math.Sqrt(p.SD*p.SD + sn*sn)

@@ -142,7 +142,8 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 	}
 
 	res := Result{Strategy: c.Strategy.Name()}
-	var model *gp.GP
+	var model Regressor
+	fitter := newModelFitter(c)
 	var amsdHist []float64
 	hasPending := false
 	for iter := 1; iter <= maxIter; iter++ {
@@ -164,12 +165,12 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 				Restarts:   c.Restarts,
 				Normalize:  c.Normalize,
 			}
-			if model != nil {
-				gcfg.Kernel.SetHyper(model.Kernel().Hyper())
-				gcfg.NoiseInit = math.Max(model.Noise(), floor)
+			if td, ok := model.(TrainDataModel); ok {
+				gcfg.Kernel.SetHyper(td.Kernel().Hyper())
+				gcfg.NoiseInit = math.Max(regNoise(model), floor)
 			}
 			var deg gp.Degradation
-			model, deg, err = gp.FitRobust(updateCtx, gcfg, mat.NewFromRows(trainX), trainY, model, rng)
+			model, deg, err = fitter.refit(updateCtx, gcfg, mat.NewFromRows(trainX), trainY, model, rng)
 			if err == nil && deg.Rejected > 0 {
 				// Keep the loop's training set aligned with the degraded
 				// model: drop the same trailing observations.
@@ -222,7 +223,7 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 		var guard func(float64) bool
 		if c.GuardSigma > 0 {
 			pred := cands[sel].Pred
-			sn := model.ObservationNoise()
+			sn := regObsNoise(model)
 			guard = func(y float64) bool { return guardRejects(c.GuardSigma, pred, sn, y) }
 		}
 		ok, err := runAt(iterCtx, cands[sel].Row, guard)
@@ -251,8 +252,8 @@ func RunOnline(candidates *mat.Dense, seeds []int, oracle Oracle, cfg LoopConfig
 			AMSD:     amsd,
 			RMSE:     math.NaN(),
 			CumCost:  cumCost,
-			LML:      model.LML(),
-			Noise:    model.Noise(),
+			LML:      regLML(model),
+			Noise:    regNoise(model),
 			Train:    len(trainY),
 		})
 		res.TrainRows = append(res.TrainRows, cands[sel].Row)

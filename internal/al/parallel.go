@@ -118,7 +118,7 @@ func RunParallel(ds *dataset.Dataset, part dataset.Partition, cfg ParallelConfig
 		}
 
 		poolX := ds.Matrix(pool)
-		preds := scorePool(model, poolX, resolveScoreWorkers(c.ScoreWorkers))
+		preds := scorePool(WrapGP(model), poolX, resolveScoreWorkers(c.ScoreWorkers))
 		cands := make([]Candidate, len(pool))
 		var amsd float64
 		for i, row := range pool {

@@ -54,9 +54,10 @@ func resolveScoreWorkers(cfg int) int {
 // identical to the serial path regardless of scheduling — parallel and
 // serial loops produce the same selection traces.
 //
-// The model is only read (PredictBatch is safe for concurrent use on a
-// fitted GP), so a single model may back many concurrent scorePool calls.
-func scorePool(model *gp.GP, poolX *mat.Dense, workers int) []gp.Prediction {
+// The model is only read (PredictBatch is safe for concurrent use on
+// any fitted Regressor tier), so a single model may back many
+// concurrent scorePool calls.
+func scorePool(model Regressor, poolX *mat.Dense, workers int) []gp.Prediction {
 	m := poolX.Rows()
 	if workers < 2 || m < minParallelScore {
 		return model.PredictBatch(poolX)
@@ -92,8 +93,9 @@ func scorePool(model *gp.GP, poolX *mat.Dense, workers int) []gp.Prediction {
 // process default, falling back to GOMAXPROCS). It exists for callers
 // outside the loop — the serving layer's batched /predict endpoint —
 // so that request-driven inference and in-loop scoring share one
-// deterministic code path.
-func ScoreBatch(model *gp.GP, xs *mat.Dense, workers int) []gp.Prediction {
+// deterministic code path. Any model tier works: dense, sparse, and
+// auto regressors are all immutable snapshots under concurrent reads.
+func ScoreBatch(model Regressor, xs *mat.Dense, workers int) []gp.Prediction {
 	return scorePool(model, xs, resolveScoreWorkers(workers))
 }
 

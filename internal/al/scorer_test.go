@@ -45,7 +45,7 @@ func TestScorePoolMatchesSerial(t *testing.T) {
 	grid := bigGrid(137) // odd size: exercises a ragged final chunk
 	want := model.PredictBatch(grid)
 	for _, workers := range []int{1, 2, 3, 4, 8, 137, 200} {
-		got := scorePool(model, grid, workers)
+		got := scorePool(WrapGP(model), grid, workers)
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: %d predictions, want %d", workers, len(got), len(want))
 		}
@@ -69,7 +69,7 @@ func TestScorePoolConcurrentModels(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got := scorePool(model, grid, 4)
+			got := scorePool(WrapGP(model), grid, 4)
 			for i := range got {
 				if got[i] != want[i] {
 					t.Errorf("concurrent scorePool diverged at %d", i)

@@ -4,18 +4,20 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/obs"
 )
 
 // ModelAwareStrategy is an optional extension of Strategy for selection
-// rules that need the fitted GP itself (e.g. joint posterior draws), not
-// just per-candidate marginals. The AL loops prefer SelectWithModel when
-// a strategy implements it.
+// rules that need the fitted model itself (e.g. joint posterior draws),
+// not just per-candidate marginals. The AL loops prefer SelectWithModel
+// when a strategy implements it. Strategies discover the capabilities
+// they need (training data, posterior sampling) through the optional
+// Regressor sub-interfaces and must fall back to their marginal Select
+// rule when the model tier lacks them.
 type ModelAwareStrategy interface {
 	Strategy
-	SelectWithModel(model *gp.GP, cands []Candidate, rng *rand.Rand) int
+	SelectWithModel(model Regressor, cands []Candidate, rng *rand.Rand) int
 }
 
 // ThompsonVariance selects by posterior disagreement: draw one joint
@@ -47,16 +49,21 @@ func (ThompsonVariance) Select(cands []Candidate, rng *rand.Rand) int {
 
 // SelectWithModel implements ModelAwareStrategy with a joint posterior
 // draw, falling back to the marginal rule if the joint covariance cannot
-// be factorized.
-func (ThompsonVariance) SelectWithModel(model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+// be factorized or the model tier has no joint sampler (sparse tiers
+// expose marginals only).
+func (ThompsonVariance) SelectWithModel(model Regressor, cands []Candidate, rng *rand.Rand) int {
 	if len(cands) == 0 {
 		return -1
+	}
+	sampler, ok := model.(PosteriorSampler)
+	if !ok {
+		return (ThompsonVariance{}).Select(cands, rng)
 	}
 	xs := mat.New(len(cands), len(cands[0].X))
 	for i, c := range cands {
 		copy(xs.RawRow(i), c.X)
 	}
-	sample, err := model.PosteriorSample(xs, rng)
+	sample, err := sampler.PosteriorSample(xs, rng)
 	if err != nil {
 		return (ThompsonVariance{}).Select(cands, rng)
 	}
@@ -76,7 +83,7 @@ func (ThompsonVariance) Name() string { return "thompson-variance" }
 // counts the selection under al.strategy.select.<name> (see
 // OBSERVABILITY.md) so mixed-strategy deployments can attribute
 // experiment spend per selection rule.
-func selectCandidate(s Strategy, model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+func selectCandidate(s Strategy, model Regressor, cands []Candidate, rng *rand.Rand) int {
 	obs.C("al.strategy.select." + s.Name()).Inc()
 	if ms, ok := s.(ModelAwareStrategy); ok && model != nil {
 		return ms.SelectWithModel(model, cands, rng)

@@ -113,20 +113,27 @@ func (s QBC) Select(cands []Candidate, rng *rand.Rand) int {
 
 // SelectWithModel implements ModelAwareStrategy: build the bootstrap
 // committee from the live model's training data, score the pool by
-// committee disagreement, and pick the argmax.
-func (s QBC) SelectWithModel(model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+// committee disagreement, and pick the argmax. Any model tier exposing
+// its training data works — committee members are always small dense
+// fits at perturbed hyperparameters, whatever tier the live model is.
+func (s QBC) SelectWithModel(model Regressor, cands []Candidate, rng *rand.Rand) int {
 	if len(cands) == 0 {
 		return -1
 	}
 	if model == nil || rng == nil {
 		return s.Select(cands, rng)
 	}
+	td, ok := model.(TrainDataModel)
+	nm, ok2 := model.(NoiseModel)
+	if !ok || !ok2 {
+		return s.Select(cands, rng)
+	}
 	n := model.NumTrain()
-	trainX := model.TrainX()
-	trainY := model.TrainY()
+	trainX := td.TrainX()
+	trainY := td.TrainY()
 	dims := trainX.Cols()
-	hyper := model.Kernel().Hyper()
-	logSN := model.LogNoise()
+	hyper := td.Kernel().Hyper()
+	logSN := nm.LogNoise()
 
 	members := make([]*gp.GP, 0, s.committee())
 	for k := 0; k < s.committee(); k++ {
@@ -233,14 +240,15 @@ func (s Diversity) Select(cands []Candidate, rng *rand.Rand) int {
 }
 
 // SelectWithModel implements ModelAwareStrategy.
-func (s Diversity) SelectWithModel(model *gp.GP, cands []Candidate, rng *rand.Rand) int {
+func (s Diversity) SelectWithModel(model Regressor, cands []Candidate, rng *rand.Rand) int {
 	if len(cands) == 0 {
 		return -1
 	}
-	if model == nil {
+	td, ok := model.(TrainDataModel)
+	if !ok {
 		return s.Select(cands, rng)
 	}
-	trainX := model.TrainX()
+	trainX := td.TrainX()
 	nTrain := trainX.Rows()
 	lam := s.lambda()
 	scores := make([]float64, len(cands))

@@ -1,0 +1,401 @@
+package gp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/obs"
+)
+
+// Auto-tier metrics: which tier each FitAuto resolved to, and how many
+// resolutions went through the held-out contest rather than a size rule.
+var (
+	autoPickDense  = obs.C("gp.automodel.dense")
+	autoPickSparse = obs.C("gp.automodel.sparse")
+	autoContests   = obs.C("gp.automodel.contest")
+)
+
+// TierOptions tunes the sparse and auto model tiers layered on top of a
+// dense Config. The zero value selects sensible defaults everywhere.
+type TierOptions struct {
+	// Inducing is the sparse-tier inducing-point count m (default 64).
+	Inducing int
+	// HyperSubsample caps the rows used for hyperparameter optimization
+	// before a sparse fit (default 256; negative uses all rows). The
+	// subsample is strided — deterministic and order-preserving — so a
+	// refit from a checkpoint sees the identical slice.
+	HyperSubsample int
+	// Jitter stabilizes the sparse Kmm factorization
+	// (default SparseConfig's 1e-8).
+	Jitter float64
+	// GrowRadius is passed through to SparseConfig.GrowRadius.
+	GrowRadius float64
+	// Crossover is the auto-tier boundary: n below it fits dense
+	// outright (default 512).
+	Crossover int
+	// ContestCap bounds the auto-tier contest window: n above it fits
+	// sparse outright (default 2·Crossover). Between Crossover and
+	// ContestCap both tiers are fitted on a prefix and scored on a
+	// held-out tail by predictive log density.
+	ContestCap int
+	// Holdout is the contest tail size (default n/8 clamped to [8, 128]).
+	Holdout int
+}
+
+func (o TierOptions) withDefaults() TierOptions {
+	if o.Inducing <= 0 {
+		o.Inducing = 64
+	}
+	if o.HyperSubsample == 0 {
+		o.HyperSubsample = 256
+	}
+	if o.Crossover <= 0 {
+		o.Crossover = 512
+	}
+	if o.ContestCap <= 0 {
+		o.ContestCap = 2 * o.Crossover
+	}
+	return o
+}
+
+// stridedIndices returns min(n, cap) strictly increasing row indices
+// spread evenly over [0, n) — a deterministic subsample that keeps the
+// row order and endpoints structure, unlike a shuffled draw, so resumed
+// refits reproduce it exactly. cap <= 0 means all rows.
+func stridedIndices(n, cap int) []int {
+	if cap <= 0 || cap >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, cap)
+	for j := range idx {
+		idx[j] = j * n / cap
+	}
+	return idx
+}
+
+func subsampleRows(x *mat.Dense, y []float64, idx []int) (*mat.Dense, []float64) {
+	if len(idx) == x.Rows() {
+		return x, y
+	}
+	sx := mat.New(len(idx), x.Cols())
+	sy := make([]float64, len(idx))
+	for i, j := range idx {
+		copy(sx.RawRow(i), x.RawRow(j))
+		sy[i] = y[j]
+	}
+	return sx, sy
+}
+
+// FitSparseHyper fits the sparse tier end to end: dense hyperparameter
+// optimization (cfg.Optimize, cfg.Restarts) on a strided subsample of at
+// most opts.HyperSubsample rows — the O(s³) part — then a sparse fit over
+// the full data at those hyperparameters with a deterministic inducing
+// selection. The subsample keeps hyper fitting affordable at large n;
+// when it covers all rows the optimization consumes the rng stream
+// exactly as a dense FitCtx on the same data would, which is what the
+// m = n trace-equivalence tests rely on.
+func FitSparseHyper(ctx context.Context, cfg Config, opts TierOptions, x *mat.Dense, y []float64, rng *rand.Rand) (*SparseGP, error) {
+	opts = opts.withDefaults()
+	if x == nil || x.Rows() == 0 {
+		return nil, ErrNoData
+	}
+	sx, sy := subsampleRows(x, y, stridedIndices(x.Rows(), opts.HyperSubsample))
+	hyperGP, err := FitCtx(ctx, cfg, sx, sy, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gp: sparse hyper fit: %w", err)
+	}
+	scfg := SparseConfig{
+		Kernel:     hyperGP.Kernel(),
+		Noise:      hyperGP.Noise(),
+		Inducing:   opts.Inducing,
+		Normalize:  cfg.Normalize,
+		Jitter:     opts.Jitter,
+		GrowRadius: opts.GrowRadius,
+	}
+	s, err := FitSparse(scfg, x, y, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.logSN = hyperGP.LogNoise() // exact, no exp/log round trip
+	s.refreshAfterNoise()
+	return s, nil
+}
+
+// refreshAfterNoise recomputes the σn-dependent state (A factor, β, LML)
+// after logSN was overwritten with an exact stored value.
+func (s *SparseGP) refreshAfterNoise() {
+	// assemble cannot fail here: it succeeded moments ago at a noise
+	// level differing only in the last float64 bits; if it somehow does,
+	// the previous consistent state is kept.
+	_ = s.assemble()
+}
+
+// AutoModel is the self-selecting model tier: a dense GP below the
+// crossover size, a sparse GP above it, with a held-out predictive
+// contest deciding the ambiguous middle band. It exposes the union of
+// the query surface both tiers share and delegates to whichever won.
+type AutoModel struct {
+	dense  *GP
+	sparse *SparseGP
+}
+
+// Tier reports which tier backs the model: "dense" or "sparse".
+func (a *AutoModel) Tier() string {
+	if a.dense != nil {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// Dense returns the dense backing model, or nil for the sparse tier.
+func (a *AutoModel) Dense() *GP { return a.dense }
+
+// Sparse returns the sparse backing model, or nil for the dense tier.
+func (a *AutoModel) Sparse() *SparseGP { return a.sparse }
+
+// FitAuto fits hyperparameters on a strided subsample, then resolves the
+// model tier by size: dense below opts.Crossover, sparse above
+// opts.ContestCap, and in between whichever tier scores a higher
+// predictive log density on a held-out tail when both are fitted on the
+// remaining prefix at the shared hyperparameters. The decision is
+// deterministic given the hyperparameters, so a resumed campaign
+// re-resolves to the same tier.
+func FitAuto(ctx context.Context, cfg Config, opts TierOptions, x *mat.Dense, y []float64, rng *rand.Rand) (*AutoModel, error) {
+	opts = opts.withDefaults()
+	if x == nil || x.Rows() == 0 {
+		return nil, ErrNoData
+	}
+	sx, sy := subsampleRows(x, y, stridedIndices(x.Rows(), opts.HyperSubsample))
+	hyperGP, err := FitCtx(ctx, cfg, sx, sy, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gp: auto hyper fit: %w", err)
+	}
+	return autoResolve(cfg, opts, x, y, hyperGP.Kernel().Hyper(), hyperGP.LogNoise())
+}
+
+// AutoAtHypers rebuilds an auto-tier model at an exact recorded
+// hyperparameter state — the checkpoint-resume path. The tier contest is
+// re-run deterministically at those hyperparameters, reproducing the
+// tier choice and model the live fit made.
+func AutoAtHypers(cfg Config, opts TierOptions, x *mat.Dense, y []float64, kernelHyper []float64, logSN float64) (*AutoModel, error) {
+	opts = opts.withDefaults()
+	if x == nil || x.Rows() == 0 {
+		return nil, ErrNoData
+	}
+	return autoResolve(cfg, opts, x, y, kernelHyper, logSN)
+}
+
+func autoResolve(cfg Config, opts TierOptions, x *mat.Dense, y []float64, hyper []float64, logSN float64) (*AutoModel, error) {
+	n := x.Rows()
+	pick := "dense"
+	switch {
+	case n < opts.Crossover:
+	case n > opts.ContestCap:
+		pick = "sparse"
+	default:
+		var err error
+		pick, err = contestTiers(cfg, opts, x, y, hyper, logSN)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pick == "dense" {
+		autoPickDense.Inc()
+		g, err := FitAtHypers(cfg, x, y, hyper, logSN)
+		if err != nil {
+			return nil, err
+		}
+		return &AutoModel{dense: g}, nil
+	}
+	autoPickSparse.Inc()
+	s, err := FitSparseAtHypers(sparseConfigFrom(cfg, opts), x, y, hyper, logSN)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoModel{sparse: s}, nil
+}
+
+func sparseConfigFrom(cfg Config, opts TierOptions) SparseConfig {
+	return SparseConfig{
+		Kernel:     cfg.Kernel,
+		Inducing:   opts.Inducing,
+		Normalize:  cfg.Normalize,
+		Jitter:     opts.Jitter,
+		GrowRadius: opts.GrowRadius,
+	}
+}
+
+// contestTiers fits both tiers on the prefix of the data at the shared
+// hyperparameters and scores the held-out tail by Gaussian predictive
+// log density (measurement distribution: latent variance plus σn²). The
+// tail — the most recent observations — is exactly the region an active
+// learner is about to exploit, so it is the right judge of which
+// approximation to trust next.
+func contestTiers(cfg Config, opts TierOptions, x *mat.Dense, y []float64, hyper []float64, logSN float64) (string, error) {
+	n := x.Rows()
+	h := opts.Holdout
+	if h <= 0 {
+		h = n / 8
+		if h < 8 {
+			h = 8
+		}
+		if h > 128 {
+			h = 128
+		}
+	}
+	if h >= n {
+		return "dense", nil
+	}
+	autoContests.Inc()
+	trainX := x.SubRows(0, n-h)
+	trainY := y[:n-h]
+	testX := x.SubRows(n-h, n)
+	testY := y[n-h:]
+
+	dense, err := FitAtHypers(cfg, trainX, trainY, hyper, logSN)
+	if err != nil {
+		return "", fmt.Errorf("gp: auto contest dense fit: %w", err)
+	}
+	sparse, err := FitSparseAtHypers(sparseConfigFrom(cfg, opts), trainX, trainY, hyper, logSN)
+	if err != nil {
+		return "", fmt.Errorf("gp: auto contest sparse fit: %w", err)
+	}
+	dScore := holdoutLogDensity(dense.PredictBatch(testX), testY, dense.ObservationNoise())
+	sScore := holdoutLogDensity(sparse.PredictBatch(testX), testY, sparse.ObservationNoise())
+	// The dense tier wins ties: it is the exact model, and the sparse
+	// tier must demonstrate it loses nothing before taking over.
+	if sScore > dScore {
+		return "sparse", nil
+	}
+	return "dense", nil
+}
+
+func holdoutLogDensity(preds []Prediction, y []float64, obsNoise float64) float64 {
+	var s float64
+	for i, p := range preds {
+		v := p.SD*p.SD + obsNoise*obsNoise
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		d := y[i] - p.Mean
+		s += -0.5*(d*d/v) - 0.5*math.Log(2*math.Pi*v)
+	}
+	return s
+}
+
+// Predict delegates to the backing tier.
+func (a *AutoModel) Predict(x []float64) Prediction {
+	if a.dense != nil {
+		return a.dense.Predict(x)
+	}
+	return a.sparse.Predict(x)
+}
+
+// PredictBatch delegates to the backing tier.
+func (a *AutoModel) PredictBatch(xs *mat.Dense) []Prediction {
+	if a.dense != nil {
+		return a.dense.PredictBatch(xs)
+	}
+	return a.sparse.PredictBatch(xs)
+}
+
+// UpdateWithPoint folds one observation into the backing tier without
+// re-resolving the tier choice — re-selection happens at the next full
+// refit, where hyperparameters are re-optimized anyway.
+func (a *AutoModel) UpdateWithPoint(x []float64, y float64) (*AutoModel, error) {
+	if a.dense != nil {
+		g, err := a.dense.UpdateWithPoint(x, y)
+		if err != nil {
+			return nil, err
+		}
+		return &AutoModel{dense: g}, nil
+	}
+	s, err := a.sparse.UpdateWithPoint(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoModel{sparse: s}, nil
+}
+
+// Kernel returns the backing tier's kernel; mutating it invalidates the
+// model.
+func (a *AutoModel) Kernel() kernel.Kernel {
+	if a.dense != nil {
+		return a.dense.Kernel()
+	}
+	return a.sparse.Kernel()
+}
+
+// NumTrain delegates to the backing tier.
+func (a *AutoModel) NumTrain() int {
+	if a.dense != nil {
+		return a.dense.NumTrain()
+	}
+	return a.sparse.NumTrain()
+}
+
+// LML delegates to the backing tier.
+func (a *AutoModel) LML() float64 {
+	if a.dense != nil {
+		return a.dense.LML()
+	}
+	return a.sparse.LML()
+}
+
+// Noise delegates to the backing tier.
+func (a *AutoModel) Noise() float64 {
+	if a.dense != nil {
+		return a.dense.Noise()
+	}
+	return a.sparse.Noise()
+}
+
+// LogNoise delegates to the backing tier.
+func (a *AutoModel) LogNoise() float64 {
+	if a.dense != nil {
+		return a.dense.LogNoise()
+	}
+	return a.sparse.LogNoise()
+}
+
+// ObservationNoise delegates to the backing tier.
+func (a *AutoModel) ObservationNoise() float64 {
+	if a.dense != nil {
+		return a.dense.ObservationNoise()
+	}
+	return a.sparse.ObservationNoise()
+}
+
+// TrainX delegates to the backing tier.
+func (a *AutoModel) TrainX() *mat.Dense {
+	if a.dense != nil {
+		return a.dense.TrainX()
+	}
+	return a.sparse.TrainX()
+}
+
+// TrainY delegates to the backing tier.
+func (a *AutoModel) TrainY() []float64 {
+	if a.dense != nil {
+		return a.dense.TrainY()
+	}
+	return a.sparse.TrainY()
+}
+
+// Fingerprint is the backing tier's fingerprint XOR-tagged with the tier
+// name, so a dense and a sparse model over identical data cannot collide.
+func (a *AutoModel) Fingerprint() uint64 {
+	const denseTag, sparseTag = 0x64656e7365000000, 0x7370617273650000
+	if a.dense != nil {
+		return a.dense.Fingerprint() ^ denseTag
+	}
+	return a.sparse.Fingerprint() ^ sparseTag
+}

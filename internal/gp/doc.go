@@ -21,14 +21,21 @@
 //     Augmented for the general retrain path, LMLAt for landscapes.
 //   - FitLOOCV: leave-one-out pseudo-likelihood model selection, the
 //     §III comparison the paper defers (ablation A3).
-//   - FitSparse: inducing-point approximation for the scaling study
-//     (ablation A5).
+//   - SparseGP / FitSparse / FitSparseHyper: the inducing-point model
+//     tier (SoR mean, DTC variance) with an incremental
+//     UpdateWithPoint, exact at m = n — the large-n path behind
+//     al.LoopConfig.Model "sparse" (and ablation A5).
+//   - AutoModel / FitAuto: size-based tier selection — dense below the
+//     crossover, sparse above, with an optional held-out contest.
 //
 // # Observability
 //
 // Fits open "gp.fit" spans (with a "gp.hyperopt" child covering the
 // optimizer); gp.lml.evals, gp.condition.ops and gp.predict.* count the
-// high-frequency work. See OBSERVABILITY.md.
+// high-frequency work. The sparse tier counts gp.sparse.fit.count and
+// its three update paths (gp.sparse.update.rank1 / .grow / .refit) and
+// gauges gp.sparse.inducing; AutoModel counts its tier picks under
+// gp.automodel.*. See OBSERVABILITY.md.
 //
 // # Concurrency contract
 //
@@ -39,4 +46,15 @@
 // value returned by Kernel or TrainX invalidates the model. Fit,
 // Condition and Augmented construct fresh models and may run
 // concurrently with each other when given distinct inputs.
+//
+// A fitted *SparseGP (and the *AutoModel wrapping one) follows the same
+// immutable-snapshot contract: every exported query method is
+// read-only, and UpdateWithPoint never mutates its receiver — it
+// returns a new model sharing no mutable state with the old one.
+// Readers holding the previous snapshot (the AL scorer pool
+// mid-iteration, a campaign status endpoint) may keep querying it,
+// bitwise unchanged, while the loop goroutine builds and publishes the
+// successor; swapping the visible model is the caller's
+// synchronization problem (an atomic pointer suffices). This is the
+// contract TestSparseConcurrentReadsDuringUpdate pins under -race.
 package gp

@@ -34,7 +34,7 @@ func (g *GP) Predict(x []float64) Prediction {
 	}
 	mu := mat.Dot(ks, g.alpha)
 	// σ*² via the Cholesky factor: v = L⁻¹k*, σ*² = k** − vᵀv.
-	v := mat.ForwardSubst(g.chol.L(), ks)
+	v := g.chol.ForwardSubst(ks)
 	variance := g.kern.Eval(x, x) - mat.Dot(v, v)
 	if variance < 0 {
 		variance = 0 // numerical round-off guard
@@ -64,12 +64,15 @@ func (g *GP) PredictBatch(xs *mat.Dense) []Prediction {
 	predictBatches.Inc()
 	predictPoints.Add(int64(m))
 	out := make([]Prediction, m)
-	// Cross-covariance computed in one pass: K* is m x n.
+	// Cross-covariance computed in one pass: K* is m x n. One scratch
+	// vector serves every row's triangular solve — the batch allocates
+	// O(n) once instead of O(m·n) across the pool.
 	kstar := kernel.CrossMatrix(g.kern, xs, g.x)
+	v := make(mat.Vec, g.x.Rows())
 	for i := 0; i < m; i++ {
 		ks := mat.Vec(kstar.RawRow(i))
 		mu := mat.Dot(ks, g.alpha)
-		v := mat.ForwardSubst(g.chol.L(), ks)
+		g.chol.ForwardSubstInto(v, ks)
 		xi := xs.RawRow(i)
 		variance := g.kern.Eval(xi, xi) - mat.Dot(v, v)
 		if variance < 0 {

@@ -32,7 +32,7 @@ func (g *GP) PosteriorSample(xs *mat.Dense, rng *rand.Rand) ([]float64, error) {
 	mu := kstar.MulVec(g.alpha)
 
 	// Σ = K** − V Vᵀ with V = K* L⁻ᵀ, i.e. Vᵀ = L⁻¹ K*ᵀ.
-	vT := mat.ForwardSubstMat(g.chol.L(), kstar.T()) // n×m
+	vT := g.chol.ForwardSubstMat(kstar.T()) // n×m
 	kss.Sub(mat.SyrkT(vT))
 	kss.Symmetrize()
 

@@ -1,0 +1,90 @@
+package gp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// encFloats packs float64s little-endian — the raw byte stream the fuzzer
+// mutates into training data.
+func encFloats(vals ...float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzFitSparse feeds adversarial training sets to FitSparse: duplicate
+// rows, m > n, NaN/±Inf coordinates and targets, zero-variance responses,
+// extreme magnitudes. The contract is the one FuzzPersistRoundTrip pins
+// for Load: reject with an error or return a model whose predictions are
+// never NaN — and never panic. Accepted models must also survive a
+// duplicate-point UpdateWithPoint without panicking.
+func FuzzFitSparse(f *testing.F) {
+	// Duplicate rows.
+	f.Add(uint8(5), uint8(1), 3, 0.1, false, encFloats(0, 0, 1, 1, 2, 1, 1, 2, 2, 3))
+	// m > n: the inducing count must clamp to n.
+	f.Add(uint8(3), uint8(2), 99, 0.05, true, encFloats(0, 0, 1, 0, 0, 1, 1, 2, 3))
+	// Non-finite coordinates and targets.
+	f.Add(uint8(4), uint8(1), 2, 0.1, false, encFloats(math.NaN(), 1, 2, 3, 4, 5, 6, 7))
+	f.Add(uint8(4), uint8(1), 2, 0.1, false, encFloats(0, 1, 2, 3, math.Inf(1), 5, 6, 7))
+	f.Add(uint8(4), uint8(1), 2, 0.1, false, encFloats(0, math.Inf(-1), 2, 3, 4, 5, 6, 7))
+	// Zero-variance response under normalization (yStd = 0 fallback).
+	f.Add(uint8(6), uint8(1), 4, 0.1, true, encFloats(0, 1, 2, 3, 4, 5, 7, 7, 7, 7, 7, 7))
+	// Extreme magnitudes and a non-positive noise (default kicks in).
+	f.Add(uint8(2), uint8(1), 2, -1.0, false, encFloats(1e300, -1e300, 1e308, -1e308))
+	f.Add(uint8(8), uint8(3), 0, 1e-300, false, []byte{})
+
+	f.Fuzz(func(t *testing.T, rows, cols uint8, m int, noise float64, normalize bool, raw []byte) {
+		n := int(rows)%24 + 1
+		d := int(cols)%3 + 1
+		vals := make([]float64, n*d+n)
+		for i := range vals {
+			var bits uint64
+			for b := 0; b < 8; b++ {
+				if idx := i*8 + b; idx < len(raw) {
+					bits |= uint64(raw[idx]) << (8 * b)
+				}
+			}
+			vals[i] = math.Float64frombits(bits)
+		}
+		x := mat.New(n, d)
+		copy(x.Raw(), vals[:n*d])
+		y := vals[n*d:]
+
+		s, err := FitSparse(SparseConfig{
+			Kernel: kernel.NewRBF(1, 1), Noise: noise, Inducing: m, Normalize: normalize,
+		}, x, y, nil)
+		if err != nil {
+			return // rejected cleanly — the expected path for garbage
+		}
+
+		// Accepted models must be fully usable.
+		if s.NumTrain() != n {
+			t.Fatalf("accepted fit trains on %d rows, want %d", s.NumTrain(), n)
+		}
+		if mi := s.NumInducing(); mi < 1 || mi > n {
+			t.Fatalf("inducing count %d outside [1, %d]", mi, n)
+		}
+		for i := 0; i < n; i++ {
+			p := s.Predict(x.RawRow(i))
+			if math.IsNaN(p.Mean) || math.IsNaN(p.SD) || p.SD < 0 {
+				t.Fatalf("accepted fit predicts %+v at training row %d", p, i)
+			}
+		}
+		s.Fingerprint()
+		// A duplicate-point update may degrade to the refit fallback or
+		// reject ill-conditioned growth with an error, but it must not
+		// panic, and a returned model must predict finitely.
+		if upd, uerr := s.UpdateWithPoint(x.RawRow(0), y[0]); uerr == nil {
+			if p := upd.Predict(x.RawRow(0)); math.IsNaN(p.Mean) || math.IsNaN(p.SD) {
+				t.Fatalf("updated model predicts %+v", p)
+			}
+		}
+	})
+}

@@ -150,7 +150,10 @@ func TestFarthestPointSampleSpreads(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		x.Set(i, 0, float64(i))
 	}
-	idx := farthestPointSample(x, 3, nil)
+	idx, radius2 := farthestPointSample(x, 3, nil)
+	if radius2 <= 0 {
+		t.Fatalf("covering radius² = %g, want > 0 with unchosen rows left", radius2)
+	}
 	has := map[int]bool{}
 	for _, i := range idx {
 		has[i] = true

@@ -1,0 +1,252 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// sparseReassemble rebuilds a sparse model's factors from scratch at the
+// exact same inducing set, training data and hyperparameters — the
+// from-first-principles reference the incremental paths must match.
+func sparseReassemble(t *testing.T, s *SparseGP) *SparseGP {
+	t.Helper()
+	ref := &SparseGP{
+		kern: s.kern, u: s.u, x: s.x, y: s.y,
+		logSN: s.logSN, jitter: s.jitter, growD2: s.growD2,
+		yMean: s.yMean, yStd: s.yStd,
+	}
+	if err := ref.assemble(); err != nil {
+		t.Fatalf("reference re-assembly: %v", err)
+	}
+	return ref
+}
+
+// TestSparseUpdateMatchesRefit chains 50 incremental updates and checks
+// after every step that predictions (mean and variance) match a full
+// re-assembly of the identical state within 1e-8 — the sparse mirror of
+// TestUpdateWithPointMatchesFullFit. The added stream mixes points inside
+// the inducing radius (rank-one factor updates) with far-outside points
+// (inducing-set growth), and both counters must have fired by the end.
+func TestSparseUpdateMatchesRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const nSeed, nAdd = 30, 50
+
+	xs := make([][]float64, 0, nSeed+nAdd)
+	ys := make([]float64, 0, nSeed+nAdd)
+	for i := 0; i < nSeed+nAdd; i++ {
+		x, y := synthPoint(rng)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	// Push a sparse subset of the added points far outside the seed box so
+	// the farthest-point growth branch fires alongside rank-one updates.
+	for i := nSeed + 7; i < nSeed+nAdd; i += 11 {
+		xs[i][0] += 8
+		xs[i][1] += 8
+	}
+	grid := mat.NewFromRows([][]float64{
+		{0, 0}, {1.5, 1.5}, {3, 3}, {0.7, 2.2}, {2.9, 0.1}, {9, 9},
+	})
+
+	model, err := FitSparse(SparseConfig{
+		Kernel: kernel.NewRBF(0.8, 1.2), Noise: 0.1, Inducing: 12,
+	}, mat.NewFromRows(xs[:nSeed]), ys[:nSeed], rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank1Before, growBefore := sparseRank1.Value(), sparseGrow.Value()
+
+	for step := 0; step < nAdd; step++ {
+		i := nSeed + step
+		model, err = model.UpdateWithPoint(xs[i], ys[i])
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		ref := sparseReassemble(t, model)
+
+		got := model.PredictBatch(grid)
+		want := ref.PredictBatch(grid)
+		for j := range got {
+			if d := math.Abs(got[j].Mean - want[j].Mean); d > 1e-8 {
+				t.Fatalf("step %d point %d: |Δmean| = %g", step, j, d)
+			}
+			gv, wv := got[j].SD*got[j].SD, want[j].SD*want[j].SD
+			if d := math.Abs(gv - wv); d > 1e-8 {
+				t.Fatalf("step %d point %d: |Δvariance| = %g", step, j, d)
+			}
+		}
+		if d := math.Abs(model.LML() - ref.LML()); d > 1e-6 {
+			t.Fatalf("step %d: |ΔLML| = %g", step, d)
+		}
+	}
+	if model.NumTrain() != nSeed+nAdd {
+		t.Fatalf("chained model has %d training points, want %d", model.NumTrain(), nSeed+nAdd)
+	}
+	if sparseRank1.Value() == rank1Before {
+		t.Fatal("no update took the rank-one path")
+	}
+	if sparseGrow.Value() == growBefore {
+		t.Fatal("no update took the inducing-growth path")
+	}
+}
+
+// TestSparseUpdateNormalized pins the incremental path to the fit-time
+// normalization constants: chained updates on a shifted/scaled response
+// must still match a full re-assembly at those constants.
+func TestSparseUpdateNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	xs := make([][]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i], ys[i] = synthPoint(rng)
+		ys[i] = 100*ys[i] + 500
+	}
+	model, err := FitSparse(SparseConfig{
+		Kernel: kernel.NewRBF(0.8, 1.2), Noise: 0.1, Inducing: 10, Normalize: true,
+	}, mat.NewFromRows(xs[:30]), ys[:30], rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 40; i++ {
+		if model, err = model.UpdateWithPoint(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := sparseReassemble(t, model)
+	p, q := model.Predict(xs[0]), ref.Predict(xs[0])
+	if d := math.Abs(p.Mean - q.Mean); d > 1e-8*(1+math.Abs(q.Mean)) {
+		t.Fatalf("normalized |Δmean| = %g", d)
+	}
+	if p.Mean < 300 || p.Mean > 700 {
+		t.Fatalf("prediction lost the response scale: %+v", p)
+	}
+}
+
+// trapKernel returns +Inf from Eval for a bounded number of calls after
+// arming, then delegates — a deterministic way to hand UpdateWithPoint a
+// k(U, x) vector that degenerates the rank-one factor update.
+type trapKernel struct {
+	kernel.Kernel
+	armed int
+}
+
+func (k *trapKernel) Eval(a, b []float64) float64 {
+	if k.armed > 0 {
+		k.armed--
+		return math.Inf(1)
+	}
+	return k.Kernel.Eval(a, b)
+}
+
+// TestSparseUpdateFallback forces the degenerate rank-one branch: a
+// non-finite k(U, x) corrupts the updated factor diagonal, which must
+// trigger the full re-assembly fallback (counted by gp.sparse.update.refit)
+// rather than an error — mirroring the dense degenerate-pivot contract.
+func TestSparseUpdateFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := sinData(rng, 40, 0.01)
+	tk := &trapKernel{Kernel: kernel.NewRBF(1, 1)}
+	model, err := FitSparse(SparseConfig{
+		Kernel: tk, Noise: 0.1, Inducing: 8, GrowRadius: -1, // never grow: stay on the rank-one path
+	}, x, y, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sparseRefit.Value()
+	tk.armed = model.NumInducing() // poison exactly the k(U, x) evaluations
+	upd, err := model.UpdateWithPoint([]float64{2.5}, 0.6)
+	if err != nil {
+		t.Fatalf("degenerate update should fall back, not fail: %v", err)
+	}
+	if sparseRefit.Value() == before {
+		t.Fatal("expected the full-refit fallback to fire")
+	}
+	if tk.armed != 0 {
+		t.Fatalf("trap kernel still armed for %d calls; update evaluated fewer than m pairs", tk.armed)
+	}
+	if upd.NumTrain() != model.NumTrain()+1 {
+		t.Fatalf("fallback model has %d points, want %d", upd.NumTrain(), model.NumTrain()+1)
+	}
+	p := upd.Predict([]float64{1})
+	if math.IsNaN(p.Mean) || math.IsNaN(p.SD) {
+		t.Fatalf("NaN prediction after fallback: %+v", p)
+	}
+	// The receiver must be untouched by the failed rank-one attempt.
+	q := model.Predict([]float64{1})
+	if math.IsNaN(q.Mean) || math.IsNaN(q.SD) {
+		t.Fatalf("fallback disturbed the receiver: %+v", q)
+	}
+}
+
+// TestSparseConcurrentReadsDuringUpdate pins the immutable-snapshot
+// concurrency contract documented in doc.go: Predict/PredictBatch on a
+// fitted snapshot may race UpdateWithPoint on another goroutine, the old
+// snapshot keeps answering bit-identically, and every new snapshot is
+// immediately safe to read. Run under -race this is the sparse mirror of
+// the scorer-pool race tests in internal/al.
+func TestSparseConcurrentReadsDuringUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	x, y := sinData(rng, 80, 0.05)
+	model, err := FitSparse(SparseConfig{
+		Kernel: kernel.NewRBF(1, 1), Noise: 0.1, Inducing: 16,
+	}, x, y, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := mat.New(40, 1)
+	for i := 0; i < grid.Rows(); i++ {
+		grid.Set(i, 0, 6*float64(i)/float64(grid.Rows()-1))
+	}
+	want := model.PredictBatch(grid)
+
+	var latest atomic.Pointer[SparseGP]
+	latest.Store(model)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got := model.PredictBatch(grid)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("original snapshot diverged at %d under concurrent updates", i)
+						return
+					}
+				}
+				p := latest.Load().Predict(grid.RawRow(0))
+				if math.IsNaN(p.Mean) || math.IsNaN(p.SD) {
+					t.Errorf("latest snapshot predicts NaN: %+v", p)
+					return
+				}
+			}
+		}()
+	}
+
+	cur := model
+	for i := 0; i < 60; i++ {
+		xv := 6 * rng.Float64()
+		upd, err := cur.UpdateWithPoint([]float64{xv}, math.Sin(xv)+0.05*rng.NormFloat64())
+		if err != nil {
+			close(done)
+			wg.Wait()
+			t.Fatalf("update %d: %v", i, err)
+		}
+		cur = upd
+		latest.Store(cur)
+	}
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestCrossMatrixDistMatchesCrossMatrix checks the blocked distance-based
+// assembly against the generic per-pair evaluation loop on the RBF
+// DistanceKernel, including a size that crosses the PairSqDist goroutine
+// fan-out, and the pass-through for kernels with no EvalSq.
+func TestCrossMatrixDistMatchesCrossMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	k := NewRBF(0.7, 1.3)
+	for _, shape := range [][3]int{{4, 3, 2}, {9, 1, 4}, {150, 120, 30}} {
+		n, m, d := shape[0], shape[1], shape[2]
+		a, b := mat.New(n, d), mat.New(m, d)
+		for i := range a.Raw() {
+			a.Raw()[i] = 4 * rng.Float64()
+		}
+		for i := range b.Raw() {
+			b.Raw()[i] = 4 * rng.Float64()
+		}
+		got := CrossMatrixDist(k, a, b)
+		want := CrossMatrix(k, a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				// The norm-expansion d² differs from the direct (a−b)²
+				// form only in the last bits; the kernel values must
+				// agree far tighter than any model tolerance.
+				if diff := math.Abs(got.At(i, j) - want.At(i, j)); diff > 1e-12 {
+					t.Fatalf("%v: K[%d,%d] blocked %g vs direct %g (|Δ| = %g)",
+						shape, i, j, got.At(i, j), want.At(i, j), diff)
+				}
+			}
+		}
+	}
+
+	// Matern32 has no EvalSq: CrossMatrixDist must fall back to the
+	// generic loop and agree exactly.
+	m32 := NewMatern32(0.9, 1.1)
+	a, b := mat.New(6, 3), mat.New(5, 3)
+	for i := range a.Raw() {
+		a.Raw()[i] = rng.NormFloat64()
+	}
+	for i := range b.Raw() {
+		b.Raw()[i] = rng.NormFloat64()
+	}
+	got, want := CrossMatrixDist(m32, a, b), CrossMatrix(m32, a, b)
+	for i := range got.Raw() {
+		if got.Raw()[i] != want.Raw()[i] {
+			t.Fatalf("fallback path diverged at element %d: %g vs %g", i, got.Raw()[i], want.Raw()[i])
+		}
+	}
+}
+
+// TestRBFEvalSqConsistent pins EvalSq(‖x−y‖²) = Eval(x, y) on the RBF —
+// the identity the DistanceKernel fast path relies on.
+func TestRBFEvalSqConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	k := NewRBF(0.6, 1.4)
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		var d2 float64
+		for i := range x {
+			d2 += (x[i] - y[i]) * (x[i] - y[i])
+		}
+		if got, want := k.EvalSq(d2), k.Eval(x, y); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("EvalSq(%g) = %g, Eval = %g", d2, got, want)
+		}
+	}
+}

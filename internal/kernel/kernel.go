@@ -72,6 +72,36 @@ func Matrix(k Kernel, x *mat.Dense) *mat.Dense {
 	return out
 }
 
+// DistanceKernel is the optional interface of isotropic kernels whose
+// value depends on the inputs only through the squared Euclidean
+// distance: k(x, y) = EvalSq(‖x−y‖²). Implementations unlock the
+// cache-blocked cross-matrix assembly of CrossMatrixDist.
+type DistanceKernel interface {
+	Kernel
+	EvalSq(d2 float64) float64
+}
+
+// CrossMatrixDist fills K*[i][j] = k(A_i, B_j) like CrossMatrix, but
+// when k is a DistanceKernel it assembles the pairwise squared-distance
+// matrix with mat.PairSqDist (the blocked-GEMM panel pattern) and maps
+// it through EvalSq — the large-n path for sparse-GP Knm assembly.
+// Non-distance kernels fall back to the generic evaluation loop.
+// Note: the blocked distance uses ‖a‖²+‖b‖²−2a·b, which can differ from
+// the direct (a−b)² form in the last floating-point bits; callers that
+// pin bit-exact traces against the generic path should use CrossMatrix.
+func CrossMatrixDist(k Kernel, a, b *mat.Dense) *mat.Dense {
+	dk, ok := k.(DistanceKernel)
+	if !ok {
+		return CrossMatrix(k, a, b)
+	}
+	d2 := mat.PairSqDist(a, b)
+	raw := d2.Raw()
+	for i, v := range raw {
+		raw[i] = dk.EvalSq(v)
+	}
+	return d2
+}
+
 // CrossMatrix fills the n x m matrix K* with K*[i][j] = k(A_i, B_j).
 func CrossMatrix(k Kernel, a, b *mat.Dense) *mat.Dense {
 	out := mat.New(a.Rows(), b.Rows())

@@ -42,6 +42,14 @@ func (k *RBF) Eval(x, y []float64) float64 {
 	return sf2 * math.Exp(-sqDist(x, y)/(2*l*l))
 }
 
+// EvalSq implements DistanceKernel: the kernel value as a function of
+// the squared distance alone, enabling blocked cross-matrix assembly.
+func (k *RBF) EvalSq(d2 float64) float64 {
+	l := math.Exp(k.logL)
+	sf2 := math.Exp(2 * k.logSF)
+	return sf2 * math.Exp(-d2/(2*l*l))
+}
+
 // EvalGrad implements Kernel. With r² = |x-y|²:
 //
 //	∂k/∂log l  = k · r²/l²

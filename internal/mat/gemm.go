@@ -110,6 +110,117 @@ func mulTRange(a, b, c *Dense, lo, hi int) {
 	}
 }
 
+// syrkPanel is the row-panel height of SyrkTBlocked: 64 rows × a few
+// hundred columns of a stay resident in L1/L2 while the whole output
+// triangle is updated against them.
+const syrkPanel = 64
+
+// SyrkTBlocked returns aᵀ·a like SyrkT, but streams a in cache-blocked
+// row panels (the blocked-GEMM pattern of Mul): each panel of a is
+// reused across every output row before the next panel is touched,
+// which matters when a is tall (the n×m cross-covariance of a sparse GP
+// fit at large n) and no longer fits in cache. The accumulation order
+// per output element is identical to SyrkT — k strictly ascending — so
+// the result is bit-identical to the unblocked kernel.
+func SyrkTBlocked(a *Dense) *Dense {
+	n := a.cols
+	c := New(n, n)
+	for k0 := 0; k0 < a.rows; k0 += syrkPanel {
+		k1 := k0 + syrkPanel
+		if k1 > a.rows {
+			k1 = a.rows
+		}
+		for i := 0; i < n; i++ {
+			crow := c.data[i*n : (i+1)*n]
+			for k := k0; k < k1; k++ {
+				row := a.data[k*n : (k+1)*n]
+				vi := row[i]
+				if vi == 0 {
+					continue
+				}
+				for j := i; j < n; j++ {
+					crow[j] += vi * row[j]
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.data[j*n+i] = c.data[i*n+j]
+		}
+	}
+	return c
+}
+
+// PairSqDist returns the n×m matrix of squared Euclidean distances
+// between the rows of a (n×d) and the rows of b (m×d), computed with
+// the same row-chunked goroutine fan-out as MulT: d²(i,j) = ‖a_i‖² +
+// ‖b_j‖² − 2·a_i·b_j, clamped at zero against round-off. It is the
+// cache-blocked assembly path for distance-based kernel cross matrices
+// (k(a_i, b_j) = f(d²)), turning the O(n·m·d) kernel evaluation loop
+// into a panel-friendly product plus a cheap row/column norm pass.
+func PairSqDist(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: PairSqDist shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	bn := make([]float64, b.rows)
+	for j := 0; j < b.rows; j++ {
+		row := b.data[j*b.cols : (j+1)*b.cols]
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		bn[j] = s
+	}
+	c := New(a.rows, b.rows)
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			var an float64
+			for _, v := range arow {
+				an += v * v
+			}
+			crow := c.data[i*b.rows : (i+1)*b.rows]
+			for j := 0; j < b.rows; j++ {
+				brow := b.data[j*b.cols : (j+1)*b.cols]
+				var dot float64
+				for k, av := range arow {
+					dot += av * brow[k]
+				}
+				d2 := an + bn[j] - 2*dot
+				if d2 < 0 {
+					d2 = 0
+				}
+				crow[j] = d2
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	flops := a.rows * a.cols * b.rows
+	if flops < parallelThreshold || workers < 2 || a.rows < 2 {
+		fill(0, a.rows)
+		return c
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	chunk := (a.rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
 // SyrkT returns aᵀ·a, exploiting symmetry by computing only the upper
 // triangle and mirroring.
 func SyrkT(a *Dense) *Dense {

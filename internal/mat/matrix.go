@@ -91,6 +91,16 @@ func (m *Dense) RawRow(i int) []float64 {
 // Raw returns the underlying row-major storage, aliased.
 func (m *Dense) Raw() []float64 { return m.data }
 
+// SubRows returns the half-open row range [i, j) as a view aliasing the
+// matrix storage — row-major layout makes any contiguous row band a
+// valid matrix without copying. Mutations are visible through both.
+func (m *Dense) SubRows(i, j int) *Dense {
+	if i < 0 || j < i || j > m.rows {
+		panic(fmt.Sprintf("mat: row range [%d,%d) out of bounds %d", i, j, m.rows))
+	}
+	return &Dense{rows: j - i, cols: m.cols, data: m.data[i*m.cols : j*m.cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
 	c := New(m.rows, m.cols)

@@ -81,6 +81,21 @@ type CampaignSpec struct {
 	ConvergeWindow  int     `json:"converge_window,omitempty"`
 	ConvergeTol     float64 `json:"converge_tol,omitempty"`
 
+	// Model selects the regression tier backing the campaign: "dense"
+	// (or empty — the exact GP), "sparse" (inducing-point approximation
+	// for campaigns past ~10⁴ observations), or "auto" (size- and
+	// evidence-based tier selection). Persisted in the checkpoint like
+	// every other spec field, so a resumed campaign replays on the tier
+	// that wrote its journal.
+	Model string `json:"model,omitempty"`
+
+	// Inducing sizes the sparse tier's inducing set (0 = default 64).
+	Inducing int `json:"inducing,omitempty"`
+
+	// Crossover is the auto tier's dense/sparse boundary in training
+	// points (0 = default 512).
+	Crossover int `json:"crossover,omitempty"`
+
 	// Seed seeds the campaign's deterministic RNG (default 1). Two
 	// campaigns with equal specs produce identical suggestion streams.
 	Seed int64 `json:"seed,omitempty"`
@@ -153,6 +168,17 @@ func (s *CampaignSpec) Validate() error {
 	if s.Iterations < 0 {
 		return fmt.Errorf("%w: negative iterations", ErrSpec)
 	}
+	switch s.Model {
+	case "", al.ModelDense, al.ModelSparse, al.ModelAuto:
+	default:
+		return fmt.Errorf("%w: unknown model tier %q (want dense, sparse, or auto)", ErrSpec, s.Model)
+	}
+	if s.Inducing < 0 {
+		return fmt.Errorf("%w: negative inducing count", ErrSpec)
+	}
+	if s.Crossover < 0 {
+		return fmt.Errorf("%w: negative crossover", ErrSpec)
+	}
 	return nil
 }
 
@@ -195,6 +221,11 @@ func (s *CampaignSpec) loopConfig(response string) (al.LoopConfig, error) {
 		CostBudget:      s.Budget,
 		AllowRevisit:    true,
 		Seed:            s.Seed,
+		Model:           s.Model,
+		ModelOptions: al.ModelOptions{
+			Inducing:  s.Inducing,
+			Crossover: s.Crossover,
+		},
 	}, nil
 }
 

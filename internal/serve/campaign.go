@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/al"
 	"repro/internal/dataset"
-	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -59,7 +58,7 @@ type pending struct {
 type campaignState struct {
 	state        string
 	records      []al.IterationRecord
-	model        *gp.GP
+	model        al.Regressor
 	modelVersion int
 	journal      []Observation
 	pending      *pending
@@ -263,7 +262,7 @@ func (c *Campaign) engine(replay []Observation) {
 
 	version := 0
 	corrupt := false
-	cfg.OnModel = func(m *gp.GP) {
+	cfg.OnModel = func(m al.Regressor) {
 		version++
 		if c.resumeFP != 0 && version == c.resumeVersion && m.Fingerprint() != c.resumeFP {
 			corrupt = true
@@ -559,10 +558,10 @@ func (c *Campaign) appendJournal(st *campaignState, o Observation) error {
 }
 
 // Model returns the current model snapshot and its version for
-// prediction. The returned *gp.GP is immutable; callers may use it
+// prediction. The returned Regressor is immutable; callers may use it
 // concurrently.
-func (c *Campaign) Model() (*gp.GP, int, error) {
-	var m *gp.GP
+func (c *Campaign) Model() (al.Regressor, int, error) {
+	var m al.Regressor
 	var v int
 	if !c.do(func(st *campaignState) { m, v = st.model, st.modelVersion }) {
 		return nil, 0, ErrClosed

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// sparseSpec is clientSpec with the campaign pinned to the sparse model
+// tier — the serving-layer entry point of the Regressor work.
+func sparseSpec(seed int64) CampaignSpec {
+	spec := clientSpec(seed)
+	spec.Name = "sparse-trace"
+	spec.Model = "sparse"
+	spec.Inducing = 8
+	return spec
+}
+
+// TestSparseCampaignTraceMatchesRunOnline: a live campaign on the sparse
+// tier must reproduce the direct al.RunOnline trace bit for bit, exactly
+// like the dense tier — the model abstraction must not leak into the
+// suggestion stream.
+func TestSparseCampaignTraceMatchesRunOnline(t *testing.T) {
+	spec := sparseSpec(13)
+	ref := directRun(t, spec)
+
+	defer checkLeaked(t)
+	mgr := NewManager(Config{})
+	defer mgr.Shutdown(context.Background())
+	c, err := mgr.Create(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	xs := driveCampaign(t, c, 0)
+	st := waitTerminal(t, c)
+	if st.State != StateDone {
+		t.Fatalf("campaign ended %s (err %q), want done", st.State, st.Error)
+	}
+	if st.Fingerprint == 0 {
+		t.Fatal("sparse campaign published no model fingerprint")
+	}
+	expectTrace(t, c, xs, ref)
+}
+
+// TestSparseCampaignResumesIdentically is the acceptance criterion for
+// the sparse tier behind the campaign service: shut the server down with
+// a model: sparse campaign mid-flight, resume from the checkpoint +
+// journal, and the finished campaign must carry the identical
+// fingerprinted trace a never-interrupted run produces.
+func TestSparseCampaignResumesIdentically(t *testing.T) {
+	spec := sparseSpec(17)
+	ref := directRun(t, spec)
+	dir := t.TempDir()
+
+	// Uninterrupted twin: establishes the golden fingerprint.
+	mgrRef := NewManager(Config{})
+	cRef, err := mgrRef.Create(spec)
+	if err != nil {
+		t.Fatalf("create reference: %v", err)
+	}
+	driveCampaign(t, cRef, 0)
+	goldFP := waitTerminal(t, cRef).Fingerprint
+	if goldFP == 0 {
+		t.Fatal("reference campaign has no fingerprint")
+	}
+	if err := mgrRef.Shutdown(context.Background()); err != nil {
+		t.Fatalf("reference shutdown: %v", err)
+	}
+
+	// First lifetime: observe 4 points, then shut down mid-flight.
+	mgr1 := NewManager(Config{CheckpointDir: dir})
+	c1, err := mgr1.Create(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	id := c1.ID
+	xs := driveCampaign(t, c1, 4)
+	if err := mgr1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Second lifetime: resume must rebuild the sparse model from the
+	// journal and finish on the same trajectory.
+	mgr2 := NewManager(Config{CheckpointDir: dir})
+	defer mgr2.Shutdown(context.Background())
+	if n, err := mgr2.ResumeAll(); err != nil || n != 1 {
+		t.Fatalf("resume: n=%d err=%v", n, err)
+	}
+	c2, err := mgr2.Get(id)
+	if err != nil {
+		t.Fatalf("get resumed: %v", err)
+	}
+	if got := c2.Spec.Model; got != "sparse" {
+		t.Fatalf("resumed campaign lost its model tier: %q", got)
+	}
+	xs = append(xs, driveCampaign(t, c2, 0)...)
+	st := waitTerminal(t, c2)
+	if st.State != StateDone {
+		t.Fatalf("resumed campaign ended %s (err %q), want done", st.State, st.Error)
+	}
+	if st.Fingerprint != goldFP {
+		t.Fatalf("resumed fingerprint %016x, uninterrupted run %016x", st.Fingerprint, goldFP)
+	}
+	expectTrace(t, c2, xs, ref)
+}

@@ -11,11 +11,21 @@
 // guarded metric regresses (increases) by more than -tol relative to the
 // baseline.
 //
-// One relative timing check IS stable enough to gate: the refit vs
-// incremental ratio inside BenchmarkALLoop runs both paths on the same
-// machine in the same process, so machine speed cancels. benchdiff
-// requires refit/incremental ≥ -min-speedup (default 3, the paper-repro
-// acceptance floor for the O(n³)→O(n²) update path).
+// Two relative timing checks ARE stable enough to gate: ratios of
+// sub-benchmarks inside BenchmarkALLoop run on the same machine in the
+// same process, so machine speed cancels. benchdiff requires
+// refit/incremental ≥ -min-speedup (default 3, the paper-repro
+// acceptance floor for the O(n³)→O(n²) dense update path) and
+// dense_n8192/sparse_n8192 ≥ -min-sparse-speedup (default 10, the
+// large-n floor for the sparse tier's O(m²) step against the dense
+// refit a campaign would otherwise pay at that size).
+//
+// One absolute allocation figure is gated too: B/op of
+// BenchmarkALLoop/incremental must stay at or below
+// -max-incremental-bop (default 1,291,402 — 60% of the 2,152,336
+// recorded before the packed-factor work; Go reports allocations
+// deterministically for deterministic code, so this is not a noisy
+// timing gate).
 //
 // Usage:
 //
@@ -49,9 +59,11 @@ type benchResult map[string]float64
 // holds ns/op and allocation figures for human reference; only Guarded
 // metrics and the speedup floor are enforced.
 type baselineFile struct {
-	Note       string                 `json:"note"`
-	MinSpeedup float64                `json:"min_alloop_speedup"`
-	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Note             string                 `json:"note"`
+	MinSpeedup       float64                `json:"min_alloop_speedup"`
+	MinSparseSpeedup float64                `json:"min_sparse_speedup"`
+	MaxIncrementalB  float64                `json:"max_incremental_b_op"`
+	Benchmarks       map[string]benchResult `json:"benchmarks"`
 }
 
 // benchLine matches one data line of `go test -bench` output, e.g.
@@ -101,24 +113,60 @@ func parseBenchOutput(path string) (map[string]benchResult, error) {
 	return out, nil
 }
 
+// checkRatio enforces one same-process timing ratio: the slow
+// sub-benchmark must cost at least minSpeedup× the fast one. Both
+// benchmarks absent is fine (not in this run); one absent is an error
+// once the pair is expected.
+func checkRatio(results map[string]benchResult, slow, fast string, minSpeedup float64) error {
+	s, okS := results[slow]
+	f, okF := results[fast]
+	if !okS && !okF {
+		return nil // pair not in this run; nothing to enforce
+	}
+	if !okS || !okF {
+		return fmt.Errorf("speedup pair incomplete: have %s=%v, %s=%v", slow, okS, fast, okF)
+	}
+	sn, fn := s["ns/op"], f["ns/op"]
+	if fn <= 0 {
+		return fmt.Errorf("%s reported ns/op=%g", fast, fn)
+	}
+	ratio := sn / fn
+	if ratio < minSpeedup {
+		return fmt.Errorf("%s/%s speedup %.2fx < required %.2fx (%.0f ns/op vs %.0f ns/op)",
+			slow, fast, ratio, minSpeedup, sn, fn)
+	}
+	fmt.Printf("ok\t%s / %s speedup %.1fx (floor %.1fx)\n", slow, fast, ratio, minSpeedup)
+	return nil
+}
+
 // checkSpeedup enforces the incremental-update acceptance floor: the
 // refit sub-benchmark must cost at least minSpeedup× the incremental one.
 func checkSpeedup(results map[string]benchResult, minSpeedup float64) error {
-	refit, okR := results["BenchmarkALLoop/refit"]
-	incr, okI := results["BenchmarkALLoop/incremental"]
-	if !okR || !okI {
-		return nil // ALLoop not in this run; nothing to enforce
+	return checkRatio(results, "BenchmarkALLoop/refit", "BenchmarkALLoop/incremental", minSpeedup)
+}
+
+// checkSparseSpeedup enforces the large-n tier floor: at n = 8192 the
+// dense from-scratch refit must cost at least minSpeedup× the sparse
+// incremental step.
+func checkSparseSpeedup(results map[string]benchResult, minSpeedup float64) error {
+	return checkRatio(results, "BenchmarkALLoop/dense_n8192", "BenchmarkALLoop/sparse_n8192", minSpeedup)
+}
+
+// checkIncrementalBytes enforces the absolute allocation ceiling on the
+// dense incremental update step.
+func checkIncrementalBytes(results map[string]benchResult, maxBytes float64) error {
+	incr, ok := results["BenchmarkALLoop/incremental"]
+	if !ok || maxBytes <= 0 {
+		return nil
 	}
-	rn, in := refit["ns/op"], incr["ns/op"]
-	if in <= 0 {
-		return fmt.Errorf("BenchmarkALLoop/incremental reported ns/op=%g", in)
+	got, ok := incr["B/op"]
+	if !ok {
+		return fmt.Errorf("BenchmarkALLoop/incremental reported no B/op (run with -benchmem or b.ReportAllocs)")
 	}
-	ratio := rn / in
-	if ratio < minSpeedup {
-		return fmt.Errorf("incremental update speedup %.2fx < required %.2fx (refit %.0f ns/op, incremental %.0f ns/op)",
-			ratio, minSpeedup, rn, in)
+	if got > maxBytes {
+		return fmt.Errorf("BenchmarkALLoop/incremental allocates %.0f B/op > ceiling %.0f B/op", got, maxBytes)
 	}
-	fmt.Printf("ok\tBenchmarkALLoop refit/incremental speedup %.1fx (floor %.1fx)\n", ratio, minSpeedup)
+	fmt.Printf("ok\tBenchmarkALLoop/incremental %.0f B/op (ceiling %.0f)\n", got, maxBytes)
 	return nil
 }
 
@@ -162,14 +210,17 @@ func compare(base *baselineFile, results map[string]benchResult, tol float64) []
 	return failures
 }
 
-func writeBaseline(path string, results map[string]benchResult, minSpeedup float64) error {
+func writeBaseline(path string, results map[string]benchResult, minSpeedup, minSparse, maxIncrB float64) error {
 	base := baselineFile{
 		Note: "Deterministic work counts per benchmark op, recorded by scripts/benchdiff -update. " +
 			"CI fails if a guarded metric (gp_fits/op, cholesky/op, cand_evals/op, lml_evals/op) " +
-			"rises more than the tolerance, or if the ALLoop refit/incremental speedup drops below the floor. " +
-			"ns/op and allocation figures are informational only.",
-		MinSpeedup: minSpeedup,
-		Benchmarks: results,
+			"rises more than the tolerance, if the ALLoop refit/incremental or dense_n8192/sparse_n8192 " +
+			"speedup drops below its floor, or if the incremental step's B/op exceeds its ceiling. " +
+			"Other ns/op and allocation figures are informational only.",
+		MinSpeedup:       minSpeedup,
+		MinSparseSpeedup: minSparse,
+		MaxIncrementalB:  maxIncrB,
+		Benchmarks:       results,
 	}
 	buf, err := json.MarshalIndent(&base, "", "  ")
 	if err != nil {
@@ -183,10 +234,12 @@ func main() {
 	update := flag.Bool("update", false, "record the bench output as the new baseline instead of comparing")
 	tol := flag.Float64("tol", 0.20, "allowed relative increase of guarded work-count metrics")
 	minSpeedup := flag.Float64("min-speedup", 3, "required BenchmarkALLoop refit/incremental ns-per-op ratio")
+	minSparse := flag.Float64("min-sparse-speedup", 10, "required BenchmarkALLoop dense_n8192/sparse_n8192 ns-per-op ratio")
+	maxIncrB := flag.Float64("max-incremental-bop", 1291402, "B/op ceiling for BenchmarkALLoop/incremental (≤60% of the pre-packed-factor 2152336)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-update] [-tol frac] [-min-speedup x] bench.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-update] [-tol frac] [-min-speedup x] [-min-sparse-speedup x] [-max-incremental-bop n] bench.txt")
 		os.Exit(2)
 	}
 	results, err := parseBenchOutput(flag.Arg(0))
@@ -195,13 +248,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := checkSpeedup(results, *minSpeedup); err != nil {
-		fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
-		os.Exit(1)
+	for _, err := range []error{
+		checkSpeedup(results, *minSpeedup),
+		checkSparseSpeedup(results, *minSparse),
+		checkIncrementalBytes(results, *maxIncrB),
+	} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
+			os.Exit(1)
+		}
 	}
 
 	if *update {
-		if err := writeBaseline(*baselinePath, results, *minSpeedup); err != nil {
+		if err := writeBaseline(*baselinePath, results, *minSpeedup, *minSparse, *maxIncrB); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(1)
 		}
@@ -219,8 +278,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", *baselinePath, err)
 		os.Exit(1)
 	}
+	// The baseline's recorded floors/ceilings win over the flag defaults
+	// when they differ — the checked-in file is the source of truth in CI.
 	if base.MinSpeedup > 0 && base.MinSpeedup != *minSpeedup {
 		if err := checkSpeedup(results, base.MinSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
+			os.Exit(1)
+		}
+	}
+	if base.MinSparseSpeedup > 0 && base.MinSparseSpeedup != *minSparse {
+		if err := checkSparseSpeedup(results, base.MinSparseSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
+			os.Exit(1)
+		}
+	}
+	if base.MaxIncrementalB > 0 && base.MaxIncrementalB != *maxIncrB {
+		if err := checkIncrementalBytes(results, base.MaxIncrementalB); err != nil {
 			fmt.Fprintln(os.Stderr, "FAIL\t"+err.Error())
 			os.Exit(1)
 		}
