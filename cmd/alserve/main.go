@@ -58,6 +58,9 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
 	replicas := flag.Int("replicas", 1, "cluster mode: boot this many replica nodes behind a consistent-hash router on -addr (1 = classic single node)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoints (empty = no persistence; cluster mode uses one subdirectory per replica)")
+	replication := flag.Int("replication", 2, "cluster mode: journal copies per campaign, owner included (clamped to -replicas)")
+	autofailover := flag.Bool("autofailover", false, "cluster mode: heartbeat every node and fail over / fence / rejoin autonomously")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 500*time.Millisecond, "cluster mode: failure-detector heartbeat period (with -autofailover)")
 	cacheSize := flag.Int("cache", 4096, "prediction LRU capacity in points")
 	scoreWorkers := flag.Int("score-workers", 0, "workers per scoring call (0 = all cores)")
 	maxScores := flag.Int("max-scores", 0, "concurrent scoring operations across all campaigns (0 = GOMAXPROCS)")
@@ -164,7 +167,10 @@ func main() {
 					MaxQueue:    *maxQueue,
 				},
 			},
-			breakerCooldown: *breakerCooldown,
+			breakerCooldown:   *breakerCooldown,
+			replication:       *replication,
+			autofailover:      *autofailover,
+			heartbeatInterval: *heartbeatInterval,
 		})
 		if sinkFile != nil {
 			obs.DumpMetrics()
@@ -263,27 +269,46 @@ func main() {
 
 // clusterFlags carries the parsed flags into cluster mode.
 type clusterFlags struct {
-	addr            string
-	replicas        int
-	ckptDir         string
-	serveCfg        serve.Config
-	serverCfg       serve.ServerConfig
-	breakerCooldown time.Duration
+	addr              string
+	replicas          int
+	replication       int
+	autofailover      bool
+	heartbeatInterval time.Duration
+	ckptDir           string
+	serveCfg          serve.Config
+	serverCfg         serve.ServerConfig
+	breakerCooldown   time.Duration
 }
 
 // runCluster boots an in-process replica fleet behind the
 // consistent-hash router (internal/ring) and serves it on -addr until
 // SIGINT/SIGTERM. Each replica journals under its own
 // -checkpoint-dir subdirectory and ships every record to its
-// follower, so killing any single node loses no acknowledged
-// observation.
+// -replication-1 followers, so killing any single node loses no
+// acknowledged observation. With -autofailover the router also
+// heartbeats every node and recovers from failures on its own:
+// condemned nodes are failed over and fenced, healed ones rejoin at a
+// new epoch.
 func runCluster(cf clusterFlags) int {
+	// Mirror StartCluster's clamps so the banner reports what actually runs.
+	if cf.replication < 2 {
+		cf.replication = 2
+	}
+	if cf.replication > cf.replicas {
+		cf.replication = cf.replicas
+	}
+	var det *ring.DetectorConfig
+	if cf.autofailover {
+		det = &ring.DetectorConfig{Interval: cf.heartbeatInterval}
+	}
 	cl, err := ring.StartCluster(ring.ClusterConfig{
-		Replicas:   cf.replicas,
-		RouterAddr: cf.addr,
-		Dir:        cf.ckptDir,
-		Serve:      cf.serveCfg,
-		Server:     cf.serverCfg,
+		Replicas:    cf.replicas,
+		Replication: cf.replication,
+		Detector:    det,
+		RouterAddr:  cf.addr,
+		Dir:         cf.ckptDir,
+		Serve:       cf.serveCfg,
+		Server:      cf.serverCfg,
 		Router: ring.RouterConfig{
 			Breaker: resilience.BreakerConfig{Cooldown: cf.breakerCooldown},
 		},
@@ -292,8 +317,12 @@ func runCluster(cf clusterFlags) int {
 		fmt.Fprintln(os.Stderr, "alserve: cluster:", err)
 		return 1
 	}
-	fmt.Printf("alserve: %d-replica cluster behind %s (datasets: %v)\n",
-		cf.replicas, cl.URL(), serve.DatasetNames())
+	mode := "operator-driven failover"
+	if cf.autofailover {
+		mode = fmt.Sprintf("autonomous failover, heartbeat %v", cf.heartbeatInterval)
+	}
+	fmt.Printf("alserve: %d-replica cluster behind %s, replication %d, %s (datasets: %v)\n",
+		cf.replicas, cl.URL(), cf.replication, mode, serve.DatasetNames())
 	for _, id := range cl.NodeIDs() {
 		fmt.Printf("alserve:   node %s at %s\n", id, cl.NodeURL(id))
 	}

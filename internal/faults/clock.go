@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source for components whose behavior depends
+// on elapsed time — the ring failure detector above all. Production
+// code uses SystemClock; tests inject a FakeClock and advance it
+// explicitly, so timing-sensitive state machines (suspicion scores,
+// heartbeat schedules) are exercised deterministically with no real
+// sleeps, even under -race.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time
+	// once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// SystemClock is the production Clock: thin wrappers over package time.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (SystemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (SystemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually advanced Clock for deterministic tests. Time
+// stands still until Advance moves it; every After/Sleep waiter whose
+// deadline has passed fires during the Advance call. BlockUntil lets a
+// test synchronize with the goroutines under test: it waits until at
+// least n waiters are parked on the clock, which — for loops that do
+// work strictly between two After calls — guarantees the previous
+// round's work has completed before the test advances into the next.
+type FakeClock struct {
+	mu        sync.Mutex
+	now       time.Time
+	waiters   []*fakeWaiter
+	blockReqs []blockReq
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+type blockReq struct {
+	n  int
+	ch chan struct{}
+}
+
+// NewFakeClock returns a FakeClock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock. Non-positive durations fire immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &fakeWaiter{at: c.now.Add(d), ch: ch})
+	c.notifyBlockedLocked()
+	return ch
+}
+
+// Sleep implements Clock: it returns only once Advance has moved the
+// clock past d.
+func (c *FakeClock) Sleep(d time.Duration) { <-c.After(d) }
+
+// Advance moves the clock forward by d and fires every waiter whose
+// deadline is now due, in registration order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due, keep []*fakeWaiter
+	for _, w := range c.waiters {
+		if w.at.After(now) {
+			keep = append(keep, w)
+		} else {
+			due = append(due, w)
+		}
+	}
+	c.waiters = keep
+	c.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many After/Sleep callers are currently parked.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// BlockUntil blocks until at least n waiters are parked on the clock.
+func (c *FakeClock) BlockUntil(n int) {
+	c.mu.Lock()
+	if len(c.waiters) >= n {
+		c.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	c.blockReqs = append(c.blockReqs, blockReq{n: n, ch: ch})
+	c.mu.Unlock()
+	<-ch
+}
+
+// notifyBlockedLocked releases BlockUntil callers whose threshold is
+// met. Callers hold c.mu.
+func (c *FakeClock) notifyBlockedLocked() {
+	var keep []blockReq
+	for _, r := range c.blockReqs {
+		if len(c.waiters) >= r.n {
+			close(r.ch)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	c.blockReqs = keep
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFakeClockAfter pins the waiter semantics the ring detector leans
+// on: timers fire during Advance — exactly when due, never early — and
+// non-positive durations fire immediately.
+func TestFakeClockAfter(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+
+	ch := fc.After(100 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before any Advance")
+	default:
+	}
+
+	fc.Advance(99 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1ms early")
+	default:
+	}
+
+	fc.Advance(1 * time.Millisecond)
+	select {
+	case at := <-ch:
+		if want := time.Unix(0, 0).Add(100 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("timer delivered %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+
+	select {
+	case <-fc.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	if got := fc.Now(); !got.Equal(time.Unix(0, 0).Add(100 * time.Millisecond)) {
+		t.Fatalf("Now is %v after 100ms of advances", got)
+	}
+}
+
+// TestFakeClockAdvanceFiresAllDue checks one big Advance releases every
+// waiter whose deadline it crossed — and only those.
+func TestFakeClockAdvanceFiresAllDue(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+	short := fc.After(10 * time.Millisecond)
+	long := fc.After(50 * time.Millisecond)
+	later := fc.After(time.Hour)
+
+	fc.Advance(time.Second)
+	for name, ch := range map[string]<-chan time.Time{"short": short, "long": long} {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("%s timer did not fire inside a covering Advance", name)
+		}
+	}
+	select {
+	case <-later:
+		t.Fatal("one-hour timer fired after a one-second Advance")
+	default:
+	}
+	if got := fc.Waiters(); got != 1 {
+		t.Fatalf("%d waiters parked after the Advance, want 1 (the one-hour timer)", got)
+	}
+}
+
+// TestFakeClockSleepAndBlockUntil exercises the test-synchronization
+// pair: BlockUntil waits for n parked waiters, Sleep returns only once
+// Advance passes its deadline.
+func TestFakeClockSleepAndBlockUntil(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		fc.Sleep(time.Minute)
+		close(done)
+	}()
+
+	fc.BlockUntil(1) // returns once the sleeper is parked
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before the clock advanced")
+	default:
+	}
+
+	fc.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after a covering Advance")
+	}
+
+	// BlockUntil with the threshold already met must not block.
+	fc.After(time.Hour)
+	fc.BlockUntil(1)
+}

@@ -22,6 +22,18 @@ type ClusterConfig struct {
 	// Replicas is the node count (minimum 1).
 	Replicas int
 
+	// Replication is how many copies of each campaign's journal exist,
+	// owner included (default 2 — owner plus one follower; clamped to
+	// Replicas). Appends ack after the owner plus a quorum of one
+	// follower hold the record.
+	Replication int
+
+	// Detector, when non-nil, enables autonomous failure detection and
+	// self-healing: the router heartbeats every node, fails over
+	// condemned ones, and rejoins them when they heal. Nil keeps
+	// failover operator-driven.
+	Detector *DetectorConfig
+
 	// RouterAddr is the router's listen address (default "127.0.0.1:0",
 	// an ephemeral loopback port — what in-process tests want; alserve
 	// passes its -addr here). Nodes always listen on ephemeral loopback
@@ -58,6 +70,9 @@ type ClusterConfig struct {
 // deterministic chaos rig: both act on real listeners and transports,
 // so failure behavior in tests is the behavior a deployment would see.
 type Cluster struct {
+	cfg      ClusterConfig
+	shipBase http.RoundTripper
+
 	router    *Router
 	routerLn  net.Listener
 	routerSrv *http.Server
@@ -82,7 +97,14 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Replicas < 1 {
 		cfg.Replicas = 1
 	}
+	if cfg.Replication < 2 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > cfg.Replicas {
+		cfg.Replication = cfg.Replicas
+	}
 	c := &Cluster{
+		cfg:    cfg,
 		nodes:  make(map[string]*clusterNode),
 		hostID: make(map[string]string),
 	}
@@ -91,6 +113,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.ShipChaos != (faults.NetworkConfig{}) {
 		shipBase = faults.WrapRoundTripper(shipBase, faults.NewNet(cfg.ShipChaos))
 	}
+	c.shipBase = shipBase
 
 	var members []Member
 	var listeners []net.Listener
@@ -101,20 +124,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("ring: listen for node %s: %w", id, err)
 		}
-		scfg := cfg.Serve
-		scfg.Store = nil
-		if cfg.Dir != "" {
-			scfg.CheckpointDir = filepath.Join(cfg.Dir, id)
-		} else {
-			scfg.CheckpointDir = ""
-		}
-		n := NewNode(NodeConfig{
-			ID:          id,
-			Serve:       scfg,
-			Server:      cfg.Server,
-			ShipTimeout: cfg.ShipTimeout,
-			Client:      &http.Client{Transport: shipBase},
-		})
+		n := NewNode(c.nodeConfig(id))
 		url := "http://" + ln.Addr().String()
 		cn := &clusterNode{node: n, url: url, srv: &http.Server{Handler: n}}
 		c.nodes[id] = cn
@@ -154,6 +164,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 
+	if cfg.Detector != nil {
+		router.EnableAutoFailover(*cfg.Detector)
+	}
+
 	raddr := cfg.RouterAddr
 	if raddr == "" {
 		raddr = "127.0.0.1:0"
@@ -167,6 +181,25 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.routerSrv = &http.Server{Handler: router}
 	go c.routerSrv.Serve(rln)
 	return c, nil
+}
+
+// nodeConfig builds one node's config from the cluster template.
+func (c *Cluster) nodeConfig(id string) NodeConfig {
+	scfg := c.cfg.Serve
+	scfg.Store = nil
+	if c.cfg.Dir != "" {
+		scfg.CheckpointDir = filepath.Join(c.cfg.Dir, id)
+	} else {
+		scfg.CheckpointDir = ""
+	}
+	return NodeConfig{
+		ID:          id,
+		Serve:       scfg,
+		Server:      c.cfg.Server,
+		ShipTimeout: c.cfg.ShipTimeout,
+		Followers:   c.cfg.Replication - 1,
+		Client:      &http.Client{Transport: c.shipBase},
+	}
 }
 
 // URL is the router's base URL — the cluster's public front.
@@ -202,8 +235,9 @@ func (c *Cluster) NodeURL(id string) string {
 // exactly what a real crash would have sent — nothing more), then the
 // listener and all live connections drop, then the node's goroutines
 // are reaped so in-process tests stay leak-free. The dead node's
-// campaigns are NOT failed over until Router.Failover is called —
-// failure detection is the operator's (or the test's) move.
+// campaigns are failed over by Router.Failover — either the operator's
+// (or the test's) explicit call, or, with ClusterConfig.Detector set,
+// the failure detector once suspicion crosses the dead threshold.
 func (c *Cluster) Kill(id string) error {
 	c.mu.Lock()
 	cn := c.nodes[id]
@@ -237,6 +271,46 @@ func (c *Cluster) KillAndFailover(id string) error {
 	return c.router.Failover(id)
 }
 
+// Restart boots a previously killed node again: a fresh Node with the
+// same identity and checkpoint dir on a new listener, then a router
+// Rejoin — the node is reconciled, readmitted at a new epoch, and
+// campaigns rebalance back to it. With a DirStore the node's journals
+// survived the kill; reconcile decides which of them it may keep.
+func (c *Cluster) Restart(id string) error {
+	c.mu.Lock()
+	cn := c.nodes[id]
+	if cn == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("ring: restart of unknown node %q", id)
+	}
+	if !cn.killed {
+		c.mu.Unlock()
+		return fmt.Errorf("ring: restart of running node %q", id)
+	}
+	c.mu.Unlock()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("ring: listen for restarted node %s: %w", id, err)
+	}
+	n := NewNode(c.nodeConfig(id))
+	url := "http://" + ln.Addr().String()
+	next := &clusterNode{node: n, url: url, srv: &http.Server{Handler: n}}
+
+	c.mu.Lock()
+	for host, hid := range c.hostID {
+		if hid == id {
+			delete(c.hostID, host)
+		}
+	}
+	c.nodes[id] = next
+	c.hostID[ln.Addr().String()] = id
+	c.mu.Unlock()
+
+	go next.srv.Serve(ln)
+	return c.router.Rejoin(Member{ID: id, URL: url})
+}
+
 // Partition cuts (or heals) the network between the router and one
 // node: forwarded requests fail at the transport like a dropped link,
 // which the router's retrying client and breaker then absorb. Shipping
@@ -252,10 +326,14 @@ func (c *Cluster) Partition(id string, cut bool) error {
 	return nil
 }
 
-// Close tears the whole fleet down: router first (stop new traffic),
-// then every surviving node.
+// Close tears the whole fleet down: detector first (stop the heartbeat
+// loops before their targets vanish), then the router listener, then
+// every surviving node.
 func (c *Cluster) Close() error {
 	var errs []error
+	if c.router != nil {
+		c.router.Close()
+	}
 	if c.routerSrv != nil {
 		c.routerSrv.Close()
 	}

@@ -1,0 +1,433 @@
+package ring
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// Detector metrics (see OBSERVABILITY.md).
+var (
+	ringDetectorHeartbeats = obs.C("ring.detector.heartbeats")
+	ringDetectorMisses     = obs.C("ring.detector.misses")
+	ringDetectorSuspected  = obs.C("ring.detector.suspected")
+	ringDetectorDead       = obs.C("ring.detector.dead")
+	ringDetectorRecovered  = obs.C("ring.detector.recovered")
+	ringDetectorPhi        = obs.H("ring.detector.phi", 0.5, 1, 2, 4, 8, 16)
+)
+
+// NodeState is a detector's verdict about one node.
+type NodeState int
+
+const (
+	// StateAlive: heartbeats arriving on schedule.
+	StateAlive NodeState = iota
+	// StateSuspected: suspicion crossed SuspectPhi — the node is late
+	// but not yet condemned; a single pong clears it.
+	StateSuspected
+	// StateDead: suspicion crossed DeadPhi — the detector is driving
+	// the failover path for this node.
+	StateDead
+	// StateFenced: the node has been removed from the membership. It is
+	// outside the epoch (every epoch-labeled request 503s on it) but the
+	// detector keeps pinging: enough consecutive pongs trigger a rejoin.
+	StateFenced
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspected:
+		return "suspected"
+	case StateDead:
+		return "dead"
+	case StateFenced:
+		return "fenced"
+	}
+	return "unknown"
+}
+
+// DetectorConfig tunes the accrual failure detector.
+type DetectorConfig struct {
+	// Interval between heartbeats to each node (default 500ms).
+	Interval time.Duration
+
+	// PingTimeout bounds one heartbeat call (default Interval). This is
+	// a real-time bound even under a fake clock: it caps how long Stop
+	// can block on an in-flight ping.
+	PingTimeout time.Duration
+
+	// Window is how many heartbeat inter-arrival gaps feed the mean
+	// (default 16).
+	Window int
+
+	// SuspectPhi is the suspicion score at which a node becomes
+	// suspected (default 2 — about two missed intervals).
+	SuspectPhi float64
+
+	// DeadPhi is the score at which a node is condemned and failover
+	// runs (default 5).
+	DeadPhi float64
+
+	// RejoinAfter is how many consecutive pongs a fenced node must
+	// answer before the detector rejoins it (default 3).
+	RejoinAfter int
+
+	// Clock is the time source (default the system clock; tests inject
+	// faults.FakeClock to drive detection deterministically).
+	Clock faults.Clock
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = c.Interval
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.SuspectPhi <= 0 {
+		c.SuspectPhi = 2
+	}
+	if c.DeadPhi <= c.SuspectPhi {
+		c.DeadPhi = c.SuspectPhi + 3
+	}
+	if c.RejoinAfter <= 0 {
+		c.RejoinAfter = 3
+	}
+	if c.Clock == nil {
+		c.Clock = faults.SystemClock{}
+	}
+	return c
+}
+
+// phi is the accrual suspicion score. With heartbeat inter-arrivals
+// modeled as exponential around the observed mean, the probability that
+// the next heartbeat is still coming after `elapsed` of silence is
+// exp(-elapsed/mean), and φ = -log10 of that = elapsed/mean · log10(e).
+// φ grows linearly with silence: φ=2 is roughly "99% sure it's gone",
+// φ=5 roughly "99.999%". Thresholding φ instead of a raw timeout means
+// a node with naturally jittery heartbeats (larger observed mean) gets
+// proportionally more patience.
+func phi(elapsed, mean time.Duration) float64 {
+	if mean <= 0 || elapsed <= 0 {
+		return 0
+	}
+	return float64(elapsed) / float64(mean) * math.Log10E
+}
+
+// target is the detector's per-node record.
+type target struct {
+	id    string
+	url   string
+	state NodeState
+	// last is when the most recent pong arrived (detector clock).
+	last time.Time
+	// window holds recent pong inter-arrival gaps.
+	window []time.Duration
+	// streak counts consecutive pongs from a fenced node.
+	streak int
+	// lastPhi is the score at the most recent miss (0 after a pong).
+	lastPhi float64
+}
+
+// mean is the average observed inter-arrival gap, floored at the
+// heartbeat interval so an idle-start window cannot hair-trigger φ.
+func (t *target) mean(floor time.Duration) time.Duration {
+	if len(t.window) == 0 {
+		return floor
+	}
+	var sum time.Duration
+	for _, g := range t.window {
+		sum += g
+	}
+	m := sum / time.Duration(len(t.window))
+	if m < floor {
+		return floor
+	}
+	return m
+}
+
+// NodeHealth is one row of a detector snapshot.
+type NodeHealth struct {
+	ID    string  `json:"id"`
+	URL   string  `json:"url"`
+	State string  `json:"state"`
+	Phi   float64 `json:"phi"`
+}
+
+// Detector is the router's autonomous failure detector: one heartbeat
+// loop per node, an accrual suspicion score per target, and the two
+// self-healing actions — drive Router failover when a node is condemned,
+// drive Router rejoin when a fenced node answers again. All timing goes
+// through an injectable clock so tests run detection with zero real
+// sleeps.
+//
+// Lock order: the detector may call into the router (which takes the
+// router's mu) while holding no locks, and the router calls fence and
+// readmit while holding no locks. Neither side must ever hold its own
+// mutex across a call into the other.
+type Detector struct {
+	cfg    DetectorConfig
+	router *Router
+	client *http.Client
+	clock  faults.Clock
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	targets map[string]*target
+}
+
+// newDetector builds (but does not start) a detector over the members.
+// base is the router's underlying transport, so injected partitions and
+// chaos cut heartbeats exactly like forwards. The heartbeat client
+// deliberately does not retry: the accrual score IS the retry policy.
+func newDetector(r *Router, cfg DetectorConfig, base http.RoundTripper, members []Member) *Detector {
+	cfg = cfg.withDefaults()
+	d := &Detector{
+		cfg:     cfg,
+		router:  r,
+		client:  resilience.NewClient(base, resilience.TransportConfig{MaxAttempts: 1}),
+		clock:   cfg.Clock,
+		stop:    make(chan struct{}),
+		targets: make(map[string]*target),
+	}
+	now := d.clock.Now()
+	for _, m := range members {
+		d.targets[m.ID] = &target{id: m.ID, url: m.URL, state: StateAlive, last: now}
+	}
+	return d
+}
+
+// start launches one watch loop per target.
+func (d *Detector) start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.targets {
+		d.wg.Add(1)
+		go d.watch(t)
+	}
+}
+
+// Stop halts every heartbeat loop and waits for them to exit.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// Snapshot reports every target's current verdict, sorted by node id.
+func (d *Detector) Snapshot() []NodeHealth {
+	d.mu.Lock()
+	out := make([]NodeHealth, 0, len(d.targets))
+	for _, t := range d.targets {
+		out = append(out, NodeHealth{ID: t.id, URL: t.url, State: t.state.String(), Phi: t.lastPhi})
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// fence marks a node as removed-from-membership. The router (or the
+// watch loop, after a successful auto-failover) calls it once the node
+// is outside the epoch; from here only a pong streak can bring the node
+// back, via rejoin.
+func (d *Detector) fence(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.targets[id]
+	if t == nil || t.state == StateFenced {
+		return
+	}
+	t.state = StateFenced
+	t.streak = 0
+	obs.Emit("ring.detector.fenced", map[string]any{"node": id})
+}
+
+// readmit resets a node's record after a successful rejoin (or starts
+// watching a node the detector has never seen).
+func (d *Detector) readmit(m Member) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := d.targets[m.ID]; t != nil {
+		t.url = m.URL
+		t.state = StateAlive
+		t.streak = 0
+		t.window = nil
+		t.last = d.clock.Now()
+		t.lastPhi = 0
+		obs.Emit("ring.detector.rejoined", map[string]any{"node": m.ID})
+		return
+	}
+	if d.closed {
+		return
+	}
+	t := &target{id: m.ID, url: m.URL, state: StateAlive, last: d.clock.Now()}
+	d.targets[m.ID] = t
+	d.wg.Add(1)
+	go d.watch(t)
+}
+
+// watch is the per-node heartbeat loop: sleep one interval on the
+// injected clock, ping, score, and run whichever self-healing action the
+// state machine asks for.
+func (d *Detector) watch(t *target) {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.clock.After(d.cfg.Interval):
+		}
+		ok := d.ping(t)
+		switch d.observe(t, ok) {
+		case actFailover:
+			if err := d.router.autoFailover(t.id); err != nil {
+				// Leave the state at dead: the next miss retries, and the
+				// failover path is idempotent.
+				obs.Emit("ring.detector.failover.error", map[string]any{"node": t.id, "err": err.Error()})
+			} else {
+				d.fence(t.id)
+			}
+		case actRejoin:
+			d.mu.Lock()
+			m := Member{ID: t.id, URL: t.url}
+			d.mu.Unlock()
+			if err := d.router.Rejoin(m); err != nil {
+				// Stay fenced; the pong streak starts over.
+				obs.Emit("ring.detector.rejoin.failed", map[string]any{"node": t.id, "err": err.Error()})
+			}
+			// On success Rejoin called readmit, which reset the record.
+		}
+	}
+}
+
+// ping sends one heartbeat. The pong must come from the node identity we
+// are watching — a different process answering on a reused address is
+// not a heartbeat.
+func (d *Detector) ping(t *target) bool {
+	d.mu.Lock()
+	url := t.url
+	d.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.PingTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/internal/ping", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var pong struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pong); err != nil || pong.Node != t.id {
+		return false
+	}
+	ringDetectorHeartbeats.Inc()
+	return true
+}
+
+// Self-healing actions the state machine can request.
+const (
+	actNone = iota
+	actFailover
+	actRejoin
+)
+
+// observe folds one heartbeat result into the target's record and
+// returns the action to run (outside the detector lock).
+func (d *Detector) observe(t *target, ok bool) int {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ok {
+		if gap := now.Sub(t.last); gap > 0 {
+			t.window = append(t.window, gap)
+			if len(t.window) > d.cfg.Window {
+				t.window = t.window[len(t.window)-d.cfg.Window:]
+			}
+		}
+		t.last = now
+		t.lastPhi = 0
+		switch t.state {
+		case StateSuspected:
+			t.state = StateAlive
+			ringDetectorRecovered.Inc()
+			obs.Emit("ring.detector.recovered", map[string]any{"node": t.id})
+		case StateDead:
+			// Condemned but answering again. If failover already removed
+			// it from the membership, it is effectively fenced and must
+			// earn a rejoin; otherwise it simply recovered in time.
+			if d.router.isMember(t.id) {
+				t.state = StateAlive
+				ringDetectorRecovered.Inc()
+				obs.Emit("ring.detector.recovered", map[string]any{"node": t.id})
+			} else {
+				t.state = StateFenced
+				t.streak = 0
+				obs.Emit("ring.detector.fenced", map[string]any{"node": t.id})
+			}
+		case StateFenced:
+			t.streak++
+			if t.streak >= d.cfg.RejoinAfter {
+				t.streak = 0
+				return actRejoin
+			}
+		}
+		return actNone
+	}
+
+	ringDetectorMisses.Inc()
+	t.streak = 0
+	p := phi(now.Sub(t.last), t.mean(d.cfg.Interval))
+	t.lastPhi = p
+	ringDetectorPhi.Observe(p)
+	switch t.state {
+	case StateAlive, StateSuspected:
+		if p >= d.cfg.DeadPhi {
+			t.state = StateDead
+			ringDetectorDead.Inc()
+			obs.Emit("ring.detector.dead", map[string]any{"node": t.id, "phi": p})
+			return actFailover
+		}
+		if t.state == StateAlive && p >= d.cfg.SuspectPhi {
+			t.state = StateSuspected
+			ringDetectorSuspected.Inc()
+			obs.Emit("ring.detector.suspected", map[string]any{"node": t.id, "phi": p})
+		}
+	case StateDead:
+		// Failover has not landed yet (or partially failed); keep
+		// driving it — autoFailover is idempotent.
+		return actFailover
+	case StateFenced:
+		// Outside the membership; nothing to heal until it answers.
+	}
+	return actNone
+}

@@ -1,0 +1,237 @@
+package ring
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// stubNode is a minimal node impersonation for detector tests: it
+// answers pings (unless downed), accepts membership pushes and
+// reconciles, and records what it was told.
+type stubNode struct {
+	id    string
+	srv   *httptest.Server
+	down  atomic.Bool
+	epoch atomic.Uint64
+
+	pings      atomic.Int64
+	reconciles atomic.Int64
+}
+
+func newStubNode(t *testing.T, id string) *stubNode {
+	t.Helper()
+	s := &stubNode{id: id}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/ping", func(w http.ResponseWriter, r *http.Request) {
+		s.pings.Add(1)
+		if s.down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"node": s.id, "epoch": s.epoch.Load()})
+	})
+	mux.HandleFunc("PUT /internal/membership", func(w http.ResponseWriter, r *http.Request) {
+		var m Membership
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		s.epoch.Store(m.Epoch)
+		writeJSON(w, http.StatusOK, map[string]uint64{"epoch": m.Epoch})
+	})
+	mux.HandleFunc("POST /internal/reconcile", func(w http.ResponseWriter, r *http.Request) {
+		s.reconciles.Add(1)
+		writeJSON(w, http.StatusOK, map[string]int{"released": 0, "removed": 0, "replicas_cleared": 0})
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// detectorRig builds a router over stub nodes with a fake-clock
+// detector at aggressive thresholds: with a 100ms interval and an
+// all-pong warmup the mean gap is 100ms, so φ crosses SuspectPhi=1 on
+// the 3rd consecutive miss (φ≈1.30) and DeadPhi=2 on the 5th (φ≈2.17).
+func detectorRig(t *testing.T, stubs ...*stubNode) (*Router, *faults.FakeClock, func()) {
+	t.Helper()
+	members := make([]Member, len(stubs))
+	for i, s := range stubs {
+		members[i] = Member{ID: s.id, URL: s.srv.URL}
+	}
+	r, err := NewRouter(members, testRouterCfg())
+	if err != nil {
+		t.Fatalf("new router: %v", err)
+	}
+	if err := r.PushMembership(); err != nil {
+		t.Fatalf("push membership: %v", err)
+	}
+	fc := faults.NewFakeClock(time.Unix(0, 0))
+	r.EnableAutoFailover(DetectorConfig{
+		Interval:    100 * time.Millisecond,
+		PingTimeout: 5 * time.Second, // real-time bound; stubs answer instantly
+		Window:      8,
+		SuspectPhi:  1,
+		DeadPhi:     2,
+		RejoinAfter: 2,
+		Clock:       fc,
+	})
+	t.Cleanup(r.Close)
+	// round advances one heartbeat interval and waits until every watch
+	// loop has finished the round's work and parked on the next timer —
+	// the synchronization that makes detector tests sleep-free AND
+	// deterministic under -race.
+	n := len(stubs)
+	fc.BlockUntil(n)
+	round := func() {
+		fc.Advance(100 * time.Millisecond)
+		fc.BlockUntil(n)
+	}
+	return r, fc, round
+}
+
+func detectorState(t *testing.T, r *Router, id string) NodeHealth {
+	t.Helper()
+	for _, h := range r.Detector().Snapshot() {
+		if h.ID == id {
+			return h
+		}
+	}
+	t.Fatalf("detector has no target %q", id)
+	return NodeHealth{}
+}
+
+// TestDetectorStateMachine walks one node through the full autonomous
+// lifecycle — alive → suspected → dead (auto-failover, epoch bump) →
+// fenced → rejoined (epoch bump) — with every transition driven by the
+// fake clock, no real sleeps, and no manual Failover call anywhere.
+func TestDetectorStateMachine(t *testing.T) {
+	a, b := newStubNode(t, "n1"), newStubNode(t, "n2")
+	r, _, round := detectorRig(t, a, b)
+
+	autoBefore := obs.C("router.autofailover.count").Value()
+	rejoinsBefore := obs.C("router.rejoin.count").Value()
+	suspectedBefore := obs.C("ring.detector.suspected").Value()
+	phiBefore := obs.H("ring.detector.phi").Count()
+
+	for i := 0; i < 3; i++ {
+		round() // warmup: all pongs, mean gap = interval
+	}
+	if st := detectorState(t, r, "n1"); st.State != "alive" {
+		t.Fatalf("after warmup n1 is %q, want alive", st.State)
+	}
+
+	a.down.Store(true)
+	round() // miss 1: φ≈0.43
+	round() // miss 2: φ≈0.87
+	if st := detectorState(t, r, "n1"); st.State != "alive" {
+		t.Fatalf("two missed heartbeats already moved n1 to %q", st.State)
+	}
+	round() // miss 3: φ≈1.30 ≥ SuspectPhi
+	st := detectorState(t, r, "n1")
+	if st.State != "suspected" {
+		t.Fatalf("after 3 misses n1 is %q (φ=%.2f), want suspected", st.State, st.Phi)
+	}
+	if st.Phi < 1 || st.Phi > 2 {
+		t.Fatalf("suspicion φ=%.2f after 3 misses, want within [1, 2)", st.Phi)
+	}
+	if got := obs.C("ring.detector.suspected").Value(); got != suspectedBefore+1 {
+		t.Fatalf("ring.detector.suspected went %v -> %v, want +1", suspectedBefore, got)
+	}
+	// Suspicion is not a membership change.
+	if m := r.Membership(); m.Epoch != 1 || len(m.Members) != 2 {
+		t.Fatalf("suspicion moved the membership to epoch %d with %d members", m.Epoch, len(m.Members))
+	}
+
+	round() // miss 4: φ≈1.74
+	round() // miss 5: φ≈2.17 ≥ DeadPhi → autonomous failover + fence
+	if got := obs.C("router.autofailover.count").Value(); got != autoBefore+1 {
+		t.Fatalf("router.autofailover.count went %v -> %v, want +1", autoBefore, got)
+	}
+	if st := detectorState(t, r, "n1"); st.State != "fenced" {
+		t.Fatalf("after auto-failover n1 is %q, want fenced", st.State)
+	}
+	m := r.Membership()
+	if m.Epoch != 2 || len(m.Members) != 1 || m.Members[0].ID != "n2" {
+		t.Fatalf("after auto-failover membership is epoch %d %v, want epoch 2 [n2]", m.Epoch, m.Members)
+	}
+	if got := b.epoch.Load(); got != 2 {
+		t.Fatalf("survivor n2 installed epoch %d, want 2", got)
+	}
+	// The condemned node never saw the new epoch: it is fenced out, not
+	// split-brained.
+	if got := a.epoch.Load(); got != 1 {
+		t.Fatalf("fenced node n1 installed epoch %d — the epoch leaked across the fence", got)
+	}
+	if got := obs.H("ring.detector.phi").Count(); got <= phiBefore {
+		t.Fatal("no suspicion scores were recorded in ring.detector.phi")
+	}
+
+	// Heal: RejoinAfter consecutive pongs readmit the node at a fresh
+	// epoch, reconciled first.
+	a.down.Store(false)
+	round() // pong streak 1
+	if st := detectorState(t, r, "n1"); st.State != "fenced" {
+		t.Fatalf("one pong already moved fenced n1 to %q", st.State)
+	}
+	round() // pong streak 2 → rejoin
+	if got := obs.C("router.rejoin.count").Value(); got != rejoinsBefore+1 {
+		t.Fatalf("router.rejoin.count went %v -> %v, want +1", rejoinsBefore, got)
+	}
+	if st := detectorState(t, r, "n1"); st.State != "alive" {
+		t.Fatalf("after rejoin n1 is %q, want alive", st.State)
+	}
+	m = r.Membership()
+	if m.Epoch != 3 || len(m.Members) != 2 {
+		t.Fatalf("after rejoin membership is epoch %d with %d members, want epoch 3 with 2", m.Epoch, len(m.Members))
+	}
+	if got := a.reconciles.Load(); got != 1 {
+		t.Fatalf("rejoining node was reconciled %d times, want exactly 1", got)
+	}
+	if got := a.epoch.Load(); got != 3 {
+		t.Fatalf("rejoined n1 is at epoch %d, want 3", got)
+	}
+}
+
+// TestDetectorRecoversSuspect pins the false-positive path: a node that
+// misses a few heartbeats but answers again before DeadPhi goes back to
+// alive — no failover, no epoch change, nothing disturbed.
+func TestDetectorRecoversSuspect(t *testing.T) {
+	a, b := newStubNode(t, "n1"), newStubNode(t, "n2")
+	r, _, round := detectorRig(t, a, b)
+
+	failoversBefore := obs.C("router.failover.count").Value()
+	recoveredBefore := obs.C("ring.detector.recovered").Value()
+
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	a.down.Store(true)
+	for i := 0; i < 3; i++ {
+		round() // up to φ≈1.30: suspected, not dead
+	}
+	if st := detectorState(t, r, "n1"); st.State != "suspected" {
+		t.Fatalf("n1 is %q mid-flap, want suspected", st.State)
+	}
+	a.down.Store(false)
+	round()
+	st := detectorState(t, r, "n1")
+	if st.State != "alive" || st.Phi != 0 {
+		t.Fatalf("recovered n1 is %q with φ=%.2f, want alive with φ=0", st.State, st.Phi)
+	}
+	if got := obs.C("ring.detector.recovered").Value(); got != recoveredBefore+1 {
+		t.Fatalf("ring.detector.recovered went %v -> %v, want +1", recoveredBefore, got)
+	}
+	if got := obs.C("router.failover.count").Value(); got != failoversBefore {
+		t.Fatal("a recovered suspect still triggered a failover")
+	}
+	if m := r.Membership(); m.Epoch != 1 || len(m.Members) != 2 {
+		t.Fatalf("a flap changed the membership: epoch %d, %d members", m.Epoch, len(m.Members))
+	}
+}

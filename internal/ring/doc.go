@@ -19,15 +19,17 @@
 // # Replication
 //
 // The owner's serve.Store is wrapped so that every journal record
-// (header, observation, terminal line) is shipped to the follower
-// BEFORE the local append. Composed with the service's
-// journal-before-ack rule this yields replicate-before-ack: an
-// acknowledged observe exists on two nodes, so killing either loses
-// nothing that was acknowledged. Records carry a monotonic index; the
-// follower dedups replayed indices (duplicate delivery is free) and
-// rejects gaps, which the owner heals with a full journal sync — the
-// same mechanism bootstraps a brand-new follower after membership
-// changes.
+// (header, observation, terminal line) is shipped to the campaign's
+// followers (NodeConfig.Followers of them, walk order) BEFORE the local
+// append, and the append is acknowledged once at least one follower
+// holds the record. Composed with the service's journal-before-ack rule
+// this yields replicate-before-ack: an acknowledged observe exists on
+// at least two nodes, so killing any one loses nothing that was
+// acknowledged. Records carry a monotonic index; followers dedup
+// replayed indices (duplicate delivery is free) and reject gaps, which
+// the owner heals with a full journal sync — the same mechanism
+// bootstraps a brand-new follower after membership changes and catches
+// up laggards that missed a quorum round.
 //
 // # Epochs and handoff
 //
@@ -39,8 +41,20 @@
 // campaign in handoff and sheds its traffic with 503 + Retry-After;
 // every other campaign keeps serving throughout.
 //
-// Failure detection is deliberately out of scope: tests and operators
-// trigger Router.Failover explicitly, which keeps the chaos suite
-// deterministic. DESIGN.md §13 has the full protocol and failure
-// matrix; OBSERVABILITY.md catalogs the ring.* and router.* metrics.
+// # Failure detection and self-healing
+//
+// Router.Failover stays available as the operator's explicit move, but
+// the Detector (Router.EnableAutoFailover) makes the cluster
+// autonomous: one heartbeat loop per node feeds an accrual (φ-style)
+// suspicion score, and a node whose score crosses the dead threshold is
+// failed over automatically. A condemned node that was merely slow or
+// partitioned is fenced, not split-brained — it sits outside the new
+// epoch, so every epoch-labeled request 503s on it — and once it
+// answers heartbeats again the detector rejoins it: the node is
+// reconciled (stale campaigns, journals, and replica buffers dropped),
+// readmitted at a fresh epoch, and campaigns migrate back under a
+// load-aware rebalance. All detector timing flows through an injectable
+// clock (faults.Clock), which keeps the chaos suite deterministic.
+// DESIGN.md §13 has the full protocol and failure matrix;
+// OBSERVABILITY.md catalogs the ring.* and router.* metrics.
 package ring

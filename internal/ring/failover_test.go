@@ -1,0 +1,66 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFailoverIdempotentNoop pins the contract the autonomous detector
+// depends on: Failover of a node that is not a member — never was,
+// empty, or already removed by an earlier call — returns nil without
+// touching the membership, and each such call is counted as a noop.
+func TestFailoverIdempotentNoop(t *testing.T) {
+	a, b := newStubNode(t, "n1"), newStubNode(t, "n2")
+	r, err := NewRouter([]Member{
+		{ID: "n1", URL: a.srv.URL},
+		{ID: "n2", URL: b.srv.URL},
+	}, testRouterCfg())
+	if err != nil {
+		t.Fatalf("new router: %v", err)
+	}
+	if err := r.PushMembership(); err != nil {
+		t.Fatalf("push membership: %v", err)
+	}
+
+	// One real failover first, so "already removed" is a genuine case.
+	failoversBefore := obs.C("router.failover.count").Value()
+	if err := r.Failover("n1"); err != nil {
+		t.Fatalf("first failover: %v", err)
+	}
+	if got := obs.C("router.failover.count").Value(); got != failoversBefore+1 {
+		t.Fatalf("router.failover.count went %v -> %v, want +1", failoversBefore, got)
+	}
+	wantEpoch := r.Membership().Epoch
+	wantMembers := len(r.Membership().Members)
+
+	cases := []struct {
+		name string
+		dead string
+	}{
+		{"already removed", "n1"},
+		{"never a member", "nX"},
+		{"empty id", ""},
+		{"already removed, again", "n1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			noopsBefore := obs.C("router.failover.noops").Value()
+			failsBefore := obs.C("router.failover.count").Value()
+			if err := r.Failover(tc.dead); err != nil {
+				t.Fatalf("Failover(%q) = %v, want nil no-op", tc.dead, err)
+			}
+			if got := obs.C("router.failover.noops").Value(); got != noopsBefore+1 {
+				t.Fatalf("router.failover.noops went %v -> %v, want +1", noopsBefore, got)
+			}
+			if got := obs.C("router.failover.count").Value(); got != failsBefore {
+				t.Fatalf("no-op failover still counted as a real one (%v -> %v)", failsBefore, got)
+			}
+			m := r.Membership()
+			if m.Epoch != wantEpoch || len(m.Members) != wantMembers {
+				t.Fatalf("no-op failover changed the membership: epoch %d with %d members, want epoch %d with %d",
+					m.Epoch, len(m.Members), wantEpoch, wantMembers)
+			}
+		})
+	}
+}

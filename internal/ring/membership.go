@@ -68,6 +68,26 @@ func (m *Membership) url(id string) string {
 	return ""
 }
 
+// with returns a copy with mem added — or, when the id is already a
+// member, its URL updated (a restarted node on a fresh port). Same
+// epoch; the caller bumps it.
+func (m *Membership) with(mem Member) Membership {
+	out := Membership{Epoch: m.Epoch}
+	replaced := false
+	for _, x := range m.Members {
+		if x.ID == mem.ID {
+			x = mem
+			replaced = true
+		}
+		out.Members = append(out.Members, x)
+	}
+	if !replaced {
+		out.Members = append(out.Members, mem)
+	}
+	out.normalize()
+	return out
+}
+
 // without returns a copy with node id removed (same epoch; the caller
 // bumps it).
 func (m *Membership) without(id string) Membership {

@@ -19,14 +19,15 @@ import (
 
 // Ring-side metrics (see OBSERVABILITY.md).
 var (
-	ringShips        = obs.C("ring.ship.count")
-	ringShipErrors   = obs.C("ring.ship.errors")
-	ringShipDedup    = obs.C("ring.ship.dedup")
-	ringSyncs        = obs.C("ring.sync.count")
-	ringAdopts       = obs.C("ring.adopt.count")
-	ringEpochRejects = obs.C("ring.epoch.rejects")
-	ringMembers      = obs.G("ring.members")
-	ringEpochGauge   = obs.G("ring.epoch")
+	ringShips            = obs.C("ring.ship.count")
+	ringShipErrors       = obs.C("ring.ship.errors")
+	ringShipFollowerErrs = obs.C("ring.ship.follower.errors")
+	ringShipDedup        = obs.C("ring.ship.dedup")
+	ringSyncs            = obs.C("ring.sync.count")
+	ringAdopts           = obs.C("ring.adopt.count")
+	ringEpochRejects     = obs.C("ring.epoch.rejects")
+	ringMembers          = obs.G("ring.members")
+	ringEpochGauge       = obs.G("ring.epoch")
 )
 
 // errShipGap is the follower's "your idx skips records I don't have"
@@ -56,6 +57,12 @@ type NodeConfig struct {
 	// follower can cause before the observe is rejected 503.
 	ShipTimeout time.Duration
 
+	// Followers is how many distinct followers each campaign's journal
+	// ships to (default 1; clamped to the membership size). An append is
+	// acknowledged after a quorum of one follower has the record;
+	// laggards are healed lazily with full resyncs.
+	Followers int
+
 	// Client performs internal node-to-node calls (ship, sync). Default
 	// is a plain http.Client; tests inject chaos transports.
 	Client *http.Client
@@ -75,6 +82,7 @@ type Node struct {
 	mux         *http.ServeMux
 	client      *http.Client
 	shipTimeout time.Duration
+	followerN   int
 
 	mu         sync.Mutex
 	membership Membership
@@ -101,12 +109,16 @@ func NewNode(cfg NodeConfig) *Node {
 	n := &Node{
 		ID:          cfg.ID,
 		shipTimeout: cfg.ShipTimeout,
+		followerN:   cfg.Followers,
 		client:      cfg.Client,
 		replicas:    make(map[string]*replica),
 		mux:         http.NewServeMux(),
 	}
 	if n.shipTimeout <= 0 {
 		n.shipTimeout = 5 * time.Second
+	}
+	if n.followerN <= 0 {
+		n.followerN = 1
 	}
 	if n.client == nil {
 		n.client = &http.Client{}
@@ -127,6 +139,8 @@ func NewNode(cfg NodeConfig) *Node {
 	n.srv = serve.NewServerWith(n.mgr, cfg.Server)
 
 	n.mux.HandleFunc("PUT /internal/membership", n.handleMembership)
+	n.mux.HandleFunc("GET /internal/ping", n.handlePing)
+	n.mux.HandleFunc("POST /internal/reconcile", n.handleReconcile)
 	n.mux.HandleFunc("POST /internal/campaigns/{id}", n.handleCreate)
 	n.mux.HandleFunc("POST /internal/ship/{id}", n.handleShip)
 	n.mux.HandleFunc("PUT /internal/replica/{id}", n.handleReplicaPut)
@@ -194,24 +208,91 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n.mux.ServeHTTP(w, r)
 }
 
-// followerURL returns the base URL of the campaign's follower: the
-// first node on the id's ring walk that is not this node. "" when the
-// cluster has no second node (or this node is dead).
-func (n *Node) followerURL(id string) string {
+// followerList returns the campaign's followers: up to Followers
+// distinct nodes on the id's ring walk, skipping this node, in walk
+// order. Empty when the cluster has no second node (or this node is
+// dead). The first entry is the node that adopts the campaign if this
+// one dies — the ring's remap property sends the key exactly there.
+func (n *Node) followerList(id string) []Member {
 	if n.dead.Load() {
-		return ""
+		return nil
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.ring == nil || len(n.membership.Members) < 2 {
-		return ""
+		return nil
 	}
+	var out []Member
 	for _, cand := range n.ring.OwnerN(id, len(n.membership.Members)) {
-		if cand != n.ID {
-			return n.membership.url(cand)
+		if cand == n.ID {
+			continue
+		}
+		out = append(out, Member{ID: cand, URL: n.membership.url(cand)})
+		if len(out) >= n.followerN {
+			break
 		}
 	}
-	return ""
+	return out
+}
+
+// handlePing answers the failure detector's heartbeat. Deliberately
+// outside the epoch guard's reach (the detector sends no epoch label):
+// a fenced node still answers pings — that is exactly how the detector
+// learns it healed and can rejoin.
+func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"node": n.ID, "epoch": n.Epoch()})
+}
+
+// handleReconcile drops everything the router no longer places on this
+// node: stale actives are released, their journals removed, and every
+// follower replica buffer cleared (buffers refill via resync on the
+// owners' next appends). Runs before a fenced node is readmitted, so a
+// node that kept serving zombie campaigns behind a partition comes back
+// clean instead of split-brained. The request arrives without an epoch
+// label on purpose — the node is still at its pre-fence epoch.
+func (n *Node) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Keep []string `json:"keep"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	keep := make(map[string]bool, len(req.Keep))
+	for _, id := range req.Keep {
+		keep[id] = true
+	}
+	released := 0
+	for _, c := range n.mgr.List() {
+		if keep[c.ID] {
+			continue
+		}
+		if err := n.mgr.Release(c.ID); err == nil {
+			released++
+		}
+	}
+	removed := 0
+	if ids, err := n.inner.IDs(); err == nil {
+		for _, id := range ids {
+			if keep[id] {
+				continue
+			}
+			if err := n.inner.Remove(id); err == nil {
+				removed++
+			}
+		}
+	}
+	n.mu.Lock()
+	cleared := len(n.replicas)
+	n.replicas = make(map[string]*replica)
+	n.mu.Unlock()
+	obs.Emit("ring.reconcile", map[string]any{
+		"node": n.ID, "kept": len(req.Keep), "released": released,
+		"removed": removed, "replicas_cleared": cleared,
+	})
+	writeJSON(w, http.StatusOK, map[string]int{
+		"released": released, "removed": removed, "replicas_cleared": cleared,
+	})
 }
 
 // --- follower side: replica buffer handlers ---
@@ -443,9 +524,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // shippingStore implements serve.Store by delegating to the node's
 // local store while issuing Appenders that ship every record to the
-// campaign's follower BEFORE appending locally. Combined with the
+// campaign's followers BEFORE appending locally. Combined with the
 // service's journal-before-ack rule this is replicate-before-ack: an
-// acknowledged observation exists on two nodes.
+// acknowledged observation exists on at least two nodes (the owner plus
+// a quorum of one follower; remaining followers heal lazily).
 type shippingStore struct {
 	node  *Node
 	inner serve.Store
@@ -458,13 +540,15 @@ func (s *shippingStore) Create(id string, spec serve.CampaignSpec) (serve.Append
 	if err != nil {
 		return nil, err
 	}
-	sa := &shippingAppender{node: s.node, id: id, local: app, idx: 1}
-	// Establish the replica with the header line (record 0). A failure
-	// here is not fatal — the first observation's ship will gap-heal
-	// with a full sync.
+	sa := &shippingAppender{node: s.node, id: id, local: app, idx: 1, needSync: make(map[string]bool)}
+	// Establish each replica with the header line (record 0). A failure
+	// is not fatal — the first observation's ship gap-heals that
+	// follower with a full sync.
 	if line, err := serve.EncodeJournalHeader(id, spec); err == nil {
-		if err := sa.ship(line, 0); err != nil {
-			sa.needSync = true
+		for _, f := range s.node.followerList(id) {
+			if err := sa.ship(f.URL, line, 0); err != nil {
+				sa.needSync[f.ID] = true
+			}
 		}
 	}
 	return sa, nil
@@ -475,12 +559,17 @@ func (s *shippingStore) Load(id string) (*serve.JournalInfo, serve.Appender, err
 	if err != nil {
 		return nil, nil, err
 	}
-	sa := &shippingAppender{node: s.node, id: id, local: app}
-	// Sync the follower eagerly so a freshly resumed (or adopted)
+	sa := &shippingAppender{node: s.node, id: id, local: app, needSync: make(map[string]bool)}
+	if data, err := s.inner.Export(id); err == nil {
+		sa.idx = bytes.Count(data, []byte("\n"))
+	}
+	// Sync every follower eagerly so a freshly resumed (or adopted)
 	// campaign is re-replicated before it accepts new observations; on
 	// failure the first append retries via needSync.
-	if err := sa.resync(); err != nil {
-		sa.needSync = true
+	for _, f := range s.node.followerList(id) {
+		if err := sa.resyncTo(f); err != nil {
+			sa.needSync[f.ID] = true
+		}
 	}
 	return info, sa, nil
 }
@@ -491,16 +580,16 @@ func (s *shippingStore) Remove(id string) error {
 	}
 	// Best effort: a stale follower replica only wastes memory — it can
 	// never be adopted once the router forgets the campaign.
-	if fol := s.node.followerURL(id); fol != "" {
+	for _, f := range s.node.followerList(id) {
 		ctx, cancel := context.WithTimeout(context.Background(), s.node.shipTimeout)
-		defer cancel()
-		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, fol+"/internal/replica/"+id, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, f.URL+"/internal/replica/"+id, nil)
 		if err == nil {
 			if resp, err := s.node.client.Do(req); err == nil {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 			}
 		}
+		cancel()
 	}
 	return nil
 }
@@ -508,64 +597,83 @@ func (s *shippingStore) Remove(id string) error {
 func (s *shippingStore) Export(id string) ([]byte, error)    { return s.inner.Export(id) }
 func (s *shippingStore) Import(id string, data []byte) error { return s.inner.Import(id, data) }
 
-// shippingAppender ships each record to the follower, then appends it
-// locally. Owned by one campaign actor goroutine, like every Appender.
+// shippingAppender ships each record to the campaign's followers, then
+// appends it locally. Owned by one campaign actor goroutine, like every
+// Appender.
 type shippingAppender struct {
 	node  *Node
 	id    string
 	local serve.Appender
 
-	// idx is the index of the next record to ship (0 = header).
+	// idx is the index of the next record to ship (0 = header). It
+	// always equals the local journal's line count, so a full resync
+	// image leaves every healed follower expecting exactly idx next.
 	idx int
-	// needSync forces a full replica sync before the next ship — set
-	// after a failed ship, sync, or header establishment so the follower
-	// is healed on the next append instead of drifting.
-	needSync bool
+	// needSync marks followers that must get a full replica sync before
+	// their next ship — set after a failed ship, sync, or header
+	// establishment so a lagging follower is healed on the next append
+	// instead of drifting.
+	needSync map[string]bool
 }
 
-// replicate ships line as record a.idx and advances the index. A gap
-// rejection (follower missing records: new follower after a membership
-// change, or a restarted one) heals with a full sync and one retry.
-// Returns nil when the cluster has no follower to ship to.
+// replicate ships line as record a.idx to every follower and advances
+// the index once a quorum of one has acknowledged it. A gap rejection
+// (follower missing records: new follower after a membership change, or
+// a reconciled one) heals with a full sync and one retry. Returns nil
+// when the cluster has no follower to ship to.
 func (a *shippingAppender) replicate(line []byte) error {
-	if a.node.followerURL(a.id) == "" {
+	fols := a.node.followerList(a.id)
+	if len(fols) == 0 {
 		return nil
 	}
-	if a.needSync {
-		if err := a.resync(); err != nil {
-			ringShipErrors.Inc()
-			return err
+	acked := 0
+	var firstErr error
+	for _, f := range fols {
+		if err := a.shipOne(f, line); err != nil {
+			ringShipFollowerErrs.Inc()
+			a.needSync[f.ID] = true
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		a.needSync = false
+		acked++
 	}
-	err := a.ship(line, a.idx)
-	if errors.Is(err, errShipGap) {
-		if err = a.resync(); err == nil {
-			err = a.ship(line, a.idx)
-		}
-	}
-	if err != nil {
+	if acked == 0 {
 		ringShipErrors.Inc()
-		a.needSync = true
-		return err
+		return firstErr
 	}
 	a.idx++
 	return nil
 }
 
-// ship POSTs one record line at index idx to the campaign's follower.
-func (a *shippingAppender) ship(line []byte, idx int) error {
-	fol := a.node.followerURL(a.id)
-	if fol == "" {
-		return nil
+// shipOne delivers record a.idx to one follower, healing it first if a
+// previous round marked it out of sync.
+func (a *shippingAppender) shipOne(f Member, line []byte) error {
+	if a.needSync[f.ID] {
+		if err := a.resyncTo(f); err != nil {
+			return err
+		}
+		delete(a.needSync, f.ID)
 	}
+	err := a.ship(f.URL, line, a.idx)
+	if errors.Is(err, errShipGap) {
+		if err = a.resyncTo(f); err == nil {
+			err = a.ship(f.URL, line, a.idx)
+		}
+	}
+	return err
+}
+
+// ship POSTs one record line at index idx to a follower's base URL.
+func (a *shippingAppender) ship(folURL string, line []byte, idx int) error {
 	body, err := json.Marshal(shipRequest{Idx: idx, Line: line})
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), a.node.shipTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, fol+"/internal/ship/"+a.id, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, folURL+"/internal/ship/"+a.id, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -589,38 +697,38 @@ func (a *shippingAppender) ship(line []byte, idx int) error {
 	}
 }
 
-// resync pushes the full local journal image to the follower and resets
-// the ship index to match it.
-func (a *shippingAppender) resync() error {
-	fol := a.node.followerURL(a.id)
-	if fol == "" {
-		return nil
-	}
+// resyncTo pushes the full local journal image to one follower. The
+// image holds exactly the records shipped so far (local appends land
+// after replicate), so afterwards the follower expects index a.idx —
+// the ship index is shared across followers and never moves here.
+func (a *shippingAppender) resyncTo(f Member) error {
 	data, err := a.node.inner.Export(a.id)
 	if err != nil {
 		return fmt.Errorf("ring: export for sync: %w", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), a.node.shipTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, fol+"/internal/replica/"+a.id, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, f.URL+"/internal/replica/"+a.id, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	resp, err := a.node.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("ring: sync %s: %w", a.id, err)
+		return fmt.Errorf("ring: sync %s to %s: %w", a.id, f.ID, err)
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ring: sync %s: HTTP %d", a.id, resp.StatusCode)
+		return fmt.Errorf("ring: sync %s to %s: HTTP %d", a.id, f.ID, resp.StatusCode)
 	}
 	ringSyncs.Inc()
-	a.idx = bytes.Count(data, []byte("\n"))
-	obs.Emit("ring.sync", map[string]any{"node": a.node.ID, "campaign": a.id, "records": a.idx})
+	obs.Emit("ring.sync", map[string]any{
+		"node": a.node.ID, "campaign": a.id, "follower": f.ID,
+		"records": bytes.Count(data, []byte("\n")),
+	})
 	return nil
 }
 

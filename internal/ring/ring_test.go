@@ -249,3 +249,98 @@ func TestShipBeforeAck(t *testing.T) {
 		t.Fatalf("local journal has %d lines after a rejected append, want 1 (header only):\n%s", got, data)
 	}
 }
+
+// TestRingOwnerNSmallMemberships pins OwnerN's behavior at the edges
+// the k-follower placement depends on: k greater than the membership
+// clamps (never pads, never repeats), k equal to it returns every node
+// exactly once, and degenerate rings return nil rather than panic.
+func TestRingOwnerNSmallMemberships(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []string
+		n     int
+		want  int // expected result length
+	}{
+		{"k exceeds membership", []string{"n1", "n2"}, 3, 2},
+		{"k equals membership", []string{"n1", "n2", "n3"}, 3, 3},
+		{"single node, k=3", []string{"n1"}, 3, 1},
+		{"single node, k=1", []string{"n1"}, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(tc.nodes, 0)
+			for _, key := range testKeys(50) {
+				got := r.OwnerN(key, tc.n)
+				if len(got) != tc.want {
+					t.Fatalf("key %s: OwnerN(%d) over %v returned %v, want %d distinct nodes",
+						key, tc.n, tc.nodes, got, tc.want)
+				}
+				seen := make(map[string]bool)
+				for _, id := range got {
+					if seen[id] {
+						t.Fatalf("key %s: OwnerN repeated %s: %v", key, id, got)
+					}
+					seen[id] = true
+				}
+				if got[0] != r.Owner(key) {
+					t.Fatalf("key %s: OwnerN[0]=%s disagrees with Owner=%s", key, got[0], r.Owner(key))
+				}
+			}
+		})
+	}
+
+	empty := NewRing(nil, 0)
+	if got := empty.OwnerN("c000001", 3); got != nil {
+		t.Fatalf("empty ring OwnerN returned %v, want nil", got)
+	}
+	r := NewRing([]string{"n1", "n2"}, 0)
+	if got := r.OwnerN("c000001", 0); got != nil {
+		t.Fatalf("OwnerN(0) returned %v, want nil", got)
+	}
+	if got := r.OwnerN("c000001", -1); got != nil {
+		t.Fatalf("OwnerN(-1) returned %v, want nil", got)
+	}
+}
+
+// TestRingFollowerSetMinimalRemap extends the failover-remap invariant
+// to the whole k=3 replica set: removing one node must leave every
+// key's surviving replica holders in place and in order — the shrunken
+// ring's OwnerN(key, 3) is exactly the full ring's preference walk with
+// the dead node deleted. This is what lets a k-replicated campaign fail
+// over without re-shipping journals to freshly chosen followers.
+func TestRingFollowerSetMinimalRemap(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	full := NewRing(nodes, 0)
+	const k = 3
+	for _, dead := range nodes {
+		var survivors []string
+		for _, id := range nodes {
+			if id != dead {
+				survivors = append(survivors, id)
+			}
+		}
+		shrunk := NewRing(survivors, 0)
+		for _, key := range testKeys(200) {
+			walk := full.OwnerN(key, len(nodes))
+			var want []string
+			for _, id := range walk {
+				if id != dead {
+					want = append(want, id)
+				}
+				if len(want) == k {
+					break
+				}
+			}
+			got := shrunk.OwnerN(key, k)
+			if len(got) != len(want) {
+				t.Fatalf("removing %s: key %s OwnerN(%d)=%v, want %v", dead, key, k, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("removing %s: key %s replica set remapped to %v, want the filtered walk %v",
+						dead, key, got, want)
+				}
+			}
+		}
+	}
+}

@@ -20,10 +20,14 @@ import (
 
 // Router-side metrics (see OBSERVABILITY.md).
 var (
-	routerForwards       = obs.C("router.forward.count")
-	routerForwardErrors  = obs.C("router.forward.errors")
-	routerHandoffRejects = obs.C("router.handoff.rejects")
-	routerFailovers      = obs.C("router.failover.count")
+	routerForwards           = obs.C("router.forward.count")
+	routerForwardErrors      = obs.C("router.forward.errors")
+	routerHandoffRejects     = obs.C("router.handoff.rejects")
+	routerFailovers          = obs.C("router.failover.count")
+	routerFailoverNoops      = obs.C("router.failover.noops")
+	routerAutoFailovers      = obs.C("router.autofailover.count")
+	routerAutoFailoverErrors = obs.C("router.autofailover.errors")
+	routerRejoins            = obs.C("router.rejoin.count")
 )
 
 // RouterConfig tunes the cluster router.
@@ -57,15 +61,17 @@ type Router struct {
 	cfg RouterConfig
 	mux *http.ServeMux
 
-	mu         sync.RWMutex
-	membership Membership
-	ring       *Ring
-	overrides  map[string]string // campaign id → node id (migrated off natural placement)
-	handoff    map[string]bool   // campaign id → mid-handoff, shed its traffic
-	campaigns  map[string]bool   // ids created through this router
-	nextID     int
-	clients    map[string]*http.Client
-	breakers   map[string]*resilience.Breaker
+	mu           sync.RWMutex
+	membership   Membership
+	ring         *Ring
+	overrides    map[string]string // campaign id → node id (migrated off natural placement)
+	handoff      map[string]bool   // campaign id → mid-handoff, shed its traffic
+	pendingAdopt map[string]bool   // campaign id → failover adoption failed, retry it
+	campaigns    map[string]bool   // ids created through this router
+	nextID       int
+	clients      map[string]*http.Client
+	breakers     map[string]*resilience.Breaker
+	detector     *Detector
 }
 
 // NewRouter builds a router over the given members at epoch 1. Call
@@ -80,15 +86,16 @@ func NewRouter(members []Member, cfg RouterConfig) (*Router, error) {
 	}
 	m.normalize()
 	r := &Router{
-		cfg:        cfg,
-		mux:        http.NewServeMux(),
-		membership: m,
-		ring:       m.ring(cfg.Vnodes),
-		overrides:  make(map[string]string),
-		handoff:    make(map[string]bool),
-		campaigns:  make(map[string]bool),
-		clients:    make(map[string]*http.Client),
-		breakers:   make(map[string]*resilience.Breaker),
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		membership:   m,
+		ring:         m.ring(cfg.Vnodes),
+		overrides:    make(map[string]string),
+		handoff:      make(map[string]bool),
+		pendingAdopt: make(map[string]bool),
+		campaigns:    make(map[string]bool),
+		clients:      make(map[string]*http.Client),
+		breakers:     make(map[string]*resilience.Breaker),
 	}
 	for _, mem := range m.Members {
 		r.addNodeLocked(mem.ID)
@@ -104,6 +111,7 @@ func NewRouter(members []Member, cfg RouterConfig) (*Router, error) {
 	r.mux.HandleFunc("POST /campaigns/{id}/observe", r.forwardCampaign)
 	r.mux.HandleFunc("POST /campaigns/{id}/predict", r.forwardCampaign)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /cluster/healthz", r.handleClusterHealthz)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
 	return r, nil
 }
@@ -442,6 +450,32 @@ func (r *Router) nodeHealth(ctx context.Context, mem Member, epoch uint64) (stri
 	return out.Status, nil
 }
 
+// handleClusterHealthz reports the cluster as the self-healing layer
+// sees it: the membership epoch plus, when the detector runs, every
+// node's verdict (alive/suspected/dead/fenced) and suspicion score —
+// including fenced nodes that are no longer members.
+func (r *Router) handleClusterHealthz(w http.ResponseWriter, req *http.Request) {
+	m := r.Membership()
+	det := r.Detector()
+	ids := make([]string, len(m.Members))
+	for i, mem := range m.Members {
+		ids[i] = mem.ID
+	}
+	out := map[string]any{
+		"epoch":        m.Epoch,
+		"members":      ids,
+		"autofailover": det != nil,
+	}
+	if det != nil {
+		nodes := make(map[string]any)
+		for _, h := range det.Snapshot() {
+			nodes[h.ID] = map[string]any{"state": h.State, "phi": h.Phi, "url": h.URL}
+		}
+		out["nodes"] = nodes
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = obs.Default.WriteJSONL(w)
@@ -455,11 +489,18 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 // already holding its replica. Orphaned campaigns are in handoff (shed
 // with 503) from the epoch bump until their adoption completes; every
 // other campaign keeps serving throughout.
+//
+// Failing over a node that is not a member — never was, or was already
+// removed by an earlier call — is an idempotent no-op: detectors,
+// retrying operators, and scripts may all race to report the same
+// death, and every report after the first must be safe.
 func (r *Router) Failover(deadID string) error {
 	r.mu.Lock()
 	if r.membership.url(deadID) == "" {
 		r.mu.Unlock()
-		return fmt.Errorf("ring: failover of unknown node %q", deadID)
+		routerFailoverNoops.Inc()
+		obs.Emit("router.failover.noop", map[string]any{"dead": deadID})
+		return nil
 	}
 	var orphans []string
 	for id := range r.campaigns {
@@ -500,13 +541,76 @@ func (r *Router) Failover(deadID string) error {
 		newOwner := r.Owner(id)
 		if err := r.postInternal(newOwner, "/internal/adopt/"+id, nil); err != nil {
 			errs = append(errs, fmt.Errorf("adopt %s on %s: %w", id, newOwner, err))
-			continue // keep the campaign in handoff: shed, not wrong
+			// Keep the campaign in handoff (shed, not wrong) and mark the
+			// adoption for retry: the node is already out of the
+			// membership, so a second Failover call would no-op past it.
+			r.mu.Lock()
+			r.pendingAdopt[id] = true
+			r.mu.Unlock()
+			continue
 		}
 		r.mu.Lock()
 		delete(r.handoff, id)
 		r.mu.Unlock()
 	}
 	return errors.Join(errs...)
+}
+
+// adoptPending retries failover adoptions that failed on an earlier
+// attempt (the node was already removed, so Failover itself no-ops).
+// Campaigns stay in handoff until their adoption lands.
+func (r *Router) adoptPending() error {
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.pendingAdopt))
+	for id := range r.pendingAdopt {
+		ids = append(ids, id)
+	}
+	r.mu.RUnlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	serve.SortCampaignIDs(ids)
+	var errs []error
+	for _, id := range ids {
+		owner := r.Owner(id)
+		if err := r.postInternal(owner, "/internal/adopt/"+id, nil); err != nil {
+			errs = append(errs, fmt.Errorf("adopt %s on %s: %w", id, owner, err))
+			continue
+		}
+		r.mu.Lock()
+		delete(r.pendingAdopt, id)
+		delete(r.handoff, id)
+		r.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// isMember reports whether a node is in the current membership.
+func (r *Router) isMember(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.membership.url(id) != ""
+}
+
+// autoFailover is the detector's recovery entry point: run the Failover
+// path for a condemned node, or — when an earlier attempt already
+// removed it — retry whatever adoptions that attempt left pending. Safe
+// to call repeatedly; the detector does exactly that until it succeeds.
+func (r *Router) autoFailover(deadID string) error {
+	if !r.isMember(deadID) {
+		if err := r.adoptPending(); err != nil {
+			routerAutoFailoverErrors.Inc()
+			return err
+		}
+		return nil
+	}
+	if err := r.Failover(deadID); err != nil {
+		routerAutoFailoverErrors.Inc()
+		return err
+	}
+	routerAutoFailovers.Inc()
+	obs.Emit("router.autofailover", map[string]any{"dead": deadID})
+	return nil
 }
 
 // Migrate moves one campaign to an explicit node: release on the owner,
@@ -551,11 +655,264 @@ func (r *Router) Migrate(id, to string) error {
 		obs.Emit("router.migrate.stale", map[string]any{"campaign": id, "node": from, "err": err.Error()})
 	}
 	r.mu.Lock()
-	r.overrides[id] = to
+	if r.ring.Owner(id) == to {
+		// Moving a campaign back to its natural placement needs no
+		// override — and leaving none keeps the minimal-remap property
+		// alive for the next failover.
+		delete(r.overrides, id)
+	} else {
+		r.overrides[id] = to
+	}
 	delete(r.handoff, id)
 	r.mu.Unlock()
 	obs.Emit("router.migrate", map[string]any{"campaign": id, "from": from, "to": to})
 	return nil
+}
+
+// Rejoin admits a node (back) into the membership at a new epoch: a
+// fenced node that healed, or a restarted node on a fresh port. The
+// node is first reconciled — told which campaigns the router still
+// places on it, so it drops every stale journal, replica buffer, and
+// running actor left over from before it was fenced — and only then
+// added to the ring. Every live campaign is pinned to its current owner
+// before the ring changes, so readmission re-places nothing implicitly;
+// campaigns flow back to the node through explicit Migrate calls in
+// rebalance, replaying journals with fingerprint verification.
+func (r *Router) Rejoin(m Member) error {
+	if m.ID == "" || m.URL == "" {
+		return fmt.Errorf("ring: rejoin with empty id or url")
+	}
+	r.mu.Lock()
+	if r.membership.url(m.ID) == m.URL {
+		r.mu.Unlock()
+		return nil // already a member at this URL
+	}
+	r.addNodeLocked(m.ID)
+	keep := make([]string, 0)
+	for id := range r.campaigns {
+		if r.ownerLocked(id) == m.ID {
+			keep = append(keep, id)
+		}
+	}
+	r.mu.Unlock()
+	serve.SortCampaignIDs(keep)
+	if err := r.reconcile(m, keep); err != nil {
+		return fmt.Errorf("ring: reconcile %s before rejoin: %w", m.ID, err)
+	}
+
+	r.mu.Lock()
+	if r.membership.url(m.ID) == m.URL {
+		r.mu.Unlock()
+		return nil // lost a race with another rejoin of the same node
+	}
+	for id := range r.campaigns {
+		if r.handoff[id] || r.pendingAdopt[id] {
+			continue
+		}
+		if _, ok := r.overrides[id]; !ok {
+			r.overrides[id] = r.ring.Owner(id)
+		}
+	}
+	nm := r.membership.with(m)
+	nm.Epoch = r.membership.Epoch + 1
+	r.membership = nm
+	r.ring = nm.ring(r.cfg.Vnodes)
+	ringMembers.Set(float64(len(nm.Members)))
+	ringEpochGauge.Set(float64(nm.Epoch))
+	det := r.detector
+	r.mu.Unlock()
+
+	routerRejoins.Inc()
+	obs.Emit("router.rejoin", map[string]any{"node": m.ID, "epoch": nm.Epoch})
+
+	var errs []error
+	if err := r.PushMembership(); err != nil {
+		errs = append(errs, err)
+	}
+	if det != nil {
+		det.readmit(m)
+	}
+	if err := r.rebalance(m.ID); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// reconcile tells a node which campaigns it still serves; the node
+// releases, removes, and clears everything else. The request is
+// deliberately NOT epoch-labeled: a fenced node sits at its old epoch
+// and must accept this one call so it can clean up before readmission.
+func (r *Router) reconcile(m Member, keep []string) error {
+	body, err := json.Marshal(map[string][]string{"keep": keep})
+	if err != nil {
+		return err
+	}
+	r.mu.RLock()
+	client := r.clients[m.ID]
+	r.mu.RUnlock()
+	if client == nil {
+		return fmt.Errorf("ring: no client for node %s", m.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+"/internal/reconcile", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
+	req.Header.Set(resilience.IdempotencyHeader, "reconcile:"+m.ID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// rebalance moves campaigns onto a (re)admitted node: first everything
+// whose natural ring placement is that node, then — while the load gap
+// justifies it — the smallest campaigns from the most loaded node. Each
+// move is a full Migrate (release → export → adopt with fingerprint-
+// verified journal replay), so a failure strands nothing.
+func (r *Router) rebalance(toID string) error {
+	r.mu.Lock()
+	for id, o := range r.overrides {
+		if r.ring.Owner(id) == o {
+			delete(r.overrides, id) // pin became redundant after the ring change
+		}
+	}
+	var home []string
+	for id := range r.campaigns {
+		if r.handoff[id] || r.pendingAdopt[id] {
+			continue
+		}
+		if r.ring.Owner(id) == toID && r.ownerLocked(id) != toID {
+			home = append(home, id)
+		}
+	}
+	r.mu.Unlock()
+	serve.SortCampaignIDs(home)
+
+	var errs []error
+	moved := 0
+	for _, id := range home {
+		if err := r.Migrate(id, toID); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		moved++
+	}
+	// Load-aware top-up: keep pulling from the most loaded node while it
+	// holds at least two more campaigns than the newcomer. Each move
+	// shrinks the gap by two, so the loop terminates.
+	for len(errs) == 0 {
+		id, from, ok := r.nextRebalanceMove(toID)
+		if !ok {
+			break
+		}
+		if err := r.Migrate(id, toID); err != nil {
+			errs = append(errs, fmt.Errorf("rebalance %s from %s: %w", id, from, err))
+			break
+		}
+		moved++
+	}
+	obs.Emit("router.rebalance", map[string]any{"node": toID, "moved": moved})
+	return errors.Join(errs...)
+}
+
+// nextRebalanceMove picks the smallest campaign id on the most loaded
+// node, if that node holds ≥2 more campaigns than toID.
+func (r *Router) nextRebalanceMove(toID string) (id, from string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	counts := make(map[string]int, len(r.membership.Members))
+	for _, mem := range r.membership.Members {
+		counts[mem.ID] = 0
+	}
+	owners := make(map[string]string, len(r.campaigns))
+	for cid := range r.campaigns {
+		if r.handoff[cid] || r.pendingAdopt[cid] {
+			continue
+		}
+		o := r.ownerLocked(cid)
+		owners[cid] = o
+		counts[o]++
+	}
+	if _, isMem := counts[toID]; !isMem {
+		return "", "", false
+	}
+	top, topCount := "", -1
+	for _, mem := range r.membership.Members {
+		if mem.ID == toID {
+			continue
+		}
+		if c := counts[mem.ID]; c > topCount {
+			top, topCount = mem.ID, c
+		}
+	}
+	if top == "" || topCount < counts[toID]+2 {
+		return "", "", false
+	}
+	for cid, o := range owners {
+		if o != top {
+			continue
+		}
+		if id == "" || cid < id {
+			id = cid
+		}
+	}
+	if id == "" {
+		return "", "", false
+	}
+	return id, top, true
+}
+
+// EnableAutoFailover starts the accrual failure detector over the
+// current membership. Idempotent: a second call returns the running
+// detector. Stop it with Close.
+func (r *Router) EnableAutoFailover(cfg DetectorConfig) *Detector {
+	r.mu.Lock()
+	if r.detector != nil {
+		d := r.detector
+		r.mu.Unlock()
+		return d
+	}
+	base := r.cfg.Transport
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	members := append([]Member(nil), r.membership.Members...)
+	d := newDetector(r, cfg, base, members)
+	r.detector = d
+	r.mu.Unlock()
+	d.start()
+	return d
+}
+
+// Detector returns the running failure detector (nil when autonomous
+// failover is not enabled).
+func (r *Router) Detector() *Detector {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.detector
+}
+
+// Close stops the router's background work (the failure detector). The
+// router itself is just an http.Handler and needs no further teardown.
+func (r *Router) Close() {
+	r.mu.RLock()
+	d := r.detector
+	r.mu.RUnlock()
+	if d != nil {
+		d.Stop()
+	}
 }
 
 // errNotFoundStatus marks an internal call that returned HTTP 404.
