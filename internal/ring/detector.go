@@ -365,6 +365,12 @@ const (
 // returns the action to run (outside the detector lock).
 func (d *Detector) observe(t *target, ok bool) int {
 	now := d.clock.Now()
+	// isMember takes the router's mutex; per the lock-order rule on
+	// Detector it must be resolved BEFORE d.mu is held, never across the
+	// call. The snapshot is only consulted on the dead-but-answering
+	// transition below; a membership change racing past it is reconciled
+	// by the next heartbeat round.
+	member := ok && d.router.isMember(t.id)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if ok {
@@ -385,7 +391,7 @@ func (d *Detector) observe(t *target, ok bool) int {
 			// Condemned but answering again. If failover already removed
 			// it from the membership, it is effectively fenced and must
 			// earn a rejoin; otherwise it simply recovered in time.
-			if d.router.isMember(t.id) {
+			if member {
 				t.state = StateAlive
 				ringDetectorRecovered.Inc()
 				obs.Emit("ring.detector.recovered", map[string]any{"node": t.id})

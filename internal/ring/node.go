@@ -407,10 +407,14 @@ func (n *Node) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAdopt promotes a campaign onto this node: from the request body
-// when it carries a journal image (migration), otherwise from the local
-// replica buffer (failover — by the ring's remap property the new owner
-// IS the old follower, so the bytes are already here). Idempotent: an
-// already-active campaign acknowledges without effect.
+// when it carries a journal image (migration, or a failover adoption —
+// the router supplies the longest replica image the cluster holds, so
+// an acked record that only ever reached one of the k-1 followers is
+// not lost when a different follower inherits the campaign), otherwise
+// from the local replica buffer (fallback when no replica was reachable
+// anywhere; by the ring's remap property the new owner IS the old first
+// follower, so its buffer is the best image the router could reach).
+// Idempotent: an already-active campaign acknowledges without effect.
 func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := n.mgr.Get(id); err == nil {
@@ -559,10 +563,13 @@ func (s *shippingStore) Load(id string) (*serve.JournalInfo, serve.Appender, err
 	if err != nil {
 		return nil, nil, err
 	}
-	sa := &shippingAppender{node: s.node, id: id, local: app, needSync: make(map[string]bool)}
-	if data, err := s.inner.Export(id); err == nil {
-		sa.idx = bytes.Count(data, []byte("\n"))
-	}
+	// Load truncates the journal to the header plus the complete
+	// observations (terminal lines and torn tails stripped), so the next
+	// ship index is known without an Export round-trip. Deriving it from
+	// Export would leave idx at 0 if the Export failed — and every ship
+	// at an index below the follower's count is acked as a dedup, so new
+	// records would be silently dropped instead of replicated.
+	sa := &shippingAppender{node: s.node, id: id, local: app, idx: 1 + len(info.Observations), needSync: make(map[string]bool)}
 	// Sync every follower eagerly so a freshly resumed (or adopted)
 	// campaign is re-replicated before it accepts new observations; on
 	// failure the first append retries via needSync.

@@ -486,9 +486,14 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 // Failover removes a dead node: bump the epoch, push the new table to
 // the survivors, then adopt every campaign the dead node owned on its
 // new owner — which, by the ring's remap property, is the follower
-// already holding its replica. Orphaned campaigns are in handoff (shed
-// with 503) from the epoch bump until their adoption completes; every
-// other campaign keeps serving throughout.
+// already holding its replica. Because appends ack on a quorum of ONE
+// follower, at replication ≥ 3 an acknowledged record may live on any
+// single follower — so adoption imports the longest replica image held
+// anywhere in the cluster, not just the new owner's local buffer (the
+// new owner may be exactly the straggler that was marked for lazy
+// resync and never healed before the owner died). Orphaned campaigns
+// are in handoff (shed with 503) from the epoch bump until their
+// adoption completes; every other campaign keeps serving throughout.
 //
 // Failing over a node that is not a member — never was, or was already
 // removed by an earlier call — is an idempotent no-op: detectors,
@@ -539,7 +544,7 @@ func (r *Router) Failover(deadID string) error {
 	}
 	for _, id := range orphans {
 		newOwner := r.Owner(id)
-		if err := r.postInternal(newOwner, "/internal/adopt/"+id, nil); err != nil {
+		if err := r.postInternal(newOwner, "/internal/adopt/"+id, r.bestReplicaImage(id)); err != nil {
 			errs = append(errs, fmt.Errorf("adopt %s on %s: %w", id, newOwner, err))
 			// Keep the campaign in handoff (shed, not wrong) and mark the
 			// adoption for retry: the node is already out of the
@@ -558,7 +563,11 @@ func (r *Router) Failover(deadID string) error {
 
 // adoptPending retries failover adoptions that failed on an earlier
 // attempt (the node was already removed, so Failover itself no-ops).
-// Campaigns stay in handoff until their adoption lands.
+// Campaigns stay in handoff until their adoption lands. Like Failover,
+// each retry adopts from the longest replica image the cluster still
+// holds — the current owner may hold none at all (it could have been
+// reconciled on a rejoin since the failed attempt), while the real
+// replica sits on the original failover target.
 func (r *Router) adoptPending() error {
 	r.mu.RLock()
 	ids := make([]string, 0, len(r.pendingAdopt))
@@ -573,7 +582,7 @@ func (r *Router) adoptPending() error {
 	var errs []error
 	for _, id := range ids {
 		owner := r.Owner(id)
-		if err := r.postInternal(owner, "/internal/adopt/"+id, nil); err != nil {
+		if err := r.postInternal(owner, "/internal/adopt/"+id, r.bestReplicaImage(id)); err != nil {
 			errs = append(errs, fmt.Errorf("adopt %s on %s: %w", id, owner, err))
 			continue
 		}
@@ -583,6 +592,29 @@ func (r *Router) adoptPending() error {
 		r.mu.Unlock()
 	}
 	return errors.Join(errs...)
+}
+
+// bestReplicaImage fetches the campaign's replica buffer from every
+// current member and returns the image with the most records. With the
+// quorum-of-1 ack rule an acknowledged record is only guaranteed to be
+// on SOME follower, so failover adoption must consult all of them: the
+// new owner alone may be a straggler whose lazy resync never happened.
+// Best-effort by design — unreachable nodes are skipped, and nil (no
+// replica found anywhere) lets the adopting node fall back to its own
+// local buffer, which is never worse than the pre-fetch behavior.
+func (r *Router) bestReplicaImage(id string) []byte {
+	m := r.Membership()
+	var best []byte
+	for _, mem := range m.Members {
+		data, err := r.getInternal(mem.ID, "/internal/replica/"+id)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if bytes.Count(data, []byte("\n")) > bytes.Count(best, []byte("\n")) {
+			best = data
+		}
+	}
+	return best
 }
 
 // isMember reports whether a node is in the current membership.
@@ -675,9 +707,12 @@ func (r *Router) Migrate(id, to string) error {
 // places on it, so it drops every stale journal, replica buffer, and
 // running actor left over from before it was fenced — and only then
 // added to the ring. Every live campaign is pinned to its current owner
-// before the ring changes, so readmission re-places nothing implicitly;
-// campaigns flow back to the node through explicit Migrate calls in
-// rebalance, replaying journals with fingerprint verification.
+// before the ring changes — including campaigns awaiting a retried
+// failover adoption, whose pin keeps the adoption aimed at the node
+// holding their replica instead of the freshly wiped newcomer — so
+// readmission re-places nothing implicitly; campaigns flow back to the
+// node through explicit Migrate calls in rebalance, replaying journals
+// with fingerprint verification.
 func (r *Router) Rejoin(m Member) error {
 	if m.ID == "" || m.URL == "" {
 		return fmt.Errorf("ring: rejoin with empty id or url")
@@ -706,7 +741,13 @@ func (r *Router) Rejoin(m Member) error {
 		return nil // lost a race with another rejoin of the same node
 	}
 	for id := range r.campaigns {
-		if r.handoff[id] || r.pendingAdopt[id] {
+		if r.handoff[id] && !r.pendingAdopt[id] {
+			// Mid-Migrate: Migrate itself pins the destination when it
+			// completes. Campaigns in pendingAdopt ARE pinned — their
+			// pre-rejoin owner is the failover target holding the replica,
+			// and letting the ring swap re-place them (possibly onto the
+			// just-reconciled, hence empty, rejoining node) would strand
+			// the retried adoption on a node with nothing to adopt.
 			continue
 		}
 		if _, ok := r.overrides[id]; !ok {
